@@ -1,0 +1,60 @@
+"""EXP-ABL1 — ablation of RADAR's design choices (signature width, masking, recovery policy).
+
+Not a table in the paper, but DESIGN.md calls out the three design choices
+Section IV/V argues for; this bench quantifies each on the ResNet-20 target
+using the same cached PBFA profiles as the Table III / Fig. 4 benches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.ablation import (
+    masking_ablation,
+    recovery_policy_ablation,
+    signature_bits_ablation,
+)
+from repro.experiments.common import generate_pbfa_profiles
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_design_choices(benchmark, resnet20_context):
+    def run():
+        profiles = generate_pbfa_profiles(resnet20_context, num_flips=10)
+        return {
+            "signature": signature_bits_ablation(resnet20_context, profiles, group_size=8),
+            "masking": masking_ablation(resnet20_context, profiles, group_size=8),
+            "policy": recovery_policy_ablation(resnet20_context, profiles, group_size=8),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Ablation — signature width (1/2/3 bits) at G=8",
+        results["signature"],
+        filename="ablation_signature_bits.json",
+    )
+    emit(
+        "Ablation — secret-key masking on/off at G=8 (plain PBFA; no regression expected)",
+        results["masking"],
+        filename="ablation_masking.json",
+    )
+    emit(
+        "Ablation — recovery policy (none / zero / reload) at G=8",
+        results["policy"],
+        filename="ablation_recovery_policy.json",
+    )
+
+    # Storage grows with the signature width while PBFA detection stays high.
+    signature_rows = {row["signature_bits"]: row for row in results["signature"]}
+    assert signature_rows[1]["storage_kb"] < signature_rows[2]["storage_kb"] < signature_rows[3]["storage_kb"]
+    assert signature_rows[2]["detected_mean"] >= 8.0
+
+    # Masking does not hurt detection of the standard attack.
+    masking_rows = {row["masking"]: row for row in results["masking"]}
+    assert masking_rows[True]["detected_mean"] >= masking_rows[False]["detected_mean"] - 1.0
+
+    # Policy ordering: reload >= zero >= none.
+    policy_rows = {row["policy"]: row for row in results["policy"]}
+    assert policy_rows["reload"]["recovered_accuracy"] >= policy_rows["zero"]["recovered_accuracy"] - 0.02
+    assert policy_rows["zero"]["recovered_accuracy"] >= policy_rows["none"]["recovered_accuracy"] - 0.02

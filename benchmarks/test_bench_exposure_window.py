@@ -1,0 +1,43 @@
+"""EXP-EXPO — inline (RADAR) vs periodic checking: exposure window of corrupted inferences.
+
+Supports the paper's introduction (run-time attacks defeat periodic detection,
+motivating a check embedded in every inference) by measuring how many batches
+are served on corrupted weights before each scheme notices a 10-flip PBFA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.common import generate_pbfa_profiles
+from repro.experiments.exposure import exposure_study
+
+
+@pytest.mark.benchmark(group="exposure")
+def test_exposure_window(benchmark, resnet20_context):
+    def run():
+        profiles = generate_pbfa_profiles(resnet20_context, num_flips=10)
+        return exposure_study(
+            resnet20_context,
+            profiles,
+            group_size=8,
+            check_every_values=(1, 4, 8),
+            num_batches=10,
+            batch_size=32,
+            attack_at_batch=2,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Exposure window — batches served on corrupted weights before detection "
+        "(inline RADAR vs periodic checking; paper's motivation for run-time checking)",
+        rows,
+        filename="exposure_window.json",
+    )
+    by_interval = {row["check_every"]: row for row in rows}
+    # Inline checking never serves a corrupted batch; periodic checking does.
+    assert by_interval[1]["exposed_batches_mean"] == 0
+    assert by_interval[8]["exposed_batches_mean"] >= by_interval[4]["exposed_batches_mean"] >= 1
+    # The batches inside the exposure window are served at (much) lower accuracy.
+    assert by_interval[8]["exposed_accuracy"] <= by_interval[8]["served_accuracy"]

@@ -1,0 +1,38 @@
+"""EXP-F5 — Fig. 5: ResNet-18 recovery bar chart (N_BF = 5 and 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.plotting import recovery_bars
+from repro.experiments.recovery import fig5_recovery_bars
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_recovery_bars(benchmark, resnet18_context):
+    def run():
+        return fig5_recovery_bars(
+            resnet18_context, group_sizes=(128, 256, 512), num_flips_values=(5, 10)
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Fig. 5 — ResNet-18 accuracy bars: unprotected vs RADAR-recovered at G=128/256/512 "
+        "(paper: 0.18% unprotected vs 60-66% recovered for N_BF=10)",
+        rows,
+        filename="fig5_recovery_bars.json",
+    )
+    for num_flips in (5, 10):
+        print(recovery_bars(rows, resnet18_context.model_name, num_flips))
+    for num_flips in (5, 10):
+        unprotected = [
+            row["accuracy"] for row in rows
+            if row["num_flips"] == num_flips and row["series"] == "unprotected"
+        ][0]
+        recovered = [
+            row["accuracy"] for row in rows
+            if row["num_flips"] == num_flips and row["series"] != "unprotected"
+        ]
+        # Every RADAR configuration beats the unprotected accuracy.
+        assert min(recovered) >= unprotected

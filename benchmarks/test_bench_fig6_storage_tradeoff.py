@@ -1,0 +1,40 @@
+"""EXP-F6 — Fig. 6: recovered accuracy vs signature-storage overhead."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, group_sizes_for
+from repro.experiments.plotting import tradeoff_chart
+from repro.experiments.tradeoff import best_tradeoff_point, fig6_storage_tradeoff
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_storage_tradeoff(benchmark, contexts):
+    def run():
+        rows = []
+        for name, context in contexts.items():
+            rows.extend(
+                fig6_storage_tradeoff(context, group_sizes=group_sizes_for(name), num_flips=10)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Fig. 6 — recovered accuracy vs signature storage under a 10-flip PBFA "
+        "(paper: knee at G=8 / 8.2KB for ResNet-20 and G=512 / 5.6KB for ResNet-18)",
+        rows,
+        columns=[
+            "model", "group_size", "storage_kb",
+            "attacked_accuracy", "recovered_accuracy", "clean_accuracy",
+        ],
+        filename="fig6_storage_tradeoff.json",
+    )
+    for name in contexts:
+        model_rows = [row for row in rows if row["model"] == name]
+        print(tradeoff_chart(model_rows, name))
+        # Storage shrinks monotonically as G grows (2 bits per group).
+        storages = [row["storage_kb"] for row in model_rows]
+        assert storages == sorted(storages, reverse=True)
+        best = best_tradeoff_point(model_rows)
+        print(f"best trade-off for {name}: G={best['group_size']} ({best['storage_kb']:.1f} KB)")

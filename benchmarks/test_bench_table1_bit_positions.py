@@ -1,0 +1,29 @@
+"""EXP-T1 — Table I: PBFA flip-position statistics (MSB 0→1 / 1→0 / others)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.characterization import table1_bit_positions
+from repro.experiments.common import generate_pbfa_profiles
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_bit_positions(benchmark, contexts):
+    def run():
+        profiles_by_model = {
+            name: generate_pbfa_profiles(context, num_flips=10)
+            for name, context in contexts.items()
+        }
+        return table1_bit_positions(profiles_by_model)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Table I — PBFA flips per bit position (paper: MSB targeted ~100% of the time)",
+        rows,
+        filename="table1_bit_positions.json",
+    )
+    for row in rows:
+        # The paper's headline observation: PBFA overwhelmingly targets the MSB.
+        assert row["msb_fraction"] > 0.8

@@ -1,0 +1,28 @@
+"""EXP-T2 — Table II: value ranges of the weights PBFA targets."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.characterization import table2_weight_ranges
+from repro.experiments.common import generate_pbfa_profiles
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_weight_ranges(benchmark, contexts):
+    def run():
+        profiles_by_model = {
+            name: generate_pbfa_profiles(context, num_flips=10)
+            for name, context in contexts.items()
+        }
+        return table2_weight_ranges(profiles_by_model)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "Table II — targeted-weight value ranges (paper: most targets are small weights in (-32, 32))",
+        rows,
+        filename="table2_weight_ranges.json",
+    )
+    for row in rows:
+        assert row["small_weight_fraction"] > 0.5

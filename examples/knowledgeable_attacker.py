@@ -1,0 +1,93 @@
+"""Section VIII scenario: attackers that know a checksum defense is in place.
+
+Two evasion strategies are demonstrated on a small quantized model:
+
+* **paired flips** — every PBFA flip is paired with an opposite-direction MSB
+  flip inside what the attacker believes is the same checksum group, so the
+  plain (unmasked, non-interleaved) addition checksum does not move.  The
+  example shows how detection collapses for a contiguous-group defense and is
+  restored by RADAR's interleaving + masking;
+* **avoid the MSB** — PBFA restricted to the MSB-1 bit position.  More flips
+  are needed for the same damage, and the 3-bit signature variant catches
+  them while the default 2-bit signature does not.
+
+Run with::
+
+    python examples/knowledgeable_attacker.py [--num-flips N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+
+from repro.attacks import (
+    LowBitAttack,
+    PairedFlipAttack,
+    PairedFlipConfig,
+    PbfaConfig,
+)
+from repro.core import ModelProtector, RadarConfig, count_detected_flips
+from repro.models.training import evaluate_accuracy
+from repro.models.zoo import get_pretrained
+
+
+def paired_flip_demo(bundle, num_flips: int) -> None:
+    print("=== paired-flip attacker (flip multiple bits in a group) ===")
+    assumed_group = 32
+    attack = PairedFlipAttack(
+        PairedFlipConfig(pbfa=PbfaConfig(num_flips=num_flips, seed=5), assumed_group_size=assumed_group, seed=5)
+    )
+    for use_interleave, use_masking, label in (
+        (False, False, "contiguous checksum, no masking (what the attacker assumes)"),
+        (True, True, "RADAR: interleaved + masked checksum"),
+    ):
+        model = copy.deepcopy(bundle.model)
+        protector = ModelProtector(
+            RadarConfig(group_size=assumed_group, use_interleave=use_interleave, use_masking=use_masking)
+        )
+        protector.protect(model)
+        result = attack.run(model, bundle.test_set.images, bundle.test_set.labels, model_name=bundle.name)
+        attacked = evaluate_accuracy(model, bundle.test_set)
+        summary = protector.scan_and_recover(model)
+        detected = count_detected_flips(result.profile, summary.detection, protector.store)
+        recovered = evaluate_accuracy(model, bundle.test_set)
+        print(
+            f"  {label}:\n"
+            f"    {len(result.profile)} flips injected, {detected} detected; "
+            f"accuracy clean {bundle.clean_accuracy:.3f} -> attacked {attacked:.3f} -> recovered {recovered:.3f}"
+        )
+
+
+def low_bit_demo(bundle, num_flips: int) -> None:
+    print("=== MSB-avoiding attacker (flip only MSB-1) ===")
+    attack = LowBitAttack(num_flips=num_flips, seed=7)
+    for signature_bits in (2, 3):
+        model = copy.deepcopy(bundle.model)
+        protector = ModelProtector(RadarConfig(group_size=16, signature_bits=signature_bits))
+        protector.protect(model)
+        result = attack.run(model, bundle.test_set.images, bundle.test_set.labels, model_name=bundle.name)
+        attacked = evaluate_accuracy(model, bundle.test_set)
+        summary = protector.scan_and_recover(model)
+        detected = count_detected_flips(result.profile, summary.detection, protector.store)
+        print(
+            f"  {signature_bits}-bit signature: {len(result.profile)} MSB-1 flips, "
+            f"{detected} detected, attacked accuracy {attacked:.3f} "
+            f"(storage {protector.storage_overhead_kb():.3f} KB)"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--num-flips", type=int, default=5, help="PBFA flips before pairing")
+    args = parser.parse_args()
+
+    bundle = get_pretrained("lenet-tiny")
+    print(f"model: {bundle.name}   clean accuracy: {bundle.clean_accuracy:.3f}\n")
+    paired_flip_demo(bundle, args.num_flips)
+    print()
+    low_bit_demo(bundle, max(args.num_flips * 3, 9))
+
+
+if __name__ == "__main__":
+    main()

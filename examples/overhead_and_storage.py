@@ -1,0 +1,63 @@
+"""Overhead analysis: reproduce the paper's Table IV, Table V and the Fig. 6 x-axis.
+
+Runs the analytic gem5-style system simulation on the paper's two targets —
+ResNet-20 at 32x32 (CIFAR-10) and ResNet-18 at 224x224 with 1000 classes
+(ImageNet) — and reports
+
+* baseline inference latency vs latency with RADAR embedded (Table IV),
+* RADAR vs CRC detection overhead and secure-storage footprint (Table V),
+* signature storage as a function of the group size G (Fig. 6 x-axis),
+
+together with the paper's reported numbers for comparison.  No training or
+attack is involved, so this example runs in a few seconds.
+
+Run with::
+
+    python examples/overhead_and_storage.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.overhead import (
+    PAPER_TARGETS,
+    storage_sweep,
+    table4_time_overhead,
+    table5_crc_comparison,
+)
+from repro.experiments.reporting import render_table
+
+
+def main() -> None:
+    rows4 = table4_time_overhead()
+    print(render_table(
+        rows4,
+        columns=[
+            "model", "group_size", "baseline_s", "radar_s", "radar_interleave_s",
+            "overhead_percent", "overhead_interleave_percent",
+            "paper_baseline_s", "paper_radar_overhead_s",
+        ],
+        title="Table IV — RADAR time overhead (paper: 3.56%/5.27% ResNet-20, 0.58%/1.83% ResNet-18)",
+    ))
+
+    rows5 = table5_crc_comparison(include_hamming=True)
+    print(render_table(
+        rows5,
+        columns=["model", "group_size", "scheme", "total_s", "overhead_s", "storage_kb", "paper_overhead_s"],
+        title="Table V — RADAR vs CRC / Hamming overhead (paper: CRC ~5-10x slower, ~5-7x more storage)",
+    ))
+
+    sweep_rows = []
+    for label, group_sizes in (("resnet20", (4, 8, 16, 32, 64)), ("resnet18", (64, 128, 256, 512, 1024))):
+        sweep_rows.extend(storage_sweep(label, group_sizes))
+    print(render_table(
+        sweep_rows,
+        title="Fig. 6 x-axis — signature storage vs group size "
+        "(paper: 8.2 KB at G=8 for ResNet-20, 5.6 KB at G=512 for ResNet-18)",
+    ))
+
+    for label, target in PAPER_TARGETS.items():
+        print(f"paper's recommended configuration for {label}: G = {target.group_size}")
+
+
+if __name__ == "__main__":
+    main()

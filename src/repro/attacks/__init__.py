@@ -1,0 +1,56 @@
+"""Adversarial weight attacks on 8-bit quantized models.
+
+* :class:`ProgressiveBitFlipAttack` — the PBFA of Rakin et al. (ICCV 2019),
+  the strongest known adversarial weight attack and the threat the paper
+  defends against.
+* :class:`RandomBitFlipAttack` — the weak random-flip baseline the paper
+  dismisses (flipping 100 random bits barely moves accuracy).
+* :mod:`repro.attacks.knowledgeable` — attackers that know a checksum
+  defense is present (paired-flip evasion, MSB-avoiding attacks), used in
+  Section VIII of the paper.
+"""
+
+from repro.attacks.profiles import (
+    AttackProfile,
+    BitFlip,
+    FlipDirection,
+    load_profiles,
+    profile_statistics,
+    save_profiles,
+)
+from repro.attacks.bitflip import (
+    apply_bit_flips,
+    apply_profile,
+    revert_profile,
+    snapshot_qweights,
+    restore_qweights,
+)
+from repro.attacks.pbfa import AttackResult, PbfaConfig, ProgressiveBitFlipAttack
+from repro.attacks.random_attack import RandomBitFlipAttack, RandomFlipConfig
+from repro.attacks.knowledgeable import (
+    LowBitAttack,
+    PairedFlipAttack,
+    PairedFlipConfig,
+)
+
+__all__ = [
+    "BitFlip",
+    "FlipDirection",
+    "AttackProfile",
+    "profile_statistics",
+    "save_profiles",
+    "load_profiles",
+    "apply_bit_flips",
+    "apply_profile",
+    "revert_profile",
+    "snapshot_qweights",
+    "restore_qweights",
+    "PbfaConfig",
+    "AttackResult",
+    "ProgressiveBitFlipAttack",
+    "RandomFlipConfig",
+    "RandomBitFlipAttack",
+    "PairedFlipConfig",
+    "PairedFlipAttack",
+    "LowBitAttack",
+]

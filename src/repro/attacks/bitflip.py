@@ -1,0 +1,99 @@
+"""Applying and reverting bit flips on a quantized model.
+
+These helpers are the "hardware" half of the threat model: given a
+vulnerable-bit profile they corrupt the int8 weight payload exactly as a
+rowhammer attack on the DRAM image would (see also
+:mod:`repro.memsim.rowhammer` for the memory-level view).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.attacks.profiles import AttackProfile, BitFlip, FlipDirection
+from repro.errors import AttackError
+from repro.nn.module import Module
+from repro.quant.bitops import flip_bit_scalar, get_bit
+from repro.quant.layers import quantized_layers
+
+
+def _layer_map(model: Module) -> Dict[str, object]:
+    layers = dict(quantized_layers(model))
+    if not layers:
+        raise AttackError("Model has no quantized layers to attack")
+    for name, layer in layers.items():
+        if not layer.is_quantized:
+            raise AttackError(
+                f"Layer {name!r} is not quantized; call repro.quant.quantize_model first"
+            )
+    return layers
+
+
+def make_bit_flip(layer_name: str, qweight: np.ndarray, flat_index: int, bit_position: int) -> BitFlip:
+    """Construct the :class:`BitFlip` record for flipping one bit of ``qweight``."""
+    flat = qweight.reshape(-1)
+    value_before = int(flat[flat_index])
+    value_after = flip_bit_scalar(value_before, bit_position)
+    current_bit = int(get_bit(np.int8(value_before), bit_position))
+    direction = FlipDirection.ZERO_TO_ONE if current_bit == 0 else FlipDirection.ONE_TO_ZERO
+    return BitFlip(
+        layer_name=layer_name,
+        flat_index=int(flat_index),
+        bit_position=int(bit_position),
+        direction=direction,
+        value_before=value_before,
+        value_after=value_after,
+    )
+
+
+def apply_bit_flips(model: Module, flips: Iterable[BitFlip]) -> None:
+    """Apply bit flips in place to the model's int8 weights.
+
+    Applying the same flip twice cancels it (XOR semantics), which is also
+    how :func:`revert_profile` works.
+    """
+    layers = _layer_map(model)
+    for flip in flips:
+        if flip.layer_name not in layers:
+            raise AttackError(f"Unknown layer {flip.layer_name!r} in bit-flip record")
+        layer = layers[flip.layer_name]
+        flat = layer.qweight.reshape(-1)
+        if not 0 <= flip.flat_index < flat.size:
+            raise AttackError(
+                f"Flat index {flip.flat_index} out of range for layer {flip.layer_name!r}"
+            )
+        flat[flip.flat_index] = flip_bit_scalar(int(flat[flip.flat_index]), flip.bit_position)
+
+
+def apply_profile(model: Module, profile: AttackProfile) -> None:
+    """Apply every flip of ``profile`` to ``model``."""
+    apply_bit_flips(model, profile.flips)
+
+
+def revert_profile(model: Module, profile: AttackProfile) -> None:
+    """Undo a previously applied profile (bit flips are involutions)."""
+    apply_bit_flips(model, profile.flips)
+
+
+def snapshot_qweights(model: Module) -> Dict[str, np.ndarray]:
+    """Copy of every quantized layer's int8 weights, keyed by layer name."""
+    return {name: layer.qweight.copy() for name, layer in _layer_map(model).items()}
+
+
+def restore_qweights(model: Module, snapshot: Dict[str, np.ndarray]) -> None:
+    """Restore int8 weights from a snapshot taken by :func:`snapshot_qweights`."""
+    layers = _layer_map(model)
+    for name, qweight in snapshot.items():
+        if name not in layers:
+            raise AttackError(f"Snapshot contains unknown layer {name!r}")
+        layers[name].set_qweight(qweight)
+
+
+def flips_per_layer(flips: Sequence[BitFlip]) -> Dict[str, List[BitFlip]]:
+    """Group bit flips by layer name, preserving order."""
+    grouped: Dict[str, List[BitFlip]] = {}
+    for flip in flips:
+        grouped.setdefault(flip.layer_name, []).append(flip)
+    return grouped

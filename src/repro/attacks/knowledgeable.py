@@ -1,0 +1,177 @@
+"""Knowledgeable attackers (Section VIII of the paper).
+
+Two evasion strategies are modelled for an attacker who knows a
+checksum-based MSB defense is in place but does *not* know the secret key
+or the interleaving strategy:
+
+* :class:`PairedFlipAttack` — "flip multiple bits in a group": in addition
+  to the PBFA-selected flips, the attacker adds compensating MSB flips of
+  the opposite direction inside what it believes is the same checksum
+  group (a contiguous block of ``assumed_group_size`` weights), so that the
+  unmasked addition checksum is unchanged.  Interleaving breaks the
+  attacker's notion of "same group" and defeats this.
+* :class:`LowBitAttack` — "avoid flipping MSB": PBFA restricted to lower
+  bit positions (MSB-1 by default).  Many more flips are needed for the
+  same damage, and a 3-bit signature catches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.bitflip import apply_bit_flips, make_bit_flip
+from repro.attacks.pbfa import AttackResult, PbfaConfig, ProgressiveBitFlipAttack
+from repro.attacks.profiles import AttackProfile, BitFlip, FlipDirection
+from repro.errors import AttackError
+from repro.nn.module import Module
+from repro.quant.bitops import MSB_POSITION, get_bit
+from repro.quant.layers import quantized_layers
+from repro.utils.rng import new_rng
+
+
+@dataclass
+class PairedFlipConfig:
+    """Configuration of the paired-flip (checksum-evading) attacker."""
+
+    pbfa: PbfaConfig = field(default_factory=PbfaConfig)
+    assumed_group_size: int = 64
+    seed: int = 0
+
+
+class PairedFlipAttack:
+    """PBFA plus compensating opposite-direction MSB flips in the same assumed group.
+
+    For every PBFA flip the attacker searches the contiguous block of
+    ``assumed_group_size`` weights around the victim weight for another
+    weight whose MSB currently has the opposite value, and flips it too.
+    The pair (0→1, 1→0) leaves the plain addition checksum unchanged, so a
+    defense without masking/interleaving would miss both flips.  The total
+    number of injected flips is therefore up to ``2 × num_flips``
+    (20 in the paper's Fig. 7 experiment).
+    """
+
+    def __init__(self, config: Optional[PairedFlipConfig] = None) -> None:
+        self.config = config or PairedFlipConfig()
+
+    def run(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        model_name: str = "",
+    ) -> AttackResult:
+        """Run PBFA, then add the compensating flips.  Modifies ``model`` in place."""
+        config = self.config
+        pbfa = ProgressiveBitFlipAttack(config.pbfa)
+        result = pbfa.run(model, images, labels, model_name=model_name)
+
+        layer_map = dict(quantized_layers(model))
+        rng = new_rng(("paired-flip", config.seed))
+        compensating: List[BitFlip] = []
+        taken = {
+            (flip.layer_name, flip.flat_index, flip.bit_position)
+            for flip in result.profile.flips
+        }
+        for flip in list(result.profile.flips):
+            partner = self._find_partner(flip, layer_map, taken, rng)
+            if partner is None:
+                continue
+            apply_bit_flips(model, [partner])
+            compensating.append(partner)
+            taken.add((partner.layer_name, partner.flat_index, partner.bit_position))
+
+        profile = AttackProfile(
+            flips=list(result.profile.flips) + compensating,
+            model_name=model_name,
+            attack_name="paired-flip",
+            seed=config.seed,
+            loss_trajectory=result.profile.loss_trajectory,
+        )
+        return AttackResult(
+            profile=profile,
+            loss_before=result.loss_before,
+            loss_after=result.loss_after,
+            losses=result.losses,
+        )
+
+    def _find_partner(
+        self,
+        flip: BitFlip,
+        layer_map,
+        taken,
+        rng: np.random.Generator,
+    ) -> Optional[BitFlip]:
+        """A compensating MSB flip in the attacker's assumed (contiguous) group."""
+        if flip.bit_position != MSB_POSITION:
+            return None
+        layer = layer_map.get(flip.layer_name)
+        if layer is None:
+            return None
+        qweight_flat = layer.qweight.reshape(-1)
+        group_size = self.config.assumed_group_size
+        group_index = flip.flat_index // group_size
+        start = group_index * group_size
+        stop = min(start + group_size, qweight_flat.size)
+
+        # The PBFA flip has already been applied, so the victim's MSB now has
+        # the *new* value; the compensating flip must go the opposite way of
+        # the original flip direction.
+        want_bit = 1 if flip.direction is FlipDirection.ZERO_TO_ONE else 0
+        candidates = [
+            index
+            for index in range(start, stop)
+            if index != flip.flat_index
+            and (flip.layer_name, index, MSB_POSITION) not in taken
+            and int(get_bit(np.int8(qweight_flat[index]), MSB_POSITION)) == want_bit
+        ]
+        if not candidates:
+            return None
+        # Prefer a small-magnitude victim: its MSB flip produces a large
+        # weight change, so the compensating flip also damages accuracy.
+        # Pick randomly among the smallest quartile to avoid a fixed pattern.
+        candidates.sort(key=lambda index: abs(int(qweight_flat[index])))
+        pool = candidates[: max(1, len(candidates) // 4)]
+        chosen = int(pool[int(rng.integers(0, len(pool)))])
+        return make_bit_flip(flip.layer_name, layer.qweight, chosen, MSB_POSITION)
+
+
+class LowBitAttack:
+    """PBFA restricted to bit positions below the MSB (Section VIII, 'avoid flipping MSB').
+
+    With only MSB-1 flips allowed, the attacker needs roughly 3× as many
+    flips for comparable damage on ResNet-20 (the paper quotes ~30 vs 10).
+    """
+
+    def __init__(
+        self,
+        num_flips: int = 30,
+        bit_positions: Tuple[int, ...] = (6,),
+        attack_batch_size: int = 16,
+        candidate_layers: int = 5,
+        seed: int = 0,
+    ) -> None:
+        if MSB_POSITION in bit_positions:
+            raise AttackError("LowBitAttack must not include the MSB position")
+        self.config = PbfaConfig(
+            num_flips=num_flips,
+            attack_batch_size=attack_batch_size,
+            candidate_layers=candidate_layers,
+            bit_positions=bit_positions,
+            seed=seed,
+        )
+
+    def run(
+        self,
+        model: Module,
+        images: np.ndarray,
+        labels: np.ndarray,
+        model_name: str = "",
+    ) -> AttackResult:
+        """Run the restricted PBFA in place on ``model``."""
+        attack = ProgressiveBitFlipAttack(self.config)
+        result = attack.run(model, images, labels, model_name=model_name)
+        result.profile.attack_name = "low-bit"
+        return result

@@ -1,0 +1,228 @@
+"""Bit-flip records, attack profiles and their statistics.
+
+An :class:`AttackProfile` is the "vulnerable bit profile" of the paper's
+threat model (Fig. 1): the ordered list of bits that the software-side
+attack identified, which the hardware side (rowhammer) then mounts.  The
+characterization experiments (Table I, Table II, Fig. 2) are statistics
+over a collection of such profiles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quant.bitops import MSB_POSITION
+
+
+class FlipDirection(str, Enum):
+    """Direction of a bit flip."""
+
+    ZERO_TO_ONE = "0->1"
+    ONE_TO_ZERO = "1->0"
+
+
+@dataclass(frozen=True)
+class BitFlip:
+    """One bit flip in one quantized weight.
+
+    Attributes
+    ----------
+    layer_name:
+        Name of the quantized layer (as reported by
+        :func:`repro.quant.layers.quantized_layers`).
+    flat_index:
+        Index into the layer's flattened int8 weight tensor.
+    bit_position:
+        0 (LSB) .. 7 (MSB / sign bit).
+    direction:
+        Whether the stored bit goes 0→1 or 1→0.
+    value_before / value_after:
+        The int8 weight value before and after the flip.
+    """
+
+    layer_name: str
+    flat_index: int
+    bit_position: int
+    direction: FlipDirection
+    value_before: int
+    value_after: int
+
+    @property
+    def is_msb(self) -> bool:
+        return self.bit_position == MSB_POSITION
+
+    def to_dict(self) -> Dict:
+        record = asdict(self)
+        record["direction"] = self.direction.value
+        return record
+
+    @staticmethod
+    def from_dict(record: Dict) -> "BitFlip":
+        return BitFlip(
+            layer_name=record["layer_name"],
+            flat_index=int(record["flat_index"]),
+            bit_position=int(record["bit_position"]),
+            direction=FlipDirection(record["direction"]),
+            value_before=int(record["value_before"]),
+            value_after=int(record["value_after"]),
+        )
+
+
+@dataclass
+class AttackProfile:
+    """The ordered list of bit flips produced by one attack round."""
+
+    flips: List[BitFlip] = field(default_factory=list)
+    model_name: str = ""
+    attack_name: str = ""
+    seed: Optional[int] = None
+    loss_trajectory: List[float] = field(default_factory=list)
+    accuracy_before: Optional[float] = None
+    accuracy_after: Optional[float] = None
+
+    def __len__(self) -> int:
+        return len(self.flips)
+
+    def __iter__(self):
+        return iter(self.flips)
+
+    @property
+    def num_msb_flips(self) -> int:
+        return sum(1 for flip in self.flips if flip.is_msb)
+
+    def layers_touched(self) -> List[str]:
+        """Names of layers containing at least one flipped bit (stable order)."""
+        seen: List[str] = []
+        for flip in self.flips:
+            if flip.layer_name not in seen:
+                seen.append(flip.layer_name)
+        return seen
+
+    def to_dict(self) -> Dict:
+        return {
+            "flips": [flip.to_dict() for flip in self.flips],
+            "model_name": self.model_name,
+            "attack_name": self.attack_name,
+            "seed": self.seed,
+            "loss_trajectory": list(self.loss_trajectory),
+            "accuracy_before": self.accuracy_before,
+            "accuracy_after": self.accuracy_after,
+        }
+
+    @staticmethod
+    def from_dict(record: Dict) -> "AttackProfile":
+        return AttackProfile(
+            flips=[BitFlip.from_dict(item) for item in record.get("flips", [])],
+            model_name=record.get("model_name", ""),
+            attack_name=record.get("attack_name", ""),
+            seed=record.get("seed"),
+            loss_trajectory=list(record.get("loss_trajectory", [])),
+            accuracy_before=record.get("accuracy_before"),
+            accuracy_after=record.get("accuracy_after"),
+        )
+
+
+def save_profiles(profiles: Sequence[AttackProfile], path: Path) -> None:
+    """Serialize a list of profiles to a JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump([profile.to_dict() for profile in profiles], handle, indent=1)
+
+
+def load_profiles(path: Path) -> List[AttackProfile]:
+    """Load profiles previously written by :func:`save_profiles`."""
+    with open(Path(path), "r", encoding="utf-8") as handle:
+        records = json.load(handle)
+    return [AttackProfile.from_dict(record) for record in records]
+
+
+# ---------------------------------------------------------------------------
+# Statistics used by the characterization experiments (Tables I / II, Fig. 2)
+# ---------------------------------------------------------------------------
+
+def bit_position_histogram(profiles: Iterable[AttackProfile]) -> Dict[str, int]:
+    """Counts of flips by category: MSB 0→1, MSB 1→0, and all other bits.
+
+    These are the three columns of Table I in the paper.
+    """
+    counts = {"msb_0_to_1": 0, "msb_1_to_0": 0, "others": 0}
+    for profile in profiles:
+        for flip in profile:
+            if not flip.is_msb:
+                counts["others"] += 1
+            elif flip.direction is FlipDirection.ZERO_TO_ONE:
+                counts["msb_0_to_1"] += 1
+            else:
+                counts["msb_1_to_0"] += 1
+    return counts
+
+
+def weight_value_histogram(
+    profiles: Iterable[AttackProfile],
+    bin_edges: Sequence[int] = (-128, -32, 0, 32, 128),
+) -> Dict[str, int]:
+    """Counts of targeted weights by their pre-attack value range (Table II)."""
+    edges = list(bin_edges)
+    labels = [f"({edges[i]}, {edges[i + 1]})" for i in range(len(edges) - 1)]
+    counts = {label: 0 for label in labels}
+    for profile in profiles:
+        for flip in profile:
+            for i, label in enumerate(labels):
+                if edges[i] <= flip.value_before < edges[i + 1]:
+                    counts[label] += 1
+                    break
+    return counts
+
+
+def multi_flip_group_proportion(
+    profiles: Iterable[AttackProfile],
+    layer_sizes: Dict[str, int],
+    group_size: int,
+) -> float:
+    """Proportion of attacked groups that contain more than one flipped bit.
+
+    This reproduces Fig. 2: weights of each layer are partitioned into
+    contiguous groups of ``group_size`` (the pre-interleaving layout) and we
+    measure how often two or more of a profile's flips land in the same
+    group.
+    """
+    total_groups_hit = 0
+    multi_hit_groups = 0
+    for profile in profiles:
+        group_counts: Dict[Tuple[str, int], int] = {}
+        for flip in profile:
+            if flip.layer_name not in layer_sizes:
+                continue
+            group_index = flip.flat_index // group_size
+            key = (flip.layer_name, group_index)
+            group_counts[key] = group_counts.get(key, 0) + 1
+        total_groups_hit += len(group_counts)
+        multi_hit_groups += sum(1 for count in group_counts.values() if count > 1)
+    if total_groups_hit == 0:
+        return 0.0
+    return multi_hit_groups / total_groups_hit
+
+
+def profile_statistics(profiles: Sequence[AttackProfile]) -> Dict:
+    """Aggregate statistics over a set of profiles (used in reports/tests)."""
+    profiles = list(profiles)
+    num_flips = sum(len(profile) for profile in profiles)
+    histogram = bit_position_histogram(profiles)
+    msb_fraction = (
+        (histogram["msb_0_to_1"] + histogram["msb_1_to_0"]) / num_flips if num_flips else 0.0
+    )
+    return {
+        "num_profiles": len(profiles),
+        "num_flips": num_flips,
+        "bit_position_histogram": histogram,
+        "msb_fraction": msb_fraction,
+        "weight_value_histogram": weight_value_histogram(profiles),
+        "mean_flips_per_profile": num_flips / len(profiles) if profiles else 0.0,
+    }

@@ -1,0 +1,68 @@
+"""Baseline integrity-checking codes the paper compares against (Section VII.B).
+
+* :mod:`repro.baselines.crc` — bit-accurate cyclic redundancy checks with
+  arbitrary generator polynomials, including the Koopman polynomials the
+  paper cites (CRC-7 / CRC-10 / CRC-13 for HD=3 at the relevant block
+  lengths).
+* :mod:`repro.baselines.hamming` — Hamming SEC-DED (single error correct,
+  double error detect) codes over weight groups.
+* :mod:`repro.baselines.parity` — plain per-group parity, the weakest and
+  cheapest scheme.
+* :mod:`repro.baselines.checksums` — the classic checksum families from the
+  Maxino & Koopman study the paper cites (XOR, addition, one's complement,
+  Fletcher, Adler), used by the ablation experiments.
+* :mod:`repro.baselines.protectors` — drop-in protectors exposing the same
+  ``protect`` / ``scan`` API as RADAR so the overhead and detection
+  comparisons are apples-to-apples.
+"""
+
+from repro.baselines.crc import (
+    CRC_POLYNOMIALS,
+    CrcCode,
+    crc_bits_for_group,
+    crc_checksum,
+)
+from repro.baselines.checksums import (
+    CHECKSUM_BITS,
+    CHECKSUM_FAMILIES,
+    addition_checksum,
+    adler_checksum,
+    checksum_by_name,
+    fletcher_checksum,
+    ones_complement_checksum,
+    xor_checksum,
+)
+from repro.baselines.hamming import HammingSecDed, hamming_parity_bits
+from repro.baselines.parity import parity_bits
+from repro.baselines.protectors import (
+    BaselineProtector,
+    ChecksumProtector,
+    CrcProtector,
+    HammingProtector,
+    ParityProtector,
+    baseline_storage_kb,
+)
+
+__all__ = [
+    "CrcCode",
+    "CRC_POLYNOMIALS",
+    "crc_checksum",
+    "crc_bits_for_group",
+    "CHECKSUM_FAMILIES",
+    "CHECKSUM_BITS",
+    "checksum_by_name",
+    "xor_checksum",
+    "addition_checksum",
+    "ones_complement_checksum",
+    "fletcher_checksum",
+    "adler_checksum",
+    "HammingSecDed",
+    "hamming_parity_bits",
+    "parity_bits",
+    "BaselineProtector",
+    "ChecksumProtector",
+    "CrcProtector",
+    "HammingProtector",
+    "ParityProtector",
+    "baseline_storage_kb",
+]

@@ -1,0 +1,140 @@
+"""Classic checksum families from the embedded-networks literature.
+
+The paper builds RADAR on a plain two's-complement *addition* checksum and
+cites Maxino & Koopman's study of checksum effectiveness [17].  This module
+implements the other members of that study so the design choice can be
+ablated against them:
+
+* :func:`xor_checksum` — longitudinal redundancy check (XOR of all bytes);
+* :func:`addition_checksum` — two's-complement add (what RADAR binarizes);
+* :func:`ones_complement_checksum` — the Internet-checksum style add with
+  end-around carry;
+* :func:`fletcher_checksum` — Fletcher-16/32 style dual running sums, which
+  add positional sensitivity;
+* :func:`adler_checksum` — Adler-32's prime-modulus variant of Fletcher.
+
+All functions operate on the uint8 byte view of int8 weight groups, shaped
+``(num_groups, group_bytes)``, and return one integer check value per group
+— the same contract as :meth:`repro.baselines.crc.CrcCode.checksum_groups`,
+so they can be dropped into a :class:`~repro.baselines.protectors.BaselineProtector`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ADLER_MODULUS = 65_521  # largest prime below 2^16, as in Adler-32
+
+
+def _validate_groups(groups: np.ndarray) -> np.ndarray:
+    groups = np.asarray(groups)
+    if groups.ndim != 2:
+        raise ConfigurationError(f"Expected a 2-D byte matrix, got shape {groups.shape}")
+    return groups.astype(np.uint64)
+
+
+def xor_checksum(groups: np.ndarray) -> np.ndarray:
+    """XOR (longitudinal redundancy check) of each group's bytes.
+
+    Detects any odd number of flips of the same bit position but is blind to
+    many common error patterns; included as the weakest member of the family.
+    """
+    groups = _validate_groups(groups)
+    result = np.zeros(groups.shape[0], dtype=np.uint64)
+    for column in range(groups.shape[1]):
+        result ^= groups[:, column]
+    return result
+
+
+def addition_checksum(groups: np.ndarray, num_bits: int = 16) -> np.ndarray:
+    """Two's-complement addition checksum truncated to ``num_bits``.
+
+    This is the raw quantity RADAR derives its 2-bit signature from (before
+    masking and binarization).
+    """
+    if not 1 <= num_bits <= 64:
+        raise ConfigurationError(f"num_bits must be in [1, 64], got {num_bits}")
+    groups = _validate_groups(groups)
+    mask = np.uint64((1 << num_bits) - 1)
+    return groups.sum(axis=1, dtype=np.uint64) & mask
+
+
+def ones_complement_checksum(groups: np.ndarray, num_bits: int = 16) -> np.ndarray:
+    """One's-complement addition checksum (Internet checksum style).
+
+    The end-around carry makes it slightly stronger than the two's-complement
+    sum at the same width (it is not blind to errors that only change the
+    carry out of the top bit).
+    """
+    if not 2 <= num_bits <= 32:
+        raise ConfigurationError(f"num_bits must be in [2, 32], got {num_bits}")
+    groups = _validate_groups(groups)
+    modulus = np.uint64((1 << num_bits) - 1)
+    totals = groups.sum(axis=1, dtype=np.uint64)
+    # value mod (2^n - 1), with 0 kept as 0 (the usual one's-complement fold).
+    return totals % modulus
+
+
+def fletcher_checksum(groups: np.ndarray, num_bits: int = 16) -> np.ndarray:
+    """Fletcher checksum with two ``num_bits/2``-wide running sums.
+
+    ``sum_a`` accumulates the bytes, ``sum_b`` accumulates the running value
+    of ``sum_a``; concatenating them yields a check value that is sensitive
+    to byte order, unlike the plain addition checksum.
+    """
+    if num_bits not in (16, 32):
+        raise ConfigurationError(f"Fletcher checksum supports 16 or 32 bits, got {num_bits}")
+    groups = _validate_groups(groups)
+    half = num_bits // 2
+    modulus = np.uint64((1 << half) - 1)
+    sum_a = np.zeros(groups.shape[0], dtype=np.uint64)
+    sum_b = np.zeros(groups.shape[0], dtype=np.uint64)
+    for column in range(groups.shape[1]):
+        sum_a = (sum_a + groups[:, column]) % modulus
+        sum_b = (sum_b + sum_a) % modulus
+    return (sum_b << np.uint64(half)) | sum_a
+
+
+def adler_checksum(groups: np.ndarray) -> np.ndarray:
+    """Adler-32 style checksum (Fletcher with a prime modulus and sum_a seeded to 1)."""
+    groups = _validate_groups(groups)
+    modulus = np.uint64(ADLER_MODULUS)
+    sum_a = np.ones(groups.shape[0], dtype=np.uint64)
+    sum_b = np.zeros(groups.shape[0], dtype=np.uint64)
+    for column in range(groups.shape[1]):
+        sum_a = (sum_a + groups[:, column]) % modulus
+        sum_b = (sum_b + sum_a) % modulus
+    return (sum_b << np.uint64(16)) | sum_a
+
+
+#: Registry used by the ablation harness and the ChecksumProtector.
+CHECKSUM_FAMILIES: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "xor": xor_checksum,
+    "addition": addition_checksum,
+    "ones-complement": ones_complement_checksum,
+    "fletcher": fletcher_checksum,
+    "adler": adler_checksum,
+}
+
+#: Check bits each family stores per group (at its default width).
+CHECKSUM_BITS: Dict[str, int] = {
+    "xor": 8,
+    "addition": 16,
+    "ones-complement": 16,
+    "fletcher": 16,
+    "adler": 32,
+}
+
+
+def checksum_by_name(name: str) -> Callable[[np.ndarray], np.ndarray]:
+    """Look up a checksum family by name (see :data:`CHECKSUM_FAMILIES`)."""
+    key = name.lower()
+    if key not in CHECKSUM_FAMILIES:
+        raise ConfigurationError(
+            f"Unknown checksum {name!r}; available: {', '.join(sorted(CHECKSUM_FAMILIES))}"
+        )
+    return CHECKSUM_FAMILIES[key]

@@ -1,0 +1,33 @@
+"""Plain parity over weight groups (the cheapest possible integrity check).
+
+A single parity bit over all bits of a group detects any odd number of bit
+flips but is blind to every even number.  It is included as the lower
+bound of the storage/detection trade-off space explored in the
+discussion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.quant.bitops import int8_to_uint8
+
+
+def parity_bits(groups: np.ndarray) -> np.ndarray:
+    """Parity bit of each row of a ``(num_groups, group_size)`` int8 matrix."""
+    groups = np.asarray(groups)
+    if groups.ndim != 2:
+        raise ConfigurationError(f"Expected a 2-D group matrix, got shape {groups.shape}")
+    as_bytes = int8_to_uint8(groups.astype(np.int8))
+    bits = np.unpackbits(as_bytes, axis=1)
+    return (bits.sum(axis=1) % 2).astype(np.uint8)
+
+
+def msb_parity_bits(groups: np.ndarray) -> np.ndarray:
+    """Parity over only the MSBs of each group (what RADAR's S_B effectively is)."""
+    groups = np.asarray(groups)
+    if groups.ndim != 2:
+        raise ConfigurationError(f"Expected a 2-D group matrix, got shape {groups.shape}")
+    msb = (int8_to_uint8(groups.astype(np.int8)) >> 7) & 1
+    return (msb.sum(axis=1) % 2).astype(np.uint8)

@@ -1,0 +1,217 @@
+"""Baseline protectors with the same protect / scan API as RADAR.
+
+Each protector partitions every quantized layer into contiguous groups of
+``group_size`` weights (the natural memory layout — these codes do not use
+RADAR's interleaving or masking), stores per-group check bits computed
+from the clean weights, and at scan time recomputes them and flags
+mismatching groups.  They produce the same
+:class:`repro.core.detector.DetectionReport` as RADAR so every detection
+and overhead experiment can swap schemes freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.baselines.crc import CrcCode
+from repro.baselines.hamming import hamming_parity_bits
+from repro.baselines.parity import parity_bits
+from repro.core.detector import DetectionReport
+from repro.core.interleave import GroupLayout
+from repro.errors import ProtectionError
+from repro.nn.module import Module
+from repro.quant.bitops import int8_to_uint8
+from repro.quant.layers import quantized_layers
+
+
+@dataclass
+class _LayerState:
+    layout: GroupLayout
+    golden: np.ndarray
+
+
+class BaselineProtector:
+    """Shared plumbing for the contiguous-group baseline codes."""
+
+    #: check bits stored per group; set by subclasses (possibly in __init__).
+    bits_per_group: int = 0
+    name: str = "baseline"
+
+    def __init__(self, group_size: int) -> None:
+        if group_size < 2:
+            raise ProtectionError(f"group_size must be >= 2, got {group_size}")
+        self.group_size = group_size
+        self._layers: Dict[str, _LayerState] = {}
+
+    # -- to be provided by subclasses -----------------------------------------
+    def _check_values(self, byte_groups: np.ndarray) -> np.ndarray:
+        """Per-group check values for a (num_groups, group_size) uint8 matrix."""
+        raise NotImplementedError
+
+    # -- shared API -------------------------------------------------------------
+    def protect(self, model: Module) -> "BaselineProtector":
+        layers = quantized_layers(model)
+        if not layers:
+            raise ProtectionError("Model has no quantized layers to protect")
+        self._layers.clear()
+        for name, layer in layers:
+            if not layer.is_quantized:
+                raise ProtectionError(f"Layer {name!r} must be quantized before protecting")
+            layout = GroupLayout(
+                num_weights=int(layer.qweight.size),
+                group_size=self.group_size,
+                use_interleave=False,
+            )
+            self._layers[name] = _LayerState(
+                layout=layout, golden=self._layer_checks(layer.qweight, layout)
+            )
+        return self
+
+    def _layer_checks(self, qweight: np.ndarray, layout: GroupLayout) -> np.ndarray:
+        gathered = layout.gather(qweight.reshape(-1).astype(np.int64))
+        byte_groups = int8_to_uint8(gathered.astype(np.int8))
+        return self._check_values(byte_groups)
+
+    def scan(self, model: Module) -> DetectionReport:
+        if not self._layers:
+            raise ProtectionError("protect(model) must be called before scan")
+        layer_map = dict(quantized_layers(model))
+        report = DetectionReport()
+        for name, state in self._layers.items():
+            if name not in layer_map:
+                raise ProtectionError(f"Protected layer {name!r} missing from model")
+            current = self._layer_checks(layer_map[name].qweight, state.layout)
+            mismatches = np.nonzero(current != state.golden)[0]
+            report.flagged_groups[name] = mismatches.astype(np.int64)
+        return report
+
+    def group_of(self, layer_name: str, flat_index: int) -> int:
+        """Group index of a weight under this protector's contiguous layout."""
+        if layer_name not in self._layers:
+            raise ProtectionError(f"Layer {layer_name!r} is not protected")
+        return self._layers[layer_name].layout.group_of(flat_index)
+
+    # -- storage accounting -------------------------------------------------------
+    def total_groups(self) -> int:
+        return sum(state.layout.num_groups for state in self._layers.values())
+
+    def storage_bits(self) -> int:
+        return self.total_groups() * self.bits_per_group
+
+    def storage_kilobytes(self) -> float:
+        return self.storage_bits() / 8.0 / 1024.0
+
+
+class CrcProtector(BaselineProtector):
+    """CRC-n per contiguous group (the paper's main comparison, Table V)."""
+
+    def __init__(self, group_size: int, num_bits: Optional[int] = None, msb_only: bool = False) -> None:
+        super().__init__(group_size)
+        self.msb_only = msb_only
+        if num_bits is None:
+            # HD=3 sizing over the protected payload: all 8 bits per weight,
+            # or just the MSBs for the "protect MSBs only" variant of Table V.
+            data_bits = group_size if msb_only else group_size * 8
+            num_bits = self._width_for_bits(data_bits)
+        self.code = CrcCode.standard(num_bits)
+        self.bits_per_group = num_bits
+        self.name = f"crc{num_bits}" + ("-msb" if msb_only else "")
+
+    @staticmethod
+    def _width_for_bits(data_bits: int) -> int:
+        from repro.baselines.crc import CRC_POLYNOMIALS
+
+        for width in sorted(CRC_POLYNOMIALS):
+            if (1 << width) - width - 1 >= data_bits:
+                return width
+        raise ProtectionError(f"No standard CRC wide enough for {data_bits} data bits")
+
+    def _check_values(self, byte_groups: np.ndarray) -> np.ndarray:
+        if self.msb_only:
+            msb_bits = (byte_groups >> 7) & 1
+            byte_groups = np.packbits(msb_bits, axis=1)
+        return self.code.checksum_groups(byte_groups)
+
+
+class HammingProtector(BaselineProtector):
+    """SEC-DED Hamming parity per contiguous group.
+
+    The recomputed parity vector (including the overall parity bit) is
+    compared against the stored one; any mismatch flags the group, which
+    detects all single and double bit errors within a group.
+    """
+
+    def __init__(self, group_size: int) -> None:
+        super().__init__(group_size)
+        self.data_bits = group_size * 8
+        self.bits_per_group = hamming_parity_bits(self.data_bits, extended=True)
+        self.name = f"hamming-secded-{self.bits_per_group}"
+        self._coverage = self._build_coverage()
+
+    def _build_coverage(self) -> np.ndarray:
+        """(data_bits, base_parity_bits) 0/1 matrix: which parity checks cover which data bit."""
+        base_parity = self.bits_per_group - 1
+        parity_positions = np.array([1 << i for i in range(base_parity)], dtype=np.int64)
+        total = self.data_bits + base_parity
+        positions = np.arange(1, total + 1, dtype=np.int64)
+        is_parity = (positions & (positions - 1)) == 0
+        data_positions = positions[~is_parity][: self.data_bits]
+        return ((data_positions[:, None] & parity_positions[None, :]) != 0).astype(np.uint8)
+
+    def _check_values(self, byte_groups: np.ndarray) -> np.ndarray:
+        bits = np.unpackbits(byte_groups, axis=1, bitorder="little")
+        parity = (bits.astype(np.int64) @ self._coverage.astype(np.int64)) % 2
+        overall = bits.sum(axis=1, keepdims=True) % 2
+        combined = np.concatenate([parity, overall], axis=1).astype(np.uint8)
+        return _pack_rows(combined)
+
+
+class ParityProtector(BaselineProtector):
+    """One parity bit per contiguous group."""
+
+    bits_per_group = 1
+
+    def __init__(self, group_size: int) -> None:
+        super().__init__(group_size)
+        self.name = "parity"
+
+    def _check_values(self, byte_groups: np.ndarray) -> np.ndarray:
+        return parity_bits(byte_groups.view(np.int8))
+
+
+class ChecksumProtector(BaselineProtector):
+    """A classic checksum family (XOR / addition / Fletcher / Adler / one's complement).
+
+    Wraps the functions of :mod:`repro.baselines.checksums` in the shared
+    protect / scan API so the ablation experiments can compare RADAR's
+    binarized masked addition checksum against the full-width families at
+    their natural storage cost.
+    """
+
+    def __init__(self, group_size: int, family: str = "addition") -> None:
+        super().__init__(group_size)
+        from repro.baselines.checksums import CHECKSUM_BITS, checksum_by_name
+
+        self._checksum = checksum_by_name(family)
+        self.family = family.lower()
+        self.bits_per_group = CHECKSUM_BITS[self.family]
+        self.name = f"checksum-{self.family}"
+
+    def _check_values(self, byte_groups: np.ndarray) -> np.ndarray:
+        return self._checksum(byte_groups)
+
+
+def _pack_rows(bit_rows: np.ndarray) -> np.ndarray:
+    """Pack each row of a 0/1 matrix into a single integer (up to 64 bits)."""
+    bit_rows = np.asarray(bit_rows, dtype=np.uint64)
+    weights = np.uint64(1) << np.arange(bit_rows.shape[1], dtype=np.uint64)
+    return (bit_rows * weights[None, :]).sum(axis=1)
+
+
+def baseline_storage_kb(num_weights: int, group_size: int, bits_per_group: int) -> float:
+    """Storage (KB) for ``bits_per_group`` check bits per group of ``group_size`` weights."""
+    num_groups = int(np.ceil(num_weights / group_size))
+    return num_groups * bits_per_group / 8.0 / 1024.0

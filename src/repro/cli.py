@@ -1,0 +1,214 @@
+"""Command-line interface for the RADAR reproduction.
+
+Installed as the ``repro-radar`` console script (or run as
+``python -m repro.cli``).  Subcommands map onto the experiment harnesses so
+the paper's artifacts can be regenerated without writing any Python:
+
+* ``list-setups`` — show the model-zoo setups and whether they are cached;
+* ``overhead`` — Table IV / Table V (analytic system simulation; fast);
+* ``storage`` — the Fig. 6 storage sweep (fast);
+* ``missrate`` — the Section VI.B random-MSB-flip miss-rate study (fast);
+* ``characterize`` — Table I / Table II / Fig. 2 (runs PBFA; slower);
+* ``detect`` — the Fig. 4 detection sweep (runs PBFA; slower);
+* ``recover`` — the Table III recovery sweep (runs PBFA; slowest).
+
+Every subcommand prints the same plain-text table the corresponding
+benchmark emits and can optionally save the rows as JSON with ``--output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import reporting
+from repro.version import __version__
+
+
+def _add_common_model_arguments(parser: argparse.ArgumentParser, default_setup: str) -> None:
+    parser.add_argument(
+        "--setup",
+        default=default_setup,
+        help="model-zoo setup to use (see 'repro-radar list-setups')",
+    )
+    parser.add_argument("--rounds", type=int, default=None, help="attack rounds per configuration")
+    parser.add_argument("--num-flips", type=int, default=10, help="bit flips per attack round")
+    parser.add_argument(
+        "--group-sizes", type=int, nargs="+", default=None, help="group sizes G to sweep"
+    )
+    parser.add_argument("--output", type=Path, default=None, help="write the rows to this JSON file")
+
+
+def _emit(rows: List[Dict], title: str, output: Optional[Path]) -> None:
+    print(reporting.render_table(rows, title=title))
+    if output is not None:
+        reporting.save_results(rows, output)
+        print(f"saved {len(rows)} rows to {output}")
+
+
+def _default_group_sizes(setup: str) -> Sequence[int]:
+    if "resnet18" in setup:
+        return (64, 128, 256, 512, 1024)
+    if "resnet20" in setup:
+        return (4, 8, 16, 32, 64)
+    return (8, 16, 32)
+
+
+# -- subcommand handlers -------------------------------------------------------
+
+def _cmd_list_setups(args: argparse.Namespace) -> int:
+    from repro.models.zoo import ModelZoo, available_setups, _ZOO
+
+    zoo = ModelZoo()
+    rows = [
+        {
+            "setup": name,
+            "model": _ZOO[name].model_name,
+            "cached": zoo.is_cached(name),
+            "description": _ZOO[name].description,
+        }
+        for name in available_setups()
+    ]
+    _emit(rows, "Model-zoo setups", args.output)
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    from repro.experiments.overhead import table4_time_overhead, table5_crc_comparison
+
+    rows4 = table4_time_overhead()
+    _emit(rows4, "Table IV — RADAR time overhead", args.output)
+    rows5 = table5_crc_comparison(include_hamming=args.include_hamming)
+    _emit(rows5, "Table V — RADAR vs CRC overhead", None)
+    return 0
+
+
+def _cmd_storage(args: argparse.Namespace) -> int:
+    from repro.experiments.overhead import storage_sweep
+
+    rows: List[Dict] = []
+    for label, group_sizes in (("resnet20", (4, 8, 16, 32, 64)), ("resnet18", (64, 128, 256, 512, 1024))):
+        rows.extend(storage_sweep(label, group_sizes, signature_bits=args.signature_bits))
+    _emit(rows, "Signature storage vs group size (Fig. 6 x-axis)", args.output)
+    return 0
+
+
+def _cmd_missrate(args: argparse.Namespace) -> int:
+    from repro.experiments.detection import missrate_study
+
+    rows = missrate_study(
+        num_weights=args.num_weights,
+        group_sizes=tuple(args.group_sizes or (16, 32)),
+        flips_per_round=args.num_flips,
+        rounds=args.rounds or 100_000,
+    )
+    _emit(rows, "Random-MSB-flip miss rate (Section VI.B)", args.output)
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.experiments.characterization import run_characterization
+    from repro.experiments.common import ExperimentContext
+
+    context = ExperimentContext.load(args.setup)
+    results = run_characterization(
+        context,
+        group_sizes=tuple(args.group_sizes or _default_group_sizes(args.setup)),
+        num_flips=args.num_flips,
+        rounds=args.rounds,
+    )
+    _emit(results["table1"], "Table I — PBFA bit-position statistics", args.output)
+    _emit(results["table2"], "Table II — targeted-weight value ranges", None)
+    _emit(results["fig2"], "Fig. 2 — multi-flip group proportion", None)
+    return 0
+
+
+def _cmd_detect(args: argparse.Namespace) -> int:
+    from repro.experiments.common import ExperimentContext, generate_pbfa_profiles
+    from repro.experiments.detection import fig4_detection_sweep
+
+    context = ExperimentContext.load(args.setup)
+    profiles = generate_pbfa_profiles(
+        context, num_flips=args.num_flips, rounds=args.rounds
+    )
+    rows = fig4_detection_sweep(
+        context, profiles, tuple(args.group_sizes or _default_group_sizes(args.setup))
+    )
+    _emit(rows, "Fig. 4 — detected bit flips vs group size", args.output)
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.experiments.common import ExperimentContext
+    from repro.experiments.recovery import table3_recovery
+
+    context = ExperimentContext.load(args.setup)
+    rows = table3_recovery(
+        context,
+        group_sizes=tuple(args.group_sizes or _default_group_sizes(args.setup)[:3]),
+        num_flips_values=(5, args.num_flips) if args.num_flips != 5 else (5,),
+        rounds=args.rounds,
+    )
+    _emit(rows, "Table III — accuracy recovery", args.output)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-radar",
+        description="Reproduction of RADAR: run-time adversarial weight attack detection and recovery.",
+    )
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list-setups", help="list model-zoo setups")
+    list_parser.add_argument("--output", type=Path, default=None)
+    list_parser.set_defaults(handler=_cmd_list_setups)
+
+    overhead_parser = subparsers.add_parser("overhead", help="Table IV / V time and storage overhead")
+    overhead_parser.add_argument("--include-hamming", action="store_true")
+    overhead_parser.add_argument("--output", type=Path, default=None)
+    overhead_parser.set_defaults(handler=_cmd_overhead)
+
+    storage_parser = subparsers.add_parser("storage", help="signature storage sweep (Fig. 6)")
+    storage_parser.add_argument("--signature-bits", type=int, default=2, choices=(1, 2, 3))
+    storage_parser.add_argument("--output", type=Path, default=None)
+    storage_parser.set_defaults(handler=_cmd_storage)
+
+    missrate_parser = subparsers.add_parser("missrate", help="random-MSB-flip miss rate (Section VI.B)")
+    missrate_parser.add_argument("--num-weights", type=int, default=512)
+    missrate_parser.add_argument("--num-flips", type=int, default=10)
+    missrate_parser.add_argument("--rounds", type=int, default=None)
+    missrate_parser.add_argument("--group-sizes", type=int, nargs="+", default=None)
+    missrate_parser.add_argument("--output", type=Path, default=None)
+    missrate_parser.set_defaults(handler=_cmd_missrate)
+
+    characterize_parser = subparsers.add_parser(
+        "characterize", help="PBFA characterization (Table I / II, Fig. 2)"
+    )
+    _add_common_model_arguments(characterize_parser, default_setup="resnet20-cifar")
+    characterize_parser.set_defaults(handler=_cmd_characterize)
+
+    detect_parser = subparsers.add_parser("detect", help="detection sweep (Fig. 4)")
+    _add_common_model_arguments(detect_parser, default_setup="resnet20-cifar")
+    detect_parser.set_defaults(handler=_cmd_detect)
+
+    recover_parser = subparsers.add_parser("recover", help="accuracy recovery sweep (Table III)")
+    _add_common_model_arguments(recover_parser, default_setup="resnet20-cifar")
+    recover_parser.set_defaults(handler=_cmd_recover)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``repro-radar`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

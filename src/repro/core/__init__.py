@@ -1,0 +1,53 @@
+"""RADAR: the run-time detection and accuracy-recovery scheme (the paper's contribution).
+
+Pipeline (Sections IV and V of the paper):
+
+1. **Offline** — for every quantized layer, the weights are interleaved
+   (:mod:`repro.core.interleave`), masked with a per-layer secret key
+   (:mod:`repro.core.masking`), summed per group and binarized into a 2-bit
+   signature (:mod:`repro.core.checksum`).  The golden signatures live in a
+   :class:`repro.core.signature.SignatureStore` (modelling secure on-chip
+   SRAM).
+2. **Run time** — :class:`repro.core.detector.RadarDetector` recomputes the
+   signatures on the weights streamed from DRAM and flags mismatching
+   groups; :mod:`repro.core.recovery` zeroes the weights of flagged groups
+   (after de-interleaving) to restore accuracy.
+
+:class:`repro.core.protector.ModelProtector` ties everything together, and
+:class:`repro.core.runtime.ProtectedInference` embeds the check in the
+inference path as the paper's gem5 experiment does.
+"""
+
+from repro.core.config import RadarConfig
+from repro.core.interleave import GroupLayout
+from repro.core.masking import SecretKey
+from repro.core.checksum import compute_group_sums, signature_from_sums
+from repro.core.signature import LayerSignatures, SignatureStore
+from repro.core.detector import DetectionReport, RadarDetector, count_detected_flips
+from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
+from repro.core.protector import ModelProtector, ProtectionSummary
+from repro.core.runtime import InferenceOutcome, ProtectedInference
+from repro.core.streaming import StreamEvent, StreamReport, StreamingVerifier
+
+__all__ = [
+    "RadarConfig",
+    "GroupLayout",
+    "SecretKey",
+    "compute_group_sums",
+    "signature_from_sums",
+    "LayerSignatures",
+    "SignatureStore",
+    "RadarDetector",
+    "DetectionReport",
+    "count_detected_flips",
+    "RecoveryPolicy",
+    "RecoveryReport",
+    "recover_model",
+    "ModelProtector",
+    "ProtectionSummary",
+    "ProtectedInference",
+    "InferenceOutcome",
+    "StreamingVerifier",
+    "StreamEvent",
+    "StreamReport",
+]

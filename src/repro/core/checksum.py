@@ -1,0 +1,88 @@
+"""Addition checksum and signature binarization (Section IV.A).
+
+For a group of ``G`` (masked) int8 weights the checksum is their integer
+sum ``M``.  The 2-bit signature is
+
+``S_A = floor(M / 256) mod 2`` and ``S_B = floor(M / 128) mod 2``
+
+which in two's complement are simply bits 8 and 7 of ``M`` — i.e. the
+binarization is a bit truncation, as the paper notes.  ``S_B`` acts as a
+parity over the MSBs of the group (any single MSB flip moves ``M`` by
+±128 and toggles it); ``S_A`` additionally catches same-direction double
+flips.  A 3-bit signature appends ``S_C = floor(M / 64) mod 2`` to also
+cover MSB-1 flips (Section VIII).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.interleave import GroupLayout
+from repro.core.masking import SecretKey
+from repro.errors import ProtectionError
+
+#: Divisors whose quotient parity forms the signature bits, most significant first.
+_SIGNATURE_DIVISORS = (256, 128, 64)
+
+
+def signature_from_sums(sums: np.ndarray, signature_bits: int = 2) -> np.ndarray:
+    """Binarize checksums into packed signatures.
+
+    Parameters
+    ----------
+    sums:
+        Integer array of per-group checksums ``M``.
+    signature_bits:
+        Which bits make up the signature: 1 → ``(S_B,)`` (parity only),
+        2 → ``(S_A, S_B)`` (the paper's default), 3 → ``(S_A, S_B, S_C)``.
+
+    Returns
+    -------
+    ``uint8`` array of the same shape as ``sums`` with the signature bits
+    packed MSB-first (e.g. for 2 bits the value is ``2*S_A + S_B``).
+    """
+    if signature_bits not in (1, 2, 3):
+        raise ProtectionError(f"signature_bits must be 1, 2 or 3, got {signature_bits}")
+    sums = np.asarray(sums, dtype=np.int64)
+    if signature_bits == 1:
+        divisors = (_SIGNATURE_DIVISORS[1],)
+    else:
+        divisors = _SIGNATURE_DIVISORS[:signature_bits]
+    signature = np.zeros(sums.shape, dtype=np.uint8)
+    for divisor in divisors:
+        bit = np.mod(np.floor_divide(sums, divisor), 2).astype(np.uint8)
+        signature = (signature << np.uint8(1)) | bit
+    return signature
+
+
+def compute_group_sums(
+    qweight_flat: np.ndarray,
+    layout: GroupLayout,
+    key: Optional[SecretKey] = None,
+) -> np.ndarray:
+    """Per-group masked addition checksums ``M`` for one layer.
+
+    ``qweight_flat`` is the layer's int8 weight tensor flattened in memory
+    order; ``layout`` supplies the (possibly interleaved) grouping and
+    ``key`` the masking signs (``None`` disables masking).
+    """
+    qweight_flat = np.asarray(qweight_flat)
+    if qweight_flat.dtype != np.int8:
+        raise ProtectionError(f"Expected int8 weights, got dtype {qweight_flat.dtype}")
+    gathered = layout.gather(qweight_flat.astype(np.int64))
+    if key is not None:
+        gathered = gathered * key.signs(layout.group_size)[None, :]
+    return gathered.sum(axis=1)
+
+
+def compute_signatures(
+    qweight_flat: np.ndarray,
+    layout: GroupLayout,
+    key: Optional[SecretKey] = None,
+    signature_bits: int = 2,
+) -> np.ndarray:
+    """Convenience wrapper: checksums then binarization."""
+    sums = compute_group_sums(qweight_flat, layout, key)
+    return signature_from_sums(sums, signature_bits)

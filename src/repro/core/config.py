@@ -1,0 +1,72 @@
+"""Configuration of the RADAR scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RadarConfig:
+    """Parameters of the detection / recovery scheme.
+
+    Attributes
+    ----------
+    group_size:
+        ``G`` — number of weights per checksum group.  The paper sweeps
+        4–64 for ResNet-20 and 64–1024 for ResNet-18 and recommends
+        ``G = 8`` and ``G = 512`` respectively.
+    use_interleave:
+        Whether a group gathers weights that are originally far apart
+        (Section IV.B.2).  Improves multi-flip detection and defeats the
+        paired-flip attacker.
+    interleave_offset:
+        The ``t`` of the t-interleave in Fig. 3(b); the paper uses 3.
+    use_masking:
+        Whether each weight is conditionally negated according to the
+        per-layer secret key before summation (Section IV.B.1).
+    key_bits:
+        Length of the per-layer secret key (``N_k``); the paper uses 16.
+    signature_bits:
+        2 for the standard scheme (``S_A``, ``S_B``); 3 adds the
+        MSB-1-protecting bit discussed in Section VIII.
+    secret_seed:
+        Seed from which the per-layer keys and (conceptually) the secret
+        interleave parameters are derived.  In a deployment this lives in
+        secure on-chip storage.
+    """
+
+    group_size: int = 512
+    use_interleave: bool = True
+    interleave_offset: int = 3
+    use_masking: bool = True
+    key_bits: int = 16
+    signature_bits: int = 2
+    secret_seed: int = 2021
+
+    def __post_init__(self) -> None:
+        if self.group_size < 2:
+            raise ConfigurationError(f"group_size must be >= 2, got {self.group_size}")
+        if self.signature_bits not in (1, 2, 3):
+            raise ConfigurationError(
+                f"signature_bits must be 1, 2 or 3, got {self.signature_bits}"
+            )
+        if self.key_bits < 1:
+            raise ConfigurationError(f"key_bits must be >= 1, got {self.key_bits}")
+        if self.interleave_offset < 0:
+            raise ConfigurationError(
+                f"interleave_offset must be non-negative, got {self.interleave_offset}"
+            )
+
+    def with_group_size(self, group_size: int) -> "RadarConfig":
+        """Copy of this config with a different group size (used by sweeps)."""
+        return RadarConfig(
+            group_size=group_size,
+            use_interleave=self.use_interleave,
+            interleave_offset=self.interleave_offset,
+            use_masking=self.use_masking,
+            key_bits=self.key_bits,
+            signature_bits=self.signature_bits,
+            secret_seed=self.secret_seed,
+        )

@@ -1,0 +1,130 @@
+"""Grouping and interleaving of a layer's weights for checksum computation.
+
+Two layouts are supported (Fig. 3 of the paper):
+
+* **contiguous** (``use_interleave=False``): group ``j`` holds weights
+  ``[j*G, (j+1)*G)`` — the natural memory order.
+* **t-interleave** (``use_interleave=True``): with ``N_p`` groups, weight
+  ``i`` belongs to group ``((i mod N_p) - (i // N_p) * t) mod N_p``.  With
+  ``t = 0`` this is the basic interleave of Fig. 3(a) (group = ``i mod
+  N_p``, i.e. members are ``N_p`` locations apart); the paper uses an
+  additional offset ``t = 3`` so consecutive rows are rotated against each
+  other, which is Fig. 3(b).
+
+Layers whose weight count is not divisible by ``G`` are padded with
+virtual zero weights (the paper does the same); padded slots never map
+back to real weights during recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ProtectionError
+
+PAD_INDEX = -1
+
+
+@dataclass
+class GroupLayout:
+    """The mapping between original weight indices and checksum groups."""
+
+    num_weights: int
+    group_size: int
+    use_interleave: bool
+    interleave_offset: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_weights <= 0:
+            raise ProtectionError(f"num_weights must be positive, got {self.num_weights}")
+        if self.group_size < 2:
+            raise ProtectionError(f"group_size must be >= 2, got {self.group_size}")
+        self.num_groups = int(np.ceil(self.num_weights / self.group_size))
+        self.padded_size = self.num_groups * self.group_size
+        self._group_of_index = self._build_group_assignment()
+        self._groups = self._build_groups()
+
+    # -- construction --------------------------------------------------------
+    def _build_group_assignment(self) -> np.ndarray:
+        indices = np.arange(self.padded_size, dtype=np.int64)
+        if not self.use_interleave or self.num_groups == 1:
+            return indices // self.group_size
+        rows = indices // self.num_groups
+        columns = indices % self.num_groups
+        return (columns - rows * self.interleave_offset) % self.num_groups
+
+    def _build_groups(self) -> np.ndarray:
+        """(num_groups, group_size) matrix of original indices (PAD_INDEX for padding).
+
+        Every block of ``num_groups`` consecutive indices assigns exactly one
+        member to each group (the t-interleave is a per-row rotation), so a
+        stable sort by group id yields exactly ``group_size`` members per
+        group and the reshape below is well-defined.
+        """
+        order = np.argsort(self._group_of_index, kind="stable")
+        groups = order.reshape(self.num_groups, self.group_size)
+        return np.where(groups < self.num_weights, groups, PAD_INDEX)
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def groups(self) -> np.ndarray:
+        """Copy of the (num_groups, group_size) index matrix."""
+        return self._groups.copy()
+
+    def group_of(self, flat_index: int) -> int:
+        """Group id of an original weight index."""
+        if not 0 <= flat_index < self.num_weights:
+            raise ProtectionError(
+                f"flat_index {flat_index} out of range for layer of {self.num_weights} weights"
+            )
+        return int(self._group_of_index[flat_index])
+
+    def members_of(self, group_index: int) -> np.ndarray:
+        """Original weight indices belonging to ``group_index`` (padding removed)."""
+        if not 0 <= group_index < self.num_groups:
+            raise ProtectionError(
+                f"group_index {group_index} out of range ({self.num_groups} groups)"
+            )
+        members = self._groups[group_index]
+        return members[members != PAD_INDEX].copy()
+
+    def gather(self, flat_values: np.ndarray) -> np.ndarray:
+        """Arrange ``flat_values`` into the (num_groups, group_size) layout.
+
+        Padded slots are filled with zeros, which is neutral for the
+        addition checksum.
+        """
+        flat_values = np.asarray(flat_values)
+        if flat_values.shape != (self.num_weights,):
+            raise ProtectionError(
+                f"Expected a flat array of {self.num_weights} values, got shape {flat_values.shape}"
+            )
+        gathered = np.zeros((self.num_groups, self.group_size), dtype=np.int64)
+        valid = self._groups != PAD_INDEX
+        gathered[valid] = flat_values[self._groups[valid]]
+        return gathered
+
+    def scatter_mask(self, group_indices: np.ndarray) -> np.ndarray:
+        """Boolean mask over original indices covering the given groups.
+
+        Used by the recovery step: all weights whose group is flagged are
+        zeroed, and the mask already excludes padding slots.
+        """
+        group_indices = np.atleast_1d(np.asarray(group_indices, dtype=np.int64))
+        mask = np.zeros(self.num_weights, dtype=bool)
+        for group_index in group_indices:
+            mask[self.members_of(int(group_index))] = True
+        return mask
+
+    def describe(self) -> Dict[str, int]:
+        """Small summary used by reports and tests."""
+        return {
+            "num_weights": self.num_weights,
+            "group_size": self.group_size,
+            "num_groups": self.num_groups,
+            "padded_size": self.padded_size,
+            "interleaved": int(self.use_interleave),
+        }

@@ -1,0 +1,64 @@
+"""Secret-key masking of weights in the checksum computation (Section IV.B.1).
+
+Each layer gets an ``N_k``-bit secret key (16 bits in the paper).  During
+the checksum summation the key bit assigned to a group slot decides whether
+the weight enters the sum as-is or negated (two's complement), so an
+attacker who does not know the key cannot predict how a pair of flips will
+move the checksum — a (0→1, 1→0) pair no longer reliably cancels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ProtectionError
+from repro.utils.rng import new_rng
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """A per-layer masking key.
+
+    ``bits`` is the raw key (tuple of 0/1 of length ``N_k``); the masking
+    sign for the ``t``-th slot of a group cycles through the key,
+    ``sign_t = +1`` when ``bits[t mod N_k] == 1`` and ``-1`` otherwise
+    (Algorithm 1: a 0 key bit takes the two's complement of the weight).
+    """
+
+    bits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.bits:
+            raise ProtectionError("Secret key must have at least one bit")
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise ProtectionError("Secret key bits must be 0 or 1")
+
+    @property
+    def num_bits(self) -> int:
+        return len(self.bits)
+
+    @staticmethod
+    def generate(num_bits: int, seed, layer_name: str = "") -> "SecretKey":
+        """Derive a key for ``layer_name`` from the protector's secret seed."""
+        if num_bits < 1:
+            raise ProtectionError(f"num_bits must be >= 1, got {num_bits}")
+        rng = new_rng(("radar-secret-key", seed, layer_name))
+        bits = tuple(int(bit) for bit in rng.integers(0, 2, size=num_bits))
+        return SecretKey(bits=bits)
+
+    def signs(self, group_size: int) -> np.ndarray:
+        """Vector of ±1 masking signs for the ``group_size`` slots of a group."""
+        if group_size < 1:
+            raise ProtectionError(f"group_size must be >= 1, got {group_size}")
+        repeated = np.resize(np.asarray(self.bits, dtype=np.int64), group_size)
+        return np.where(repeated == 1, 1, -1).astype(np.int64)
+
+    def as_int(self) -> int:
+        """The key packed into an integer (LSB = first bit); for display only."""
+        value = 0
+        for position, bit in enumerate(self.bits):
+            value |= bit << position
+        return value

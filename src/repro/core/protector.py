@@ -1,0 +1,112 @@
+"""High-level API tying detection and recovery together."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import RadarConfig
+from repro.core.detector import DetectionReport, RadarDetector
+from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
+from repro.core.signature import SignatureStore
+from repro.errors import ProtectionError
+from repro.nn.module import Module
+from repro.quant.layers import quantized_layers
+
+
+@dataclass
+class ProtectionSummary:
+    """Combined result of a detect + recover pass."""
+
+    detection: DetectionReport
+    recovery: RecoveryReport
+
+    @property
+    def attack_detected(self) -> bool:
+        return self.detection.attack_detected
+
+
+class ModelProtector:
+    """The deployable RADAR object.
+
+    Typical use::
+
+        protector = ModelProtector(RadarConfig(group_size=512))
+        protector.protect(model)            # offline, on the clean model
+        ...                                 # weights sit in (attackable) DRAM
+        summary = protector.scan_and_recover(model)   # at run time
+        if summary.attack_detected:
+            ...  # log / alert; accuracy has already been restored
+    """
+
+    def __init__(self, config: Optional[RadarConfig] = None) -> None:
+        self.config = config or RadarConfig()
+        self._store: Optional[SignatureStore] = None
+        self._detector: Optional[RadarDetector] = None
+        self._golden_weights: Optional[Dict[str, np.ndarray]] = None
+
+    # -- lifecycle -------------------------------------------------------------
+    @property
+    def is_protected(self) -> bool:
+        return self._store is not None
+
+    @property
+    def store(self) -> SignatureStore:
+        self._require_protected()
+        return self._store
+
+    def protect(self, model: Module, keep_golden_weights: bool = False) -> SignatureStore:
+        """Compute and store golden signatures from the clean model.
+
+        ``keep_golden_weights=True`` additionally snapshots the clean int8
+        weights so the ``RELOAD`` recovery policy can be used later (this is
+        *not* part of the paper's scheme; it models re-fetching a clean copy).
+        """
+        store = SignatureStore(self.config).build(model)
+        self._store = store
+        self._detector = RadarDetector(store)
+        if keep_golden_weights:
+            self._golden_weights = {
+                name: layer.qweight.copy() for name, layer in quantized_layers(model)
+            }
+        else:
+            self._golden_weights = None
+        return store
+
+    # -- run time ----------------------------------------------------------------
+    def scan(self, model: Module) -> DetectionReport:
+        """Detection only."""
+        self._require_protected()
+        return self._detector.scan(model)
+
+    def recover(
+        self,
+        model: Module,
+        report: DetectionReport,
+        policy: RecoveryPolicy = RecoveryPolicy.ZERO,
+    ) -> RecoveryReport:
+        """Recovery only (given an existing detection report)."""
+        self._require_protected()
+        return recover_model(
+            model, report, self._store, policy=policy, golden_weights=self._golden_weights
+        )
+
+    def scan_and_recover(
+        self, model: Module, policy: RecoveryPolicy = RecoveryPolicy.ZERO
+    ) -> ProtectionSummary:
+        """Detect then recover in one call (the run-time fast path)."""
+        report = self.scan(model)
+        recovery = self.recover(model, report, policy=policy)
+        return ProtectionSummary(detection=report, recovery=recovery)
+
+    # -- accounting ----------------------------------------------------------------
+    def storage_overhead_kb(self, include_keys: bool = False) -> float:
+        """Secure-storage footprint of the golden signatures in kilobytes."""
+        self._require_protected()
+        return self._store.storage_kilobytes(include_keys=include_keys)
+
+    def _require_protected(self) -> None:
+        if self._store is None or self._detector is None:
+            raise ProtectionError("Model is not protected yet; call protect(model) first")

@@ -1,0 +1,90 @@
+"""Accuracy recovery (Section V).
+
+The paper's recovery is deliberately simple: every group flagged by the
+detector has *all* of its weights set to zero (after de-interleaving back
+to the original memory layout).  Because PBFA turns small weights into
+large ones, and because most weights in a group are small and centred on
+zero, zeroing the whole group removes the catastrophic outlier at a minor
+cost to accuracy.
+
+Two alternative policies are provided for comparison/ablation:
+
+* ``NONE`` — detect only (the paper's "halt and wait" option without the
+  halt); weights are left corrupted.
+* ``RELOAD`` — restore the affected groups from a golden copy of the
+  weights (models re-fetching a clean copy from flash/disk; expensive in
+  practice but an upper bound on recovery quality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.detector import DetectionReport
+from repro.core.signature import SignatureStore
+from repro.errors import ProtectionError
+from repro.nn.module import Module
+from repro.quant.layers import quantized_layers
+
+
+class RecoveryPolicy(str, Enum):
+    """What to do with a flagged group."""
+
+    ZERO = "zero"
+    RELOAD = "reload"
+    NONE = "none"
+
+
+@dataclass
+class RecoveryReport:
+    """Result of a recovery pass."""
+
+    policy: RecoveryPolicy
+    zeroed_weights: int = 0
+    reloaded_weights: int = 0
+    groups_recovered: int = 0
+    per_layer: Dict[str, int] = field(default_factory=dict)
+
+
+def recover_model(
+    model: Module,
+    report: DetectionReport,
+    store: SignatureStore,
+    policy: RecoveryPolicy = RecoveryPolicy.ZERO,
+    golden_weights: Optional[Dict[str, np.ndarray]] = None,
+) -> RecoveryReport:
+    """Apply the recovery policy to every flagged group of ``model`` in place."""
+    if policy is RecoveryPolicy.RELOAD and golden_weights is None:
+        raise ProtectionError("RELOAD recovery needs the golden weights snapshot")
+
+    layer_map = dict(quantized_layers(model))
+    recovery = RecoveryReport(policy=policy)
+    if policy is RecoveryPolicy.NONE:
+        return recovery
+
+    for layer_name, flagged in report.flagged_groups.items():
+        if flagged.size == 0:
+            continue
+        if layer_name not in layer_map:
+            raise ProtectionError(f"Flagged layer {layer_name!r} missing from model")
+        layer = layer_map[layer_name]
+        entry = store.layer(layer_name)
+        mask = entry.layout.scatter_mask(flagged)
+        flat = layer.qweight.reshape(-1)
+        affected = int(mask.sum())
+        if policy is RecoveryPolicy.ZERO:
+            flat[mask] = 0
+            recovery.zeroed_weights += affected
+        elif policy is RecoveryPolicy.RELOAD:
+            golden = golden_weights.get(layer_name)
+            if golden is None:
+                raise ProtectionError(f"Golden weights missing for layer {layer_name!r}")
+            flat[mask] = golden.reshape(-1)[mask]
+            recovery.reloaded_weights += affected
+        recovery.groups_recovered += int(flagged.size)
+        recovery.per_layer[layer_name] = affected
+    return recovery

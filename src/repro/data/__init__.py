@@ -1,0 +1,31 @@
+"""Datasets and batch loading.
+
+Real CIFAR-10 / ImageNet cannot be downloaded in this offline environment,
+so the experiments run on seeded synthetic image classification datasets
+(:mod:`repro.data.synthetic`).  The datasets are constructed so that the
+paper's qualitative claims transfer: a quantized ResNet reaches high clean
+accuracy, PBFA collapses it with a handful of bit flips, and RADAR's
+recovery restores most of it.  See DESIGN.md §2 for the substitution
+rationale.
+"""
+
+from repro.data.synthetic import (
+    Dataset,
+    SyntheticImageDataset,
+    SyntheticSpec,
+    make_cifar10_like,
+    make_imagenet_like,
+    make_tiny_dataset,
+)
+from repro.data.loader import DataLoader, iterate_batches
+
+__all__ = [
+    "Dataset",
+    "SyntheticImageDataset",
+    "SyntheticSpec",
+    "make_cifar10_like",
+    "make_imagenet_like",
+    "make_tiny_dataset",
+    "DataLoader",
+    "iterate_batches",
+]

@@ -1,0 +1,65 @@
+"""Mini-batch iteration over in-memory datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import Dataset
+from repro.utils.rng import new_rng
+
+
+class DataLoader:
+    """Shuffling batch iterator over a :class:`Dataset`.
+
+    Each epoch uses a fresh permutation derived from ``seed`` and the epoch
+    counter, so the sequence of batches is deterministic yet differs between
+    epochs.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        batch_size: int = 64,
+        shuffle: bool = True,
+        drop_last: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self.seed = seed
+        self._epoch = 0
+
+    def __len__(self) -> int:
+        count = len(self.dataset)
+        if self.drop_last:
+            return count // self.batch_size
+        return (count + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        count = len(self.dataset)
+        if self.shuffle:
+            rng = new_rng(("dataloader", self.seed, self._epoch))
+            order = rng.permutation(count)
+        else:
+            order = np.arange(count)
+        self._epoch += 1
+        for start in range(0, count, self.batch_size):
+            indices = order[start:start + self.batch_size]
+            if self.drop_last and indices.size < self.batch_size:
+                break
+            yield self.dataset.images[indices], self.dataset.labels[indices]
+
+
+def iterate_batches(
+    images: np.ndarray, labels: np.ndarray, batch_size: int
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Sequential batches over raw arrays (no shuffling)."""
+    for start in range(0, images.shape[0], batch_size):
+        stop = start + batch_size
+        yield images[start:stop], labels[start:stop]

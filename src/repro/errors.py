@@ -1,0 +1,31 @@
+"""Exception hierarchy for the RADAR reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class ShapeError(ReproError):
+    """Raised when tensor shapes are incompatible with an operation."""
+
+
+class QuantizationError(ReproError):
+    """Raised when quantization parameters or payloads are invalid."""
+
+
+class AttackError(ReproError):
+    """Raised when an attack cannot be executed as configured."""
+
+
+class ProtectionError(ReproError):
+    """Raised when a protection scheme is used inconsistently."""
+
+
+class SimulationError(ReproError):
+    """Raised by the memory/timing simulation substrate."""

@@ -1,0 +1,53 @@
+"""Experiment harnesses: one module per table / figure of the paper.
+
+| Module | Paper artifact |
+|---|---|
+| :mod:`repro.experiments.characterization` | Table I, Table II, Fig. 2 |
+| :mod:`repro.experiments.detection` | Fig. 4 and the Section VI.B miss-rate study |
+| :mod:`repro.experiments.recovery` | Table III and Fig. 5 |
+| :mod:`repro.experiments.tradeoff` | Fig. 6 |
+| :mod:`repro.experiments.overhead` | Table IV and Table V |
+| :mod:`repro.experiments.knowledgeable` | Fig. 7 and the Section VIII MSB-1 study |
+
+All harnesses share :mod:`repro.experiments.common`, which loads the
+pretrained zoo models and caches the expensive PBFA profile generation so
+that the sweep over group sizes / interleaving options reuses the same
+attack rounds (exactly as the paper evaluates one set of saved
+vulnerable-bit profiles against many defense configurations).
+"""
+
+from repro.experiments.common import (
+    ExperimentContext,
+    default_rounds,
+    generate_pbfa_profiles,
+)
+from repro.experiments import (
+    ablation,
+    characterization,
+    detection,
+    exposure,
+    knowledgeable,
+    overhead,
+    paper,
+    plotting,
+    recovery,
+    reporting,
+    tradeoff,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "generate_pbfa_profiles",
+    "default_rounds",
+    "ablation",
+    "characterization",
+    "detection",
+    "exposure",
+    "recovery",
+    "tradeoff",
+    "overhead",
+    "knowledgeable",
+    "paper",
+    "plotting",
+    "reporting",
+]

@@ -1,0 +1,101 @@
+"""PBFA characterization: Table I, Table II and Fig. 2 of the paper.
+
+The paper runs 100 rounds of 10-flip PBFA on ResNet-20 and ResNet-18,
+saves the vulnerable-bit profiles, and reports
+
+* Table I — how often each bit position / flip direction is chosen
+  (conclusion: the MSB is targeted almost always);
+* Table II — the value range of the targeted weights (conclusion: small
+  weights are targeted, so the flip produces a huge weight);
+* Fig. 2 — the proportion of groups containing more than one vulnerable
+  bit as a function of the group size (conclusion: flips are scattered,
+  multi-flip groups only appear for large G).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.attacks.profiles import (
+    AttackProfile,
+    bit_position_histogram,
+    multi_flip_group_proportion,
+    weight_value_histogram,
+)
+from repro.experiments.common import ExperimentContext, generate_pbfa_profiles
+
+
+def table1_bit_positions(
+    profiles_by_model: Dict[str, Sequence[AttackProfile]]
+) -> List[Dict]:
+    """Rows of Table I: flip counts per bit-position category per model."""
+    rows = []
+    for model_name, profiles in profiles_by_model.items():
+        histogram = bit_position_histogram(profiles)
+        total = sum(histogram.values())
+        rows.append(
+            {
+                "model": model_name,
+                "rounds": len(list(profiles)),
+                "msb_0_to_1": histogram["msb_0_to_1"],
+                "msb_1_to_0": histogram["msb_1_to_0"],
+                "others": histogram["others"],
+                "msb_fraction": (histogram["msb_0_to_1"] + histogram["msb_1_to_0"]) / total
+                if total
+                else float("nan"),
+            }
+        )
+    return rows
+
+
+def table2_weight_ranges(
+    profiles_by_model: Dict[str, Sequence[AttackProfile]]
+) -> List[Dict]:
+    """Rows of Table II: counts of targeted weights per pre-attack value range."""
+    rows = []
+    for model_name, profiles in profiles_by_model.items():
+        histogram = weight_value_histogram(profiles)
+        row = {"model": model_name}
+        row.update(histogram)
+        small = histogram.get("(-32, 0)", 0) + histogram.get("(0, 32)", 0)
+        total = sum(histogram.values())
+        row["small_weight_fraction"] = small / total if total else float("nan")
+        rows.append(row)
+    return rows
+
+
+def fig2_multibit_proportion(
+    context: ExperimentContext,
+    profiles: Sequence[AttackProfile],
+    group_sizes: Sequence[int],
+) -> List[Dict]:
+    """Series of Fig. 2: proportion of attacked groups holding multiple flips vs G."""
+    layer_sizes = context.layer_sizes()
+    rows = []
+    for group_size in group_sizes:
+        proportion = multi_flip_group_proportion(profiles, layer_sizes, group_size)
+        rows.append(
+            {
+                "model": context.model_name,
+                "group_size": group_size,
+                "multi_flip_proportion": proportion,
+            }
+        )
+    return rows
+
+
+def run_characterization(
+    context: ExperimentContext,
+    group_sizes: Sequence[int],
+    num_flips: int = 10,
+    rounds: int = None,
+    seed: int = 0,
+) -> Dict[str, List[Dict]]:
+    """Convenience driver producing all three characterization artifacts."""
+    profiles = generate_pbfa_profiles(context, num_flips=num_flips, rounds=rounds, seed=seed)
+    by_model = {context.model_name: profiles}
+    return {
+        "table1": table1_bit_positions(by_model),
+        "table2": table2_weight_ranges(by_model),
+        "fig2": fig2_multibit_proportion(context, profiles, group_sizes),
+    }

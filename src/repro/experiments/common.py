@@ -1,0 +1,186 @@
+"""Shared infrastructure for the experiment harnesses.
+
+The expensive part of every evaluation is generating PBFA vulnerable-bit
+profiles (each profile costs tens of forward/backward passes).  The paper
+generates profiles once (100 rounds) and evaluates every defense
+configuration against the same saved profiles; this module does the same,
+with the profiles cached on disk under ``REPRO_CACHE_DIR`` so repeated
+benchmark runs do not repeat the attack.
+
+The number of attack rounds is configurable through the
+``REPRO_EXPERIMENT_ROUNDS`` environment variable (default 5; the paper
+uses 100).  EXPERIMENTS.md records what was actually run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks import (
+    AttackProfile,
+    PbfaConfig,
+    ProgressiveBitFlipAttack,
+    apply_profile,
+    load_profiles,
+    restore_qweights,
+    save_profiles,
+    snapshot_qweights,
+)
+from repro.models.training import evaluate_accuracy
+from repro.models.zoo import PretrainedBundle, default_cache_dir, get_pretrained
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.common")
+
+#: Number of test samples used for the per-profile accuracy measurements.
+#: Overridable through REPRO_EVAL_SAMPLES; the paper evaluates the full test
+#: sets, which is prohibitive for the NumPy substrate inside sweeps.
+ACCURACY_EVAL_SAMPLES = int(os.environ.get("REPRO_EVAL_SAMPLES", "250"))
+
+
+def default_rounds(fallback: int = 5) -> int:
+    """Number of attack rounds per configuration (env-overridable)."""
+    value = os.environ.get("REPRO_EXPERIMENT_ROUNDS")
+    if value is None:
+        return fallback
+    return max(1, int(value))
+
+
+@dataclass
+class ExperimentContext:
+    """A pretrained model plus everything the harnesses need around it."""
+
+    bundle: PretrainedBundle
+    cache_dir: Path
+
+    @property
+    def model(self):
+        return self.bundle.model
+
+    @property
+    def model_name(self) -> str:
+        return self.bundle.name
+
+    @property
+    def clean_accuracy(self) -> float:
+        return self.bundle.clean_accuracy
+
+    @staticmethod
+    def load(setup_name: str, cache_dir: Optional[Path] = None) -> "ExperimentContext":
+        """Load (or train) the zoo setup and wrap it for experimentation."""
+        bundle = get_pretrained(setup_name, cache_dir=cache_dir)
+        return ExperimentContext(
+            bundle=bundle, cache_dir=Path(cache_dir) if cache_dir else default_cache_dir()
+        )
+
+    # -- layer bookkeeping -----------------------------------------------------
+    def layer_sizes(self) -> Dict[str, int]:
+        """Weight count per quantized layer (used by the Fig. 2 analysis)."""
+        from repro.quant.layers import quantized_layers
+
+        return {name: int(layer.weight.size) for name, layer in quantized_layers(self.model)}
+
+    # -- accuracy helpers ---------------------------------------------------------
+    def accuracy(self, max_samples: int = ACCURACY_EVAL_SAMPLES) -> float:
+        """Accuracy of the model in its *current* (possibly corrupted) state."""
+        return evaluate_accuracy(self.model, self.bundle.test_set, max_samples=max_samples)
+
+    def accuracy_under_profile(
+        self, profile: AttackProfile, max_samples: int = ACCURACY_EVAL_SAMPLES
+    ) -> float:
+        """Accuracy with ``profile`` applied, leaving the model unchanged afterwards."""
+        snapshot = snapshot_qweights(self.model)
+        try:
+            apply_profile(self.model, profile)
+            return self.accuracy(max_samples)
+        finally:
+            restore_qweights(self.model, snapshot)
+
+
+def _profile_cache_path(
+    cache_dir: Path, model_name: str, attack_name: str, num_flips: int, rounds: int, seed: int
+) -> Path:
+    file_name = f"{model_name}-{attack_name}-nbf{num_flips}-r{rounds}-s{seed}.json"
+    return Path(cache_dir) / "profiles" / file_name
+
+
+def generate_pbfa_profiles(
+    context: ExperimentContext,
+    num_flips: int = 10,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    attack_batch_size: int = 16,
+    candidate_layers: int = 5,
+    measure_accuracy: bool = True,
+    use_cache: bool = True,
+) -> List[AttackProfile]:
+    """Run (or load from cache) ``rounds`` independent PBFA attacks.
+
+    Each round starts from the clean weights, runs PBFA with a different
+    attacker data batch (different seed), records the resulting profile and
+    the attacked accuracy, and restores the clean weights.
+    """
+    rounds = rounds if rounds is not None else default_rounds()
+    cache_path = _profile_cache_path(
+        context.cache_dir, context.model_name, "pbfa", num_flips, rounds, seed
+    )
+    if use_cache and cache_path.exists():
+        profiles = load_profiles(cache_path)
+        if len(profiles) == rounds:
+            logger.info("loaded %d cached PBFA profiles from %s", rounds, cache_path)
+            return profiles
+
+    model = context.model
+    test_set = context.bundle.test_set
+    profiles: List[AttackProfile] = []
+    snapshot = snapshot_qweights(model)
+    clean_accuracy = context.clean_accuracy
+    try:
+        for round_index in range(rounds):
+            config = PbfaConfig(
+                num_flips=num_flips,
+                attack_batch_size=attack_batch_size,
+                candidate_layers=candidate_layers,
+                seed=seed * 1000 + round_index,
+            )
+            attack = ProgressiveBitFlipAttack(config)
+            result = attack.run(model, test_set.images, test_set.labels, model_name=context.model_name)
+            profile = result.profile
+            profile.accuracy_before = clean_accuracy
+            if measure_accuracy:
+                profile.accuracy_after = context_accuracy_with_current_weights(context)
+            profiles.append(profile)
+            restore_qweights(model, snapshot)
+            logger.info(
+                "PBFA round %d/%d on %s: loss %.3f -> %.3f, attacked accuracy %s",
+                round_index + 1,
+                rounds,
+                context.model_name,
+                result.loss_before,
+                result.loss_after,
+                f"{profile.accuracy_after:.3f}" if profile.accuracy_after is not None else "n/a",
+            )
+    finally:
+        restore_qweights(model, snapshot)
+
+    if use_cache:
+        save_profiles(profiles, cache_path)
+    return profiles
+
+
+def context_accuracy_with_current_weights(context: ExperimentContext) -> float:
+    """Accuracy of the context's model exactly as its weights currently are."""
+    return context.accuracy()
+
+
+def mean_and_std(values: Sequence[float]) -> Dict[str, float]:
+    """Small helper used by several harnesses when aggregating rounds."""
+    array = np.asarray(list(values), dtype=np.float64)
+    if array.size == 0:
+        return {"mean": float("nan"), "std": float("nan"), "count": 0}
+    return {"mean": float(array.mean()), "std": float(array.std()), "count": int(array.size)}

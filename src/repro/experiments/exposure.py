@@ -1,0 +1,135 @@
+"""Run-time exposure study: inline (RADAR) checking vs periodic checking.
+
+The paper's introduction motivates *run-time* detection by pointing at
+DeepHammer-style attacks that are mounted between the runs of a periodic
+integrity checker: every inference served between the fault injection and
+the next check uses corrupted weights.  RADAR closes that window by embedding
+the check in the inference itself.
+
+This harness quantifies the exposure window.  A stream of inference batches
+is served through :class:`~repro.core.runtime.ProtectedInference`; at a
+chosen batch index the attack profile is injected into the model weights
+(as the rowhammer actuator would).  With ``check_every = 1`` (RADAR) the very
+next batch detects and recovers; with ``check_every = K > 1`` (a periodic
+checker) up to ``K - 1`` corrupted batches are served first.  The harness
+reports the number of exposed batches and the accuracy of the predictions
+served inside the exposure window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.attacks import AttackProfile, apply_profile, restore_qweights, snapshot_qweights
+from repro.core import RadarConfig
+from repro.core.runtime import ProtectedInference
+from repro.experiments.common import ExperimentContext, mean_and_std
+
+
+def serve_with_attack(
+    context: ExperimentContext,
+    profile: AttackProfile,
+    config: RadarConfig,
+    check_every: int,
+    num_batches: int = 12,
+    batch_size: int = 32,
+    attack_at_batch: int = 3,
+) -> Dict[str, float]:
+    """Serve ``num_batches`` batches, injecting ``profile`` before batch ``attack_at_batch``.
+
+    Returns the number of batches served with corrupted weights before the
+    first detection, and the accuracy of the predictions inside and outside
+    that exposure window.
+    """
+    if not 0 <= attack_at_batch < num_batches:
+        raise ValueError("attack_at_batch must fall inside the served batch range")
+    model = context.model
+    test_set = context.bundle.test_set
+    snapshot = snapshot_qweights(model)
+    runtime = ProtectedInference(model, config, check_every=check_every)
+
+    exposed_batches = 0
+    detected_at: Optional[int] = None
+    exposed_correct: List[int] = []
+    exposed_total = 0
+    clean_correct: List[int] = []
+    clean_total = 0
+    try:
+        for batch_index in range(num_batches):
+            if batch_index == attack_at_batch:
+                apply_profile(model, profile)
+            start = (batch_index * batch_size) % max(len(test_set) - batch_size, 1)
+            images = test_set.images[start:start + batch_size]
+            labels = test_set.labels[start:start + batch_size]
+            outcome = runtime(images)
+            correct = int((outcome.predictions == labels).sum())
+            in_exposure_window = (
+                batch_index >= attack_at_batch
+                and detected_at is None
+                and not outcome.attack_detected
+            )
+            if in_exposure_window:
+                exposed_batches += 1
+                exposed_correct.append(correct)
+                exposed_total += labels.size
+            else:
+                clean_correct.append(correct)
+                clean_total += labels.size
+            if outcome.attack_detected and detected_at is None:
+                detected_at = batch_index
+    finally:
+        restore_qweights(model, snapshot)
+
+    return {
+        "check_every": check_every,
+        "attack_at_batch": attack_at_batch,
+        "num_batches": num_batches,
+        "exposed_batches": exposed_batches,
+        "detected_at_batch": detected_at if detected_at is not None else -1,
+        "exposed_accuracy": (sum(exposed_correct) / exposed_total) if exposed_total else float("nan"),
+        "served_accuracy": (sum(clean_correct) / clean_total) if clean_total else float("nan"),
+    }
+
+
+def exposure_study(
+    context: ExperimentContext,
+    profiles: Sequence[AttackProfile],
+    group_size: int,
+    check_every_values: Sequence[int] = (1, 4, 8),
+    num_batches: int = 12,
+    batch_size: int = 32,
+    attack_at_batch: int = 3,
+) -> List[Dict]:
+    """Rows comparing inline RADAR checking against periodic checking intervals."""
+    rows: List[Dict] = []
+    config = RadarConfig(group_size=group_size)
+    for check_every in check_every_values:
+        results = [
+            serve_with_attack(
+                context,
+                profile,
+                config,
+                check_every=check_every,
+                num_batches=num_batches,
+                batch_size=batch_size,
+                attack_at_batch=attack_at_batch,
+            )
+            for profile in profiles
+        ]
+        rows.append(
+            {
+                "model": context.model_name,
+                "scheme": "inline (RADAR)" if check_every == 1 else f"periodic (every {check_every})",
+                "check_every": check_every,
+                "group_size": group_size,
+                "exposed_batches_mean": mean_and_std([r["exposed_batches"] for r in results])["mean"],
+                "exposed_accuracy": mean_and_std(
+                    [r["exposed_accuracy"] for r in results if not np.isnan(r["exposed_accuracy"])]
+                )["mean"],
+                "served_accuracy": mean_and_std([r["served_accuracy"] for r in results])["mean"],
+                "rounds": len(results),
+            }
+        )
+    return rows

@@ -1,0 +1,167 @@
+"""Knowledgeable-attacker studies: Fig. 7 and the MSB-1 discussion (Section VIII).
+
+Two evasion strategies are evaluated against RADAR:
+
+* **Paired flips** (Fig. 7) — the attacker doubles the number of flips by
+  pairing each PBFA flip with an opposite-direction MSB flip in what it
+  believes is the same checksum group.  Without interleaving the plain
+  addition checksum misses many of these pairs; with interleaving (and
+  masking) the detection ratio stays high and so does the recovered
+  accuracy.
+* **Avoid the MSB** — PBFA restricted to MSB-1: roughly 3x as many flips
+  are needed for comparable damage, and the 3-bit signature variant
+  detects them while the 2-bit signature does not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.attacks import (
+    AttackProfile,
+    LowBitAttack,
+    PairedFlipAttack,
+    PairedFlipConfig,
+    PbfaConfig,
+    restore_qweights,
+    snapshot_qweights,
+)
+from repro.core import RadarConfig
+from repro.experiments.common import (
+    ExperimentContext,
+    default_rounds,
+    mean_and_std,
+)
+from repro.experiments.detection import evaluate_detection
+from repro.experiments.recovery import evaluate_recovery
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.knowledgeable")
+
+
+def generate_paired_profiles(
+    context: ExperimentContext,
+    num_flips: int = 10,
+    assumed_group_size: int = 64,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    attack_batch_size: int = 16,
+    candidate_layers: int = 5,
+) -> List[AttackProfile]:
+    """Run the paired-flip attacker ``rounds`` times from clean weights."""
+    rounds = rounds if rounds is not None else default_rounds()
+    model = context.model
+    test_set = context.bundle.test_set
+    snapshot = snapshot_qweights(model)
+    profiles: List[AttackProfile] = []
+    try:
+        for round_index in range(rounds):
+            config = PairedFlipConfig(
+                pbfa=PbfaConfig(
+                    num_flips=num_flips,
+                    attack_batch_size=attack_batch_size,
+                    candidate_layers=candidate_layers,
+                    seed=seed * 1000 + round_index,
+                ),
+                assumed_group_size=assumed_group_size,
+                seed=seed * 1000 + round_index,
+            )
+            attack = PairedFlipAttack(config)
+            result = attack.run(model, test_set.images, test_set.labels, model_name=context.model_name)
+            result.profile.accuracy_before = context.clean_accuracy
+            result.profile.accuracy_after = context.accuracy()
+            profiles.append(result.profile)
+            restore_qweights(model, snapshot)
+            logger.info(
+                "paired-flip round %d/%d: %d flips, attacked accuracy %.3f",
+                round_index + 1, rounds, len(result.profile), result.profile.accuracy_after,
+            )
+    finally:
+        restore_qweights(model, snapshot)
+    return profiles
+
+
+def fig7_knowledgeable_sweep(
+    context: ExperimentContext,
+    profiles: Sequence[AttackProfile],
+    group_sizes: Sequence[int],
+) -> List[Dict]:
+    """Rows of Fig. 7: detection and recovered accuracy vs G, with/without interleave."""
+    rows: List[Dict] = []
+    num_flips = len(profiles[0]) if profiles else 0
+    for group_size in group_sizes:
+        for use_interleave in (False, True):
+            config = RadarConfig(group_size=group_size, use_interleave=use_interleave)
+            detection = evaluate_detection(context, profiles, config)
+            recovery = evaluate_recovery(context, profiles, config)
+            rows.append(
+                {
+                    "model": context.model_name,
+                    "group_size": group_size,
+                    "interleave": use_interleave,
+                    "num_flips": num_flips,
+                    "detected_mean": detection["detected_mean"],
+                    "attacked_accuracy": recovery["attacked_accuracy"],
+                    "recovered_accuracy": recovery["recovered_accuracy"],
+                    "clean_accuracy": context.clean_accuracy,
+                    "rounds": detection["rounds"],
+                }
+            )
+    return rows
+
+
+def msb1_attack_study(
+    context: ExperimentContext,
+    num_flips_low_bit: int = 30,
+    group_size: int = 16,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+) -> List[Dict]:
+    """The Section VIII "avoid flipping MSB" study.
+
+    Runs the MSB-1-restricted attack and evaluates detection with both the
+    2-bit and the 3-bit signature, reporting the attacked accuracy as well
+    (to confirm that far more flips are needed than the 10-MSB-flip
+    attack for comparable damage).
+    """
+    rounds = rounds if rounds is not None else max(1, default_rounds() // 2)
+    model = context.model
+    test_set = context.bundle.test_set
+    snapshot = snapshot_qweights(model)
+    profiles: List[AttackProfile] = []
+    try:
+        for round_index in range(rounds):
+            attack = LowBitAttack(
+                num_flips=num_flips_low_bit, seed=seed * 1000 + round_index
+            )
+            result = attack.run(model, test_set.images, test_set.labels, model_name=context.model_name)
+            result.profile.accuracy_before = context.clean_accuracy
+            result.profile.accuracy_after = context.accuracy()
+            profiles.append(result.profile)
+            restore_qweights(model, snapshot)
+    finally:
+        restore_qweights(model, snapshot)
+
+    attacked = mean_and_std(
+        [profile.accuracy_after for profile in profiles if profile.accuracy_after is not None]
+    )["mean"]
+    rows = []
+    for signature_bits in (2, 3):
+        config = RadarConfig(
+            group_size=group_size, use_interleave=True, signature_bits=signature_bits
+        )
+        detection = evaluate_detection(context, profiles, config)
+        rows.append(
+            {
+                "model": context.model_name,
+                "attack": f"msb1-{num_flips_low_bit}flips",
+                "signature_bits": signature_bits,
+                "group_size": group_size,
+                "attacked_accuracy": attacked,
+                "clean_accuracy": context.clean_accuracy,
+                "detected_mean": detection["detected_mean"],
+                "num_flips": num_flips_low_bit,
+                "rounds": detection["rounds"],
+            }
+        )
+    return rows

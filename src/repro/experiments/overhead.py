@@ -1,0 +1,178 @@
+"""Run-time and storage overhead: Table IV and Table V of the paper.
+
+These experiments need only the architecture (operation counts and weight
+counts), not trained weights, so they run on freshly constructed models at
+the paper's input resolutions: ResNet-20 at 32x32 (CIFAR-10) and ResNet-18
+at 224x224 with 1000 classes (ImageNet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.crc import crc_bits_for_group
+from repro.baselines.hamming import hamming_parity_bits
+from repro.core.config import RadarConfig
+from repro.memsim.system import SystemConfig, SystemSim
+from repro.models.resnet_cifar import resnet20
+from repro.models.resnet_imagenet import resnet18
+from repro.quant.layers import quantize_model
+
+
+@dataclass(frozen=True)
+class OverheadTarget:
+    """One model configuration of the overhead study."""
+
+    label: str
+    group_size: int
+    input_shape: tuple
+    paper_baseline_s: float
+    paper_radar_overhead_s: float
+    paper_crc_overhead_s: float
+
+
+#: The two rows of Tables IV / V, with the paper's reported numbers attached
+#: so the harness can print paper-vs-measured comparisons directly.
+PAPER_TARGETS: Dict[str, OverheadTarget] = {
+    "resnet20": OverheadTarget(
+        label="resnet20",
+        group_size=8,
+        input_shape=(1, 3, 32, 32),
+        paper_baseline_s=66.3e-3,
+        paper_radar_overhead_s=3.5e-3,
+        paper_crc_overhead_s=17.9e-3,
+    ),
+    "resnet18": OverheadTarget(
+        label="resnet18",
+        group_size=512,
+        input_shape=(1, 3, 224, 224),
+        paper_baseline_s=3.268,
+        paper_radar_overhead_s=0.060,
+        paper_crc_overhead_s=0.317,
+    ),
+}
+
+
+def build_system_sim(
+    label: str, config: Optional[SystemConfig] = None, num_classes: Optional[int] = None
+) -> SystemSim:
+    """Construct the SystemSim for one of the paper's two models."""
+    target = PAPER_TARGETS[label]
+    if label == "resnet20":
+        model = resnet20(num_classes=num_classes or 10)
+    else:
+        model = resnet18(num_classes=num_classes or 1000)
+    quantize_model(model)
+    example = np.zeros(target.input_shape, dtype=np.float32)
+    return SystemSim.from_model(model, example, config=config, model_label=label)
+
+
+def table4_time_overhead(
+    labels: Sequence[str] = ("resnet20", "resnet18"),
+    config: Optional[SystemConfig] = None,
+) -> List[Dict]:
+    """Rows of Table IV: baseline vs RADAR inference time (with/without interleave)."""
+    rows = []
+    for label in labels:
+        target = PAPER_TARGETS[label]
+        sim = build_system_sim(label, config)
+        baseline = sim.baseline_inference_s()
+        with_interleave = sim.radar_report(
+            RadarConfig(group_size=target.group_size, use_interleave=True)
+        )
+        without_interleave = sim.radar_report(
+            RadarConfig(group_size=target.group_size, use_interleave=False)
+        )
+        rows.append(
+            {
+                "model": label,
+                "group_size": target.group_size,
+                "baseline_s": baseline,
+                "radar_s": without_interleave.total_s,
+                "radar_interleave_s": with_interleave.total_s,
+                "overhead_percent": without_interleave.overhead_percent,
+                "overhead_interleave_percent": with_interleave.overhead_percent,
+                "paper_baseline_s": target.paper_baseline_s,
+                "paper_radar_overhead_s": target.paper_radar_overhead_s,
+            }
+        )
+    return rows
+
+
+def table5_crc_comparison(
+    labels: Sequence[str] = ("resnet20", "resnet18"),
+    config: Optional[SystemConfig] = None,
+    include_hamming: bool = False,
+) -> List[Dict]:
+    """Rows of Table V: RADAR vs CRC (and optionally Hamming) overhead."""
+    rows = []
+    for label in labels:
+        target = PAPER_TARGETS[label]
+        sim = build_system_sim(label, config)
+        group_size = target.group_size
+        radar = sim.radar_report(RadarConfig(group_size=group_size, use_interleave=True))
+        crc_bits = crc_bits_for_group(group_size)
+        crc = sim.crc_report(group_size, crc_bits)
+        rows.append(
+            {
+                "model": label,
+                "group_size": group_size,
+                "scheme": f"CRC-{crc_bits}",
+                "total_s": crc.total_s,
+                "overhead_s": crc.overhead_s,
+                "storage_kb": crc.storage_kb,
+                "paper_overhead_s": target.paper_crc_overhead_s,
+            }
+        )
+        if include_hamming:
+            parity = hamming_parity_bits(group_size * 8, extended=True)
+            hamming = sim.hamming_report(group_size, parity)
+            rows.append(
+                {
+                    "model": label,
+                    "group_size": group_size,
+                    "scheme": f"Hamming-SECDED-{parity}",
+                    "total_s": hamming.total_s,
+                    "overhead_s": hamming.overhead_s,
+                    "storage_kb": hamming.storage_kb,
+                    "paper_overhead_s": float("nan"),
+                }
+            )
+        rows.append(
+            {
+                "model": label,
+                "group_size": group_size,
+                "scheme": "RADAR",
+                "total_s": radar.total_s,
+                "overhead_s": radar.overhead_s,
+                "storage_kb": radar.storage_kb,
+                "paper_overhead_s": target.paper_radar_overhead_s,
+            }
+        )
+    return rows
+
+
+def storage_sweep(
+    label: str,
+    group_sizes: Sequence[int],
+    signature_bits: int = 2,
+) -> List[Dict]:
+    """Signature storage (KB) as a function of group size (the x-axis of Fig. 6)."""
+    sim = build_system_sim(label)
+    rows = []
+    for group_size in group_sizes:
+        report = sim.radar_report(
+            RadarConfig(group_size=group_size, signature_bits=signature_bits)
+        )
+        rows.append(
+            {
+                "model": label,
+                "group_size": group_size,
+                "signature_bits": signature_bits,
+                "storage_kb": report.storage_kb,
+            }
+        )
+    return rows

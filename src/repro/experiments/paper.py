@@ -1,0 +1,147 @@
+"""The paper's reported numbers, as structured data.
+
+Keeping the reference values in one importable place lets the benchmark
+harnesses, EXPERIMENTS.md and the tests compare measured results against the
+paper without scattering magic numbers around.  Values are transcribed from
+the tables and the prose of the DATE 2021 paper (arXiv:2101.08254).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PaperModel:
+    """The paper's two evaluation targets."""
+
+    name: str
+    dataset: str
+    clean_accuracy: float
+    attacked_accuracy_10_flips: float
+    attacked_accuracy_5_flips: float
+    recommended_group_size: int
+    signature_storage_kb: float
+    baseline_inference_s: float
+    radar_overhead_s: float
+    radar_overhead_percent: float
+    radar_overhead_interleave_percent: float
+    crc_bits: int
+    crc_overhead_s: float
+    crc_storage_kb: float
+
+
+RESNET20 = PaperModel(
+    name="resnet20",
+    dataset="CIFAR-10",
+    clean_accuracy=0.9015,
+    attacked_accuracy_10_flips=0.1801,
+    attacked_accuracy_5_flips=0.4072,
+    recommended_group_size=8,
+    signature_storage_kb=8.2,
+    baseline_inference_s=66.3e-3,
+    radar_overhead_s=3.5e-3,
+    radar_overhead_percent=3.56,
+    radar_overhead_interleave_percent=5.27,
+    crc_bits=7,
+    crc_overhead_s=17.9e-3,
+    crc_storage_kb=28.7,
+)
+
+RESNET18 = PaperModel(
+    name="resnet18",
+    dataset="ImageNet",
+    clean_accuracy=0.6979,
+    attacked_accuracy_10_flips=0.0018,
+    attacked_accuracy_5_flips=0.0566,
+    recommended_group_size=512,
+    signature_storage_kb=5.6,
+    baseline_inference_s=3.268,
+    radar_overhead_s=0.060,
+    radar_overhead_percent=0.58,
+    radar_overhead_interleave_percent=1.83,
+    crc_bits=13,
+    crc_overhead_s=0.317,
+    crc_storage_kb=36.4,
+)
+
+PAPER_MODELS: Dict[str, PaperModel] = {"resnet20": RESNET20, "resnet18": RESNET18}
+
+#: Table I — bit positions chosen by PBFA over 100 rounds x 10 flips.
+TABLE1_BIT_POSITIONS: Dict[str, Dict[str, int]] = {
+    "resnet20": {"msb_0_to_1": 334, "msb_1_to_0": 666, "others": 0},
+    "resnet18": {"msb_0_to_1": 16, "msb_1_to_0": 897, "others": 87},
+}
+
+#: Table II — value range of the targeted weights over the same rounds.
+TABLE2_WEIGHT_RANGES: Dict[str, Dict[str, int]] = {
+    "resnet20": {"(-128, -32)": 85, "(-32, 0)": 595, "(0, 32)": 249, "(32, 128)": 71},
+    "resnet18": {"(-128, -32)": 16, "(-32, 0)": 860, "(0, 32)": 76, "(32, 128)": 27},
+}
+
+#: Table III — recovered accuracy (with interleaving) per (model, N_BF, G).
+TABLE3_RECOVERED_ACCURACY: Dict[Tuple[str, int, int], float] = {
+    ("resnet20", 5, 8): 0.8564,
+    ("resnet20", 5, 16): 0.8372,
+    ("resnet20", 5, 32): 0.7335,
+    ("resnet20", 10, 8): 0.8107,
+    ("resnet20", 10, 16): 0.7796,
+    ("resnet20", 10, 32): 0.6132,
+    ("resnet18", 5, 128): 0.6751,
+    ("resnet18", 5, 256): 0.6615,
+    ("resnet18", 5, 512): 0.6287,
+    ("resnet18", 10, 128): 0.6633,
+    ("resnet18", 10, 256): 0.6496,
+    ("resnet18", 10, 512): 0.6069,
+}
+
+#: Fig. 4 headline numbers (detected flips out of 10 with interleaving, large G).
+FIG4_DETECTION_WITH_INTERLEAVE: Dict[str, float] = {"resnet20": 9.6, "resnet18": 9.5}
+
+#: Section VI.B miss rates for the 512-weight toy layer.
+MISS_RATES: Dict[int, float] = {16: 1e-6, 32: 1e-5}
+
+
+def model_reference(name: str) -> PaperModel:
+    """Reference numbers for ``"resnet20"`` or ``"resnet18"`` (KeyError otherwise)."""
+    return PAPER_MODELS[name]
+
+
+def relative_error(measured: float, paper: float) -> float:
+    """|measured - paper| / |paper| (inf when the paper value is zero)."""
+    if paper == 0:
+        return float("inf")
+    return abs(measured - paper) / abs(paper)
+
+
+def within_factor(measured: float, paper: float, factor: float = 2.0) -> bool:
+    """True when the measured value is within ``factor`` of the paper's value."""
+    if measured <= 0 or paper <= 0:
+        return False
+    ratio = measured / paper
+    return 1.0 / factor <= ratio <= factor
+
+
+def comparison_rows(measured: Dict[str, float], model_name: str) -> Sequence[Dict]:
+    """Rows comparing a measured {metric: value} dict against the paper's model reference.
+
+    Only metrics that exist on :class:`PaperModel` are compared; unknown keys
+    are ignored so harnesses can pass their full result dictionaries.
+    """
+    reference = model_reference(model_name)
+    rows = []
+    for metric, value in measured.items():
+        if not hasattr(reference, metric):
+            continue
+        paper_value = getattr(reference, metric)
+        rows.append(
+            {
+                "model": model_name,
+                "metric": metric,
+                "paper": paper_value,
+                "measured": value,
+                "relative_error": relative_error(value, paper_value),
+            }
+        )
+    return rows

@@ -1,0 +1,127 @@
+"""Plain-text (ASCII) charts for the figure-style experiment outputs.
+
+The benchmark harnesses print tables; for the artifacts that are figures in
+the paper (Fig. 2, 4, 5, 6, 7) a small textual chart next to the table makes
+the shape — who wins, where the knee is — visible without a plotting stack.
+Only the standard library and NumPy are used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _format_number(value: float) -> str:
+    if value != value:  # NaN
+        return "nan"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    if abs(value) >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str = "",
+    width: int = 40,
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart: one row per (label, value)."""
+    labels = [str(label) for label in labels]
+    values = [float(value) for value in values]
+    if len(labels) != len(values):
+        raise ValueError(f"{len(labels)} labels but {len(values)} values")
+    if not labels:
+        return (title + "\n(no data)\n") if title else "(no data)\n"
+    scale = max_value if max_value is not None else max(max(values), 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        filled = 0 if scale <= 0 else int(round(width * min(value, scale) / scale))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} | {bar} {_format_number(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def series_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    title: str = "",
+    width: int = 56,
+    height: int = 16,
+) -> str:
+    """Scatter/line chart of one or more named (x, y) series on a character grid."""
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return (title + "\n(no data)\n") if title else "(no data)\n"
+    xs = np.array([p[0] for p in points], dtype=np.float64)
+    ys = np.array([p[1] for p in points], dtype=np.float64)
+    x_min, x_max = float(xs.min()), float(xs.max())
+    y_min, y_max = float(ys.min()), float(ys.max())
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@"
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in values:
+            column = int(round((x - x_min) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_min) / y_span * (height - 1)))
+            grid[row][column] = marker
+
+    lines = [title] if title else []
+    lines.append(f"y_max={_format_number(y_max)}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"x: {_format_number(x_min)} .. {_format_number(x_max)}   "
+        f"y_min={_format_number(y_min)}"
+    )
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} = {name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines) + "\n"
+
+
+def detection_chart(rows: Sequence[Dict], model: str, num_flips: int = 10) -> str:
+    """Fig. 4-style chart: detected flips vs group size, one series per interleave setting."""
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    for row in rows:
+        if row.get("model") != model:
+            continue
+        name = "interleave" if row["interleave"] else "contiguous"
+        series.setdefault(name, []).append((float(row["group_size"]), float(row["detected_mean"])))
+    for values in series.values():
+        values.sort()
+    return series_chart(series, title=f"{model}: detected flips out of {num_flips} vs G")
+
+
+def tradeoff_chart(rows: Sequence[Dict], model: str) -> str:
+    """Fig. 6-style chart: recovered accuracy vs signature storage."""
+    values = [
+        (float(row["storage_kb"]), float(row["recovered_accuracy"]))
+        for row in rows
+        if row.get("model") == model
+    ]
+    values.sort()
+    return series_chart({"radar": values}, title=f"{model}: recovered accuracy vs storage (KB)")
+
+
+def recovery_bars(rows: Sequence[Dict], model: str, num_flips: int) -> str:
+    """Fig. 5-style bars: accuracy for the unprotected model and each group size."""
+    selected = [row for row in rows if row.get("model") == model and row.get("num_flips") == num_flips]
+    labels = [
+        "unprotected" if row.get("group_size") in (None, "None") else f"G={row['group_size']}"
+        for row in selected
+    ]
+    values = [float(row["accuracy"]) for row in selected]
+    clean = selected[0].get("clean_accuracy") if selected else None
+    title = f"{model}, N_BF={num_flips}" + (
+        f" (clean accuracy {clean:.3f})" if isinstance(clean, float) else ""
+    )
+    return bar_chart(labels, values, title=title, max_value=1.0)

@@ -1,0 +1,65 @@
+"""Recovery-accuracy vs signature-storage trade-off: Fig. 6 of the paper.
+
+For each group size the harness measures the recovered accuracy under a
+10-flip PBFA (with interleaving, the recommended configuration) and the
+secure-storage footprint of the 2-bit-per-group golden signatures.  The
+paper's conclusion — G=8 is the sweet spot for ResNet-20 (8.2 KB, >80 %)
+and G=512 for ResNet-18 (5.6 KB, >60 %) — is reproduced by reading the
+knee of this curve.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import ModelProtector, RadarConfig
+from repro.experiments.common import ExperimentContext, generate_pbfa_profiles
+from repro.experiments.recovery import evaluate_recovery
+
+
+def fig6_storage_tradeoff(
+    context: ExperimentContext,
+    group_sizes: Sequence[int],
+    num_flips: int = 10,
+    rounds: Optional[int] = None,
+    seed: int = 0,
+    use_interleave: bool = True,
+) -> List[Dict]:
+    """Rows of Fig. 6: (storage KB, recovered accuracy) per group size."""
+    profiles = generate_pbfa_profiles(context, num_flips=num_flips, rounds=rounds, seed=seed)
+    rows: List[Dict] = []
+    for group_size in group_sizes:
+        config = RadarConfig(group_size=group_size, use_interleave=use_interleave)
+        protector = ModelProtector(config)
+        protector.protect(context.model)
+        storage_kb = protector.storage_overhead_kb()
+        result = evaluate_recovery(context, profiles, config)
+        rows.append(
+            {
+                "model": context.model_name,
+                "group_size": group_size,
+                "storage_kb": storage_kb,
+                "recovered_accuracy": result["recovered_accuracy"],
+                "attacked_accuracy": result["attacked_accuracy"],
+                "clean_accuracy": context.clean_accuracy,
+                "num_flips": num_flips,
+                "rounds": result["rounds"],
+            }
+        )
+    return rows
+
+
+def best_tradeoff_point(rows: Sequence[Dict], accuracy_floor: float = 0.6) -> Dict:
+    """The smallest-storage configuration whose recovered accuracy clears ``accuracy_floor``.
+
+    ``accuracy_floor`` is interpreted relative to the clean accuracy (e.g.
+    0.6 keeps configurations that retain at least 60 % of the clean
+    accuracy), mirroring how the paper picks G=8 / G=512.
+    """
+    viable = [
+        row
+        for row in rows
+        if row["recovered_accuracy"] >= accuracy_floor * row["clean_accuracy"]
+    ]
+    pool = viable if viable else list(rows)
+    return min(pool, key=lambda row: row["storage_kb"])

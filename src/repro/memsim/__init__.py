@@ -1,0 +1,41 @@
+"""Memory-system and timing simulation (the gem5 substitute).
+
+The paper evaluates RADAR's run-time cost with gem5 on an 8-core Arm
+Cortex-M4F system at 1 GHz with a 32 KB L1 / 64 KB L2 hierarchy, and
+mounts the attack through DRAM rowhammer.  This package models the same
+stack analytically:
+
+* :mod:`repro.memsim.dram` — a DRAM module holding the byte image of the
+  quantized weights with a bank/row geometry and bit-level fault
+  injection.
+* :mod:`repro.memsim.rowhammer` — a rowhammer actuator that converts a
+  logical vulnerable-bit profile into physical flips in the DRAM image.
+* :mod:`repro.memsim.cache` — a simple two-level cache/bandwidth model.
+* :mod:`repro.memsim.timing` — an operation-count timing model calibrated
+  against the paper's reported baseline latencies (Table IV).
+* :mod:`repro.memsim.system` — :class:`SystemSim`, which combines all of
+  the above to produce the Table IV / Table V numbers.
+"""
+
+from repro.memsim.dram import AddressMap, DramConfig, DramModule
+from repro.memsim.rowhammer import RowhammerAttacker, RowhammerReport
+from repro.memsim.cache import CacheConfig, CacheHierarchy
+from repro.memsim.timing import LayerOps, TimingConfig, TimingModel, count_model_ops
+from repro.memsim.system import OverheadReport, SystemConfig, SystemSim
+
+__all__ = [
+    "DramConfig",
+    "DramModule",
+    "AddressMap",
+    "RowhammerAttacker",
+    "RowhammerReport",
+    "CacheConfig",
+    "CacheHierarchy",
+    "TimingConfig",
+    "TimingModel",
+    "LayerOps",
+    "count_model_ops",
+    "SystemConfig",
+    "SystemSim",
+    "OverheadReport",
+]

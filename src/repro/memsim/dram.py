@@ -1,0 +1,163 @@
+"""DRAM module model holding the quantized weight image.
+
+The model parameters of a DNN are megabytes in size and therefore live in
+DRAM (paper Section III.A), which is what rowhammer can corrupt.  The
+:class:`DramModule` here stores the int8 weight tensors of a model as a
+single byte image with a bank/row/column geometry, provides an
+:class:`AddressMap` from layer names to address ranges, and supports
+bit-level fault injection at physical addresses — which is exactly the
+interface the rowhammer actuator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.nn.module import Module
+from repro.quant.bitops import int8_to_uint8, uint8_to_int8
+from repro.quant.layers import quantized_layers
+
+
+@dataclass(frozen=True)
+class DramConfig:
+    """Geometry of the DRAM device."""
+
+    row_size_bytes: int = 8192
+    num_banks: int = 8
+    capacity_bytes: int = 512 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.row_size_bytes <= 0 or self.num_banks <= 0 or self.capacity_bytes <= 0:
+            raise SimulationError("DRAM geometry values must be positive")
+        if self.capacity_bytes % (self.row_size_bytes * self.num_banks) != 0:
+            raise SimulationError(
+                "capacity must be a whole number of (row x bank) stripes"
+            )
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.capacity_bytes // (self.row_size_bytes * self.num_banks)
+
+
+@dataclass
+class AddressMap:
+    """Mapping from layer names to (offset, length) ranges in the weight image."""
+
+    ranges: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    def add(self, layer_name: str, offset: int, length: int) -> None:
+        self.ranges[layer_name] = (offset, length)
+
+    def locate(self, layer_name: str, flat_index: int) -> int:
+        """Physical byte address of a weight's storage location."""
+        if layer_name not in self.ranges:
+            raise SimulationError(f"Layer {layer_name!r} is not in the address map")
+        offset, length = self.ranges[layer_name]
+        if not 0 <= flat_index < length:
+            raise SimulationError(
+                f"Index {flat_index} out of range for layer {layer_name!r} of {length} weights"
+            )
+        return offset + flat_index
+
+    def total_bytes(self) -> int:
+        return sum(length for _, length in self.ranges.values())
+
+
+class DramModule:
+    """A byte-addressable DRAM image of a model's quantized weights."""
+
+    def __init__(self, config: Optional[DramConfig] = None) -> None:
+        self.config = config or DramConfig()
+        self._image: Optional[np.ndarray] = None
+        self.address_map = AddressMap()
+
+    # -- loading / reading back ------------------------------------------------
+    @property
+    def is_loaded(self) -> bool:
+        return self._image is not None
+
+    @property
+    def image(self) -> np.ndarray:
+        self._require_loaded()
+        return self._image
+
+    def load_model_weights(self, model: Module) -> AddressMap:
+        """Serialize every quantized layer's int8 weights into the DRAM image."""
+        layers = quantized_layers(model)
+        if not layers:
+            raise SimulationError("Model has no quantized layers to store")
+        chunks = []
+        offset = 0
+        self.address_map = AddressMap()
+        for name, layer in layers:
+            if not layer.is_quantized:
+                raise SimulationError(f"Layer {name!r} must be quantized before storing in DRAM")
+            payload = int8_to_uint8(layer.qweight.reshape(-1))
+            self.address_map.add(name, offset, payload.size)
+            chunks.append(payload)
+            offset += payload.size
+        if offset > self.config.capacity_bytes:
+            raise SimulationError(
+                f"Model weights ({offset} bytes) exceed DRAM capacity ({self.config.capacity_bytes})"
+            )
+        self._image = np.concatenate(chunks)
+        return self.address_map
+
+    def read_layer(self, layer_name: str) -> np.ndarray:
+        """Read a layer's weights back from DRAM as int8 (as the inference engine would)."""
+        self._require_loaded()
+        offset, length = self.address_map.ranges[layer_name]
+        return uint8_to_int8(self._image[offset:offset + length])
+
+    def write_back_to_model(self, model: Module) -> None:
+        """Copy the (possibly corrupted) DRAM contents into the model's weights.
+
+        This models the weight fetch at inference time: whatever is in DRAM
+        is what the compute engine sees.
+        """
+        self._require_loaded()
+        layer_map = dict(quantized_layers(model))
+        for name, (offset, length) in self.address_map.ranges.items():
+            if name not in layer_map:
+                raise SimulationError(f"Layer {name!r} missing from model")
+            layer = layer_map[name]
+            values = uint8_to_int8(self._image[offset:offset + length])
+            layer.set_qweight(values.reshape(layer.qweight.shape))
+
+    # -- physical geometry -------------------------------------------------------
+    def physical_location(self, address: int) -> Tuple[int, int, int]:
+        """Map a byte address to ``(bank, row, column)`` (row-interleaved across banks)."""
+        self._require_loaded()
+        row_size = self.config.row_size_bytes
+        stripe = row_size * self.config.num_banks
+        row = address // stripe
+        bank = (address % stripe) // row_size
+        column = address % row_size
+        return bank, row, column
+
+    def neighbours_of_row(self, bank: int, row: int) -> Tuple[int, ...]:
+        """Adjacent rows an aggressor would hammer to disturb ``row``."""
+        neighbours = []
+        if row > 0:
+            neighbours.append(row - 1)
+        if row + 1 < self.config.rows_per_bank:
+            neighbours.append(row + 1)
+        return tuple(neighbours)
+
+    # -- fault injection -----------------------------------------------------------
+    def flip_bit(self, address: int, bit_position: int) -> None:
+        """Flip one bit of one byte of the image (a rowhammer disturbance error)."""
+        self._require_loaded()
+        if not 0 <= address < self._image.size:
+            raise SimulationError(f"Address {address} outside the weight image")
+        if not 0 <= bit_position < 8:
+            raise SimulationError(f"Bit position must be in [0, 7], got {bit_position}")
+        self._image[address] ^= np.uint8(1 << bit_position)
+
+    def _require_loaded(self) -> None:
+        if self._image is None:
+            raise SimulationError("DRAM image is empty; call load_model_weights first")

@@ -1,0 +1,75 @@
+"""Rowhammer actuation of a vulnerable-bit profile.
+
+The software half of the threat model (PBFA) produces an
+:class:`~repro.attacks.profiles.AttackProfile`; the hardware half mounts
+those flips in DRAM by repeatedly activating the rows adjacent to each
+victim bit's row.  This module models that actuation: it translates the
+logical (layer, index, bit) triples into physical DRAM locations, counts
+the aggressor-row activations the attack would need, and injects the flips
+into the :class:`~repro.memsim.dram.DramModule` image.
+
+The detailed physics (activation thresholds, refresh windows) are beyond
+the scope of the reproduction; what matters for RADAR is that the stored
+bytes change while the golden signatures do not, which is exactly what the
+injected flips produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.attacks.profiles import AttackProfile, BitFlip
+from repro.errors import SimulationError
+from repro.memsim.dram import DramModule
+
+
+@dataclass
+class RowhammerReport:
+    """Bookkeeping of one mounted attack."""
+
+    flips_mounted: int = 0
+    rows_touched: int = 0
+    aggressor_activations: int = 0
+    victim_locations: List[Tuple[int, int, int]] = field(default_factory=list)
+
+
+class RowhammerAttacker:
+    """Mounts logical bit-flip profiles as physical DRAM disturbances."""
+
+    def __init__(self, dram: DramModule, activations_per_flip: int = 50_000) -> None:
+        if activations_per_flip <= 0:
+            raise SimulationError("activations_per_flip must be positive")
+        self.dram = dram
+        self.activations_per_flip = activations_per_flip
+
+    def mount(self, profile: AttackProfile) -> RowhammerReport:
+        """Inject every flip of ``profile`` into the DRAM image."""
+        report = RowhammerReport()
+        rows_seen = set()
+        for flip in profile:
+            self._mount_flip(flip, report, rows_seen)
+        report.rows_touched = len(rows_seen)
+        return report
+
+    def _mount_flip(self, flip: BitFlip, report: RowhammerReport, rows_seen: set) -> None:
+        address = self.dram.address_map.locate(flip.layer_name, flip.flat_index)
+        bank, row, column = self.dram.physical_location(address)
+        neighbours = self.dram.neighbours_of_row(bank, row)
+        if not neighbours:
+            raise SimulationError(
+                f"Victim row {row} in bank {bank} has no hammerable neighbours"
+            )
+        self.dram.flip_bit(address, flip.bit_position)
+        report.flips_mounted += 1
+        report.aggressor_activations += self.activations_per_flip * len(neighbours)
+        report.victim_locations.append((bank, row, column))
+        rows_seen.add((bank, row))
+
+    def hammer_cost_summary(self, report: RowhammerReport) -> Dict[str, int]:
+        """Rough effort metrics of the mounted attack (for logging/analysis)."""
+        return {
+            "flips_mounted": report.flips_mounted,
+            "victim_rows": report.rows_touched,
+            "aggressor_activations": report.aggressor_activations,
+        }

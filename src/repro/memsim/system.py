@@ -1,0 +1,150 @@
+"""System-level simulation facade (the gem5-experiment equivalent).
+
+:class:`SystemSim` bundles the timing model, the cache model and the DRAM
+model and answers the questions the paper's Tables IV and V ask:
+
+* what is the baseline inference latency of a model on the modelled
+  platform;
+* how much time does RADAR (or a CRC / Hamming baseline) add;
+* how much secure storage does each scheme require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.protectors import baseline_storage_kb
+from repro.core.config import RadarConfig
+from repro.errors import SimulationError
+from repro.memsim.cache import CacheConfig, CacheHierarchy
+from repro.memsim.dram import DramConfig, DramModule
+from repro.memsim.timing import LayerOps, TimingConfig, TimingModel, count_model_ops, total_weights
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Configuration of the simulated platform."""
+
+    timing: TimingConfig = field(default_factory=TimingConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    dram: DramConfig = field(default_factory=DramConfig)
+
+
+@dataclass
+class OverheadReport:
+    """Latency/storage overhead of one protection scheme on one model."""
+
+    scheme: str
+    baseline_s: float
+    overhead_s: float
+    storage_kb: float
+
+    @property
+    def total_s(self) -> float:
+        return self.baseline_s + self.overhead_s
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_s / self.baseline_s if self.baseline_s else float("nan")
+
+    def as_row(self) -> Dict[str, float]:
+        return {
+            "scheme": self.scheme,
+            "baseline_s": self.baseline_s,
+            "total_s": self.total_s,
+            "overhead_s": self.overhead_s,
+            "overhead_percent": self.overhead_percent,
+            "storage_kb": self.storage_kb,
+        }
+
+
+class SystemSim:
+    """Analytic platform simulation for one model's operation profile."""
+
+    def __init__(
+        self,
+        ops: Sequence[LayerOps],
+        config: Optional[SystemConfig] = None,
+        model_label: str = "",
+    ) -> None:
+        if not ops:
+            raise SimulationError("SystemSim needs a non-empty operation profile")
+        self.ops = list(ops)
+        self.config = config or SystemConfig()
+        self.model_label = model_label
+        self.timing = TimingModel(self.config.timing)
+        self.cache = CacheHierarchy(self.config.cache)
+
+    # -- constructors --------------------------------------------------------------
+    @staticmethod
+    def from_model(
+        model: Module,
+        example_input: np.ndarray,
+        config: Optional[SystemConfig] = None,
+        model_label: str = "",
+    ) -> "SystemSim":
+        """Trace ``model`` on ``example_input`` and build the simulator from its op counts."""
+        return SystemSim(count_model_ops(model, example_input), config, model_label)
+
+    # -- queries ----------------------------------------------------------------------
+    def num_weights(self) -> int:
+        return total_weights(self.ops)
+
+    def baseline_inference_s(self, batch_size: int = 1) -> float:
+        """Unprotected inference latency (compute and weight streaming overlap)."""
+        compute = self.timing.baseline_inference_s(self.ops, batch_size)
+        streaming = self.cache.stream_time_s(
+            self.cache.weight_traffic_bytes(self.num_weights())
+        )
+        return max(compute, streaming)
+
+    def radar_report(
+        self, radar_config: RadarConfig, batch_size: int = 1, storage_kb: Optional[float] = None
+    ) -> OverheadReport:
+        """Latency/storage overhead of RADAR with the given configuration."""
+        baseline = self.baseline_inference_s(batch_size)
+        overhead = self.timing.radar_overhead_s(self.ops, radar_config)
+        if storage_kb is None:
+            storage_kb = baseline_storage_kb(
+                self.num_weights(), radar_config.group_size, radar_config.signature_bits
+            )
+        label = "radar" + ("+interleave" if radar_config.use_interleave else "")
+        return OverheadReport(
+            scheme=label, baseline_s=baseline, overhead_s=overhead, storage_kb=storage_kb
+        )
+
+    def crc_report(
+        self, group_size: int, crc_bits: int, batch_size: int = 1
+    ) -> OverheadReport:
+        """Latency/storage overhead of a CRC-``crc_bits`` over groups of ``group_size`` weights."""
+        baseline = self.baseline_inference_s(batch_size)
+        overhead = self.timing.crc_overhead_s(self.ops, group_size)
+        storage = baseline_storage_kb(self.num_weights(), group_size, crc_bits)
+        return OverheadReport(
+            scheme=f"crc{crc_bits}", baseline_s=baseline, overhead_s=overhead, storage_kb=storage
+        )
+
+    def hamming_report(
+        self, group_size: int, parity_bits: int, batch_size: int = 1
+    ) -> OverheadReport:
+        """Latency/storage overhead of SEC-DED Hamming over groups of ``group_size`` weights."""
+        baseline = self.baseline_inference_s(batch_size)
+        overhead = self.timing.hamming_overhead_s(self.ops, group_size)
+        storage = baseline_storage_kb(self.num_weights(), group_size, parity_bits)
+        return OverheadReport(
+            scheme=f"hamming{parity_bits}",
+            baseline_s=baseline,
+            overhead_s=overhead,
+            storage_kb=storage,
+        )
+
+    # -- DRAM view ----------------------------------------------------------------------
+    def build_dram(self, model: Module) -> DramModule:
+        """Instantiate the DRAM module holding this model's weights."""
+        dram = DramModule(self.config.dram)
+        dram.load_model_weights(model)
+        return dram

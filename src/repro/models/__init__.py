@@ -1,0 +1,41 @@
+"""Model architectures used in the paper's evaluation.
+
+* ``resnet20`` — CIFAR-style ResNet (He et al., 2016) with 3 stages of
+  3 basic blocks, exactly the 272k-parameter network attacked in the
+  paper's CIFAR-10 experiments.
+* ``resnet18`` — ImageNet-style ResNet-18 with 4 stages of 2 basic
+  blocks (11.7M parameters with 1000 classes), used for the paper's
+  ImageNet experiments.
+* ``lenet5`` / ``mlp`` — small auxiliary models used by the unit tests and
+  quick examples.
+
+All conv / linear layers are the quantized variants from
+:mod:`repro.quant.layers`; a model becomes the paper's 8-bit attack target
+after calling :func:`repro.quant.quantize_model`.
+"""
+
+from repro.models.blocks import BasicBlock, conv3x3
+from repro.models.resnet_cifar import ResNetCIFAR, resnet20, resnet32
+from repro.models.resnet_imagenet import ResNetImageNet, resnet18
+from repro.models.small import LeNet5, MLP, lenet5, mlp
+from repro.models.registry import available_models, build_model, register_model
+from repro.models.zoo import ModelZoo, get_pretrained
+
+__all__ = [
+    "BasicBlock",
+    "conv3x3",
+    "ResNetCIFAR",
+    "resnet20",
+    "resnet32",
+    "ResNetImageNet",
+    "resnet18",
+    "LeNet5",
+    "MLP",
+    "lenet5",
+    "mlp",
+    "available_models",
+    "build_model",
+    "register_model",
+    "ModelZoo",
+    "get_pretrained",
+]

@@ -1,0 +1,63 @@
+"""A tiny model registry keyed by name (``"resnet20"``, ``"resnet18"``, ...)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.nn.module import Module
+
+_REGISTRY: Dict[str, Callable[..., Module]] = {}
+
+
+def register_model(name: str, factory: Callable[..., Module] = None):
+    """Register a model factory under ``name``.
+
+    Can be used directly (``register_model("foo", factory)``) or as a
+    decorator (``@register_model("foo")``).
+    """
+    def decorator(func: Callable[..., Module]) -> Callable[..., Module]:
+        key = name.lower()
+        if key in _REGISTRY:
+            raise ConfigurationError(f"Model {name!r} is already registered")
+        _REGISTRY[key] = func
+        return func
+
+    if factory is not None:
+        return decorator(factory)
+    return decorator
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a registered model by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"Unknown model {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_models() -> List[str]:
+    """Names of all registered models."""
+    return sorted(_REGISTRY)
+
+
+def _register_builtin_models() -> None:
+    # Imported lazily to avoid circular imports at package import time.
+    from repro.models.resnet_cifar import resnet20, resnet32
+    from repro.models.resnet_imagenet import resnet18
+    from repro.models.small import lenet5, mlp
+
+    for model_name, factory in [
+        ("resnet20", resnet20),
+        ("resnet32", resnet32),
+        ("resnet18", resnet18),
+        ("lenet5", lenet5),
+        ("mlp", mlp),
+    ]:
+        if model_name not in _REGISTRY:
+            _REGISTRY[model_name] = factory
+
+
+_register_builtin_models()

@@ -1,0 +1,85 @@
+"""CIFAR-style ResNet (ResNet-20 / ResNet-32) as used in the paper.
+
+Architecture follows He et al. (2016) §4.2: a 3x3 stem with 16 channels,
+three stages of ``n`` basic blocks with 16/32/64 channels (stride 2 at each
+stage transition), global average pooling, and a fully connected
+classifier.  ResNet-20 corresponds to ``n = 3``; its quantizable weight
+count (~268k at 10 classes) matches the signature-storage numbers reported
+in the paper (8.2 KB at G = 8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.models.blocks import BasicBlock, conv3x3
+from repro.nn.layers import BatchNorm2d, GlobalAvgPool2d, ReLU, Sequential
+from repro.nn.module import Module
+from repro.quant.layers import QuantLinear
+from repro.utils.rng import new_rng
+
+
+class ResNetCIFAR(Module):
+    """ResNet for 32x32 inputs with ``6n + 2`` layers."""
+
+    def __init__(
+        self,
+        num_blocks_per_stage: int,
+        num_classes: int = 10,
+        in_channels: int = 3,
+        base_width: int = 16,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(("resnet-cifar", num_blocks_per_stage, num_classes, seed))
+        self.num_classes = num_classes
+
+        self.conv1 = conv3x3(in_channels, base_width, stride=1, rng=rng)
+        self.bn1 = BatchNorm2d(base_width)
+        self.relu = ReLU()
+
+        widths = [base_width, base_width * 2, base_width * 4]
+        strides = [1, 2, 2]
+        stages: List[Sequential] = []
+        current = base_width
+        for width, stride in zip(widths, strides):
+            blocks = []
+            for block_index in range(num_blocks_per_stage):
+                block_stride = stride if block_index == 0 else 1
+                blocks.append(BasicBlock(current, width, block_stride, rng))
+                current = width
+            stages.append(Sequential(*blocks))
+        self.stage1, self.stage2, self.stage3 = stages
+
+        self.pool = GlobalAvgPool2d()
+        self.fc = QuantLinear(widths[-1], num_classes, bias=True, rng=rng)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = self.relu(self.bn1(self.conv1(inputs)))
+        out = self.stage1(out)
+        out = self.stage2(out)
+        out = self.stage3(out)
+        out = self.pool(out)
+        return self.fc(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.fc.backward(grad_output)
+        grad = self.pool.backward(grad)
+        grad = self.stage3.backward(grad)
+        grad = self.stage2.backward(grad)
+        grad = self.stage1.backward(grad)
+        grad = self.relu.backward(grad)
+        grad = self.bn1.backward(grad)
+        return self.conv1.backward(grad)
+
+
+def resnet20(num_classes: int = 10, seed: Optional[int] = None, **kwargs) -> ResNetCIFAR:
+    """ResNet-20 for CIFAR-scale inputs (the paper's CIFAR-10 target model)."""
+    return ResNetCIFAR(3, num_classes=num_classes, seed=seed, **kwargs)
+
+
+def resnet32(num_classes: int = 10, seed: Optional[int] = None, **kwargs) -> ResNetCIFAR:
+    """ResNet-32 for CIFAR-scale inputs."""
+    return ResNetCIFAR(5, num_classes=num_classes, seed=seed, **kwargs)

@@ -1,0 +1,97 @@
+"""Small auxiliary models (LeNet-5 variant and an MLP).
+
+These are not part of the paper's evaluation but are heavily used by the
+test suite and the quick examples: the full RADAR pipeline (quantize →
+attack → detect → recover) runs on them in well under a second.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Flatten, GlobalAvgPool2d, MaxPool2d, ReLU, Sequential
+from repro.nn.module import Module
+from repro.quant.layers import QuantConv2d, QuantLinear
+from repro.utils.rng import new_rng
+
+
+class LeNet5(Module):
+    """A small LeNet-style CNN for 32x32 inputs."""
+
+    def __init__(
+        self, num_classes: int = 10, in_channels: int = 3, seed: Optional[int] = None
+    ) -> None:
+        super().__init__()
+        rng = new_rng(("lenet5", num_classes, seed))
+        self.features = Sequential(
+            QuantConv2d(in_channels, 6, kernel_size=5, stride=1, padding=2, bias=True, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+            QuantConv2d(6, 16, kernel_size=5, stride=1, padding=0, bias=True, rng=rng),
+            ReLU(),
+            MaxPool2d(2),
+        )
+        self.flatten = Flatten()
+        self.classifier = Sequential(
+            QuantLinear(16 * 6 * 6, 120, rng=rng),
+            ReLU(),
+            QuantLinear(120, 84, rng=rng),
+            ReLU(),
+            QuantLinear(84, num_classes, rng=rng),
+        )
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        out = self.features(inputs)
+        out = self.flatten(out)
+        return self.classifier(out)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = self.classifier.backward(grad_output)
+        grad = self.flatten.backward(grad)
+        return self.features.backward(grad)
+
+
+class MLP(Module):
+    """Fully connected classifier over flattened inputs."""
+
+    def __init__(
+        self,
+        input_dim: int,
+        num_classes: int = 10,
+        hidden_dims: Sequence[int] = (128, 64),
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        rng = new_rng(("mlp", input_dim, tuple(hidden_dims), num_classes, seed))
+        self.input_dim = input_dim
+        layers = []
+        current = input_dim
+        for hidden in hidden_dims:
+            layers.append(QuantLinear(current, hidden, rng=rng))
+            layers.append(ReLU())
+            current = hidden
+        layers.append(QuantLinear(current, num_classes, rng=rng))
+        self.body = Sequential(*layers)
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim > 2:
+            inputs = inputs.reshape(inputs.shape[0], -1)
+        self._input_was_flattened = True
+        return self.body(inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad_output)
+
+
+def lenet5(num_classes: int = 10, seed: Optional[int] = None, **kwargs) -> LeNet5:
+    """Factory for :class:`LeNet5`."""
+    return LeNet5(num_classes=num_classes, seed=seed, **kwargs)
+
+
+def mlp(
+    input_dim: int = 3 * 8 * 8, num_classes: int = 10, seed: Optional[int] = None, **kwargs
+) -> MLP:
+    """Factory for :class:`MLP`."""
+    return MLP(input_dim=input_dim, num_classes=num_classes, seed=seed, **kwargs)

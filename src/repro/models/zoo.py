@@ -1,0 +1,189 @@
+"""Model zoo: named experiment setups with train-once / cache-forever weights.
+
+The paper's experiments start from a trained 8-bit quantized ResNet-20
+(CIFAR-10) and ResNet-18 (ImageNet).  Training in the NumPy substrate is
+slow enough that we do it once per setup and cache the resulting weights on
+disk (location controlled by the ``REPRO_CACHE_DIR`` environment variable,
+default ``~/.cache/repro_radar``).  Every consumer — tests, examples,
+benchmark harnesses — goes through :func:`get_pretrained` so they all see
+the same trained model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.data.synthetic import Dataset, make_cifar10_like, make_imagenet_like, make_tiny_dataset
+from repro.errors import ConfigurationError
+from repro.models.registry import build_model
+from repro.models.training import TrainConfig, evaluate_accuracy, fit
+from repro.nn.module import Module
+from repro.quant.layers import quantize_model
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_state_dict, save_state_dict
+
+logger = get_logger("models.zoo")
+
+
+@dataclass(frozen=True)
+class ZooEntry:
+    """A named experiment setup: model + dataset + training recipe."""
+
+    name: str
+    model_name: str
+    model_kwargs: tuple
+    dataset_builder: Callable[[], Tuple[Dataset, Dataset]]
+    train_config: TrainConfig
+    description: str = ""
+
+
+def default_cache_dir() -> Path:
+    """Directory used to cache trained weights and experiment artifacts."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro_radar"
+
+
+def _cifar_setup() -> Tuple[Dataset, Dataset]:
+    return make_cifar10_like(train_size=2000, test_size=1000, seed=7)
+
+
+def _imagenet_setup() -> Tuple[Dataset, Dataset]:
+    return make_imagenet_like(num_classes=20, image_size=32, train_size=2500, test_size=1000, seed=7)
+
+
+def _tiny_setup() -> Tuple[Dataset, Dataset]:
+    return make_tiny_dataset(num_classes=4, image_size=8, train_size=384, test_size=192, seed=7)
+
+
+_ZOO: Dict[str, ZooEntry] = {
+    # The paper's CIFAR-10 target: 8-bit ResNet-20.
+    "resnet20-cifar": ZooEntry(
+        name="resnet20-cifar",
+        model_name="resnet20",
+        model_kwargs=(("num_classes", 10),),
+        dataset_builder=_cifar_setup,
+        train_config=TrainConfig(epochs=6, batch_size=64, lr=2e-3, optimizer="adam", seed=1),
+        description="ResNet-20 on the CIFAR-10-like synthetic task (paper's CIFAR target).",
+    ),
+    # The paper's ImageNet target: 8-bit ResNet-18 (scaled-down data, true topology).
+    "resnet18-imagenet": ZooEntry(
+        name="resnet18-imagenet",
+        model_name="resnet18",
+        model_kwargs=(("num_classes", 20), ("small_input", False)),
+        dataset_builder=_imagenet_setup,
+        train_config=TrainConfig(epochs=5, batch_size=64, lr=2e-3, optimizer="adam", seed=2),
+        description="ResNet-18 on the ImageNet-like synthetic task (paper's ImageNet target).",
+    ),
+    # Small setups for tests and quick examples.
+    "lenet-tiny": ZooEntry(
+        name="lenet-tiny",
+        model_name="mlp",
+        model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (64, 32))),
+        dataset_builder=_tiny_setup,
+        train_config=TrainConfig(epochs=8, batch_size=64, lr=3e-3, optimizer="adam", seed=3),
+        description="Small MLP on a tiny synthetic task; used by tests and the quickstart.",
+    ),
+}
+
+
+def available_setups() -> Tuple[str, ...]:
+    """Names of all zoo setups."""
+    return tuple(sorted(_ZOO))
+
+
+def register_setup(entry: ZooEntry, overwrite: bool = False) -> None:
+    """Register a custom zoo setup (mainly useful for tests)."""
+    if entry.name in _ZOO and not overwrite:
+        raise ConfigurationError(f"Zoo setup {entry.name!r} already exists")
+    _ZOO[entry.name] = entry
+
+
+@dataclass
+class PretrainedBundle:
+    """What :func:`get_pretrained` returns."""
+
+    name: str
+    model: Module
+    train_set: Dataset
+    test_set: Dataset
+    clean_accuracy: float
+    metadata: Dict
+
+
+class ModelZoo:
+    """Train-or-load manager for the named setups."""
+
+    def __init__(self, cache_dir: Optional[Path] = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else default_cache_dir()
+
+    def _paths(self, name: str) -> Tuple[Path, Path]:
+        base = self.cache_dir / "zoo"
+        return base / f"{name}.npz", base / f"{name}.json"
+
+    def is_cached(self, name: str) -> bool:
+        weights_path, meta_path = self._paths(name)
+        return weights_path.exists() and meta_path.exists()
+
+    def clear(self, name: str) -> None:
+        """Remove cached weights for ``name`` (next load retrains)."""
+        for path in self._paths(name):
+            if path.exists():
+                path.unlink()
+
+    def load(self, name: str, force_retrain: bool = False) -> PretrainedBundle:
+        """Load (training and caching if needed) the setup ``name``.
+
+        The returned model is already quantized to 8 bits.
+        """
+        if name not in _ZOO:
+            raise ConfigurationError(
+                f"Unknown zoo setup {name!r}; available: {', '.join(available_setups())}"
+            )
+        entry = _ZOO[name]
+        train_set, test_set = entry.dataset_builder()
+        model = build_model(entry.model_name, **dict(entry.model_kwargs))
+
+        weights_path, meta_path = self._paths(name)
+        if self.is_cached(name) and not force_retrain:
+            logger.info("loading cached weights for %s from %s", name, weights_path)
+            model.load_state_dict(load_state_dict(weights_path))
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                metadata = json.load(handle)
+        else:
+            logger.info("training %s (%s) from scratch", name, entry.model_name)
+            result = fit(model, train_set, test_set, entry.train_config)
+            save_state_dict(model.state_dict(), weights_path)
+            metadata = {
+                "name": name,
+                "model": entry.model_name,
+                "model_kwargs": dict(entry.model_kwargs),
+                "train_config": asdict(entry.train_config),
+                "float_test_accuracy": result.final_test_accuracy,
+                "train_losses": result.train_losses,
+            }
+            meta_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(meta_path, "w", encoding="utf-8") as handle:
+                json.dump(metadata, handle, indent=2, default=str)
+
+        quantize_model(model)
+        model.eval()
+        clean_accuracy = evaluate_accuracy(model, test_set)
+        return PretrainedBundle(
+            name=name,
+            model=model,
+            train_set=train_set,
+            test_set=test_set,
+            clean_accuracy=clean_accuracy,
+            metadata=metadata,
+        )
+
+
+def get_pretrained(name: str, cache_dir: Optional[Path] = None, force_retrain: bool = False) -> PretrainedBundle:
+    """Convenience wrapper around :class:`ModelZoo`."""
+    return ModelZoo(cache_dir=cache_dir).load(name, force_retrain=force_retrain)

@@ -1,0 +1,59 @@
+"""Weight initialization schemes (He / Kaiming, Xavier, constants)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.tensor.dtypes import FLOAT_DTYPE
+
+
+def _fan_in_out(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    """Compute fan-in and fan-out for linear (2-D) and conv (4-D) weights."""
+    if len(shape) == 2:
+        fan_out, fan_in = shape
+        return fan_in, fan_out
+    if len(shape) == 4:
+        out_channels, in_channels, kernel_h, kernel_w = shape
+        receptive = kernel_h * kernel_w
+        return in_channels * receptive, out_channels * receptive
+    raise ValueError(f"Unsupported weight shape for fan computation: {shape}")
+
+
+def kaiming_normal(
+    shape: Tuple[int, ...], rng: np.random.Generator, nonlinearity: str = "relu"
+) -> np.ndarray:
+    """He-normal initialization (mode ``fan_in``)."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    std = gain / math.sqrt(fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: np.random.Generator, nonlinearity: str = "relu"
+) -> np.ndarray:
+    """He-uniform initialization (mode ``fan_in``)."""
+    fan_in, _ = _fan_in_out(shape)
+    gain = math.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * math.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot-uniform initialization."""
+    fan_in, fan_out = _fan_in_out(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero tensor."""
+    return np.zeros(shape, dtype=FLOAT_DTYPE)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one tensor."""
+    return np.ones(shape, dtype=FLOAT_DTYPE)

@@ -1,0 +1,31 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+
+
+class CrossEntropyLoss:
+    """Mean cross-entropy over integer class targets.
+
+    Usage mirrors the layer API: call the object to obtain the scalar loss,
+    then call :meth:`backward` to obtain the gradient with respect to the
+    logits.
+    """
+
+    def __init__(self) -> None:
+        self._cache = None
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        loss, self._cache = F.cross_entropy_forward(logits, np.asarray(targets))
+        return loss
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self(logits, targets)
+
+    def backward(self) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward on CrossEntropyLoss")
+        return F.cross_entropy_backward(self._cache)

@@ -1,0 +1,103 @@
+"""Optimizers (SGD with momentum / weight decay, Adam)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer over a list of :class:`Parameter` objects."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"Learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for index, param in enumerate(self.parameters):
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity = self._velocity.get(index)
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + grad
+                self._velocity[index] = velocity
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for index, param in enumerate(self.parameters):
+            if not param.requires_grad or param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            first = self._first_moment.get(index)
+            second = self._second_moment.get(index)
+            if first is None:
+                first = np.zeros_like(param.data)
+                second = np.zeros_like(param.data)
+            first = self.beta1 * first + (1 - self.beta1) * grad
+            second = self.beta2 * second + (1 - self.beta2) * (grad * grad)
+            self._first_moment[index] = first
+            self._second_moment[index] = second
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            param.data -= self.lr * corrected_first / (np.sqrt(corrected_second) + self.eps)

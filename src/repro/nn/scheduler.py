@@ -1,0 +1,65 @@
+"""Learning-rate schedulers."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.nn.optim import Optimizer
+
+
+class _Scheduler:
+    """Base class: stores the optimizer and its initial learning rate."""
+
+    def __init__(self, optimizer: Optimizer) -> None:
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    def get_lr(self, epoch: int) -> float:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * (self.gamma ** (epoch // self.step_size))
+
+
+class MultiStepLR(_Scheduler):
+    """Decay the learning rate by ``gamma`` at each milestone epoch."""
+
+    def __init__(
+        self, optimizer: Optimizer, milestones: Sequence[int], gamma: float = 0.1
+    ) -> None:
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for milestone in self.milestones if epoch >= milestone)
+        return self.base_lr * (self.gamma ** passed)
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine annealing from the base learning rate down to ``eta_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int, eta_min: float = 0.0) -> None:
+        super().__init__(optimizer)
+        self.total_epochs = max(total_epochs, 1)
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.total_epochs) / self.total_epochs
+        return self.eta_min + 0.5 * (self.base_lr - self.eta_min) * (1 + math.cos(math.pi * progress))

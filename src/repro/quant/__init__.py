@@ -1,0 +1,64 @@
+"""8-bit weight quantization and bit-level manipulation utilities.
+
+The threat model of the paper assumes DNNs with 8-bit quantized weights
+stored in DRAM.  This package provides:
+
+* :mod:`repro.quant.quantizer` — symmetric per-layer int8 quantization.
+* :mod:`repro.quant.bitops` — two's-complement bit access/flip utilities
+  used both by the attacks (to flip bits) and by RADAR (to reason about
+  MSBs and checksums).
+* :mod:`repro.quant.layers` — quantized ``Conv2d`` / ``Linear`` layers
+  whose integer weight tensors are the attack surface.
+"""
+
+from repro.quant.quantizer import (
+    QuantParams,
+    dequantize,
+    quantize_symmetric,
+)
+from repro.quant.bitops import (
+    INT8_BITS,
+    MSB_POSITION,
+    bit_flip_delta,
+    bits_to_int8,
+    count_differing_bits,
+    flip_bit_scalar,
+    flip_bits,
+    get_bit,
+    int8_to_bits,
+    int8_to_uint8,
+    set_bit,
+    uint8_to_int8,
+)
+from repro.quant.layers import (
+    QuantConv2d,
+    QuantLinear,
+    model_qweight_state,
+    quantize_model,
+    quantized_layers,
+    restore_qweight_state,
+)
+
+__all__ = [
+    "QuantParams",
+    "quantize_symmetric",
+    "dequantize",
+    "INT8_BITS",
+    "MSB_POSITION",
+    "int8_to_bits",
+    "bits_to_int8",
+    "int8_to_uint8",
+    "uint8_to_int8",
+    "get_bit",
+    "set_bit",
+    "flip_bits",
+    "flip_bit_scalar",
+    "count_differing_bits",
+    "bit_flip_delta",
+    "QuantConv2d",
+    "QuantLinear",
+    "quantize_model",
+    "quantized_layers",
+    "model_qweight_state",
+    "restore_qweight_state",
+]

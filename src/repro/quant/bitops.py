@@ -1,0 +1,163 @@
+"""Two's-complement bit manipulation for int8 weight tensors.
+
+Bit numbering follows the usual convention: bit 0 is the least significant
+bit and bit 7 (:data:`MSB_POSITION`) is the most significant bit, which in
+two's complement is the sign bit with weight ``-128``.  The Progressive
+Bit-Flip Attack overwhelmingly targets this bit (Table I of the paper), so
+the RADAR checksum is designed around protecting it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple, Union
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+INT8_BITS = 8
+MSB_POSITION = 7
+
+ArrayLike = Union[np.ndarray, Iterable[int], int]
+
+
+def _as_int8(values: ArrayLike) -> np.ndarray:
+    array = np.asarray(values)
+    if array.dtype != np.int8:
+        if not np.issubdtype(array.dtype, np.integer):
+            raise QuantizationError(
+                f"Expected an integer array for bit operations, got dtype {array.dtype}"
+            )
+        if array.size and (array.max(initial=-128) > 127 or array.min(initial=127) < -128):
+            raise QuantizationError("Values outside the int8 range [-128, 127]")
+        array = array.astype(np.int8)
+    return array
+
+
+def int8_to_uint8(values: ArrayLike) -> np.ndarray:
+    """Reinterpret int8 values as their two's-complement uint8 bit pattern."""
+    return _as_int8(values).view(np.uint8).copy()
+
+
+def uint8_to_int8(values: ArrayLike) -> np.ndarray:
+    """Reinterpret uint8 bit patterns as signed int8 values."""
+    array = np.asarray(values)
+    if array.dtype != np.uint8:
+        array = array.astype(np.uint8)
+    return array.view(np.int8).copy()
+
+
+def int8_to_bits(values: ArrayLike) -> np.ndarray:
+    """Expand int8 values into a bit matrix of shape ``values.shape + (8,)``.
+
+    ``result[..., k]`` is bit ``k`` (LSB first), so ``result[..., 7]`` is the
+    sign bit.
+    """
+    unsigned = int8_to_uint8(values)
+    shifts = np.arange(INT8_BITS, dtype=np.uint8)
+    return ((unsigned[..., None] >> shifts) & 1).astype(np.uint8)
+
+
+def bits_to_int8(bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`int8_to_bits`."""
+    bits = np.asarray(bits)
+    if bits.shape[-1] != INT8_BITS:
+        raise QuantizationError(
+            f"Last dimension must be {INT8_BITS} bits, got shape {bits.shape}"
+        )
+    if bits.size and not np.isin(bits, (0, 1)).all():
+        raise QuantizationError("Bit matrix must contain only 0s and 1s")
+    weights = (1 << np.arange(INT8_BITS, dtype=np.uint16))
+    unsigned = (bits.astype(np.uint16) * weights).sum(axis=-1).astype(np.uint8)
+    return uint8_to_int8(unsigned)
+
+
+def get_bit(values: ArrayLike, bit_position: int) -> np.ndarray:
+    """Return bit ``bit_position`` of each value (0 or 1)."""
+    _check_bit_position(bit_position)
+    return ((int8_to_uint8(values) >> bit_position) & 1).astype(np.uint8)
+
+
+def set_bit(values: ArrayLike, bit_position: int, bit_value: int) -> np.ndarray:
+    """Return a copy of ``values`` with bit ``bit_position`` forced to ``bit_value``."""
+    _check_bit_position(bit_position)
+    if bit_value not in (0, 1):
+        raise QuantizationError(f"bit_value must be 0 or 1, got {bit_value}")
+    unsigned = int8_to_uint8(values)
+    mask = np.uint8(1 << bit_position)
+    if bit_value:
+        unsigned |= mask
+    else:
+        unsigned &= np.uint8(~mask & 0xFF)
+    return uint8_to_int8(unsigned)
+
+
+def flip_bit_scalar(value: int, bit_position: int) -> int:
+    """Flip one bit of a single int8 value and return the new int8 value."""
+    _check_bit_position(bit_position)
+    unsigned = np.uint8(np.int8(value).view(np.uint8)) ^ np.uint8(1 << bit_position)
+    return int(unsigned.view(np.int8))
+
+
+def flip_bits(
+    values: ArrayLike,
+    flat_indices: ArrayLike,
+    bit_positions: ArrayLike,
+) -> np.ndarray:
+    """Flip bits at ``(flat_index, bit_position)`` pairs in a copy of ``values``.
+
+    ``values`` may have any shape; ``flat_indices`` index into the flattened
+    array.  Duplicate ``(index, bit)`` pairs cancel (an XOR applied twice),
+    exactly as physical double flips would.
+    """
+    array = _as_int8(values).copy()
+    flat = array.reshape(-1)
+    unsigned = flat.view(np.uint8)
+    indices = np.atleast_1d(np.asarray(flat_indices, dtype=np.int64))
+    positions = np.atleast_1d(np.asarray(bit_positions, dtype=np.int64))
+    if indices.shape != positions.shape:
+        raise QuantizationError(
+            f"flat_indices shape {indices.shape} != bit_positions shape {positions.shape}"
+        )
+    if indices.size and (indices.min() < 0 or indices.max() >= flat.size):
+        raise QuantizationError("flat index out of range")
+    if positions.size and (positions.min() < 0 or positions.max() >= INT8_BITS):
+        raise QuantizationError("bit position out of range")
+    for index, position in zip(indices, positions):
+        unsigned[index] ^= np.uint8(1 << position)
+    return array
+
+
+def count_differing_bits(original: ArrayLike, corrupted: ArrayLike) -> int:
+    """Number of bit positions at which two int8 tensors differ (Hamming distance)."""
+    a = int8_to_uint8(original)
+    b = int8_to_uint8(corrupted)
+    if a.shape != b.shape:
+        raise QuantizationError(f"Shape mismatch: {a.shape} vs {b.shape}")
+    xor = np.bitwise_xor(a, b)
+    return int(np.unpackbits(xor).sum())
+
+
+def _check_bit_position(bit_position: int) -> None:
+    if not 0 <= bit_position < INT8_BITS:
+        raise QuantizationError(
+            f"bit position must be in [0, {INT8_BITS - 1}], got {bit_position}"
+        )
+
+
+def bit_flip_delta(values: ArrayLike, bit_position: int) -> np.ndarray:
+    """Signed change in integer value caused by flipping ``bit_position``.
+
+    For bit ``k < 7`` the change is ``+2^k`` if the bit is currently 0 and
+    ``-2^k`` if it is 1.  For the sign bit the weight is ``-128``, so the
+    change is ``-128`` when flipping 0→1 and ``+128`` when flipping 1→0.
+    This is the quantity the PBFA gradient ranking multiplies against
+    ``dL/dw`` to estimate the loss increase of a candidate flip.
+    """
+    _check_bit_position(bit_position)
+    bit = get_bit(values, bit_position).astype(np.int32)
+    magnitude = 1 << bit_position
+    direction = 1 - 2 * bit  # +1 when bit is 0, -1 when bit is 1
+    if bit_position == MSB_POSITION:
+        direction = -direction
+    return direction * magnitude

@@ -1,0 +1,53 @@
+"""Low-level NumPy compute kernels used by the neural-network framework.
+
+The kernels are written as pure functions with explicit forward and
+backward variants.  :mod:`repro.nn` wraps them into stateful ``Module``
+objects; they can also be used directly for testing and for the timing
+model's operation counting.
+"""
+
+from repro.tensor.im2col import col2im, im2col, conv_output_size
+from repro.tensor.functional import (
+    avg_pool2d_backward,
+    avg_pool2d_forward,
+    batchnorm_backward,
+    batchnorm_forward,
+    conv2d_backward,
+    conv2d_forward,
+    cross_entropy_backward,
+    cross_entropy_forward,
+    global_avg_pool_backward,
+    global_avg_pool_forward,
+    linear_backward,
+    linear_forward,
+    log_softmax,
+    max_pool2d_backward,
+    max_pool2d_forward,
+    relu_backward,
+    relu_forward,
+    softmax,
+)
+
+__all__ = [
+    "im2col",
+    "col2im",
+    "conv_output_size",
+    "conv2d_forward",
+    "conv2d_backward",
+    "linear_forward",
+    "linear_backward",
+    "relu_forward",
+    "relu_backward",
+    "batchnorm_forward",
+    "batchnorm_backward",
+    "max_pool2d_forward",
+    "max_pool2d_backward",
+    "avg_pool2d_forward",
+    "avg_pool2d_backward",
+    "global_avg_pool_forward",
+    "global_avg_pool_backward",
+    "softmax",
+    "log_softmax",
+    "cross_entropy_forward",
+    "cross_entropy_backward",
+]

@@ -1,0 +1,25 @@
+"""Shared utilities: seeded RNG management, logging, serialization."""
+
+from repro.utils.rng import (
+    derive_seed,
+    new_rng,
+    spawn_rngs,
+    temporary_seed,
+)
+from repro.utils.serialization import (
+    load_state_dict,
+    save_state_dict,
+    state_dict_num_bytes,
+)
+from repro.utils.logging import get_logger
+
+__all__ = [
+    "derive_seed",
+    "new_rng",
+    "spawn_rngs",
+    "temporary_seed",
+    "load_state_dict",
+    "save_state_dict",
+    "state_dict_num_bytes",
+    "get_logger",
+]

@@ -1,0 +1,34 @@
+"""Serialization helpers for model state dictionaries.
+
+Model parameters are stored as flat ``{name: ndarray}`` mappings in NumPy
+``.npz`` archives.  This is the on-disk format used by the model zoo cache
+(:mod:`repro.models.zoo`).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_state_dict(state: Dict[str, np.ndarray], path: PathLike) -> None:
+    """Save a ``{name: array}`` mapping to ``path`` as a ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **{key: np.asarray(value) for key, value in state.items()})
+
+
+def load_state_dict(path: PathLike) -> Dict[str, np.ndarray]:
+    """Load a ``{name: array}`` mapping previously written by :func:`save_state_dict`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def state_dict_num_bytes(state: Dict[str, np.ndarray]) -> int:
+    """Total number of bytes occupied by the arrays in ``state``."""
+    return int(sum(np.asarray(value).nbytes for value in state.values()))

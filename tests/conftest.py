@@ -1,0 +1,60 @@
+"""Shared fixtures for the unit and integration tests.
+
+The tests never load the big pretrained ResNets; everything runs on tiny
+models and datasets so the whole suite stays fast.  The ``trained_tiny``
+fixture trains a small quantized MLP once per session (fractions of a
+second) and hands out deep copies so tests can corrupt weights freely.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticImageDataset, SyntheticSpec, make_tiny_dataset
+from repro.models.small import MLP, LeNet5
+from repro.models.training import TrainConfig, evaluate_accuracy, fit
+from repro.quant.layers import quantize_model
+from repro.utils.rng import new_rng
+
+
+@pytest.fixture(scope="session")
+def tiny_splits():
+    """A small but non-trivial synthetic classification task."""
+    return make_tiny_dataset(num_classes=4, image_size=8, train_size=384, test_size=192, seed=7)
+
+
+@pytest.fixture(scope="session")
+def _trained_tiny_master(tiny_splits):
+    train_set, test_set = tiny_splits
+    model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(64, 32), seed=11)
+    fit(model, train_set, test_set, TrainConfig(epochs=8, batch_size=64, lr=3e-3, optimizer="adam", seed=1))
+    quantize_model(model)
+    model.eval()
+    accuracy = evaluate_accuracy(model, test_set)
+    return model, accuracy
+
+
+@pytest.fixture()
+def trained_tiny(_trained_tiny_master, tiny_splits):
+    """A trained, quantized tiny MLP (fresh copy per test) plus its data and accuracy."""
+    master, accuracy = _trained_tiny_master
+    train_set, test_set = tiny_splits
+    return copy.deepcopy(master), train_set, test_set, accuracy
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn():
+    """An untrained (but quantized) small CNN, for structural tests."""
+    model = LeNet5(num_classes=4, seed=3)
+    quantize_model(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic RNG for per-test randomness."""
+    return new_rng("tests")

@@ -1,0 +1,190 @@
+"""Tests for the ablation harness, the ASCII plotting helpers and the CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackProfile
+from repro.attacks.bitflip import make_bit_flip
+from repro.cli import build_parser, main
+from repro.data.synthetic import make_tiny_dataset
+from repro.experiments.ablation import (
+    checksum_family_comparison,
+    masking_ablation,
+    recovery_policy_ablation,
+    signature_bits_ablation,
+)
+from repro.experiments.common import ExperimentContext, generate_pbfa_profiles
+from repro.experiments.plotting import (
+    bar_chart,
+    detection_chart,
+    recovery_bars,
+    series_chart,
+    tradeoff_chart,
+)
+from repro.models.training import TrainConfig
+from repro.models.zoo import ZooEntry, register_setup
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantized_layers
+
+
+@pytest.fixture(scope="module")
+def tiny_context(tmp_path_factory):
+    entry = ZooEntry(
+        name="unit-ablation-tiny",
+        model_name="mlp",
+        model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (32,))),
+        dataset_builder=lambda: make_tiny_dataset(
+            num_classes=4, image_size=8, train_size=256, test_size=128, seed=23
+        ),
+        train_config=TrainConfig(epochs=4, batch_size=64, lr=3e-3, optimizer="adam", seed=6),
+    )
+    register_setup(entry, overwrite=True)
+    cache_dir = tmp_path_factory.mktemp("ablation-cache")
+    return ExperimentContext.load("unit-ablation-tiny", cache_dir=cache_dir)
+
+
+@pytest.fixture(scope="module")
+def msb_profiles(tiny_context):
+    """A deterministic profile of three MSB flips spread across one layer."""
+    name, layer = quantized_layers(tiny_context.model)[0]
+    flips = [make_bit_flip(name, layer.qweight, index, MSB_POSITION) for index in (0, 200, 400)]
+    return [AttackProfile(flips=flips, model_name=tiny_context.model_name)]
+
+
+class TestAblations:
+    def test_signature_bits_ablation_shape(self, tiny_context, msb_profiles):
+        rows = signature_bits_ablation(tiny_context, msb_profiles, group_size=16)
+        assert [row["signature_bits"] for row in rows] == [1, 2, 3]
+        # Single MSB flips are detected by every width; storage grows with the width.
+        assert all(row["detected_mean"] == pytest.approx(3.0) for row in rows)
+        storages = [row["storage_kb"] for row in rows]
+        assert storages[0] < storages[1] < storages[2]
+
+    def test_masking_ablation_no_regression_on_plain_pbfa(self, tiny_context, msb_profiles):
+        rows = masking_ablation(tiny_context, msb_profiles, group_size=16)
+        by_masking = {row["masking"]: row["detected_mean"] for row in rows}
+        assert by_masking[True] == pytest.approx(by_masking[False])
+
+    def test_recovery_policy_ablation_ordering(self, tiny_context):
+        profiles = generate_pbfa_profiles(tiny_context, num_flips=3, rounds=1, seed=8)
+        rows = recovery_policy_ablation(tiny_context, profiles, group_size=16, max_samples=128)
+        by_policy = {row["policy"]: row["recovered_accuracy"] for row in rows}
+        assert set(by_policy) == {"none", "zero", "reload"}
+        # Reload is the upper bound; zero-out sits between detection-only and reload.
+        assert by_policy["reload"] >= by_policy["zero"] - 1e-9
+        assert by_policy["zero"] >= by_policy["none"] - 1e-9
+
+    def test_checksum_family_comparison_includes_radar_and_families(
+        self, tiny_context, msb_profiles
+    ):
+        rows = checksum_family_comparison(
+            tiny_context, msb_profiles, group_size=16, families=("xor", "adler")
+        )
+        schemes = {row["scheme"]: row for row in rows}
+        assert "radar-2bit" in schemes
+        assert "checksum-xor" in schemes and "checksum-adler" in schemes
+        # RADAR detects the MSB flips as well as the wide checksums but stores far less.
+        assert schemes["radar-2bit"]["detected_mean"] == pytest.approx(3.0)
+        assert schemes["checksum-adler"]["detected_mean"] == pytest.approx(3.0)
+        assert schemes["radar-2bit"]["storage_kb"] < schemes["checksum-xor"]["storage_kb"]
+
+
+class TestPlotting:
+    def test_bar_chart_renders_labels_and_bars(self):
+        text = bar_chart(["a", "bb"], [1.0, 0.5], title="demo", width=10)
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("a ")
+        assert "#" * 10 in lines[1]
+        assert "#" * 5 in lines[2]
+
+    def test_bar_chart_validates_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_bar_chart_empty(self):
+        assert "(no data)" in bar_chart([], [], title="empty")
+
+    def test_series_chart_contains_markers_and_legend(self):
+        text = series_chart(
+            {"up": [(1, 1), (2, 2)], "down": [(1, 2), (2, 1)]}, title="trend", width=20, height=6
+        )
+        assert "trend" in text
+        assert "o = up" in text and "x = down" in text
+        assert text.count("o") >= 2
+
+    def test_series_chart_empty(self):
+        assert "(no data)" in series_chart({}, title="none")
+
+    def test_detection_chart_from_rows(self):
+        rows = [
+            {"model": "m", "group_size": 8, "interleave": False, "detected_mean": 9.0},
+            {"model": "m", "group_size": 64, "interleave": False, "detected_mean": 7.0},
+            {"model": "m", "group_size": 8, "interleave": True, "detected_mean": 10.0},
+            {"model": "m", "group_size": 64, "interleave": True, "detected_mean": 9.5},
+            {"model": "other", "group_size": 8, "interleave": True, "detected_mean": 1.0},
+        ]
+        text = detection_chart(rows, "m")
+        assert "m: detected flips" in text
+        assert "interleave" in text and "contiguous" in text
+
+    def test_tradeoff_and_recovery_charts(self):
+        tradeoff_rows = [
+            {"model": "m", "storage_kb": 2.0, "recovered_accuracy": 0.6},
+            {"model": "m", "storage_kb": 8.0, "recovered_accuracy": 0.8},
+        ]
+        assert "recovered accuracy vs storage" in tradeoff_chart(tradeoff_rows, "m")
+        recovery_rows = [
+            {"model": "m", "num_flips": 10, "group_size": None, "accuracy": 0.1, "clean_accuracy": 0.9},
+            {"model": "m", "num_flips": 10, "group_size": 8, "accuracy": 0.8, "clean_accuracy": 0.9},
+        ]
+        text = recovery_bars(recovery_rows, "m", num_flips=10)
+        assert "unprotected" in text and "G=8" in text
+
+
+class TestCli:
+    def test_parser_lists_all_subcommands(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action for action in parser._subparsers._group_actions
+        }
+        choices = set(actions["command"].choices)
+        assert choices == {
+            "list-setups", "overhead", "storage", "missrate", "characterize", "detect", "recover",
+        }
+
+    def test_missrate_command_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "missrate.json"
+        code = main(
+            [
+                "missrate",
+                "--rounds", "1000",
+                "--num-flips", "4",
+                "--num-weights", "256",
+                "--group-sizes", "16",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "miss rate" in captured.lower()
+        rows = json.loads(output.read_text())["rows"]
+        assert rows[0]["group_size"] == 16
+
+    def test_storage_command_matches_paper_numbers(self, capsys):
+        assert main(["storage"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet18" in out and "512" in out
+
+    def test_list_setups_command(self, capsys):
+        assert main(["list-setups"]) == 0
+        out = capsys.readouterr().out
+        assert "resnet20-cifar" in out and "resnet18-imagenet" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.attacks.bitflip` (applying / reverting bit-flip profiles)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackProfile,
+    apply_bit_flips,
+    apply_profile,
+    restore_qweights,
+    revert_profile,
+    snapshot_qweights,
+)
+from repro.attacks.bitflip import flips_per_layer, make_bit_flip
+from repro.attacks.profiles import FlipDirection
+from repro.errors import AttackError
+from repro.models.small import MLP
+from repro.quant.bitops import MSB_POSITION, count_differing_bits
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+@pytest.fixture()
+def model():
+    mlp = MLP(input_dim=24, num_classes=3, hidden_dims=(16,), seed=21)
+    quantize_model(mlp)
+    return mlp
+
+
+class TestMakeBitFlip:
+    def test_records_before_and_after(self, model):
+        name, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        flip = make_bit_flip(name, layer.qweight, 3, MSB_POSITION)
+        assert flip.value_before == int(flat[3])
+        assert flip.value_after == int(np.int8(np.uint8(flat[3]) ^ 0x80).item())
+        expected_direction = (
+            FlipDirection.ZERO_TO_ONE if flat[3] >= 0 else FlipDirection.ONE_TO_ZERO
+        )
+        assert flip.direction is expected_direction
+
+    def test_does_not_mutate_weights(self, model):
+        name, layer = quantized_layers(model)[0]
+        before = layer.qweight.copy()
+        make_bit_flip(name, layer.qweight, 0, 7)
+        np.testing.assert_array_equal(layer.qweight, before)
+
+
+class TestApplyAndRevert:
+    def test_apply_changes_exactly_one_bit(self, model):
+        name, layer = quantized_layers(model)[0]
+        before = layer.qweight.copy()
+        flip = make_bit_flip(name, layer.qweight, 5, 7)
+        apply_bit_flips(model, [flip])
+        assert count_differing_bits(before, layer.qweight) == 1
+        assert layer.qweight.reshape(-1)[5] == flip.value_after
+
+    def test_double_apply_cancels(self, model):
+        name, layer = quantized_layers(model)[0]
+        before = layer.qweight.copy()
+        flip = make_bit_flip(name, layer.qweight, 5, 7)
+        apply_bit_flips(model, [flip, flip])
+        np.testing.assert_array_equal(layer.qweight, before)
+
+    def test_profile_apply_then_revert_roundtrips(self, model):
+        names = [name for name, _ in quantized_layers(model)]
+        layers = dict(quantized_layers(model))
+        flips = [
+            make_bit_flip(names[0], layers[names[0]].qweight, 0, 7),
+            make_bit_flip(names[-1], layers[names[-1]].qweight, 1, 6),
+        ]
+        profile = AttackProfile(flips=flips)
+        before = snapshot_qweights(model)
+        apply_profile(model, profile)
+        changed = sum(
+            count_differing_bits(before[name], layers[name].qweight) for name in names
+        )
+        assert changed == 2
+        revert_profile(model, profile)
+        for name in names:
+            np.testing.assert_array_equal(layers[name].qweight, before[name])
+
+    def test_unknown_layer_rejected(self, model):
+        name, layer = quantized_layers(model)[0]
+        flip = make_bit_flip("nope", layer.qweight, 0, 7)
+        with pytest.raises(AttackError):
+            apply_bit_flips(model, [flip])
+
+    def test_out_of_range_index_rejected(self, model):
+        name, layer = quantized_layers(model)[0]
+        flip = make_bit_flip(name, layer.qweight, 0, 7)
+        bad = type(flip)(
+            layer_name=name,
+            flat_index=layer.qweight.size + 10,
+            bit_position=7,
+            direction=flip.direction,
+            value_before=0,
+            value_after=0,
+        )
+        with pytest.raises(AttackError):
+            apply_bit_flips(model, [bad])
+
+    def test_unquantized_model_rejected(self):
+        model = MLP(input_dim=8, num_classes=2, hidden_dims=(4,), seed=0)
+        with pytest.raises(AttackError):
+            snapshot_qweights(model)
+
+
+class TestSnapshots:
+    def test_snapshot_returns_copies(self, model):
+        snapshot = snapshot_qweights(model)
+        name, layer = quantized_layers(model)[0]
+        snapshot[name][...] = 0
+        assert layer.qweight.any()
+
+    def test_restore_resets_corruption(self, model):
+        snapshot = snapshot_qweights(model)
+        name, layer = quantized_layers(model)[0]
+        layer.qweight.reshape(-1)[:10] = 0
+        restore_qweights(model, snapshot)
+        np.testing.assert_array_equal(layer.qweight, snapshot[name])
+
+    def test_restore_unknown_layer_rejected(self, model):
+        snapshot = snapshot_qweights(model)
+        snapshot["ghost"] = np.zeros(4, dtype=np.int8)
+        with pytest.raises(AttackError):
+            restore_qweights(model, snapshot)
+
+
+class TestFlipsPerLayer:
+    def test_groups_and_preserves_order(self, model):
+        name, layer = quantized_layers(model)[0]
+        flips = [
+            make_bit_flip(name, layer.qweight, index, 7) for index in (3, 1, 2)
+        ]
+        grouped = flips_per_layer(flips)
+        assert list(grouped) == [name]
+        assert [flip.flat_index for flip in grouped[name]] == [3, 1, 2]

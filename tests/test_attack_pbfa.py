@@ -1,0 +1,141 @@
+"""Tests for :mod:`repro.attacks.pbfa` (the Progressive Bit-Flip Attack)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import PbfaConfig, ProgressiveBitFlipAttack, revert_profile, snapshot_qweights
+from repro.errors import AttackError
+from repro.models.small import MLP
+from repro.models.training import evaluate_accuracy
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantize_model
+
+
+class TestPbfaConfig:
+    def test_defaults(self):
+        config = PbfaConfig()
+        assert config.num_flips == 10
+        assert config.bit_positions == tuple(range(8))
+
+    def test_invalid_num_flips(self):
+        with pytest.raises(AttackError):
+            PbfaConfig(num_flips=0)
+
+    def test_empty_bit_positions(self):
+        with pytest.raises(AttackError):
+            PbfaConfig(bit_positions=())
+
+    def test_out_of_range_bit_positions(self):
+        with pytest.raises(AttackError):
+            PbfaConfig(bit_positions=(8,))
+
+
+class TestAttackBehaviour:
+    def test_requires_quantized_model(self, tiny_splits):
+        train_set, _ = tiny_splits
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(16,), seed=0)
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=1))
+        with pytest.raises(AttackError):
+            attack.run(model, train_set.images, train_set.labels)
+
+    def test_empty_dataset_rejected(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=1))
+        empty_images = test_set.images[:0]
+        empty_labels = test_set.labels[:0]
+        with pytest.raises(AttackError):
+            attack.run(model, empty_images, empty_labels)
+
+    def test_requested_number_of_flips_injected(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=4, seed=1))
+        result = attack.run(model, test_set.images, test_set.labels, model_name="tiny")
+        assert result.num_flips == 4
+        assert len(result.profile.loss_trajectory) == 5  # initial loss + one per flip
+        assert result.profile.model_name == "tiny"
+        assert result.profile.attack_name == "pbfa"
+
+    def test_no_repeated_bits_by_default(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=5, seed=2))
+        result = attack.run(model, test_set.images, test_set.labels)
+        keys = {(f.layer_name, f.flat_index, f.bit_position) for f in result.profile}
+        assert len(keys) == len(result.profile)
+
+    def test_loss_increases_monotonically(self, trained_tiny):
+        """Each committed flip is chosen to maximize the attack-batch loss."""
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=4, seed=3))
+        result = attack.run(model, test_set.images, test_set.labels)
+        losses = result.losses
+        assert result.loss_after >= result.loss_before
+        assert all(losses[i + 1] >= losses[i] - 1e-6 for i in range(len(losses) - 1))
+
+    def test_attack_degrades_accuracy(self, trained_tiny):
+        model, _, test_set, clean_accuracy = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=6, seed=4))
+        attack.run(model, test_set.images, test_set.labels)
+        attacked = evaluate_accuracy(model, test_set)
+        assert attacked < clean_accuracy - 0.05
+
+    def test_attack_prefers_msb(self, trained_tiny):
+        """Observation 1 of the paper: PBFA picks the MSB almost always."""
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=6, seed=5))
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert result.profile.num_msb_flips >= result.num_flips - 1
+
+    def test_msb_flips_cause_large_weight_changes(self, trained_tiny):
+        """Observation 3's consequence: every MSB flip moves the weight by 128 steps.
+
+        (The paper's statement that the *pre-attack* values are small is a
+        property of the big ResNet weight distributions, not of every model;
+        what matters for the defense is the huge post-flip change.)
+        """
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=6, seed=6))
+        result = attack.run(model, test_set.images, test_set.labels)
+        for flip in result.profile:
+            if flip.is_msb:
+                assert abs(flip.value_after - flip.value_before) == 128
+
+    def test_revert_restores_model(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        snapshot = snapshot_qweights(model)
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=3, seed=7))
+        result = attack.run(model, test_set.images, test_set.labels)
+        revert_profile(model, result.profile)
+        for name, original in snapshot.items():
+            current = snapshot_qweights(model)[name]
+            np.testing.assert_array_equal(current, original)
+
+    def test_deterministic_given_seed(self, trained_tiny):
+        model_a, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=3, seed=9))
+        result_a = attack.run(model_a, test_set.images, test_set.labels)
+        revert_profile(model_a, result_a.profile)
+        result_b = attack.run(model_a, test_set.images, test_set.labels)
+        assert [
+            (f.layer_name, f.flat_index, f.bit_position) for f in result_a.profile
+        ] == [(f.layer_name, f.flat_index, f.bit_position) for f in result_b.profile]
+
+    def test_restricted_bit_positions_respected(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=3, bit_positions=(6,), seed=10)
+        )
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert all(flip.bit_position == 6 for flip in result.profile)
+        assert all(not flip.is_msb for flip in result.profile)
+
+    def test_different_seeds_give_different_attack_batches(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        config_a = PbfaConfig(num_flips=2, seed=100)
+        config_b = PbfaConfig(num_flips=2, seed=200)
+        attack_a = ProgressiveBitFlipAttack(config_a)
+        batch_a = attack_a._sample_batch(test_set.images, test_set.labels)
+        attack_b = ProgressiveBitFlipAttack(config_b)
+        batch_b = attack_b._sample_batch(test_set.images, test_set.labels)
+        assert not np.array_equal(batch_a[0], batch_b[0])

@@ -1,0 +1,85 @@
+"""Tests for the less-common PBFA configuration options."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import PbfaConfig, ProgressiveBitFlipAttack, revert_profile
+
+
+class TestCandidateLayers:
+    def test_single_candidate_layer_still_attacks(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=3, candidate_layers=1, seed=21)
+        )
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert result.num_flips == 3
+        assert result.loss_after >= result.loss_before
+        revert_profile(model, result.profile)
+
+    def test_wider_search_never_hurts_the_attack(self, trained_tiny):
+        """Evaluating more per-layer candidates can only find an equal or worse (for the
+        defender) flip sequence, measured by the attacker's own loss."""
+        model, _, test_set, _ = trained_tiny
+        narrow = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=3, candidate_layers=1, seed=22)
+        ).run(model, test_set.images, test_set.labels)
+        revert_profile(model, narrow.profile)
+        wide = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=3, candidate_layers=5, seed=22)
+        ).run(model, test_set.images, test_set.labels)
+        revert_profile(model, wide.profile)
+        assert wide.loss_after >= narrow.loss_after - 1e-6
+
+
+class TestRepeatedBits:
+    def test_allow_repeated_bits_can_revisit_a_bit(self, trained_tiny):
+        """With repeats allowed the search may cancel an earlier flip; the default forbids it."""
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=4, allow_repeated_bits=True, seed=23)
+        )
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert result.num_flips == 4
+        revert_profile(model, result.profile)
+
+
+class TestAttackBatch:
+    def test_batch_size_clipped_to_dataset(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=1, attack_batch_size=10_000, seed=24)
+        )
+        images, labels = attack._sample_batch(test_set.images, test_set.labels)
+        assert images.shape[0] == len(test_set)
+        assert labels.shape[0] == len(test_set)
+
+    def test_small_attack_batch_still_works(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(
+            PbfaConfig(num_flips=2, attack_batch_size=4, seed=25)
+        )
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert result.num_flips == 2
+        revert_profile(model, result.profile)
+
+
+class TestAttackResultBookkeeping:
+    def test_losses_and_trajectory_agree(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=3, seed=26))
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert result.losses == result.profile.loss_trajectory
+        assert result.loss_before == result.losses[0]
+        assert result.loss_after == result.losses[-1]
+        revert_profile(model, result.profile)
+
+    def test_profile_metadata_populated(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = ProgressiveBitFlipAttack(PbfaConfig(num_flips=2, seed=27))
+        result = attack.run(model, test_set.images, test_set.labels, model_name="tiny-mlp")
+        assert result.profile.model_name == "tiny-mlp"
+        assert result.profile.seed == 27
+        revert_profile(model, result.profile)

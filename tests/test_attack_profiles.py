@@ -1,0 +1,175 @@
+"""Tests for :mod:`repro.attacks.profiles` (bit-flip records and their statistics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.profiles import (
+    AttackProfile,
+    BitFlip,
+    FlipDirection,
+    bit_position_histogram,
+    load_profiles,
+    multi_flip_group_proportion,
+    profile_statistics,
+    save_profiles,
+    weight_value_histogram,
+)
+
+
+def _flip(layer="fc", index=0, bit=7, direction=FlipDirection.ZERO_TO_ONE, before=5, after=-123):
+    return BitFlip(
+        layer_name=layer,
+        flat_index=index,
+        bit_position=bit,
+        direction=direction,
+        value_before=before,
+        value_after=after,
+    )
+
+
+class TestBitFlip:
+    def test_is_msb(self):
+        assert _flip(bit=7).is_msb
+        assert not _flip(bit=6).is_msb
+
+    def test_dict_roundtrip(self):
+        flip = _flip(index=42, bit=3, direction=FlipDirection.ONE_TO_ZERO, before=-70, after=-78)
+        restored = BitFlip.from_dict(flip.to_dict())
+        assert restored == flip
+        assert restored.direction is FlipDirection.ONE_TO_ZERO
+
+    def test_is_hashable_and_frozen(self):
+        flip = _flip()
+        assert flip in {flip}
+        with pytest.raises(Exception):
+            flip.flat_index = 1
+
+
+class TestAttackProfile:
+    def test_len_iter_and_msb_count(self):
+        profile = AttackProfile(flips=[_flip(bit=7), _flip(bit=6), _flip(bit=7)])
+        assert len(profile) == 3
+        assert sum(1 for _ in profile) == 3
+        assert profile.num_msb_flips == 2
+
+    def test_layers_touched_is_stable_unique(self):
+        profile = AttackProfile(
+            flips=[_flip(layer="a"), _flip(layer="b"), _flip(layer="a"), _flip(layer="c")]
+        )
+        assert profile.layers_touched() == ["a", "b", "c"]
+
+    def test_dict_roundtrip_preserves_metadata(self):
+        profile = AttackProfile(
+            flips=[_flip()],
+            model_name="resnet20",
+            attack_name="pbfa",
+            seed=3,
+            loss_trajectory=[0.1, 2.5],
+            accuracy_before=0.9,
+            accuracy_after=0.2,
+        )
+        restored = AttackProfile.from_dict(profile.to_dict())
+        assert restored.model_name == "resnet20"
+        assert restored.attack_name == "pbfa"
+        assert restored.seed == 3
+        assert restored.loss_trajectory == [0.1, 2.5]
+        assert restored.accuracy_before == 0.9
+        assert restored.accuracy_after == 0.2
+        assert restored.flips == profile.flips
+
+    def test_save_and_load(self, tmp_path):
+        profiles = [
+            AttackProfile(flips=[_flip(index=i)], model_name="m", attack_name="pbfa", seed=i)
+            for i in range(3)
+        ]
+        path = tmp_path / "nested" / "profiles.json"
+        save_profiles(profiles, path)
+        restored = load_profiles(path)
+        assert len(restored) == 3
+        assert [p.seed for p in restored] == [0, 1, 2]
+        assert restored[1].flips[0].flat_index == 1
+
+
+class TestHistograms:
+    def test_bit_position_histogram_categories(self):
+        profiles = [
+            AttackProfile(
+                flips=[
+                    _flip(bit=7, direction=FlipDirection.ZERO_TO_ONE),
+                    _flip(bit=7, direction=FlipDirection.ONE_TO_ZERO),
+                    _flip(bit=7, direction=FlipDirection.ONE_TO_ZERO),
+                    _flip(bit=5, direction=FlipDirection.ZERO_TO_ONE),
+                ]
+            )
+        ]
+        histogram = bit_position_histogram(profiles)
+        assert histogram == {"msb_0_to_1": 1, "msb_1_to_0": 2, "others": 1}
+
+    def test_weight_value_histogram_bins(self):
+        profiles = [
+            AttackProfile(
+                flips=[
+                    _flip(before=-100),
+                    _flip(before=-5),
+                    _flip(before=0),
+                    _flip(before=10),
+                    _flip(before=100),
+                ]
+            )
+        ]
+        histogram = weight_value_histogram(profiles)
+        assert histogram["(-128, -32)"] == 1
+        assert histogram["(-32, 0)"] == 1
+        assert histogram["(0, 32)"] == 2   # 0 and 10 both fall in [0, 32)
+        assert histogram["(32, 128)"] == 1
+
+    def test_profile_statistics_aggregate(self):
+        profiles = [
+            AttackProfile(flips=[_flip(bit=7), _flip(bit=7)]),
+            AttackProfile(flips=[_flip(bit=2)]),
+        ]
+        stats = profile_statistics(profiles)
+        assert stats["num_profiles"] == 2
+        assert stats["num_flips"] == 3
+        assert stats["msb_fraction"] == pytest.approx(2 / 3)
+        assert stats["mean_flips_per_profile"] == pytest.approx(1.5)
+
+    def test_profile_statistics_empty(self):
+        stats = profile_statistics([])
+        assert stats["num_flips"] == 0
+        assert stats["msb_fraction"] == 0.0
+
+
+class TestMultiFlipGroupProportion:
+    def test_no_clustering(self):
+        profile = AttackProfile(flips=[_flip(index=0), _flip(index=100), _flip(index=200)])
+        proportion = multi_flip_group_proportion([profile], {"fc": 1000}, group_size=16)
+        assert proportion == 0.0
+
+    def test_full_clustering(self):
+        profile = AttackProfile(flips=[_flip(index=0), _flip(index=1), _flip(index=2)])
+        proportion = multi_flip_group_proportion([profile], {"fc": 1000}, group_size=16)
+        assert proportion == 1.0
+
+    def test_mixed_clustering(self):
+        profile = AttackProfile(
+            flips=[_flip(index=0), _flip(index=1), _flip(index=100), _flip(index=200)]
+        )
+        # Groups hit: {0 (two flips), 6, 12} -> 1 of 3 groups has multiple flips.
+        proportion = multi_flip_group_proportion([profile], {"fc": 1000}, group_size=16)
+        assert proportion == pytest.approx(1 / 3)
+
+    def test_growing_group_size_eventually_merges_everything(self):
+        profile = AttackProfile(
+            flips=[_flip(index=i) for i in (0, 40, 90, 130)]
+        )
+        small = multi_flip_group_proportion([profile], {"fc": 1000}, group_size=8)
+        huge = multi_flip_group_proportion([profile], {"fc": 1000}, group_size=1024)
+        assert small == 0.0
+        assert huge == 1.0
+
+    def test_unknown_layers_are_ignored(self):
+        profile = AttackProfile(flips=[_flip(layer="ghost", index=0)])
+        assert multi_flip_group_proportion([profile], {"fc": 100}, 8) == 0.0

@@ -1,0 +1,154 @@
+"""Tests for the random-flip baseline and the knowledgeable attackers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    LowBitAttack,
+    PairedFlipAttack,
+    PairedFlipConfig,
+    PbfaConfig,
+    RandomBitFlipAttack,
+    RandomFlipConfig,
+    restore_qweights,
+    snapshot_qweights,
+)
+from repro.attacks.profiles import FlipDirection
+from repro.errors import AttackError
+from repro.models.training import evaluate_accuracy
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantized_layers
+
+
+class TestRandomBitFlipAttack:
+    def test_invalid_config(self):
+        with pytest.raises(AttackError):
+            RandomFlipConfig(num_flips=0)
+
+    def test_flips_requested_count(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        profile = RandomBitFlipAttack(RandomFlipConfig(num_flips=20, seed=1)).run(model)
+        assert len(profile) == 20
+        assert profile.attack_name == "random"
+
+    def test_msb_only_mode(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        profile = RandomBitFlipAttack(
+            RandomFlipConfig(num_flips=15, msb_only=True, seed=2)
+        ).run(model)
+        assert all(flip.bit_position == MSB_POSITION for flip in profile)
+
+    def test_layer_restriction(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        target = quantized_layers(model)[0][0]
+        profile = RandomBitFlipAttack(
+            RandomFlipConfig(num_flips=10, layer_names=[target], seed=3)
+        ).run(model)
+        assert set(profile.layers_touched()) == {target}
+
+    def test_unknown_layer_restriction_rejected(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        attack = RandomBitFlipAttack(RandomFlipConfig(num_flips=1, layer_names=["ghost"]))
+        with pytest.raises(AttackError):
+            attack.run(model)
+
+    def test_flips_actually_land_in_weights(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        before = snapshot_qweights(model)
+        profile = RandomBitFlipAttack(RandomFlipConfig(num_flips=10, seed=4)).run(model)
+        after = snapshot_qweights(model)
+        changed = sum(
+            int((before[name] != after[name]).sum()) for name in before
+        )
+        assert changed == len({(f.layer_name, f.flat_index) for f in profile})
+        restore_qweights(model, before)
+
+    def test_random_attack_is_weak(self, trained_tiny):
+        """The paper's point: random flips barely move accuracy compared to PBFA."""
+        model, _, test_set, clean_accuracy = trained_tiny
+        RandomBitFlipAttack(RandomFlipConfig(num_flips=10, seed=5)).run(model)
+        attacked = evaluate_accuracy(model, test_set)
+        assert attacked >= clean_accuracy - 0.35  # nowhere near the PBFA collapse
+
+
+class TestPairedFlipAttack:
+    def test_adds_compensating_flips(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        config = PairedFlipConfig(
+            pbfa=PbfaConfig(num_flips=4, seed=6), assumed_group_size=16, seed=6
+        )
+        result = PairedFlipAttack(config).run(model, test_set.images, test_set.labels)
+        assert 4 <= len(result.profile) <= 8
+        assert result.profile.attack_name == "paired-flip"
+
+    def test_pairs_are_opposite_direction_same_assumed_group(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        group = 16
+        config = PairedFlipConfig(
+            pbfa=PbfaConfig(num_flips=4, seed=7), assumed_group_size=group, seed=7
+        )
+        result = PairedFlipAttack(config).run(model, test_set.images, test_set.labels)
+        original = result.profile.flips[:4]
+        compensating = result.profile.flips[4:]
+        for extra in compensating:
+            assert extra.bit_position == MSB_POSITION
+            partners = [
+                flip
+                for flip in original
+                if flip.layer_name == extra.layer_name
+                and flip.flat_index // group == extra.flat_index // group
+            ]
+            assert partners, "compensating flip must share the attacker's assumed group"
+            assert any(partner.direction != extra.direction for partner in partners)
+
+    def test_compensating_pair_cancels_unmasked_contiguous_checksum(self, trained_tiny):
+        """The evasion works against the defense the attacker assumes."""
+        from repro.core import ModelProtector, RadarConfig, count_detected_flips
+
+        model, _, test_set, _ = trained_tiny
+        group = 16
+        protector = ModelProtector(
+            RadarConfig(group_size=group, use_interleave=False, use_masking=False)
+        )
+        protector.protect(model)
+        config = PairedFlipConfig(
+            pbfa=PbfaConfig(num_flips=4, seed=8), assumed_group_size=group, seed=8
+        )
+        result = PairedFlipAttack(config).run(model, test_set.images, test_set.labels)
+        report = protector.scan(model)
+        detected = count_detected_flips(result.profile, report, protector.store)
+        # Every successfully paired flip evades the naive checksum, so the
+        # number of detected flips is at most the number of unpaired ones.
+        paired = 2 * (len(result.profile) - 4)
+        assert detected <= len(result.profile) - paired
+
+
+class TestLowBitAttack:
+    def test_msb_not_allowed_in_positions(self):
+        with pytest.raises(AttackError):
+            LowBitAttack(bit_positions=(7,))
+
+    def test_flips_avoid_msb(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        attack = LowBitAttack(num_flips=5, seed=9)
+        result = attack.run(model, test_set.images, test_set.labels)
+        assert len(result.profile) == 5
+        assert all(flip.bit_position == 6 for flip in result.profile)
+        assert result.profile.attack_name == "low-bit"
+
+    def test_needs_more_flips_than_msb_attack_for_same_damage(self, trained_tiny):
+        """Section VIII: restricting to MSB-1 weakens the per-flip damage."""
+        from repro.attacks import ProgressiveBitFlipAttack
+
+        model_msb, _, test_set, clean_accuracy = trained_tiny
+        snapshot = snapshot_qweights(model_msb)
+        msb_result = ProgressiveBitFlipAttack(PbfaConfig(num_flips=4, seed=10)).run(
+            model_msb, test_set.images, test_set.labels
+        )
+        msb_accuracy = evaluate_accuracy(model_msb, test_set)
+        restore_qweights(model_msb, snapshot)
+        LowBitAttack(num_flips=4, seed=10).run(model_msb, test_set.images, test_set.labels)
+        low_accuracy = evaluate_accuracy(model_msb, test_set)
+        assert low_accuracy >= msb_accuracy - 0.05

@@ -1,0 +1,198 @@
+"""Tests for the baseline integrity codes: CRC, Hamming SEC-DED and parity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.crc import CRC_POLYNOMIALS, CrcCode, crc_bits_for_group, crc_checksum
+from repro.baselines.hamming import HammingSecDed, hamming_parity_bits
+from repro.baselines.parity import msb_parity_bits, parity_bits
+from repro.errors import ConfigurationError
+from repro.utils.rng import new_rng
+
+
+class TestCrcCode:
+    def test_standard_polynomials_available(self):
+        for width in (7, 10, 13, 16, 32):
+            code = CrcCode.standard(width)
+            assert code.num_bits == width
+            assert 0 < code.polynomial < (1 << width)
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrcCode.standard(11)
+
+    def test_invalid_polynomial_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CrcCode(num_bits=8, polynomial=0x100)
+        with pytest.raises(ConfigurationError):
+            CrcCode(num_bits=0, polynomial=0x1)
+
+    def test_crc8_known_vector(self):
+        """CRC-8-CCITT (poly 0x07, init 0) of ``123456789`` is 0xF4."""
+        code = CrcCode.standard(8)
+        payload = np.frombuffer(b"123456789", dtype=np.uint8)
+        assert code.checksum_bytes(payload) == 0xF4
+
+    def test_crc16_known_vector(self):
+        """CRC-16-CCITT (poly 0x1021, init 0) of ``123456789`` is 0x31C3."""
+        code = CrcCode.standard(16)
+        payload = np.frombuffer(b"123456789", dtype=np.uint8)
+        assert code.checksum_bytes(payload) == 0x31C3
+
+    def test_zero_payload_zero_crc(self):
+        code = CrcCode.standard(13)
+        assert code.checksum_bytes(np.zeros(8, dtype=np.uint8)) == 0
+
+    def test_single_bit_error_always_detected(self):
+        """HD >= 2: any single corrupted bit changes the CRC."""
+        code = CrcCode.standard(7)
+        rng = new_rng("crc-single")
+        payload = rng.integers(0, 256, size=8).astype(np.uint8)
+        reference = code.checksum_bytes(payload)
+        for byte_index in range(payload.size):
+            for bit in range(8):
+                corrupted = payload.copy()
+                corrupted[byte_index] ^= np.uint8(1 << bit)
+                assert code.checksum_bytes(corrupted) != reference
+
+    def test_double_bit_error_detected_within_block_length(self):
+        """HD = 3 for CRC-7 over 64 data bits (the paper's G=8 configuration)."""
+        code = CrcCode.standard(7)
+        rng = new_rng("crc-double")
+        payload = rng.integers(0, 256, size=8).astype(np.uint8)  # 64 bits
+        reference = code.checksum_bytes(payload)
+        positions = [(b, k) for b in range(8) for k in range(8)]
+        sampled = [positions[i] for i in rng.choice(len(positions), size=20, replace=False)]
+        for first in sampled[:5]:
+            for second in sampled[5:]:
+                if first == second:
+                    continue
+                corrupted = payload.copy()
+                corrupted[first[0]] ^= np.uint8(1 << first[1])
+                corrupted[second[0]] ^= np.uint8(1 << second[1])
+                assert code.checksum_bytes(corrupted) != reference
+
+    def test_checksum_groups_matches_scalar_path(self):
+        code = CrcCode.standard(13)
+        rng = new_rng("crc-groups")
+        groups = rng.integers(0, 256, size=(5, 16)).astype(np.uint8)
+        vectorized = code.checksum_groups(groups)
+        scalar = np.array([code.checksum_bytes(row) for row in groups], dtype=np.uint64)
+        np.testing.assert_array_equal(vectorized, scalar)
+
+    def test_checksum_groups_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            CrcCode.standard(7).checksum_groups(np.zeros(8, dtype=np.uint8))
+
+    def test_crc_checksum_wrapper_accepts_int8(self):
+        code = CrcCode.standard(7)
+        values = [-1, 0, 127, -128]
+        assert crc_checksum(values, code) == code.checksum_bytes(
+            np.array(values, dtype=np.int8).view(np.uint8)
+        )
+
+    def test_crc_bits_for_group_matches_paper(self):
+        assert crc_bits_for_group(8) == 7      # 64 data bits  -> CRC-7
+        assert crc_bits_for_group(512) == 13   # 4096 data bits -> CRC-13
+
+    def test_crc_bits_for_group_only_hd3(self):
+        with pytest.raises(ConfigurationError):
+            crc_bits_for_group(8, target_hd=4)
+
+    @given(width=st.sampled_from(sorted(CRC_POLYNOMIALS)), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_any_single_bit_flip_detected_property(self, width, seed):
+        code = CrcCode.standard(width)
+        rng = new_rng(("crc-hyp", seed))
+        payload = rng.integers(0, 256, size=int(rng.integers(1, 12))).astype(np.uint8)
+        reference = code.checksum_bytes(payload)
+        byte_index = int(rng.integers(0, payload.size))
+        bit = int(rng.integers(0, 8))
+        corrupted = payload.copy()
+        corrupted[byte_index] ^= np.uint8(1 << bit)
+        assert code.checksum_bytes(corrupted) != reference
+
+
+class TestHamming:
+    def test_parity_bits_match_paper(self):
+        """7 check bits for 64 data bits (G=8), 13+1 for 4096 data bits (G=512)."""
+        assert hamming_parity_bits(64, extended=False) == 7
+        assert hamming_parity_bits(64, extended=True) == 8
+        assert hamming_parity_bits(4096, extended=False) == 13
+        assert hamming_parity_bits(4096, extended=True) == 14
+
+    def test_parity_bits_invalid(self):
+        with pytest.raises(ConfigurationError):
+            hamming_parity_bits(0)
+
+    def test_encode_clean_roundtrip(self):
+        code = HammingSecDed(data_bits=16)
+        rng = new_rng("hamming-clean")
+        data = rng.integers(0, 2, size=16).astype(np.uint8)
+        codeword = code.encode(data)
+        assert codeword.size == code.total_bits
+        assert code.classify(codeword) == "clean"
+
+    def test_encode_wrong_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HammingSecDed(data_bits=8).encode(np.zeros(7, dtype=np.uint8))
+
+    def test_single_error_classified_and_locatable(self):
+        code = HammingSecDed(data_bits=32)
+        data = new_rng("hamming-single").integers(0, 2, size=32).astype(np.uint8)
+        codeword = code.encode(data)
+        for position in range(0, code.total_bits - 1, 7):
+            corrupted = codeword.copy()
+            corrupted[position] ^= 1
+            assert code.classify(corrupted) == "single"
+            syndrome, overall = code.syndrome(corrupted)
+            assert overall == 1
+            assert syndrome == position + 1 or syndrome == 0  # overall-parity-bit errors give syndrome 0
+
+    def test_double_error_detected_not_correctable(self):
+        code = HammingSecDed(data_bits=32)
+        data = new_rng("hamming-double").integers(0, 2, size=32).astype(np.uint8)
+        codeword = code.encode(data)
+        corrupted = codeword.copy()
+        corrupted[0] ^= 1
+        corrupted[9] ^= 1
+        assert code.classify(corrupted) == "double"
+
+    def test_check_weights_flags_corruption(self):
+        code = HammingSecDed(data_bits=4 * 8)
+        weights = np.array([3, -5, 90, -128], dtype=np.int8)
+        codeword = code.encode_weights(weights)
+        assert code.check_weights(weights, codeword) == "clean"
+        corrupted = weights.copy()
+        corrupted[1] = np.int8(int(corrupted[1]) ^ -128)
+        assert code.check_weights(corrupted, codeword) in ("single", "double")
+
+
+class TestParity:
+    def test_parity_of_known_rows(self):
+        groups = np.array([[1, 0], [3, 0], [0, 0]], dtype=np.int8)
+        np.testing.assert_array_equal(parity_bits(groups), [1, 0, 0])
+
+    def test_parity_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            parity_bits(np.zeros(4, dtype=np.int8))
+
+    def test_msb_parity_counts_sign_bits(self):
+        groups = np.array([[-1, -2, 3, 4], [1, 2, 3, 4]], dtype=np.int8)
+        np.testing.assert_array_equal(msb_parity_bits(groups), [0, 0])
+        groups[0, 0] = 5  # one fewer negative -> odd count of MSBs
+        np.testing.assert_array_equal(msb_parity_bits(groups), [1, 0])
+
+    def test_single_flip_toggles_parity(self):
+        rng = new_rng("parity")
+        groups = rng.integers(-127, 128, size=(4, 16)).astype(np.int8)
+        reference = parity_bits(groups)
+        corrupted = groups.copy()
+        corrupted[2, 5] = np.int8(int(corrupted[2, 5]) ^ 1)
+        flipped = parity_bits(corrupted)
+        assert flipped[2] != reference[2]
+        np.testing.assert_array_equal(np.delete(flipped, 2), np.delete(reference, 2))

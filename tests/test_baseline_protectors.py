@@ -1,0 +1,144 @@
+"""Tests for :mod:`repro.baselines.protectors` (CRC / Hamming / parity protectors)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import apply_bit_flips
+from repro.attacks.bitflip import make_bit_flip
+from repro.baselines.protectors import (
+    BaselineProtector,
+    CrcProtector,
+    HammingProtector,
+    ParityProtector,
+    baseline_storage_kb,
+)
+from repro.core import ModelProtector, RadarConfig
+from repro.errors import ProtectionError
+from repro.models.small import MLP
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+@pytest.fixture()
+def model():
+    mlp = MLP(input_dim=48, num_classes=4, hidden_dims=(32,), seed=13)
+    quantize_model(mlp)
+    return mlp
+
+
+def _flip(model, flat_index=0, bit=MSB_POSITION):
+    name, layer = quantized_layers(model)[0]
+    flip = make_bit_flip(name, layer.qweight, flat_index, bit)
+    apply_bit_flips(model, [flip])
+    return flip
+
+
+class TestSharedBehaviour:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CrcProtector(group_size=8),
+            lambda: HammingProtector(group_size=8),
+            lambda: ParityProtector(group_size=8),
+        ],
+    )
+    def test_clean_model_not_flagged(self, model, factory):
+        protector = factory().protect(model)
+        assert not protector.scan(model).attack_detected
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: CrcProtector(group_size=8),
+            lambda: HammingProtector(group_size=8),
+            lambda: ParityProtector(group_size=8),
+        ],
+    )
+    def test_single_msb_flip_flagged(self, model, factory):
+        protector = factory().protect(model)
+        flip = _flip(model, flat_index=9)
+        report = protector.scan(model)
+        assert report.num_flagged_groups == 1
+        assert report.is_flagged(flip.layer_name, protector.group_of(flip.layer_name, 9))
+
+    def test_scan_before_protect_raises(self, model):
+        with pytest.raises(ProtectionError):
+            CrcProtector(group_size=8).scan(model)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ProtectionError):
+            ParityProtector(group_size=1)
+
+    def test_group_of_unprotected_layer_raises(self, model):
+        protector = ParityProtector(group_size=8).protect(model)
+        with pytest.raises(ProtectionError):
+            protector.group_of("ghost", 0)
+
+    def test_unquantized_model_rejected(self):
+        with pytest.raises(ProtectionError):
+            CrcProtector(group_size=8).protect(MLP(input_dim=8, num_classes=2, seed=0))
+
+
+class TestCrcProtector:
+    def test_width_sized_from_group(self, model):
+        assert CrcProtector(group_size=8).bits_per_group == 7
+        assert CrcProtector(group_size=512).bits_per_group == 13
+
+    def test_explicit_width_respected(self):
+        assert CrcProtector(group_size=8, num_bits=16).bits_per_group == 16
+
+    def test_msb_only_variant_smaller_and_still_detects_msb(self, model):
+        protector = CrcProtector(group_size=512, msb_only=True)
+        assert protector.bits_per_group == 10  # the paper's CRC-10 MSB-only variant
+        protector.protect(model)
+        _flip(model, flat_index=4)
+        assert protector.scan(model).attack_detected
+
+    def test_msb_only_blind_to_low_bits(self, model):
+        protector = CrcProtector(group_size=64, msb_only=True).protect(model)
+        _flip(model, flat_index=4, bit=0)
+        assert not protector.scan(model).attack_detected
+
+    def test_paired_flip_in_group_detected(self, model):
+        """Unlike the plain addition checksum, CRC catches opposite-direction pairs."""
+        protector = CrcProtector(group_size=16).protect(model)
+        name, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        group0 = np.arange(16)
+        positives = [i for i in group0 if flat[i] >= 0]
+        negatives = [i for i in group0 if flat[i] < 0]
+        assert positives and negatives
+        for index in (positives[0], negatives[0]):
+            apply_bit_flips(model, [make_bit_flip(name, layer.qweight, int(index), MSB_POSITION)])
+        assert protector.scan(model).attack_detected
+
+
+class TestStorageAccounting:
+    def test_storage_formula(self, model):
+        protector = CrcProtector(group_size=8).protect(model)
+        total_weights = sum(layer.qweight.size for _, layer in quantized_layers(model))
+        expected_groups = sum(
+            int(np.ceil(layer.qweight.size / 8)) for _, layer in quantized_layers(model)
+        )
+        assert protector.total_groups() == expected_groups
+        assert protector.storage_bits() == expected_groups * 7
+        assert protector.storage_kilobytes() == pytest.approx(expected_groups * 7 / 8 / 1024)
+        assert baseline_storage_kb(total_weights, 8, 7) >= protector.storage_kilobytes() - 1e-6
+
+    def test_crc_needs_more_storage_than_radar(self, model):
+        """The paper's Table V: CRC-13 stores ~6.5x more than RADAR's 2 bits/group."""
+        radar = ModelProtector(RadarConfig(group_size=8))
+        radar.protect(model)
+        crc = CrcProtector(group_size=8).protect(model)
+        assert crc.storage_kilobytes() > 3 * radar.storage_overhead_kb()
+
+    def test_hamming_bits_match_group_size(self, model):
+        assert HammingProtector(group_size=8).bits_per_group == 8     # 64 data bits
+        assert HammingProtector(group_size=512).bits_per_group == 14  # 4096 data bits
+
+    def test_parity_is_cheapest(self, model):
+        parity = ParityProtector(group_size=8).protect(model)
+        crc = CrcProtector(group_size=8).protect(model)
+        assert parity.storage_bits() < crc.storage_bits()

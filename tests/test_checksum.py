@@ -1,0 +1,264 @@
+"""Tests for :mod:`repro.core.checksum` (addition checksum and signature binarization).
+
+These cover the algebra the whole defense rests on (Section IV.A of the
+paper): the 2-bit signature is bits 7 and 8 of the masked group sum, ``S_B``
+is a parity over the group's MSBs and therefore catches every odd number of
+MSB flips, and a canceling (0->1, 1->0) MSB pair escapes the unmasked
+checksum but not (in general) the masked one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checksum import compute_group_sums, compute_signatures, signature_from_sums
+from repro.core.interleave import GroupLayout
+from repro.core.masking import SecretKey
+from repro.errors import ProtectionError
+from repro.quant.bitops import MSB_POSITION, flip_bits
+from repro.utils.rng import new_rng
+
+
+def _manual_signature(total: int, bits: int = 2) -> int:
+    """The paper's Equation (1), spelled out."""
+    s_a = (total // 256) % 2
+    s_b = (total // 128) % 2
+    s_c = (total // 64) % 2
+    if bits == 1:
+        return s_b
+    if bits == 2:
+        return 2 * s_a + s_b
+    return 4 * s_a + 2 * s_b + s_c
+
+
+class TestSignatureFromSums:
+    @pytest.mark.parametrize("total", [0, 1, 127, 128, 255, 256, 300, -1, -128, -129, -300, 1024])
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_matches_equation_one(self, total, bits):
+        # NumPy floor_divide matches Python's // (floor) semantics, which is the
+        # paper's floor function.
+        signature = signature_from_sums(np.array([total]), signature_bits=bits)
+        assert signature[0] == _manual_signature(total, bits)
+
+    def test_output_dtype_and_range(self):
+        sums = np.arange(-1000, 1000, 7)
+        for bits in (1, 2, 3):
+            signature = signature_from_sums(sums, bits)
+            assert signature.dtype == np.uint8
+            assert signature.max() < (1 << bits)
+
+    def test_preserves_shape(self):
+        sums = np.arange(12).reshape(3, 4)
+        assert signature_from_sums(sums).shape == (3, 4)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ProtectionError):
+            signature_from_sums(np.array([0]), signature_bits=4)
+
+    def test_plus_minus_128_both_toggle_sb(self):
+        """S_B flips whenever the sum moves by an odd multiple of 128."""
+        base = np.array([40])
+        reference = signature_from_sums(base) & 1
+        assert (signature_from_sums(base + 128) & 1)[0] != reference[0]
+        assert (signature_from_sums(base - 128) & 1)[0] != reference[0]
+
+    def test_plus_256_keeps_sb_flips_sa(self):
+        base = np.array([40])
+        shifted = signature_from_sums(base + 256)
+        original = signature_from_sums(base)
+        assert (shifted & 1) == (original & 1)          # S_B unchanged
+        assert (shifted >> 1) != (original >> 1)        # S_A toggled
+
+
+class TestComputeGroupSums:
+    def _weights(self, count, seed=0):
+        return new_rng(("checksum-test", seed)).integers(-127, 128, size=count).astype(np.int8)
+
+    def test_contiguous_unmasked_sums(self):
+        layout = GroupLayout(num_weights=8, group_size=4, use_interleave=False)
+        weights = np.array([1, 2, 3, 4, -1, -2, -3, -4], dtype=np.int8)
+        sums = compute_group_sums(weights, layout, key=None)
+        np.testing.assert_array_equal(sums, [10, -10])
+
+    def test_masked_sums_apply_signs(self):
+        layout = GroupLayout(num_weights=4, group_size=4, use_interleave=False)
+        weights = np.array([1, 2, 3, 4], dtype=np.int8)
+        key = SecretKey((1, 0, 1, 0))  # +, -, +, -
+        sums = compute_group_sums(weights, layout, key=key)
+        np.testing.assert_array_equal(sums, [1 - 2 + 3 - 4])
+
+    def test_requires_int8(self):
+        layout = GroupLayout(num_weights=4, group_size=4, use_interleave=False)
+        with pytest.raises(ProtectionError):
+            compute_group_sums(np.array([1, 2, 3, 4], dtype=np.int64), layout)
+
+    def test_interleaving_changes_group_membership_not_total(self):
+        weights = self._weights(96)
+        plain = GroupLayout(num_weights=96, group_size=16, use_interleave=False)
+        interleaved = GroupLayout(num_weights=96, group_size=16, use_interleave=True)
+        sums_plain = compute_group_sums(weights, plain)
+        sums_interleaved = compute_group_sums(weights, interleaved)
+        assert sums_plain.sum() == sums_interleaved.sum() == int(weights.astype(np.int64).sum())
+
+    def test_padding_contributes_zero(self):
+        weights = np.full(5, 7, dtype=np.int8)
+        layout = GroupLayout(num_weights=5, group_size=4, use_interleave=False)
+        sums = compute_group_sums(weights, layout)
+        assert sums.shape == (2,)
+        assert sums.sum() == 35
+
+    def test_convenience_wrapper_matches_two_steps(self):
+        weights = self._weights(64, seed=3)
+        layout = GroupLayout(num_weights=64, group_size=8, use_interleave=True)
+        key = SecretKey.generate(16, seed=1, layer_name="wrap")
+        direct = compute_signatures(weights, layout, key, signature_bits=3)
+        manual = signature_from_sums(compute_group_sums(weights, layout, key), 3)
+        np.testing.assert_array_equal(direct, manual)
+
+
+class TestDetectionAlgebra:
+    """The error-detection properties the paper's Section IV relies on."""
+
+    def _setup(self, count=256, group_size=16, use_interleave=True, masking=True, seed=0):
+        weights = new_rng(("algebra", seed)).integers(-127, 128, size=count).astype(np.int8)
+        layout = GroupLayout(num_weights=count, group_size=group_size, use_interleave=use_interleave)
+        key = SecretKey.generate(16, seed=seed, layer_name="algebra") if masking else None
+        return weights, layout, key
+
+    @pytest.mark.parametrize("masking", [False, True])
+    @pytest.mark.parametrize("use_interleave", [False, True])
+    def test_single_msb_flip_always_detected(self, masking, use_interleave):
+        weights, layout, key = self._setup(masking=masking, use_interleave=use_interleave)
+        golden = compute_signatures(weights, layout, key)
+        for index in range(0, weights.size, 37):
+            corrupted = flip_bits(weights, [index], [MSB_POSITION])
+            current = compute_signatures(corrupted, layout, key)
+            group = layout.group_of(index)
+            assert current[group] != golden[group]
+            # ... and no other group is affected.
+            others = np.delete(np.arange(layout.num_groups), group)
+            np.testing.assert_array_equal(current[others], golden[others])
+
+    def test_odd_number_of_msb_flips_in_group_detected(self):
+        weights, layout, key = self._setup(group_size=32, use_interleave=False, masking=False)
+        members = layout.members_of(2)[:3]
+        corrupted = flip_bits(weights, members, [MSB_POSITION] * 3)
+        golden = compute_signatures(weights, layout, None)
+        current = compute_signatures(corrupted, layout, None)
+        assert current[2] != golden[2]
+
+    def test_cancelling_pair_escapes_unmasked_checksum(self):
+        """A (0->1, 1->0) MSB pair in one group leaves the unmasked sum unchanged."""
+        weights, layout, _ = self._setup(group_size=32, use_interleave=False, masking=False)
+        members = layout.members_of(0)
+        negatives = [i for i in members if weights[i] < 0]
+        positives = [i for i in members if weights[i] >= 0]
+        assert negatives and positives, "test fixture needs both signs in group 0"
+        pair = [negatives[0], positives[0]]
+        corrupted = flip_bits(weights, pair, [MSB_POSITION] * 2)
+        golden = compute_signatures(weights, layout, None)
+        current = compute_signatures(corrupted, layout, None)
+        assert current[0] == golden[0]  # the weakness masking/interleaving addresses
+
+    def test_masking_catches_some_cancelling_pairs(self):
+        """With a secret key, opposite-direction pairs no longer reliably cancel.
+
+        The defense is probabilistic: for a random pair the masked sum moves by
+        0 or +-256 depending on the key bits, so over many pairs a substantial
+        fraction must be detected (none would be without masking).
+        """
+        weights, layout, key = self._setup(
+            count=512, group_size=32, use_interleave=False, masking=True, seed=5
+        )
+        golden = compute_signatures(weights, layout, key)
+        detected = 0
+        trials = 0
+        for group_index in range(layout.num_groups):
+            members = layout.members_of(group_index)
+            negatives = [i for i in members if weights[i] < 0]
+            positives = [i for i in members if weights[i] >= 0]
+            for a, b in zip(negatives, positives):
+                corrupted = flip_bits(weights, [a, b], [MSB_POSITION] * 2)
+                current = compute_signatures(corrupted, layout, key)
+                trials += 1
+                if current[group_index] != golden[group_index]:
+                    detected += 1
+        assert trials >= 50
+        assert detected / trials > 0.3
+
+    def test_same_direction_double_flip_detected_by_sa(self):
+        """Two 0->1 (or two 1->0) MSB flips move the sum by +-256: S_B blind, S_A catches."""
+        weights, layout, _ = self._setup(group_size=32, use_interleave=False, masking=False)
+        members = layout.members_of(1)
+        positives = [i for i in members if weights[i] >= 0][:2]  # MSB currently 0
+        assert len(positives) == 2
+        corrupted = flip_bits(weights, positives, [MSB_POSITION] * 2)
+        golden = compute_signatures(weights, layout, None)
+        current = compute_signatures(corrupted, layout, None)
+        assert current[1] != golden[1]
+        # The parity bit alone (1-bit signature) misses it.
+        golden_parity = compute_signatures(weights, layout, None, signature_bits=1)
+        current_parity = compute_signatures(corrupted, layout, None, signature_bits=1)
+        assert current_parity[1] == golden_parity[1]
+
+    def test_msb1_flip_missed_by_2bit_caught_by_3bit(self):
+        """A single MSB-1 flip moves the sum by +-64.
+
+        The 3-bit signature's extra bit S_C = floor(M/64) % 2 always toggles,
+        while the 2-bit signature only notices when the +-64 move carries into
+        bit 7 of the sum — this deterministic example is built so it does not.
+        """
+        weights = np.array([10, 2, 3, 1], dtype=np.int8)  # sum M = 16
+        layout = GroupLayout(num_weights=4, group_size=4, use_interleave=False)
+        corrupted = flip_bits(weights, [0], [MSB_POSITION - 1])  # 10 -> 74, M = 80
+        for bits, expect_detect in ((2, False), (3, True)):
+            golden = compute_signatures(weights, layout, None, signature_bits=bits)
+            current = compute_signatures(corrupted, layout, None, signature_bits=bits)
+            assert (current[0] != golden[0]) == expect_detect
+
+    def test_msb1_flip_always_caught_by_3bit_signature(self):
+        """S_C toggles for every single MSB-1 flip regardless of the weight values."""
+        weights, layout, _ = self._setup(group_size=16, use_interleave=False, masking=False)
+        golden = compute_signatures(weights, layout, None, signature_bits=3)
+        for index in range(0, weights.size, 29):
+            corrupted = flip_bits(weights, [index], [MSB_POSITION - 1])
+            current = compute_signatures(corrupted, layout, None, signature_bits=3)
+            assert current[layout.group_of(index)] != golden[layout.group_of(index)]
+
+
+class TestPropertyBased:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        group_size=st.integers(min_value=2, max_value=64),
+        use_interleave=st.booleans(),
+        masking=st.booleans(),
+        bits=st.sampled_from([2, 3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_single_msb_flip_changes_its_group_signature(
+        self, seed, group_size, use_interleave, masking, bits
+    ):
+        rng = new_rng(("hyp-msb", seed))
+        count = int(rng.integers(group_size, 4 * group_size + 1))
+        weights = rng.integers(-127, 128, size=count).astype(np.int8)
+        layout = GroupLayout(num_weights=count, group_size=group_size, use_interleave=use_interleave)
+        key = SecretKey.generate(16, seed=seed, layer_name="hyp") if masking else None
+        index = int(rng.integers(0, count))
+        corrupted = flip_bits(weights, [index], [MSB_POSITION])
+        golden = compute_signatures(weights, layout, key, bits)
+        current = compute_signatures(corrupted, layout, key, bits)
+        assert current[layout.group_of(index)] != golden[layout.group_of(index)]
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_signature_deterministic(self, seed):
+        rng = new_rng(("hyp-det", seed))
+        weights = rng.integers(-127, 128, size=128).astype(np.int8)
+        layout = GroupLayout(num_weights=128, group_size=16, use_interleave=True)
+        key = SecretKey.generate(16, seed=seed, layer_name="det")
+        first = compute_signatures(weights, layout, key)
+        second = compute_signatures(weights.copy(), layout, key)
+        np.testing.assert_array_equal(first, second)

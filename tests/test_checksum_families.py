@@ -1,0 +1,131 @@
+"""Tests for :mod:`repro.baselines.checksums` and the :class:`ChecksumProtector`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import apply_bit_flips
+from repro.attacks.bitflip import make_bit_flip
+from repro.baselines.checksums import (
+    CHECKSUM_BITS,
+    CHECKSUM_FAMILIES,
+    addition_checksum,
+    adler_checksum,
+    checksum_by_name,
+    fletcher_checksum,
+    ones_complement_checksum,
+    xor_checksum,
+)
+from repro.baselines.protectors import ChecksumProtector
+from repro.errors import ConfigurationError
+from repro.models.small import MLP
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantize_model, quantized_layers
+from repro.utils.rng import new_rng
+
+
+def _groups(rows=4, columns=16, seed=0):
+    return new_rng(("families", seed)).integers(0, 256, size=(rows, columns)).astype(np.uint8)
+
+
+class TestIndividualFamilies:
+    def test_xor_known_value(self):
+        groups = np.array([[0x0F, 0xF0, 0xFF]], dtype=np.uint8)
+        assert xor_checksum(groups)[0] == 0x0F ^ 0xF0 ^ 0xFF
+
+    def test_addition_truncates_to_width(self):
+        groups = np.array([[200, 200], [1, 2]], dtype=np.uint8)
+        np.testing.assert_array_equal(addition_checksum(groups, num_bits=8), [(400) & 0xFF, 3])
+
+    def test_addition_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            addition_checksum(_groups(), num_bits=0)
+
+    def test_ones_complement_differs_from_twos_on_wraparound(self):
+        groups = np.array([[255, 255, 2]], dtype=np.uint8)
+        twos = addition_checksum(groups, num_bits=8)[0]
+        ones = ones_complement_checksum(groups, num_bits=8)[0]
+        assert twos == 0  # 512 mod 256
+        assert ones == 2  # 512 mod 255
+
+    def test_fletcher_is_order_sensitive(self):
+        forward = np.array([[1, 2, 3, 4]], dtype=np.uint8)
+        backward = np.array([[4, 3, 2, 1]], dtype=np.uint8)
+        assert addition_checksum(forward)[0] == addition_checksum(backward)[0]
+        assert fletcher_checksum(forward)[0] != fletcher_checksum(backward)[0]
+
+    def test_fletcher_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            fletcher_checksum(_groups(), num_bits=24)
+
+    def test_adler_empty_group_is_one(self):
+        assert adler_checksum(np.zeros((1, 0), dtype=np.uint8))[0] == 1
+
+    def test_adler_known_value(self):
+        """Adler-32 of the ASCII bytes of 'Wikipedia' is 0x11E60398."""
+        payload = np.frombuffer(b"Wikipedia", dtype=np.uint8)[None, :]
+        assert adler_checksum(payload)[0] == 0x11E60398
+
+    def test_all_families_require_2d(self):
+        for family in CHECKSUM_FAMILIES.values():
+            with pytest.raises(ConfigurationError):
+                family(np.zeros(4, dtype=np.uint8))
+
+    def test_registry_lookup(self):
+        assert checksum_by_name("Fletcher") is fletcher_checksum
+        with pytest.raises(ConfigurationError):
+            checksum_by_name("md5")
+        assert set(CHECKSUM_BITS) == set(CHECKSUM_FAMILIES)
+
+    @pytest.mark.parametrize("name", sorted(CHECKSUM_FAMILIES))
+    def test_single_byte_corruption_detected(self, name):
+        """Every family detects a single corrupted byte (HD >= 2 over bytes)."""
+        family = CHECKSUM_FAMILIES[name]
+        groups = _groups(rows=3, columns=12, seed=3)
+        reference = family(groups)
+        corrupted = groups.copy()
+        corrupted[1, 5] ^= 0x80
+        current = family(corrupted)
+        assert current[1] != reference[1]
+        np.testing.assert_array_equal(np.delete(current, 1), np.delete(reference, 1))
+
+    @given(seed=st.integers(0, 5000), name=st.sampled_from(sorted(CHECKSUM_FAMILIES)))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_property(self, seed, name):
+        family = CHECKSUM_FAMILIES[name]
+        groups = _groups(rows=2, columns=10, seed=seed)
+        np.testing.assert_array_equal(family(groups), family(groups.copy()))
+
+
+class TestChecksumProtector:
+    @pytest.fixture()
+    def model(self):
+        mlp = MLP(input_dim=48, num_classes=4, hidden_dims=(32,), seed=51)
+        quantize_model(mlp)
+        return mlp
+
+    @pytest.mark.parametrize("family", sorted(CHECKSUM_FAMILIES))
+    def test_detects_msb_flip(self, model, family):
+        protector = ChecksumProtector(group_size=16, family=family).protect(model)
+        name, layer = quantized_layers(model)[0]
+        apply_bit_flips(model, [make_bit_flip(name, layer.qweight, 3, MSB_POSITION)])
+        report = protector.scan(model)
+        assert report.attack_detected
+        assert report.is_flagged(name, protector.group_of(name, 3))
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChecksumProtector(group_size=16, family="sha256")
+
+    def test_storage_reflects_family_width(self, model):
+        xor = ChecksumProtector(group_size=16, family="xor").protect(model)
+        adler = ChecksumProtector(group_size=16, family="adler").protect(model)
+        assert xor.bits_per_group == 8
+        assert adler.bits_per_group == 32
+        assert adler.storage_bits() == 4 * xor.storage_bits()
+
+    def test_name_encodes_family(self, model):
+        assert ChecksumProtector(group_size=8, family="fletcher").name == "checksum-fletcher"

@@ -1,0 +1,186 @@
+"""Tests for :mod:`repro.data` (synthetic datasets and the batch loader)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.loader import DataLoader, iterate_batches
+from repro.data.synthetic import (
+    Dataset,
+    SyntheticImageDataset,
+    SyntheticSpec,
+    make_cifar10_like,
+    make_imagenet_like,
+    make_tiny_dataset,
+)
+from repro.errors import ConfigurationError
+
+
+class TestDataset:
+    def test_length_and_classes(self):
+        data = Dataset(np.zeros((10, 3, 4, 4), dtype=np.float32), np.arange(10) % 3)
+        assert len(data) == 10
+        assert data.num_classes == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Dataset(np.zeros((10, 3, 4, 4)), np.zeros(9, dtype=np.int64))
+
+    def test_subset_is_deterministic(self):
+        data = Dataset(np.arange(40).reshape(10, 4).astype(np.float32), np.arange(10))
+        a = data.subset(5, seed=3)
+        b = data.subset(5, seed=3)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert len(a) == 5
+
+    def test_subset_never_exceeds_size(self):
+        data = Dataset(np.zeros((4, 2), dtype=np.float32), np.zeros(4, dtype=np.int64))
+        assert len(data.subset(100)) == 4
+
+    def test_batches_cover_everything_in_order(self):
+        data = Dataset(np.arange(10)[:, None].astype(np.float32), np.arange(10))
+        batches = list(data.batches(4))
+        assert [len(labels) for _, labels in batches] == [4, 4, 2]
+        np.testing.assert_array_equal(np.concatenate([lab for _, lab in batches]), np.arange(10))
+
+
+class TestSyntheticSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(num_classes=1)
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(image_size=4, prototype_resolution=8)
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(noise_std=-1)
+        with pytest.raises(ConfigurationError):
+            SyntheticSpec(label_noise=1.0)
+
+
+class TestSyntheticImageDataset:
+    def test_shapes_and_dtypes(self):
+        spec = SyntheticSpec(num_classes=3, image_size=16, train_size=20, test_size=10, seed=1)
+        train, test = SyntheticImageDataset(spec).splits()
+        assert train.images.shape == (20, 3, 16, 16)
+        assert test.images.shape == (10, 3, 16, 16)
+        assert train.images.dtype == np.float32
+        assert train.labels.dtype == np.int64
+        assert train.labels.min() >= 0 and train.labels.max() < 3
+
+    def test_deterministic_given_seed(self):
+        spec = SyntheticSpec(num_classes=3, image_size=16, train_size=12, test_size=6, seed=9)
+        first = SyntheticImageDataset(spec).train_split()
+        second = SyntheticImageDataset(spec).train_split()
+        np.testing.assert_array_equal(first.images, second.images)
+        np.testing.assert_array_equal(first.labels, second.labels)
+
+    def test_different_seeds_differ(self):
+        base = SyntheticSpec(num_classes=3, image_size=16, train_size=12, test_size=6, seed=1)
+        other = SyntheticSpec(num_classes=3, image_size=16, train_size=12, test_size=6, seed=2)
+        a = SyntheticImageDataset(base).train_split()
+        b = SyntheticImageDataset(other).train_split()
+        assert not np.array_equal(a.images, b.images)
+
+    def test_train_and_test_are_disjoint_draws(self):
+        spec = SyntheticSpec(num_classes=3, image_size=16, train_size=12, test_size=12, seed=1)
+        dataset = SyntheticImageDataset(spec)
+        assert not np.array_equal(dataset.train_split().images[:5], dataset.test_split().images[:5])
+
+    def test_prototypes_are_unit_rms(self):
+        spec = SyntheticSpec(num_classes=4, image_size=16, seed=3)
+        prototypes = SyntheticImageDataset(spec).prototypes
+        rms = np.sqrt((prototypes ** 2).mean(axis=(1, 2, 3)))
+        np.testing.assert_allclose(rms, 1.0, atol=1e-6)
+
+    def test_class_signal_is_learnable(self):
+        """A nearest-prototype classifier beats chance by a wide margin."""
+        spec = SyntheticSpec(
+            num_classes=4, image_size=16, train_size=0, test_size=200, noise_std=0.4, seed=5
+        )
+        generator = SyntheticImageDataset(spec)
+        test = generator.test_split()
+        prototypes = generator.prototypes.reshape(4, -1)
+        flat = test.images.reshape(len(test), -1)
+        predictions = (flat @ prototypes.T).argmax(axis=1)
+        accuracy = (predictions == test.labels).mean()
+        assert accuracy > 0.5  # chance is 0.25
+
+    def test_label_noise_caps_achievable_accuracy(self):
+        spec = SyntheticSpec(
+            num_classes=4, image_size=16, train_size=0, test_size=400,
+            noise_std=0.1, label_noise=0.5, seed=6,
+        )
+        generator = SyntheticImageDataset(spec)
+        test = generator.test_split()
+        prototypes = generator.prototypes.reshape(4, -1)
+        predictions = (test.images.reshape(len(test), -1) @ prototypes.T).argmax(axis=1)
+        accuracy = (predictions == test.labels).mean()
+        assert accuracy < 0.85
+
+
+class TestFactories:
+    def test_cifar10_like_shape(self):
+        train, test = make_cifar10_like(train_size=30, test_size=10, seed=1)
+        assert train.images.shape == (30, 3, 32, 32)
+        assert train.num_classes == 10
+
+    def test_imagenet_like_configurable(self):
+        train, test = make_imagenet_like(num_classes=7, image_size=24, train_size=20, test_size=10)
+        assert train.images.shape == (20, 3, 24, 24)
+        assert train.num_classes <= 7
+
+    def test_tiny_dataset(self):
+        train, test = make_tiny_dataset(num_classes=4, image_size=8, train_size=16, test_size=8)
+        assert train.images.shape == (16, 3, 8, 8)
+
+
+class TestDataLoader:
+    def _dataset(self, count=20):
+        return Dataset(
+            np.arange(count * 2).reshape(count, 2).astype(np.float32),
+            np.arange(count, dtype=np.int64) % 4,
+        )
+
+    def test_len_with_and_without_drop_last(self):
+        data = self._dataset(10)
+        assert len(DataLoader(data, batch_size=4)) == 3
+        assert len(DataLoader(data, batch_size=4, drop_last=True)) == 2
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoader(self._dataset(), batch_size=0)
+
+    def test_covers_all_samples_once_per_epoch(self):
+        data = self._dataset(17)
+        loader = DataLoader(data, batch_size=5, shuffle=True, seed=3)
+        labels = np.concatenate([labels for _, labels in loader])
+        assert labels.size == 17
+        np.testing.assert_array_equal(np.sort(labels), np.sort(data.labels))
+
+    def test_shuffle_changes_between_epochs_but_is_seed_deterministic(self):
+        data = self._dataset(16)
+        loader_a = DataLoader(data, batch_size=16, shuffle=True, seed=3)
+        loader_b = DataLoader(data, batch_size=16, shuffle=True, seed=3)
+        epoch1_a = next(iter(loader_a))[1]
+        epoch1_b = next(iter(loader_b))[1]
+        np.testing.assert_array_equal(epoch1_a, epoch1_b)
+        epoch2_a = next(iter(loader_a))[1]
+        assert not np.array_equal(epoch1_a, epoch2_a)
+
+    def test_no_shuffle_preserves_order(self):
+        data = self._dataset(8)
+        loader = DataLoader(data, batch_size=3, shuffle=False)
+        first_images, _ = next(iter(loader))
+        np.testing.assert_array_equal(first_images, data.images[:3])
+
+    def test_drop_last_skips_ragged_batch(self):
+        data = self._dataset(10)
+        loader = DataLoader(data, batch_size=4, shuffle=False, drop_last=True)
+        sizes = [labels.size for _, labels in loader]
+        assert sizes == [4, 4]
+
+    def test_iterate_batches_helper(self):
+        images = np.zeros((7, 2), dtype=np.float32)
+        labels = np.arange(7)
+        sizes = [lab.size for _, lab in iterate_batches(images, labels, 3)]
+        assert sizes == [3, 3, 1]

@@ -1,0 +1,161 @@
+"""Tests for the remaining experiment harnesses: trade-off, knowledgeable-attacker and characterization driver.
+
+These mirror the benchmark code paths on a tiny trained model with one attack
+round so the whole file runs in a few seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RadarConfig
+from repro.data.synthetic import make_tiny_dataset
+from repro.experiments.characterization import run_characterization
+from repro.experiments.common import ExperimentContext
+from repro.experiments.knowledgeable import (
+    fig7_knowledgeable_sweep,
+    generate_paired_profiles,
+    msb1_attack_study,
+)
+from repro.experiments.tradeoff import fig6_storage_tradeoff
+from repro.models.training import TrainConfig
+from repro.models.zoo import ZooEntry, register_setup
+from repro.quant.layers import quantized_layers
+
+
+@pytest.fixture(scope="module")
+def tiny_context(tmp_path_factory):
+    entry = ZooEntry(
+        name="unit-harness-tiny",
+        model_name="mlp",
+        model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (32,))),
+        dataset_builder=lambda: make_tiny_dataset(
+            num_classes=4, image_size=8, train_size=256, test_size=128, seed=31
+        ),
+        train_config=TrainConfig(epochs=4, batch_size=64, lr=3e-3, optimizer="adam", seed=9),
+    )
+    register_setup(entry, overwrite=True)
+    cache_dir = tmp_path_factory.mktemp("harness-cache")
+    return ExperimentContext.load("unit-harness-tiny", cache_dir=cache_dir)
+
+
+class TestCharacterizationDriver:
+    def test_run_characterization_produces_all_three_artifacts(self, tiny_context):
+        results = run_characterization(
+            tiny_context, group_sizes=(8, 32), num_flips=2, rounds=1, seed=3
+        )
+        assert set(results) == {"table1", "table2", "fig2"}
+        table1 = results["table1"][0]
+        assert table1["model"] == tiny_context.model_name
+        assert table1["msb_0_to_1"] + table1["msb_1_to_0"] + table1["others"] == 2
+        assert len(results["fig2"]) == 2
+        assert all(0.0 <= row["multi_flip_proportion"] <= 1.0 for row in results["fig2"])
+
+    def test_characterization_leaves_model_clean(self, tiny_context):
+        before = {
+            name: layer.qweight.copy() for name, layer in quantized_layers(tiny_context.model)
+        }
+        run_characterization(tiny_context, group_sizes=(8,), num_flips=2, rounds=1, seed=4)
+        for name, layer in quantized_layers(tiny_context.model):
+            np.testing.assert_array_equal(layer.qweight, before[name])
+
+
+class TestTradeoffHarness:
+    def test_fig6_rows_report_storage_and_recovery(self, tiny_context):
+        rows = fig6_storage_tradeoff(
+            tiny_context, group_sizes=(8, 32), num_flips=2, rounds=1, seed=5
+        )
+        assert [row["group_size"] for row in rows] == [8, 32]
+        # Storage halves (roughly) when the group size quadruples.
+        assert rows[0]["storage_kb"] > rows[1]["storage_kb"]
+        for row in rows:
+            assert 0.0 <= row["recovered_accuracy"] <= 1.0
+            # On a tiny model a weak attack may barely move the accuracy while
+            # zeroing a whole group costs a little, so recovery only has to
+            # stay in the same neighbourhood rather than strictly improve.
+            assert row["recovered_accuracy"] >= row["attacked_accuracy"] - 0.2
+            assert row["rounds"] == 1
+
+
+class TestKnowledgeableHarness:
+    def test_generate_paired_profiles_roughly_doubles_flips(self, tiny_context):
+        profiles = generate_paired_profiles(
+            tiny_context, num_flips=3, assumed_group_size=16, rounds=1, seed=6
+        )
+        assert len(profiles) == 1
+        assert 3 <= len(profiles[0]) <= 6
+        assert profiles[0].accuracy_after is not None
+
+    def test_fig7_sweep_reports_both_layouts(self, tiny_context):
+        profiles = generate_paired_profiles(
+            tiny_context, num_flips=3, assumed_group_size=16, rounds=1, seed=7
+        )
+        rows = fig7_knowledgeable_sweep(tiny_context, profiles, group_sizes=(8, 16))
+        assert len(rows) == 4
+        for row in rows:
+            assert 0 <= row["detected_mean"] <= row["num_flips"]
+            assert 0.0 <= row["recovered_accuracy"] <= 1.0
+
+    def test_msb1_study_three_bit_signature_detects_more(self, tiny_context):
+        rows = msb1_attack_study(
+            tiny_context, num_flips_low_bit=6, group_size=16, rounds=1, seed=8
+        )
+        by_bits = {row["signature_bits"]: row for row in rows}
+        assert set(by_bits) == {2, 3}
+        assert by_bits[3]["detected_mean"] >= by_bits[2]["detected_mean"]
+        # The 3-bit signature catches (essentially) every MSB-1 flip.
+        assert by_bits[3]["detected_mean"] >= 0.8 * by_bits[3]["num_flips"]
+
+
+class TestCliSlowPaths:
+    """The CLI subcommands that run attacks, exercised on the tiny setup."""
+
+    def test_detect_command(self, tiny_context, tmp_path, capsys):
+        from repro.cli import main
+
+        output = tmp_path / "detect.json"
+        code = main(
+            [
+                "detect",
+                "--setup", "unit-harness-tiny",
+                "--rounds", "1",
+                "--num-flips", "2",
+                "--group-sizes", "16",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "detected" in capsys.readouterr().out
+
+    def test_characterize_command(self, tiny_context, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "characterize",
+                "--setup", "unit-harness-tiny",
+                "--rounds", "1",
+                "--num-flips", "2",
+                "--group-sizes", "8", "16",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Fig. 2" in out
+
+    def test_recover_command(self, tiny_context, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "recover",
+                "--setup", "unit-harness-tiny",
+                "--rounds", "1",
+                "--num-flips", "5",
+                "--group-sizes", "16",
+            ]
+        )
+        assert code == 0
+        assert "recovery" in capsys.readouterr().out.lower()

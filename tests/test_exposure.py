@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.experiments.exposure` (inline vs periodic checking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackProfile
+from repro.attacks.bitflip import make_bit_flip
+from repro.core import RadarConfig
+from repro.data.synthetic import make_tiny_dataset
+from repro.experiments.common import ExperimentContext
+from repro.experiments.exposure import exposure_study, serve_with_attack
+from repro.models.training import TrainConfig
+from repro.models.zoo import ZooEntry, register_setup
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantized_layers
+
+
+@pytest.fixture(scope="module")
+def tiny_context(tmp_path_factory):
+    entry = ZooEntry(
+        name="unit-exposure-tiny",
+        model_name="mlp",
+        model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (32,))),
+        dataset_builder=lambda: make_tiny_dataset(
+            num_classes=4, image_size=8, train_size=256, test_size=192, seed=47
+        ),
+        train_config=TrainConfig(epochs=4, batch_size=64, lr=3e-3, optimizer="adam", seed=11),
+    )
+    register_setup(entry, overwrite=True)
+    return ExperimentContext.load(
+        "unit-exposure-tiny", cache_dir=tmp_path_factory.mktemp("exposure-cache")
+    )
+
+
+@pytest.fixture(scope="module")
+def msb_profile(tiny_context):
+    name, layer = quantized_layers(tiny_context.model)[0]
+    flips = [make_bit_flip(name, layer.qweight, index, MSB_POSITION) for index in (0, 100, 300)]
+    return AttackProfile(flips=flips, model_name=tiny_context.model_name)
+
+
+class TestServeWithAttack:
+    def test_inline_checking_has_zero_exposure(self, tiny_context, msb_profile):
+        result = serve_with_attack(
+            tiny_context, msb_profile, RadarConfig(group_size=16),
+            check_every=1, num_batches=8, batch_size=16, attack_at_batch=2,
+        )
+        assert result["exposed_batches"] == 0
+        assert result["detected_at_batch"] == 2
+
+    def test_periodic_checking_serves_corrupted_batches(self, tiny_context, msb_profile):
+        result = serve_with_attack(
+            tiny_context, msb_profile, RadarConfig(group_size=16),
+            check_every=4, num_batches=8, batch_size=16, attack_at_batch=2,
+        )
+        # The attack lands at batch 2; the periodic checker only looks every
+        # 4th batch, so at least one corrupted batch is served first.
+        assert result["exposed_batches"] >= 1
+        assert result["detected_at_batch"] > 2
+
+    def test_model_restored_after_serving(self, tiny_context, msb_profile):
+        before = {
+            name: layer.qweight.copy() for name, layer in quantized_layers(tiny_context.model)
+        }
+        serve_with_attack(
+            tiny_context, msb_profile, RadarConfig(group_size=16),
+            check_every=2, num_batches=6, batch_size=16, attack_at_batch=1,
+        )
+        for name, layer in quantized_layers(tiny_context.model):
+            np.testing.assert_array_equal(layer.qweight, before[name])
+
+    def test_invalid_attack_batch(self, tiny_context, msb_profile):
+        with pytest.raises(ValueError):
+            serve_with_attack(
+                tiny_context, msb_profile, RadarConfig(group_size=16),
+                check_every=1, num_batches=4, attack_at_batch=9,
+            )
+
+
+class TestExposureStudy:
+    def test_exposure_grows_with_check_interval(self, tiny_context, msb_profile):
+        rows = exposure_study(
+            tiny_context,
+            [msb_profile],
+            group_size=16,
+            check_every_values=(1, 2, 4),
+            num_batches=10,
+            batch_size=16,
+            attack_at_batch=3,
+        )
+        assert [row["check_every"] for row in rows] == [1, 2, 4]
+        exposures = [row["exposed_batches_mean"] for row in rows]
+        assert exposures[0] == 0
+        assert exposures == sorted(exposures)
+        assert rows[0]["scheme"] == "inline (RADAR)"
+        assert rows[-1]["scheme"].startswith("periodic")

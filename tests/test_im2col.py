@@ -1,0 +1,116 @@
+"""Tests for the im2col / col2im transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.tensor.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size,kernel,stride,padding,expected",
+        [
+            (32, 3, 1, 1, 32),
+            (32, 3, 2, 1, 16),
+            (224, 7, 2, 3, 112),
+            (8, 8, 8, 0, 1),
+            (5, 3, 1, 0, 3),
+        ],
+    )
+    def test_known_sizes(self, size, kernel, stride, padding, expected):
+        assert conv_output_size(size, kernel, stride, padding) == expected
+
+    def test_invalid_configuration_raises(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_identity_kernel_1x1(self, rng):
+        images = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
+        columns = im2col(images, (1, 1), stride=1, padding=0)
+        assert columns.shape == (2 * 16, 3)
+        # Each row is the channel vector of one spatial position.
+        np.testing.assert_allclose(columns[0], images[0, :, 0, 0])
+        np.testing.assert_allclose(columns[-1], images[1, :, 3, 3])
+
+    def test_shapes_3x3(self, rng):
+        images = rng.normal(size=(2, 5, 8, 8)).astype(np.float32)
+        columns = im2col(images, (3, 3), stride=1, padding=1)
+        assert columns.shape == (2 * 8 * 8, 5 * 9)
+
+    def test_padding_adds_zeros(self):
+        images = np.ones((1, 1, 2, 2), dtype=np.float32)
+        columns = im2col(images, (3, 3), stride=1, padding=1)
+        # Corner patch includes 5 padded zeros (3x3 window centred at (0,0)).
+        assert columns.shape == (4, 9)
+        assert np.count_nonzero(columns[0]) == 4
+
+    def test_rejects_non_4d(self):
+        with pytest.raises(ShapeError):
+            im2col(np.zeros((3, 4, 4)), (3, 3))
+
+    def test_matches_naive_convolution(self, rng):
+        """im2col @ flattened-kernel equals a direct nested-loop convolution."""
+        images = rng.normal(size=(1, 2, 6, 6)).astype(np.float64)
+        kernel = rng.normal(size=(3, 2, 3, 3)).astype(np.float64)
+        stride, padding = 2, 1
+        out_size = conv_output_size(6, 3, stride, padding)
+
+        columns = im2col(images, (3, 3), stride, padding)
+        # Rows are ordered (batch, out_row, out_col); columns of the product are output channels.
+        fast = (columns @ kernel.reshape(3, -1).T).reshape(1, out_size, out_size, 3)
+        fast = fast.transpose(0, 3, 1, 2)  # -> NCHW
+
+        padded = np.pad(images, ((0, 0), (0, 0), (1, 1), (1, 1)))
+        naive = np.zeros((1, 3, out_size, out_size))
+        for out_channel in range(3):
+            for row in range(out_size):
+                for col in range(out_size):
+                    patch = padded[0, :, row * stride:row * stride + 3, col * stride:col * stride + 3]
+                    naive[0, out_channel, row, col] = (patch * kernel[out_channel]).sum()
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+
+class TestCol2im:
+    def test_adjoint_property(self, rng):
+        """col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>."""
+        image_shape = (2, 3, 7, 7)
+        images = rng.normal(size=image_shape)
+        columns = im2col(images, (3, 3), stride=2, padding=1)
+        cotangent = rng.normal(size=columns.shape)
+        lhs = float((columns * cotangent).sum())
+        back = col2im(cotangent, image_shape, (3, 3), stride=2, padding=1)
+        rhs = float((images * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-9)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            col2im(np.zeros((10, 9)), (1, 1, 4, 4), (3, 3), stride=1, padding=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batch=st.integers(1, 3),
+        channels=st.integers(1, 4),
+        size=st.integers(4, 9),
+        stride=st.integers(1, 2),
+        padding=st.integers(0, 1),
+    )
+    def test_adjoint_property_hypothesis(self, batch, channels, size, stride, padding):
+        rng = np.random.default_rng(derive_key := batch * 1000 + channels * 100 + size)
+        kernel = 3
+        if size + 2 * padding < kernel:
+            return
+        image_shape = (batch, channels, size, size)
+        images = rng.normal(size=image_shape)
+        columns = im2col(images, (kernel, kernel), stride, padding)
+        cotangent = rng.normal(size=columns.shape)
+        lhs = float((columns * cotangent).sum())
+        back = col2im(cotangent, image_shape, (kernel, kernel), stride, padding)
+        rhs = float((images * back).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-8)

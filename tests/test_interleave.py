@@ -1,0 +1,213 @@
+"""Tests for :mod:`repro.core.interleave` (grouping and interleaving)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interleave import PAD_INDEX, GroupLayout
+from repro.errors import ProtectionError
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        layout = GroupLayout(num_weights=128, group_size=16, use_interleave=False)
+        assert layout.num_groups == 8
+        assert layout.padded_size == 128
+
+    def test_padding_when_not_divisible(self):
+        layout = GroupLayout(num_weights=100, group_size=16, use_interleave=False)
+        assert layout.num_groups == 7
+        assert layout.padded_size == 112
+
+    @pytest.mark.parametrize("num_weights", [0, -5])
+    def test_invalid_num_weights(self, num_weights):
+        with pytest.raises(ProtectionError):
+            GroupLayout(num_weights=num_weights, group_size=8, use_interleave=False)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ProtectionError):
+            GroupLayout(num_weights=16, group_size=1, use_interleave=False)
+
+    def test_group_size_larger_than_layer(self):
+        layout = GroupLayout(num_weights=10, group_size=64, use_interleave=True)
+        assert layout.num_groups == 1
+        assert layout.members_of(0).size == 10
+
+    def test_describe_keys(self):
+        layout = GroupLayout(num_weights=64, group_size=8, use_interleave=True)
+        description = layout.describe()
+        assert description["num_weights"] == 64
+        assert description["num_groups"] == 8
+        assert description["interleaved"] == 1
+
+
+class TestContiguousLayout:
+    def test_groups_are_contiguous_blocks(self):
+        layout = GroupLayout(num_weights=32, group_size=8, use_interleave=False)
+        np.testing.assert_array_equal(layout.members_of(0), np.arange(0, 8))
+        np.testing.assert_array_equal(layout.members_of(3), np.arange(24, 32))
+
+    def test_group_of_matches_blocks(self):
+        layout = GroupLayout(num_weights=32, group_size=8, use_interleave=False)
+        assert layout.group_of(0) == 0
+        assert layout.group_of(7) == 0
+        assert layout.group_of(8) == 1
+        assert layout.group_of(31) == 3
+
+
+class TestInterleavedLayout:
+    def test_members_are_spread_apart(self):
+        """Interleaved group members are never adjacent in memory.
+
+        With the t-interleave the gap between consecutive members is either
+        ``num_groups + t`` or (when the rotation wraps) ``t``, so it is always
+        at least the offset ``t`` and most gaps span a whole row of
+        ``num_groups`` indices.
+        """
+        layout = GroupLayout(num_weights=128, group_size=8, use_interleave=True)
+        for group_index in range(layout.num_groups):
+            members = np.sort(layout.members_of(group_index))
+            gaps = np.diff(members)
+            assert gaps.min() >= layout.interleave_offset
+            assert gaps.max() >= layout.num_groups
+
+    def test_basic_interleave_matches_fig3(self):
+        """With t = 0, N = 16 groups of N_W = 8: group 0 holds 0, 16, 32, ..."""
+        layout = GroupLayout(
+            num_weights=128, group_size=8, use_interleave=True, interleave_offset=0
+        )
+        np.testing.assert_array_equal(np.sort(layout.members_of(0)), np.arange(0, 128, 16))
+
+    def test_offset_rotates_rows(self):
+        """With t = 3, consecutive rows of the index matrix are rotated by 3."""
+        layout = GroupLayout(
+            num_weights=64, group_size=8, use_interleave=True, interleave_offset=3
+        )
+        # Index 0 (row 0, column 0) is in group 0; index 8 (row 1, column 0)
+        # is in group (0 - 3) mod 8 = 5.
+        assert layout.group_of(0) == 0
+        assert layout.group_of(8) == 5
+
+    def test_single_group_degenerates_to_contiguous(self):
+        layout = GroupLayout(num_weights=16, group_size=16, use_interleave=True)
+        np.testing.assert_array_equal(np.sort(layout.members_of(0)), np.arange(16))
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("use_interleave", [False, True])
+    @pytest.mark.parametrize("num_weights,group_size", [(64, 8), (100, 16), (37, 5), (513, 32)])
+    def test_groups_form_a_partition(self, num_weights, group_size, use_interleave):
+        layout = GroupLayout(
+            num_weights=num_weights, group_size=group_size, use_interleave=use_interleave
+        )
+        all_members = np.concatenate(
+            [layout.members_of(g) for g in range(layout.num_groups)]
+        )
+        assert all_members.size == num_weights
+        np.testing.assert_array_equal(np.sort(all_members), np.arange(num_weights))
+
+    @pytest.mark.parametrize("use_interleave", [False, True])
+    def test_group_of_consistent_with_members_of(self, use_interleave):
+        layout = GroupLayout(num_weights=90, group_size=16, use_interleave=use_interleave)
+        for group_index in range(layout.num_groups):
+            for member in layout.members_of(group_index):
+                assert layout.group_of(int(member)) == group_index
+
+    def test_groups_matrix_pads_with_sentinel(self):
+        layout = GroupLayout(num_weights=20, group_size=8, use_interleave=False)
+        groups = layout.groups
+        assert groups.shape == (3, 8)
+        assert (groups == PAD_INDEX).sum() == 4
+
+    def test_groups_property_returns_copy(self):
+        layout = GroupLayout(num_weights=16, group_size=4, use_interleave=False)
+        groups = layout.groups
+        groups[:] = -99
+        assert (layout.groups != -99).any()
+
+
+class TestGatherScatter:
+    def test_gather_places_values_by_group(self):
+        layout = GroupLayout(num_weights=16, group_size=4, use_interleave=False)
+        values = np.arange(16, dtype=np.int64)
+        gathered = layout.gather(values)
+        np.testing.assert_array_equal(gathered[0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(gathered[3], [12, 13, 14, 15])
+
+    def test_gather_pads_with_zeros(self):
+        layout = GroupLayout(num_weights=6, group_size=4, use_interleave=False)
+        gathered = layout.gather(np.ones(6, dtype=np.int64))
+        assert gathered.shape == (2, 4)
+        assert gathered.sum() == 6  # the two padded slots contribute nothing
+
+    def test_gather_rejects_wrong_shape(self):
+        layout = GroupLayout(num_weights=8, group_size=4, use_interleave=False)
+        with pytest.raises(ProtectionError):
+            layout.gather(np.ones(9))
+
+    def test_scatter_mask_covers_exactly_the_flagged_groups(self):
+        layout = GroupLayout(num_weights=64, group_size=8, use_interleave=True)
+        mask = layout.scatter_mask(np.array([2, 5]))
+        expected = np.zeros(64, dtype=bool)
+        expected[layout.members_of(2)] = True
+        expected[layout.members_of(5)] = True
+        np.testing.assert_array_equal(mask, expected)
+        assert mask.sum() == 16
+
+    def test_scatter_mask_accepts_scalar(self):
+        layout = GroupLayout(num_weights=32, group_size=8, use_interleave=False)
+        mask = layout.scatter_mask(np.int64(1))
+        assert mask.sum() == 8
+
+    def test_scatter_mask_empty(self):
+        layout = GroupLayout(num_weights=32, group_size=8, use_interleave=False)
+        assert layout.scatter_mask(np.empty(0, dtype=np.int64)).sum() == 0
+
+    def test_out_of_range_queries_raise(self):
+        layout = GroupLayout(num_weights=32, group_size=8, use_interleave=False)
+        with pytest.raises(ProtectionError):
+            layout.group_of(32)
+        with pytest.raises(ProtectionError):
+            layout.group_of(-1)
+        with pytest.raises(ProtectionError):
+            layout.members_of(4)
+
+
+class TestPropertyBased:
+    @given(
+        num_weights=st.integers(min_value=2, max_value=400),
+        group_size=st.integers(min_value=2, max_value=64),
+        use_interleave=st.booleans(),
+        offset=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_property(self, num_weights, group_size, use_interleave, offset):
+        layout = GroupLayout(
+            num_weights=num_weights,
+            group_size=group_size,
+            use_interleave=use_interleave,
+            interleave_offset=offset,
+        )
+        seen = np.concatenate([layout.members_of(g) for g in range(layout.num_groups)])
+        np.testing.assert_array_equal(np.sort(seen), np.arange(num_weights))
+        # Every group has at most group_size members and at least one
+        # (padding-only groups are impossible because padding is < group_size per group).
+        sizes = [layout.members_of(g).size for g in range(layout.num_groups)]
+        assert max(sizes) <= group_size
+        assert sum(sizes) == num_weights
+
+    @given(
+        num_weights=st.integers(min_value=4, max_value=300),
+        group_size=st.integers(min_value=2, max_value=32),
+        use_interleave=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gather_preserves_total_sum(self, num_weights, group_size, use_interleave):
+        layout = GroupLayout(
+            num_weights=num_weights, group_size=group_size, use_interleave=use_interleave
+        )
+        values = np.arange(1, num_weights + 1, dtype=np.int64)
+        assert layout.gather(values).sum() == values.sum()

@@ -1,0 +1,82 @@
+"""Tests for :mod:`repro.core.masking` (secret-key weight masking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.masking import SecretKey
+from repro.errors import ProtectionError
+
+
+class TestSecretKey:
+    def test_generate_is_deterministic_per_layer(self):
+        a = SecretKey.generate(16, seed=2021, layer_name="conv1")
+        b = SecretKey.generate(16, seed=2021, layer_name="conv1")
+        assert a == b
+
+    def test_generate_differs_across_layers(self):
+        a = SecretKey.generate(16, seed=2021, layer_name="conv1")
+        b = SecretKey.generate(16, seed=2021, layer_name="conv2")
+        assert a != b
+
+    def test_generate_differs_across_seeds(self):
+        a = SecretKey.generate(16, seed=1, layer_name="conv1")
+        b = SecretKey.generate(16, seed=2, layer_name="conv1")
+        assert a != b
+
+    def test_num_bits(self):
+        assert SecretKey.generate(16, seed=0).num_bits == 16
+        assert SecretKey((1, 0, 1)).num_bits == 3
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ProtectionError):
+            SecretKey(())
+        with pytest.raises(ProtectionError):
+            SecretKey((0, 2, 1))
+
+    def test_generate_invalid_length(self):
+        with pytest.raises(ProtectionError):
+            SecretKey.generate(0, seed=0)
+
+    def test_signs_values_and_mapping(self):
+        key = SecretKey((1, 0, 1, 1))
+        signs = key.signs(4)
+        np.testing.assert_array_equal(signs, [1, -1, 1, 1])
+
+    def test_signs_cycle_beyond_key_length(self):
+        key = SecretKey((1, 0))
+        signs = key.signs(5)
+        np.testing.assert_array_equal(signs, [1, -1, 1, -1, 1])
+
+    def test_signs_truncate_below_key_length(self):
+        key = SecretKey((1, 0, 0, 1))
+        np.testing.assert_array_equal(key.signs(2), [1, -1])
+
+    def test_signs_invalid_group_size(self):
+        with pytest.raises(ProtectionError):
+            SecretKey((1,)).signs(0)
+
+    def test_as_int_packs_lsb_first(self):
+        assert SecretKey((1, 0, 1)).as_int() == 0b101
+        assert SecretKey((0, 1)).as_int() == 2
+
+    @given(num_bits=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_generated_keys_are_binary(self, num_bits):
+        key = SecretKey.generate(num_bits, seed=7, layer_name="layer")
+        assert len(key.bits) == num_bits
+        assert set(key.bits) <= {0, 1}
+        assert 0 <= key.as_int() < (1 << num_bits)
+
+    @given(
+        bits=st.lists(st.sampled_from([0, 1]), min_size=1, max_size=32),
+        group_size=st.integers(min_value=1, max_value=128),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_signs_always_plus_minus_one(self, bits, group_size):
+        signs = SecretKey(tuple(bits)).signs(group_size)
+        assert signs.shape == (group_size,)
+        assert set(np.unique(signs)) <= {-1, 1}

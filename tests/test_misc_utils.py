@@ -1,0 +1,97 @@
+"""Tests for the small support modules: errors, version, logging, init, schedulers."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    AttackError,
+    ConfigurationError,
+    ProtectionError,
+    QuantizationError,
+    ReproError,
+    ShapeError,
+    SimulationError,
+)
+from repro.nn.init import kaiming_normal, kaiming_uniform, ones, xavier_uniform, zeros
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD
+from repro.nn.scheduler import CosineAnnealingLR
+from repro.utils.logging import get_logger
+from repro.utils.rng import new_rng
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "error_type",
+        [ConfigurationError, ShapeError, QuantizationError, AttackError, ProtectionError, SimulationError],
+    )
+    def test_all_errors_derive_from_repro_error(self, error_type):
+        assert issubclass(error_type, ReproError)
+        assert issubclass(error_type, Exception)
+        with pytest.raises(ReproError):
+            raise error_type("boom")
+
+    def test_errors_are_distinct(self):
+        assert not issubclass(AttackError, ProtectionError)
+        assert not issubclass(ProtectionError, AttackError)
+
+
+class TestVersion:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+        assert all(part.isdigit() for part in parts[:2])
+
+
+class TestLogging:
+    def test_logger_namespacing_and_reuse(self):
+        a = get_logger("unit.alpha")
+        b = get_logger("unit.alpha")
+        assert a is b
+        assert a.name == "repro.unit.alpha"
+
+    def test_level_follows_environment_default(self):
+        logger = get_logger("unit.beta")
+        # The configured default level is WARNING, so info is filtered out.
+        assert not logger.isEnabledFor(logging.DEBUG)
+
+
+class TestInitializers:
+    def test_shapes(self):
+        rng = new_rng("init")
+        for factory in (kaiming_normal, kaiming_uniform, xavier_uniform):
+            tensor = factory((8, 4, 3, 3), rng)
+            assert tensor.shape == (8, 4, 3, 3)
+        assert zeros((3, 3)).sum() == 0
+        assert ones((3, 3)).sum() == 9
+
+    def test_kaiming_scale_tracks_fan_in(self):
+        rng = new_rng("init-scale")
+        small_fan = kaiming_normal((64, 4, 3, 3), rng)
+        large_fan = kaiming_normal((64, 256, 3, 3), rng)
+        assert small_fan.std() > large_fan.std()
+
+    def test_deterministic_given_rng_seed(self):
+        a = kaiming_uniform((16, 8), new_rng(("init", 1)))
+        b = kaiming_uniform((16, 8), new_rng(("init", 1)))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestCosineScheduleShape:
+    """Complements the endpoint checks in test_optim.py with a shape property."""
+
+    def test_cosine_lr_is_monotone_decreasing(self):
+        optimizer = SGD([Parameter(np.zeros(1))], lr=1.0)
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, eta_min=0.0)
+        lrs = []
+        for _ in range(10):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert all(lrs[i + 1] <= lrs[i] + 1e-12 for i in range(len(lrs) - 1))
+        assert lrs[-1] == pytest.approx(0.0, abs=1e-6)

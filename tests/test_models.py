@@ -1,0 +1,179 @@
+"""Tests for :mod:`repro.models`: registry, architectures and the zoo."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_tiny_dataset
+from repro.errors import ConfigurationError
+from repro.models.registry import available_models, build_model, register_model
+from repro.models.resnet_cifar import resnet20, resnet32
+from repro.models.resnet_imagenet import resnet18
+from repro.models.small import LeNet5, MLP
+from repro.models.training import TrainConfig
+from repro.models.zoo import ModelZoo, ZooEntry, available_setups, get_pretrained, register_setup
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+class TestRegistry:
+    def test_builtin_models_registered(self):
+        names = available_models()
+        for expected in ("resnet20", "resnet32", "resnet18", "lenet5", "mlp"):
+            assert expected in names
+
+    def test_build_model_passes_kwargs(self):
+        model = build_model("mlp", input_dim=12, num_classes=3, hidden_dims=(8,))
+        assert model.input_dim == 12
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_model("transformer-xl")
+
+    def test_register_custom_model_and_duplicate_rejected(self):
+        register_model("unit-test-model", lambda **kwargs: MLP(input_dim=4, num_classes=2))
+        assert "unit-test-model" in available_models()
+        with pytest.raises(ConfigurationError):
+            register_model("unit-test-model", lambda **kwargs: MLP(input_dim=4, num_classes=2))
+
+    def test_names_are_case_insensitive(self):
+        assert type(build_model("ResNet20")).__name__ == "ResNetCIFAR"
+
+
+class TestResNetCifar:
+    def test_resnet20_parameter_count_matches_original(self):
+        """The canonical CIFAR-10 ResNet-20 has exactly 272,474 parameters."""
+        assert resnet20(num_classes=10).num_parameters() == 272_474
+
+    def test_resnet32_is_deeper(self):
+        assert resnet32(num_classes=10).num_parameters() == 466_906
+        assert len(quantized_layers(resnet32())) > len(quantized_layers(resnet20()))
+
+    def test_forward_backward_shapes(self):
+        model = resnet20(num_classes=10, seed=0)
+        images = np.random.default_rng(0).normal(size=(2, 3, 32, 32)).astype(np.float32)
+        logits = model(images)
+        assert logits.shape == (2, 10)
+        grad = model.backward(np.ones_like(logits))
+        assert grad.shape == images.shape
+
+    def test_all_conv_and_fc_layers_are_quantizable(self):
+        model = resnet20(num_classes=10)
+        layers = quantized_layers(model)
+        assert len(layers) == 22
+        quantize_model(model)
+        assert all(layer.is_quantized for _, layer in layers)
+
+    def test_num_classes_controls_head(self):
+        model = resnet20(num_classes=100)
+        name, fc = quantized_layers(model)[-1]
+        assert fc.weight.shape[0] == 100
+
+
+class TestResNetImageNet:
+    def test_resnet18_parameter_count_matches_original(self):
+        """The torchvision ResNet-18 (1000 classes) has 11,689,512 parameters."""
+        assert resnet18(num_classes=1000).num_parameters() == 11_689_512
+
+    def test_quantized_layer_count(self):
+        # 20 convolutions (incl. the two 1x1 downsample convs) + 1 fully connected.
+        assert len(quantized_layers(resnet18(num_classes=1000))) == 21
+
+    def test_small_input_stem_forward(self):
+        model = resnet18(num_classes=5, small_input=True, seed=1)
+        logits = model(np.zeros((1, 3, 32, 32), dtype=np.float32))
+        assert logits.shape == (1, 5)
+
+    def test_weight_bytes_match_paper_storage_math(self):
+        """11.17M weight bytes / 512 per group * 2 bits ~= 5.6 KB (paper's figure)."""
+        model = resnet18(num_classes=1000)
+        weights = sum(layer.weight.size for _, layer in quantized_layers(model))
+        groups = sum(
+            int(np.ceil(layer.weight.size / 512)) for _, layer in quantized_layers(model)
+        )
+        storage_kb = groups * 2 / 8 / 1024
+        assert 5.0 < storage_kb < 6.2
+        assert 11_000_000 < weights < 11_700_000
+
+
+class TestSmallModels:
+    def test_lenet_forward_backward(self):
+        model = LeNet5(num_classes=4, seed=2)
+        images = np.zeros((2, 3, 32, 32), dtype=np.float32)
+        logits = model(images)
+        assert logits.shape == (2, 4)
+        grad = model.backward(np.ones_like(logits))
+        assert grad.shape == images.shape
+
+    def test_mlp_flattens_images(self):
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, seed=3)
+        logits = model(np.zeros((5, 3, 8, 8), dtype=np.float32))
+        assert logits.shape == (5, 4)
+
+
+class TestZoo:
+    def test_available_setups_contains_paper_targets(self):
+        names = available_setups()
+        assert "resnet20-cifar" in names
+        assert "resnet18-imagenet" in names
+        assert "lenet-tiny" in names
+
+    def test_unknown_setup_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ModelZoo(cache_dir=tmp_path).load("resnet-9000")
+
+    def test_register_setup_duplicate_rejected(self):
+        entry = ZooEntry(
+            name="lenet-tiny",
+            model_name="mlp",
+            model_kwargs=(),
+            dataset_builder=lambda: make_tiny_dataset(),
+            train_config=TrainConfig(epochs=1),
+        )
+        with pytest.raises(ConfigurationError):
+            register_setup(entry)
+
+    def test_train_cache_and_reload_roundtrip(self, tmp_path):
+        """A custom tiny setup trains once, is cached, and reloads identically."""
+        entry = ZooEntry(
+            name="unit-zoo-tiny",
+            model_name="mlp",
+            model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (16,))),
+            dataset_builder=lambda: make_tiny_dataset(
+                num_classes=4, image_size=8, train_size=128, test_size=64, seed=5
+            ),
+            train_config=TrainConfig(epochs=2, batch_size=32, lr=3e-3, optimizer="adam", seed=1),
+            description="unit-test setup",
+        )
+        register_setup(entry, overwrite=True)
+        zoo = ModelZoo(cache_dir=tmp_path)
+        assert not zoo.is_cached("unit-zoo-tiny")
+        first = zoo.load("unit-zoo-tiny")
+        assert zoo.is_cached("unit-zoo-tiny")
+        assert 0.0 <= first.clean_accuracy <= 1.0
+        assert all(layer.is_quantized for _, layer in quantized_layers(first.model))
+
+        second = zoo.load("unit-zoo-tiny")
+        for (name_a, layer_a), (_, layer_b) in zip(
+            quantized_layers(first.model), quantized_layers(second.model)
+        ):
+            np.testing.assert_array_equal(layer_a.qweight, layer_b.qweight)
+        assert second.clean_accuracy == pytest.approx(first.clean_accuracy)
+
+        zoo.clear("unit-zoo-tiny")
+        assert not zoo.is_cached("unit-zoo-tiny")
+
+    def test_get_pretrained_uses_cache_dir(self, tmp_path):
+        entry = ZooEntry(
+            name="unit-zoo-tiny2",
+            model_name="mlp",
+            model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (16,))),
+            dataset_builder=lambda: make_tiny_dataset(
+                num_classes=4, image_size=8, train_size=96, test_size=48, seed=6
+            ),
+            train_config=TrainConfig(epochs=1, batch_size=32, lr=3e-3, optimizer="adam", seed=2),
+        )
+        register_setup(entry, overwrite=True)
+        bundle = get_pretrained("unit-zoo-tiny2", cache_dir=tmp_path)
+        assert bundle.name == "unit-zoo-tiny2"
+        assert (tmp_path / "zoo" / "unit-zoo-tiny2.npz").exists()

@@ -1,0 +1,164 @@
+"""Tests for the floating-point layers (Conv2d, BatchNorm2d, pooling, ...)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Identity,
+    Linear,
+    MaxPool2d,
+    ReLU,
+)
+from repro.nn.loss import CrossEntropyLoss
+from repro.tensor import functional as F
+
+
+class TestConv2dLayer:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, stride=2, padding=1)
+        output = layer(rng.normal(size=(2, 3, 8, 8)).astype(np.float32))
+        assert output.shape == (2, 8, 4, 4)
+
+    def test_backward_before_forward_raises(self):
+        layer = Conv2d(3, 8, kernel_size=3)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 8, 6, 6)))
+
+    def test_gradient_accumulates_on_weight(self, rng):
+        layer = Conv2d(2, 4, kernel_size=3, padding=1)
+        inputs = rng.normal(size=(1, 2, 5, 5)).astype(np.float32)
+        output = layer(inputs)
+        layer.backward(np.ones_like(output))
+        assert layer.weight.grad is not None
+        assert layer.weight.grad.shape == layer.weight.data.shape
+
+    def test_bias_option(self, rng):
+        layer = Conv2d(2, 4, kernel_size=1, bias=True)
+        assert layer.bias is not None
+        output = layer(rng.normal(size=(1, 2, 3, 3)).astype(np.float32))
+        layer.backward(np.ones_like(output))
+        assert layer.bias.grad is not None
+
+    def test_no_bias_by_default(self):
+        assert Conv2d(2, 4, kernel_size=3).bias is None
+
+    def test_layer_matches_functional(self, rng):
+        layer = Conv2d(3, 5, kernel_size=3, stride=1, padding=1)
+        inputs = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        expected, _ = F.conv2d_forward(inputs, layer.weight.data, None, 1, 1)
+        np.testing.assert_allclose(layer(inputs), expected, atol=1e-6)
+
+
+class TestLinearLayer:
+    def test_forward_backward(self, rng):
+        layer = Linear(6, 3)
+        inputs = rng.normal(size=(4, 6)).astype(np.float32)
+        output = layer(inputs)
+        assert output.shape == (4, 3)
+        grad_input = layer.backward(np.ones_like(output))
+        assert grad_input.shape == inputs.shape
+        assert layer.weight.grad.shape == (3, 6)
+        assert layer.bias.grad.shape == (3,)
+
+    def test_no_bias(self, rng):
+        layer = Linear(6, 3, bias=False)
+        assert layer.bias is None
+        layer(rng.normal(size=(2, 6)).astype(np.float32))
+
+
+class TestBatchNormLayer:
+    def test_running_stats_update_only_in_training(self, rng):
+        layer = BatchNorm2d(3)
+        inputs = rng.normal(loc=2.0, size=(8, 3, 4, 4)).astype(np.float32)
+        layer.train()
+        layer(inputs)
+        trained_mean = layer.running_mean.copy()
+        assert not np.allclose(trained_mean, 0.0)
+        layer.eval()
+        layer(inputs + 10)
+        np.testing.assert_array_equal(layer.running_mean, trained_mean)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = BatchNorm2d(3)
+        with pytest.raises(Exception):
+            layer(rng.normal(size=(2, 4, 3, 3)))
+
+    def test_gamma_beta_gradients(self, rng):
+        layer = BatchNorm2d(2)
+        output = layer(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        layer.backward(np.ones_like(output))
+        assert layer.weight.grad is not None and layer.bias.grad is not None
+
+
+class TestPoolingAndShapeLayers:
+    def test_max_pool_layer(self, rng):
+        layer = MaxPool2d(kernel_size=2)
+        inputs = rng.normal(size=(2, 3, 6, 6)).astype(np.float32)
+        output = layer(inputs)
+        assert output.shape == (2, 3, 3, 3)
+        assert layer.backward(np.ones_like(output)).shape == inputs.shape
+
+    def test_avg_pool_layer(self, rng):
+        layer = AvgPool2d(kernel_size=3, stride=3)
+        output = layer(rng.normal(size=(1, 2, 9, 9)).astype(np.float32))
+        assert output.shape == (1, 2, 3, 3)
+
+    def test_global_avg_pool_layer(self, rng):
+        layer = GlobalAvgPool2d()
+        output = layer(rng.normal(size=(4, 7, 5, 5)).astype(np.float32))
+        assert output.shape == (4, 7)
+
+    def test_flatten_roundtrip(self, rng):
+        layer = Flatten()
+        inputs = rng.normal(size=(3, 2, 4, 4)).astype(np.float32)
+        output = layer(inputs)
+        assert output.shape == (3, 32)
+        assert layer.backward(output).shape == inputs.shape
+
+    def test_identity(self, rng):
+        layer = Identity()
+        inputs = rng.normal(size=(3, 5))
+        np.testing.assert_array_equal(layer(inputs), inputs)
+        np.testing.assert_array_equal(layer.backward(inputs), inputs)
+
+    def test_backward_before_forward_raises(self):
+        for layer in (MaxPool2d(2), AvgPool2d(2), GlobalAvgPool2d(), Flatten(), ReLU()):
+            with pytest.raises(RuntimeError):
+                layer.backward(np.zeros((1, 1, 2, 2)))
+
+
+class TestEndToEndGradient:
+    def test_small_cnn_gradient_descent_reduces_loss(self, rng):
+        """A couple of SGD steps on a toy CNN should reduce the loss."""
+        from repro.nn.optim import SGD
+        from repro.nn.layers import Sequential
+
+        model = Sequential(
+            Conv2d(1, 4, kernel_size=3, padding=1, bias=True),
+            ReLU(),
+            GlobalAvgPool2d(),
+            Linear(4, 3),
+        )
+        inputs = rng.normal(size=(16, 1, 6, 6)).astype(np.float32)
+        targets = rng.integers(0, 3, size=16)
+        criterion = CrossEntropyLoss()
+        optimizer = SGD(model.parameters(), lr=0.5, momentum=0.9)
+
+        first_loss = None
+        loss = None
+        for _ in range(20):
+            optimizer.zero_grad()
+            logits = model(inputs)
+            loss = criterion(logits, targets)
+            if first_loss is None:
+                first_loss = loss
+            model.backward(criterion.backward())
+            optimizer.step()
+        assert loss < first_loss

@@ -1,0 +1,161 @@
+"""Tests for the Module / Parameter infrastructure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layers import BatchNorm2d, Linear, ReLU, Sequential
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_data_cast_to_framework_dtype(self):
+        parameter = Parameter(np.arange(4, dtype=np.int64))
+        assert parameter.data.dtype == np.float32
+
+    def test_accumulate_grad_creates_then_adds(self):
+        parameter = Parameter(np.zeros(3))
+        parameter.accumulate_grad(np.ones(3))
+        parameter.accumulate_grad(np.ones(3) * 2)
+        np.testing.assert_allclose(parameter.grad, [3.0, 3.0, 3.0])
+
+    def test_accumulate_grad_shape_mismatch_raises(self):
+        parameter = Parameter(np.zeros((2, 2)))
+        with pytest.raises(ShapeError):
+            parameter.accumulate_grad(np.zeros(3))
+
+    def test_requires_grad_false_skips_accumulation(self):
+        parameter = Parameter(np.zeros(3), requires_grad=False)
+        parameter.accumulate_grad(np.ones(3))
+        assert parameter.grad is None
+
+    def test_zero_grad(self):
+        parameter = Parameter(np.zeros(2))
+        parameter.accumulate_grad(np.ones(2))
+        parameter.zero_grad()
+        assert parameter.grad is None
+
+    def test_shape_and_size(self):
+        parameter = Parameter(np.zeros((3, 4)))
+        assert parameter.shape == (3, 4)
+        assert parameter.size == 12
+
+
+class _ToyModel(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3)
+        self.act = ReLU()
+        self.fc2 = Linear(3, 2)
+
+    def forward(self, inputs):
+        return self.fc2(self.act(self.fc1(inputs)))
+
+    def backward(self, grad_output):
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad_output)))
+
+
+class TestModule:
+    def test_named_parameters_are_hierarchical(self):
+        model = _ToyModel()
+        names = [name for name, _ in model.named_parameters()]
+        assert "fc1.weight" in names and "fc2.bias" in names
+        assert len(names) == 4
+
+    def test_num_parameters(self):
+        model = _ToyModel()
+        assert model.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_train_eval_propagates(self):
+        model = _ToyModel()
+        model.eval()
+        assert not model.fc1.training and not model.fc2.training
+        model.train()
+        assert model.fc1.training
+
+    def test_zero_grad_clears_all(self, rng):
+        model = _ToyModel()
+        output = model(rng.normal(size=(2, 4)).astype(np.float32))
+        model.backward(np.ones_like(output))
+        assert model.fc1.weight.grad is not None
+        model.zero_grad()
+        assert all(parameter.grad is None for parameter in model.parameters())
+
+    def test_state_dict_roundtrip(self, rng):
+        source = _ToyModel()
+        target = _ToyModel()
+        state = source.state_dict()
+        target.load_state_dict(state)
+        for (name_a, param_a), (name_b, param_b) in zip(
+            source.named_parameters(), target.named_parameters()
+        ):
+            assert name_a == name_b
+            np.testing.assert_array_equal(param_a.data, param_b.data)
+
+    def test_state_dict_returns_copies(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["fc1.weight"][:] = 123.0
+        assert not np.allclose(model.fc1.weight.data, 123.0)
+
+    def test_load_state_dict_strict_mismatch_raises(self):
+        model = _ToyModel()
+        with pytest.raises(KeyError):
+            model.load_state_dict({"fc1.weight": np.zeros((3, 4))})
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = _ToyModel()
+        state = model.state_dict()
+        state["fc1.weight"] = np.zeros((5, 5))
+        with pytest.raises(ShapeError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_non_strict_allows_partial(self):
+        model = _ToyModel()
+        original = model.fc2.weight.data.copy()
+        model.load_state_dict({"fc1.weight": np.zeros((3, 4))}, strict=False)
+        np.testing.assert_array_equal(model.fc1.weight.data, np.zeros((3, 4)))
+        np.testing.assert_array_equal(model.fc2.weight.data, original)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state and "running_var" in state
+
+    def test_buffer_roundtrip_through_state_dict(self, rng):
+        source = BatchNorm2d(2)
+        source.train()
+        source(rng.normal(size=(4, 2, 3, 3)).astype(np.float32))
+        target = BatchNorm2d(2)
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(target.running_mean, source.running_mean)
+        np.testing.assert_allclose(target.running_var, source.running_var)
+
+    def test_set_buffer_unknown_name_raises(self):
+        bn = BatchNorm2d(2)
+        with pytest.raises(KeyError):
+            bn.set_buffer("nonexistent", np.zeros(2))
+
+
+class TestSequential:
+    def test_len_getitem_append(self):
+        seq = Sequential(Linear(4, 4), ReLU())
+        assert len(seq) == 2
+        assert isinstance(seq[1], ReLU)
+        seq.append(Linear(4, 2))
+        assert len(seq) == 3
+
+    def test_forward_backward_chain(self, rng):
+        seq = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        inputs = rng.normal(size=(5, 4)).astype(np.float32)
+        output = seq(inputs)
+        assert output.shape == (5, 2)
+        grad_input = seq.backward(np.ones_like(output))
+        assert grad_input.shape == inputs.shape
+        assert seq[0].weight.grad is not None
+
+    def test_parameters_discovered_through_sequential(self):
+        seq = Sequential(Linear(4, 8), ReLU(), Linear(8, 2))
+        assert len(seq.parameters()) == 4

@@ -1,0 +1,137 @@
+"""Tests for optimizers, schedulers and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_tiny_dataset
+from repro.models.small import MLP
+from repro.models.training import TrainConfig, evaluate_accuracy, evaluate_loss, fit
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam
+from repro.nn.scheduler import CosineAnnealingLR, MultiStepLR, StepLR
+
+
+def quadratic_loss_grad(parameter: Parameter) -> None:
+    """Gradient of 0.5 * ||x - 3||^2 accumulated into the parameter."""
+    parameter.grad = None
+    parameter.accumulate_grad(parameter.data - 3.0)
+
+
+class TestSGD:
+    def test_plain_sgd_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = SGD([parameter], lr=0.3)
+        for _ in range(60):
+            quadratic_loss_grad(parameter)
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        plain = Parameter(np.zeros(1))
+        momentum = Parameter(np.zeros(1))
+        optimizer_plain = SGD([plain], lr=0.05)
+        optimizer_momentum = SGD([momentum], lr=0.05, momentum=0.9)
+        for _ in range(20):
+            quadratic_loss_grad(plain)
+            optimizer_plain.step()
+            quadratic_loss_grad(momentum)
+            optimizer_momentum.step()
+        assert abs(momentum.data[0] - 3.0) < abs(plain.data[0] - 3.0)
+
+    def test_weight_decay_shrinks_weights(self):
+        parameter = Parameter(np.ones(3) * 10)
+        optimizer = SGD([parameter], lr=0.1, weight_decay=0.5)
+        parameter.accumulate_grad(np.zeros(3))
+        optimizer.step()
+        assert np.all(parameter.data < 10)
+
+    def test_skips_parameters_without_grad(self):
+        parameter = Parameter(np.ones(2))
+        optimizer = SGD([parameter], lr=0.1)
+        optimizer.step()  # no grad -> no change, no crash
+        np.testing.assert_array_equal(parameter.data, np.ones(2))
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_zero_grad_clears(self):
+        parameter = Parameter(np.zeros(2))
+        optimizer = SGD([parameter], lr=0.1)
+        parameter.accumulate_grad(np.ones(2))
+        optimizer.zero_grad()
+        assert parameter.grad is None
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        parameter = Parameter(np.zeros(4))
+        optimizer = Adam([parameter], lr=0.2)
+        for _ in range(300):
+            quadratic_loss_grad(parameter)
+            optimizer.step()
+        np.testing.assert_allclose(parameter.data, np.full(4, 3.0), atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        parameter = Parameter(np.zeros(1))
+        optimizer = Adam([parameter], lr=0.1)
+        parameter.accumulate_grad(np.array([1.0]))
+        optimizer.step()
+        # With bias correction the first step has magnitude ~lr regardless of betas.
+        assert parameter.data[0] == pytest.approx(-0.1, rel=1e-3)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return SGD([Parameter(np.zeros(1))], lr=lr)
+
+    def test_step_lr(self):
+        optimizer = self._optimizer()
+        scheduler = StepLR(optimizer, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(4):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01])
+
+    def test_multistep_lr(self):
+        optimizer = self._optimizer()
+        scheduler = MultiStepLR(optimizer, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert lrs == pytest.approx([1.0, 0.5, 0.5, 0.25, 0.25])
+
+    def test_cosine_lr_endpoints(self):
+        optimizer = self._optimizer()
+        scheduler = CosineAnnealingLR(optimizer, total_epochs=10, eta_min=0.0)
+        assert scheduler.get_lr(0) == pytest.approx(1.0)
+        assert scheduler.get_lr(10) == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 < scheduler.get_lr(5) < 1.0
+
+
+class TestTrainingLoop:
+    def test_fit_improves_accuracy_on_tiny_task(self):
+        train_set, test_set = make_tiny_dataset(num_classes=3, image_size=8, train_size=240, test_size=120, seed=3)
+        model = MLP(input_dim=3 * 8 * 8, num_classes=3, hidden_dims=(32,), seed=5)
+        before = evaluate_accuracy(model, test_set)
+        result = fit(model, train_set, test_set, TrainConfig(epochs=4, batch_size=32, lr=3e-3))
+        assert result.final_test_accuracy > max(before, 0.5)
+        assert len(result.train_losses) == 4
+        # Loss should broadly decrease over training.
+        assert result.train_losses[-1] < result.train_losses[0]
+
+    def test_evaluate_loss_matches_scale(self):
+        train_set, test_set = make_tiny_dataset(num_classes=3, image_size=8, train_size=60, test_size=60, seed=3)
+        model = MLP(input_dim=3 * 8 * 8, num_classes=3, hidden_dims=(16,), seed=5)
+        loss = evaluate_loss(model, test_set.images, test_set.labels)
+        assert 0.0 < loss < 10.0
+
+    def test_unknown_optimizer_raises(self):
+        train_set, test_set = make_tiny_dataset(train_size=32, test_size=32)
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(8,))
+        with pytest.raises(ValueError):
+            fit(model, train_set, None, TrainConfig(epochs=1, optimizer="nope"))

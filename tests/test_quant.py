@@ -1,0 +1,230 @@
+"""Tests for quantization and bit manipulation (including hypothesis property tests)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import QuantizationError
+from repro.models.small import MLP
+from repro.quant.bitops import (
+    MSB_POSITION,
+    bit_flip_delta,
+    bits_to_int8,
+    count_differing_bits,
+    flip_bit_scalar,
+    flip_bits,
+    get_bit,
+    int8_to_bits,
+    int8_to_uint8,
+    set_bit,
+    uint8_to_int8,
+)
+from repro.quant.layers import (
+    QuantConv2d,
+    QuantLinear,
+    model_qweight_state,
+    quantize_model,
+    quantized_layers,
+    restore_qweight_state,
+)
+from repro.quant.quantizer import QuantParams, dequantize, quantization_error, quantize_symmetric
+
+int8_arrays = hnp.arrays(dtype=np.int8, shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=32))
+
+
+class TestQuantizer:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        weights = rng.normal(size=(64,)).astype(np.float32)
+        quantized, params = quantize_symmetric(weights)
+        restored = dequantize(quantized, params)
+        assert np.abs(weights - restored).max() <= params.scale * 0.5 + 1e-6
+
+    def test_extreme_value_maps_to_127(self):
+        weights = np.array([0.5, -1.0, 1.0])
+        quantized, params = quantize_symmetric(weights)
+        assert quantized.max() == 127 or quantized.min() == -127
+        assert params.scale == pytest.approx(1.0 / 127)
+
+    def test_all_zero_tensor(self):
+        quantized, params = quantize_symmetric(np.zeros(10))
+        assert params.scale == 1.0
+        assert np.all(quantized == 0)
+
+    def test_never_produces_minus_128(self, rng):
+        quantized, _ = quantize_symmetric(rng.normal(size=1000))
+        assert quantized.min() >= -127
+
+    def test_quant_params_validation(self):
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=0.0)
+        with pytest.raises(QuantizationError):
+            QuantParams(scale=1.0, num_bits=4)
+
+    def test_dequantize_requires_int8(self):
+        with pytest.raises(QuantizationError):
+            dequantize(np.zeros(3, dtype=np.int32), QuantParams(scale=1.0))
+
+    def test_quantization_error_small_for_smooth_weights(self, rng):
+        weights = rng.normal(size=2000) * 0.1
+        assert quantization_error(weights) < 0.1 * 0.01
+
+
+class TestBitops:
+    def test_uint8_roundtrip(self):
+        values = np.array([-128, -1, 0, 1, 127], dtype=np.int8)
+        np.testing.assert_array_equal(uint8_to_int8(int8_to_uint8(values)), values)
+
+    def test_bit_expansion_roundtrip(self):
+        values = np.array([-128, -42, 0, 5, 127], dtype=np.int8)
+        np.testing.assert_array_equal(bits_to_int8(int8_to_bits(values)), values)
+
+    def test_msb_is_sign_bit(self):
+        assert get_bit(np.int8(-1), MSB_POSITION) == 1
+        assert get_bit(np.int8(5), MSB_POSITION) == 0
+
+    def test_set_bit(self):
+        assert set_bit(np.int8(0), 7, 1) == -128
+        assert set_bit(np.int8(-128), 7, 0) == 0
+        assert set_bit(np.int8(2), 0, 1) == 3
+
+    def test_set_bit_invalid_value(self):
+        with pytest.raises(QuantizationError):
+            set_bit(np.int8(0), 3, 2)
+
+    def test_flip_bit_scalar_known_values(self):
+        assert flip_bit_scalar(0, 7) == -128
+        assert flip_bit_scalar(-128, 7) == 0
+        assert flip_bit_scalar(1, 0) == 0
+        assert flip_bit_scalar(16, 4) == 0
+
+    def test_flip_bits_batch_and_cancellation(self):
+        values = np.array([3, -7, 100], dtype=np.int8)
+        once = flip_bits(values, [0, 2], [7, 0])
+        assert once[0] == flip_bit_scalar(3, 7)
+        assert once[2] == flip_bit_scalar(100, 0)
+        twice = flip_bits(once, [0, 2], [7, 0])
+        np.testing.assert_array_equal(twice, values)
+
+    def test_flip_bits_validation(self):
+        values = np.zeros(4, dtype=np.int8)
+        with pytest.raises(QuantizationError):
+            flip_bits(values, [10], [0])
+        with pytest.raises(QuantizationError):
+            flip_bits(values, [0], [9])
+        with pytest.raises(QuantizationError):
+            flip_bits(values, [0, 1], [0])
+
+    def test_count_differing_bits(self):
+        original = np.array([0, 0], dtype=np.int8)
+        corrupted = flip_bits(original, [0, 1, 1], [7, 0, 3])
+        assert count_differing_bits(original, corrupted) == 3
+
+    def test_bit_flip_delta_msb(self):
+        values = np.array([5, -5], dtype=np.int8)
+        delta = bit_flip_delta(values, MSB_POSITION)
+        # 5 has MSB 0 -> flipping it subtracts 128; -5 has MSB 1 -> adds 128.
+        np.testing.assert_array_equal(delta, [-128, 128])
+
+    def test_bit_flip_delta_low_bits(self):
+        values = np.array([0, 1], dtype=np.int8)
+        np.testing.assert_array_equal(bit_flip_delta(values, 0), [1, -1])
+
+    def test_rejects_float_arrays(self):
+        with pytest.raises(QuantizationError):
+            int8_to_uint8(np.zeros(3, dtype=np.float32))
+
+    # -- property tests ------------------------------------------------------
+    @settings(max_examples=60, deadline=None)
+    @given(values=int8_arrays, bit=st.integers(0, 7))
+    def test_flip_is_involution(self, values, bit):
+        indices = np.arange(values.size) % values.size
+        flipped = flip_bits(values, indices[:1], [bit])
+        restored = flip_bits(flipped, indices[:1], [bit])
+        np.testing.assert_array_equal(restored, values)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=int8_arrays, bit=st.integers(0, 7))
+    def test_delta_matches_actual_flip(self, values, bit):
+        """bit_flip_delta predicts exactly the integer change of a real flip."""
+        flat = values.reshape(-1)
+        delta = bit_flip_delta(flat, bit)
+        flipped = flip_bits(flat, np.arange(flat.size), np.full(flat.size, bit))
+        np.testing.assert_array_equal(
+            flipped.astype(np.int32) - flat.astype(np.int32), delta
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=int8_arrays)
+    def test_bits_roundtrip_property(self, values):
+        np.testing.assert_array_equal(bits_to_int8(int8_to_bits(values)), values)
+
+
+class TestQuantLayers:
+    def test_quantize_then_effective_weight_close(self, rng):
+        layer = QuantLinear(8, 4)
+        float_weight = layer.weight.data.copy()
+        layer.quantize()
+        assert layer.is_quantized
+        np.testing.assert_allclose(
+            layer.effective_weight(), float_weight, atol=layer.quant_params.scale
+        )
+
+    def test_unquantized_layer_uses_float_weight(self, rng):
+        layer = QuantConv2d(2, 3, kernel_size=3)
+        np.testing.assert_array_equal(layer.effective_weight(), layer.weight.data)
+
+    def test_set_qweight_validation(self):
+        layer = QuantLinear(4, 2)
+        layer.quantize()
+        with pytest.raises(QuantizationError):
+            layer.set_qweight(np.zeros((2, 4), dtype=np.int32))
+        with pytest.raises(QuantizationError):
+            layer.set_qweight(np.zeros((3, 4), dtype=np.int8))
+
+    def test_requires_quantization_before_gradient_int(self, rng):
+        layer = QuantLinear(4, 2)
+        with pytest.raises(QuantizationError):
+            layer.weight_gradient_int()
+
+    def test_weight_gradient_int_scales_by_quant_scale(self, rng):
+        layer = QuantLinear(4, 2)
+        layer.quantize()
+        inputs = rng.normal(size=(3, 4)).astype(np.float32)
+        output = layer(inputs)
+        layer.backward(np.ones_like(output))
+        np.testing.assert_allclose(
+            layer.weight_gradient_int(), layer.weight.grad * layer.quant_params.scale, rtol=1e-6
+        )
+
+    def test_quantize_model_and_snapshot_roundtrip(self):
+        model = MLP(input_dim=12, num_classes=3, hidden_dims=(8,), seed=2)
+        quantize_model(model)
+        layers = quantized_layers(model)
+        assert len(layers) == 2
+        state = model_qweight_state(model)
+        # Corrupt then restore.
+        first_name, first_layer = layers[0]
+        corrupted = first_layer.qweight.copy()
+        corrupted.reshape(-1)[0] ^= np.int8(64)
+        first_layer.set_qweight(corrupted)
+        restore_qweight_state(model, state)
+        np.testing.assert_array_equal(first_layer.qweight, state[first_name])
+
+    def test_quantize_model_without_quant_layers_raises(self):
+        from repro.nn.layers import Linear, Sequential
+
+        model = Sequential(Linear(4, 2))
+        with pytest.raises(QuantizationError):
+            quantize_model(model)
+
+    def test_quantized_forward_close_to_float_forward(self, rng):
+        model = MLP(input_dim=12, num_classes=3, hidden_dims=(16,), seed=4)
+        inputs = rng.normal(size=(5, 12)).astype(np.float32)
+        float_logits = model(inputs)
+        quantize_model(model)
+        quant_logits = model(inputs)
+        assert np.abs(float_logits - quant_logits).max() < 0.2

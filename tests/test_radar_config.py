@@ -1,0 +1,73 @@
+"""Tests for :mod:`repro.core.config`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import RadarConfig
+from repro.errors import ConfigurationError
+
+
+class TestRadarConfig:
+    def test_defaults_match_paper_recommendation(self):
+        config = RadarConfig()
+        assert config.group_size == 512
+        assert config.use_interleave is True
+        assert config.use_masking is True
+        assert config.key_bits == 16
+        assert config.signature_bits == 2
+        assert config.interleave_offset == 3
+
+    def test_is_frozen(self):
+        config = RadarConfig()
+        with pytest.raises(Exception):
+            config.group_size = 8
+
+    @pytest.mark.parametrize("group_size", [0, 1, -4])
+    def test_invalid_group_size_rejected(self, group_size):
+        with pytest.raises(ConfigurationError):
+            RadarConfig(group_size=group_size)
+
+    @pytest.mark.parametrize("bits", [0, 4, -1])
+    def test_invalid_signature_bits_rejected(self, bits):
+        with pytest.raises(ConfigurationError):
+            RadarConfig(signature_bits=bits)
+
+    @pytest.mark.parametrize("bits", [1, 2, 3])
+    def test_valid_signature_bits_accepted(self, bits):
+        assert RadarConfig(signature_bits=bits).signature_bits == bits
+
+    def test_invalid_key_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadarConfig(key_bits=0)
+
+    def test_negative_interleave_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RadarConfig(interleave_offset=-1)
+
+    def test_zero_interleave_offset_allowed(self):
+        # t = 0 is the "basic interleave" of Fig. 3(a).
+        assert RadarConfig(interleave_offset=0).interleave_offset == 0
+
+    def test_with_group_size_copies_other_fields(self):
+        base = RadarConfig(
+            group_size=64,
+            use_interleave=False,
+            interleave_offset=5,
+            use_masking=False,
+            key_bits=8,
+            signature_bits=3,
+            secret_seed=99,
+        )
+        derived = base.with_group_size(128)
+        assert derived.group_size == 128
+        assert derived.use_interleave is False
+        assert derived.interleave_offset == 5
+        assert derived.use_masking is False
+        assert derived.key_bits == 8
+        assert derived.signature_bits == 3
+        assert derived.secret_seed == 99
+
+    def test_with_group_size_validates(self):
+        with pytest.raises(ConfigurationError):
+            RadarConfig().with_group_size(1)

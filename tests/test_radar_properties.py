@@ -1,0 +1,136 @@
+"""Property-based tests of the end-to-end RADAR invariants.
+
+Where :mod:`tests.test_checksum` checks the signature algebra on raw arrays,
+these properties exercise the whole protect -> corrupt -> scan -> recover
+pipeline on real (small) quantized models with Hypothesis-driven choices of
+configuration and fault location.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import apply_bit_flips
+from repro.attacks.bitflip import make_bit_flip
+from repro.core import ModelProtector, RadarConfig
+from repro.models.small import MLP
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantize_model, quantized_layers
+
+# One shared quantized model: Hypothesis varies the defense configuration and
+# the fault locations, not the network, so building it once keeps the suite fast.
+_MODEL = MLP(input_dim=48, num_classes=4, hidden_dims=(40,), seed=77)
+quantize_model(_MODEL)
+_LAYERS = quantized_layers(_MODEL)
+_TOTAL_WEIGHTS = sum(layer.qweight.size for _, layer in _LAYERS)
+
+
+def _locate(global_index: int):
+    """Map a global weight index to (layer_name, layer, flat_index)."""
+    remaining = global_index % _TOTAL_WEIGHTS
+    for name, layer in _LAYERS:
+        if remaining < layer.qweight.size:
+            return name, layer, remaining
+        remaining -= layer.qweight.size
+    raise AssertionError("unreachable")
+
+
+_CONFIG_STRATEGY = st.builds(
+    RadarConfig,
+    group_size=st.sampled_from([4, 8, 16, 32, 64]),
+    use_interleave=st.booleans(),
+    interleave_offset=st.integers(min_value=0, max_value=5),
+    use_masking=st.booleans(),
+    key_bits=st.sampled_from([4, 8, 16]),
+    signature_bits=st.sampled_from([2, 3]),
+    secret_seed=st.integers(min_value=0, max_value=2**16),
+)
+
+
+class TestEndToEndProperties:
+    @given(config=_CONFIG_STRATEGY)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_clean_model_never_flagged(self, config):
+        protector = ModelProtector(config)
+        protector.protect(_MODEL)
+        assert not protector.scan(_MODEL).attack_detected
+
+    @given(config=_CONFIG_STRATEGY, where=st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_single_msb_flip_detected_and_neutralized(self, config, where):
+        """Any single MSB flip anywhere is detected, and recovery zeroes its group only."""
+        name, layer, flat_index = _locate(where)
+        protector = ModelProtector(config)
+        protector.protect(_MODEL)
+        snapshot = layer.qweight.copy()
+        flip = make_bit_flip(name, layer.qweight, flat_index, MSB_POSITION)
+        apply_bit_flips(_MODEL, [flip])
+        try:
+            summary = protector.scan_and_recover(_MODEL)
+            assert summary.attack_detected
+            layout = protector.store.layer(name).layout
+            members = layout.members_of(layout.group_of(flat_index))
+            flat = layer.qweight.reshape(-1)
+            assert (flat[members] == 0).all()
+            untouched = np.setdiff1d(np.arange(flat.size), members)
+            np.testing.assert_array_equal(flat[untouched], snapshot.reshape(-1)[untouched])
+        finally:
+            layer.set_qweight(snapshot)
+
+    @given(config=_CONFIG_STRATEGY, where=st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_detection_is_deterministic(self, config, where):
+        """Two scans of the same corrupted model flag exactly the same groups."""
+        name, layer, flat_index = _locate(where)
+        protector = ModelProtector(config)
+        protector.protect(_MODEL)
+        snapshot = layer.qweight.copy()
+        apply_bit_flips(_MODEL, [make_bit_flip(name, layer.qweight, flat_index, MSB_POSITION)])
+        try:
+            first = protector.scan(_MODEL)
+            second = protector.scan(_MODEL)
+            assert first.flagged_layers() == second.flagged_layers()
+            for flagged_name, groups in first.flagged_groups.items():
+                np.testing.assert_array_equal(groups, second.flagged_groups[flagged_name])
+        finally:
+            layer.set_qweight(snapshot)
+
+    @given(
+        config=_CONFIG_STRATEGY,
+        where=st.integers(min_value=0, max_value=2**30),
+        bit=st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_no_false_positives_outside_the_corrupted_group(self, config, where, bit):
+        """A single flip (any bit position) never flags a group it does not belong to."""
+        name, layer, flat_index = _locate(where)
+        protector = ModelProtector(config)
+        protector.protect(_MODEL)
+        snapshot = layer.qweight.copy()
+        apply_bit_flips(_MODEL, [make_bit_flip(name, layer.qweight, flat_index, bit)])
+        try:
+            report = protector.scan(_MODEL)
+            own_group = protector.store.layer(name).layout.group_of(flat_index)
+            for flagged_name, groups in report.flagged_groups.items():
+                for group in groups:
+                    assert flagged_name == name and group == own_group
+        finally:
+            layer.set_qweight(snapshot)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_golden_signatures_depend_on_the_secret_seed(self, seed):
+        """Different secret seeds give different masks, hence (almost always) different signatures."""
+        base = ModelProtector(RadarConfig(group_size=16, secret_seed=seed))
+        other = ModelProtector(RadarConfig(group_size=16, secret_seed=seed + 1))
+        base.protect(_MODEL)
+        other.protect(_MODEL)
+        differences = 0
+        for entry in base.store:
+            differences += int(
+                (entry.golden != other.store.layer(entry.layer_name).golden).sum()
+            )
+        assert differences > 0

@@ -1,0 +1,130 @@
+"""Tests for :mod:`repro.core.recovery` (zero-out / reload recovery)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import apply_bit_flips
+from repro.attacks.bitflip import make_bit_flip
+from repro.core import RadarConfig, RadarDetector, SignatureStore
+from repro.core.recovery import RecoveryPolicy, recover_model
+from repro.errors import ProtectionError
+from repro.models.small import MLP
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+@pytest.fixture()
+def setup():
+    model = MLP(input_dim=48, num_classes=4, hidden_dims=(32,), seed=9)
+    quantize_model(model)
+    store = SignatureStore(RadarConfig(group_size=16)).build(model)
+    golden = {name: layer.qweight.copy() for name, layer in quantized_layers(model)}
+    return model, store, golden
+
+
+def _attack(model, flat_index=5):
+    name, layer = quantized_layers(model)[0]
+    flip = make_bit_flip(name, layer.qweight, flat_index, MSB_POSITION)
+    apply_bit_flips(model, [flip])
+    return flip
+
+
+class TestZeroPolicy:
+    def test_zeroes_exactly_the_flagged_group(self, setup):
+        model, store, golden = setup
+        flip = _attack(model)
+        report = RadarDetector(store).scan(model)
+        result = recover_model(model, report, store, policy=RecoveryPolicy.ZERO)
+
+        layer = dict(quantized_layers(model))[flip.layer_name]
+        layout = store.layer(flip.layer_name).layout
+        members = layout.members_of(layout.group_of(flip.flat_index))
+        flat = layer.qweight.reshape(-1)
+        assert (flat[members] == 0).all()
+        # Weights outside the flagged group are untouched.
+        untouched = np.setdiff1d(np.arange(flat.size), members)
+        np.testing.assert_array_equal(
+            flat[untouched], golden[flip.layer_name].reshape(-1)[untouched]
+        )
+        assert result.zeroed_weights == members.size
+        assert result.groups_recovered == 1
+        assert result.per_layer[flip.layer_name] == members.size
+
+    def test_corrupted_weight_is_neutralized(self, setup):
+        model, store, _ = setup
+        flip = _attack(model, flat_index=20)
+        layer = dict(quantized_layers(model))[flip.layer_name]
+        assert layer.qweight.reshape(-1)[20] == flip.value_after  # corrupted
+        report = RadarDetector(store).scan(model)
+        recover_model(model, report, store)
+        assert layer.qweight.reshape(-1)[20] == 0
+
+    def test_clean_model_untouched(self, setup):
+        model, store, golden = setup
+        report = RadarDetector(store).scan(model)
+        result = recover_model(model, report, store)
+        assert result.zeroed_weights == 0
+        for name, layer in quantized_layers(model):
+            np.testing.assert_array_equal(layer.qweight, golden[name])
+
+    def test_signatures_match_after_rebuild(self, setup):
+        """After zeroing, re-protecting the recovered model yields consistent signatures."""
+        model, store, _ = setup
+        _attack(model)
+        report = RadarDetector(store).scan(model)
+        recover_model(model, report, store)
+        fresh = SignatureStore(store.config).build(model)
+        second_scan = RadarDetector(fresh).scan(model)
+        assert not second_scan.attack_detected
+
+
+class TestReloadPolicy:
+    def test_reload_restores_golden_weights(self, setup):
+        model, store, golden = setup
+        flip = _attack(model, flat_index=33)
+        report = RadarDetector(store).scan(model)
+        result = recover_model(
+            model, report, store, policy=RecoveryPolicy.RELOAD, golden_weights=golden
+        )
+        layer = dict(quantized_layers(model))[flip.layer_name]
+        np.testing.assert_array_equal(layer.qweight, golden[flip.layer_name])
+        assert result.reloaded_weights > 0
+        assert result.zeroed_weights == 0
+
+    def test_reload_without_golden_raises(self, setup):
+        model, store, _ = setup
+        _attack(model)
+        report = RadarDetector(store).scan(model)
+        with pytest.raises(ProtectionError):
+            recover_model(model, report, store, policy=RecoveryPolicy.RELOAD)
+
+    def test_reload_missing_layer_raises(self, setup):
+        model, store, golden = setup
+        flip = _attack(model)
+        report = RadarDetector(store).scan(model)
+        partial = {name: weights for name, weights in golden.items() if name != flip.layer_name}
+        with pytest.raises(ProtectionError):
+            recover_model(
+                model, report, store, policy=RecoveryPolicy.RELOAD, golden_weights=partial
+            )
+
+
+class TestNonePolicy:
+    def test_none_leaves_corruption_in_place(self, setup):
+        model, store, _ = setup
+        flip = _attack(model, flat_index=8)
+        report = RadarDetector(store).scan(model)
+        result = recover_model(model, report, store, policy=RecoveryPolicy.NONE)
+        layer = dict(quantized_layers(model))[flip.layer_name]
+        assert layer.qweight.reshape(-1)[8] == flip.value_after
+        assert result.zeroed_weights == 0
+        assert result.groups_recovered == 0
+
+
+class TestPolicyEnum:
+    def test_values(self):
+        assert RecoveryPolicy("zero") is RecoveryPolicy.ZERO
+        assert RecoveryPolicy("reload") is RecoveryPolicy.RELOAD
+        assert RecoveryPolicy("none") is RecoveryPolicy.NONE

@@ -1,0 +1,143 @@
+"""Tests for :mod:`repro.core.streaming` (stream-level verification from DRAM)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import AttackProfile
+from repro.attacks.bitflip import make_bit_flip
+from repro.core import RadarConfig, SignatureStore, StreamingVerifier
+from repro.core.recovery import RecoveryPolicy
+from repro.errors import ProtectionError
+from repro.memsim.dram import DramModule
+from repro.memsim.rowhammer import RowhammerAttacker
+from repro.models.small import MLP
+from repro.quant.bitops import MSB_POSITION
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+@pytest.fixture()
+def setup():
+    model = MLP(input_dim=48, num_classes=4, hidden_dims=(32,), seed=61)
+    quantize_model(model)
+    store = SignatureStore(RadarConfig(group_size=16)).build(model)
+    dram = DramModule()
+    dram.load_model_weights(model)
+    return model, store, dram
+
+
+class TestVerifyLayer:
+    def test_clean_stream_passes(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        for name, layer in quantized_layers(model):
+            event = verifier.verify_layer(name, layer.qweight.reshape(-1))
+            assert not event.attack_detected
+
+    def test_corrupted_stream_flags_the_right_group(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        stream = layer.qweight.reshape(-1).copy()
+        stream[5] = np.int8(int(stream[5]) ^ -128)
+        event = verifier.verify_layer(name, stream)
+        assert event.attack_detected
+        assert event.flagged_groups.tolist() == [store.layer(name).layout.group_of(5)]
+
+    def test_wrong_shape_rejected(self, setup):
+        _, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name = store.layer_names()[0]
+        with pytest.raises(ProtectionError):
+            verifier.verify_layer(name, np.zeros(3, dtype=np.int8))
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(ProtectionError):
+            StreamingVerifier(SignatureStore(RadarConfig(group_size=16)))
+
+
+class TestRepairLayer:
+    def test_repair_zeroes_only_flagged_groups(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        stream = layer.qweight.reshape(-1).copy()
+        stream[7] = np.int8(int(stream[7]) ^ -128)
+        repaired, event = verifier.repair_layer(name, stream)
+        layout = store.layer(name).layout
+        members = layout.members_of(layout.group_of(7))
+        assert (repaired[members] == 0).all()
+        assert event.zeroed_weights == members.size
+        untouched = np.setdiff1d(np.arange(stream.size), members)
+        np.testing.assert_array_equal(repaired[untouched], stream[untouched])
+        # The input stream itself is not modified in place.
+        assert stream[7] != 0
+
+    def test_repair_none_policy_detects_only(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        stream = layer.qweight.reshape(-1).copy()
+        stream[3] = np.int8(int(stream[3]) ^ -128)
+        repaired, event = verifier.repair_layer(name, stream, policy=RecoveryPolicy.NONE)
+        assert event.attack_detected
+        assert event.zeroed_weights == 0
+        np.testing.assert_array_equal(repaired, stream)
+
+    def test_reload_policy_unsupported(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        with pytest.raises(ProtectionError):
+            verifier.repair_layer(
+                name, layer.qweight.reshape(-1), policy=RecoveryPolicy.RELOAD
+            )
+
+
+class TestDramIntegration:
+    def _hammer(self, model, dram, indices=(0, 40)):
+        name, layer = quantized_layers(model)[0]
+        flips = [make_bit_flip(name, layer.qweight, i, MSB_POSITION) for i in indices]
+        RowhammerAttacker(dram).mount(AttackProfile(flips=flips))
+        return name, flips
+
+    def test_verify_dram_clean(self, setup):
+        _, store, dram = setup
+        report = StreamingVerifier(store).verify_dram(dram)
+        assert not report.attack_detected
+        assert report.flagged_groups == 0
+
+    def test_verify_dram_after_rowhammer(self, setup):
+        model, store, dram = setup
+        name, flips = self._hammer(model, dram)
+        report = StreamingVerifier(store).verify_dram(dram)
+        assert report.attack_detected
+        assert report.flagged_groups == 2
+        layout = store.layer(name).layout
+        expected = sorted(layout.group_of(flip.flat_index) for flip in flips)
+        assert sorted(report.events[name].flagged_groups.tolist()) == expected
+        # Conversion to a DetectionReport keeps the same flagged groups.
+        assert report.as_detection_report().num_flagged_groups == 2
+
+    def test_verify_and_repair_dram_returns_clean_streams(self, setup):
+        model, store, dram = setup
+        name, flips = self._hammer(model, dram, indices=(2, 70))
+        verifier = StreamingVerifier(store)
+        repaired, report = verifier.verify_and_repair_dram(dram)
+        assert report.zeroed_weights > 0
+        # The repaired streams verify cleanly against a store built from them...
+        for layer_name, stream in repaired.items():
+            assert stream.dtype == np.int8
+        # ...while the DRAM image itself stays corrupted (physical memory untouched).
+        assert verifier.verify_dram(dram).attack_detected
+
+    def test_missing_layer_in_dram_rejected(self, setup):
+        model, store, _ = setup
+        other_dram = DramModule()
+        other_model = MLP(input_dim=24, num_classes=3, hidden_dims=(8,), seed=3)
+        quantize_model(other_model)
+        other_dram.load_model_weights(other_model)
+        verifier = StreamingVerifier(store)
+        with pytest.raises(ProtectionError):
+            verifier.verify_dram(other_dram)

@@ -1,0 +1,126 @@
+"""Tests for :mod:`repro.models.training` and :mod:`repro.models.blocks`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import make_tiny_dataset
+from repro.models.blocks import BasicBlock, conv1x1, conv3x3
+from repro.models.small import MLP
+from repro.models.training import TrainConfig, evaluate_accuracy, evaluate_loss, fit
+from repro.nn.module import Module
+from repro.quant.layers import QuantConv2d, quantized_layers
+from repro.utils.rng import new_rng
+
+
+class TestConvHelpers:
+    def test_conv3x3_shape_and_padding(self):
+        layer = conv3x3(4, 8, rng=new_rng("b1"))
+        assert isinstance(layer, QuantConv2d)
+        out = layer(np.zeros((1, 4, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 8, 8, 8)  # padding 1 preserves spatial size
+
+    def test_conv3x3_stride_halves_resolution(self):
+        layer = conv3x3(4, 8, stride=2, rng=new_rng("b2"))
+        out = layer(np.zeros((1, 4, 8, 8), dtype=np.float32))
+        assert out.shape == (1, 8, 4, 4)
+
+    def test_conv1x1_changes_channels_only(self):
+        layer = conv1x1(4, 16, rng=new_rng("b3"))
+        out = layer(np.zeros((2, 4, 6, 6), dtype=np.float32))
+        assert out.shape == (2, 16, 6, 6)
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_preserves_shape(self):
+        block = BasicBlock(8, 8, stride=1, rng=new_rng("block1"))
+        inputs = new_rng("x1").normal(size=(2, 8, 8, 8)).astype(np.float32)
+        out = block(inputs)
+        assert out.shape == inputs.shape
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == inputs.shape
+
+    def test_downsample_shortcut_changes_shape(self):
+        block = BasicBlock(8, 16, stride=2, rng=new_rng("block2"))
+        inputs = new_rng("x2").normal(size=(2, 8, 8, 8)).astype(np.float32)
+        out = block(inputs)
+        assert out.shape == (2, 16, 4, 4)
+        grad = block.backward(np.ones_like(out))
+        assert grad.shape == inputs.shape
+
+    def test_block_contains_quantizable_convs(self):
+        block = BasicBlock(8, 16, stride=2, rng=new_rng("block3"))
+        names = [name for name, _ in quantized_layers(block)]
+        # two 3x3 convs plus the 1x1 downsample conv
+        assert len(names) == 3
+
+    def test_gradients_flow_to_all_parameters(self):
+        block = BasicBlock(4, 4, stride=1, rng=new_rng("block4"))
+        block.train(True)
+        inputs = new_rng("x3").normal(size=(2, 4, 6, 6)).astype(np.float32)
+        out = block(inputs)
+        block.backward(np.ones_like(out))
+        missing = [
+            name for name, parameter in block.named_parameters() if parameter.grad is None
+        ]
+        assert missing == []
+
+
+class TestTrainConfig:
+    def test_defaults_are_sane(self):
+        config = TrainConfig()
+        assert config.epochs >= 1
+        assert config.batch_size >= 1
+        assert config.optimizer in ("sgd", "adam")
+
+
+class TestFitAndEvaluate:
+    @pytest.fixture(scope="class")
+    def splits(self):
+        return make_tiny_dataset(num_classes=4, image_size=8, train_size=192, test_size=96, seed=41)
+
+    def test_fit_with_adam_learns(self, splits):
+        train_set, test_set = splits
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(32,), seed=5)
+        result = fit(
+            model, train_set, test_set,
+            TrainConfig(epochs=3, batch_size=32, lr=3e-3, optimizer="adam", seed=1),
+        )
+        assert len(result.train_losses) == 3
+        assert result.train_losses[-1] < result.train_losses[0]
+        assert result.final_test_accuracy > 0.5
+        assert len(result.test_accuracies) == 3
+
+    def test_fit_with_sgd_and_cosine_schedule(self, splits):
+        train_set, test_set = splits
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(32,), seed=6)
+        result = fit(
+            model, train_set, test_set,
+            TrainConfig(
+                epochs=2, batch_size=32, lr=0.05, optimizer="sgd",
+                momentum=0.9, cosine_schedule=True, seed=2,
+            ),
+        )
+        assert result.final_test_accuracy > 0.3
+
+    def test_unknown_optimizer_rejected(self, splits):
+        train_set, test_set = splits
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(16,), seed=7)
+        with pytest.raises(ValueError):
+            fit(model, train_set, test_set, TrainConfig(epochs=1, optimizer="lbfgs"))
+
+    def test_evaluate_accuracy_max_samples_subsets(self, splits):
+        _, test_set = splits
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(16,), seed=8)
+        full = evaluate_accuracy(model, test_set)
+        partial = evaluate_accuracy(model, test_set, max_samples=16)
+        assert 0.0 <= full <= 1.0
+        assert 0.0 <= partial <= 1.0
+
+    def test_evaluate_loss_positive_for_untrained_model(self, splits):
+        _, test_set = splits
+        model = MLP(input_dim=3 * 8 * 8, num_classes=4, hidden_dims=(16,), seed=9)
+        loss = evaluate_loss(model, test_set.images, test_set.labels)
+        # Untrained 4-class classifier: cross-entropy close to ln(4).
+        assert 0.8 < loss < 3.0

@@ -1,0 +1,99 @@
+"""Tests for repro.utils (rng, serialization, logging)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_seed, new_rng, spawn_rngs, temporary_seed
+from repro.utils.serialization import load_state_dict, save_state_dict, state_dict_num_bytes
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed("a", 1) == derive_seed("a", 1)
+
+    def test_different_parts_give_different_seeds(self):
+        assert derive_seed("a", 1) != derive_seed("a", 2)
+        assert derive_seed("a") != derive_seed("b")
+
+    def test_order_matters(self):
+        assert derive_seed("a", "b") != derive_seed("b", "a")
+
+    def test_none_is_valid_part(self):
+        assert derive_seed(None) == derive_seed(None)
+        assert derive_seed(None) != derive_seed("none-ish")
+
+    def test_bytes_part(self):
+        assert derive_seed(b"xy") == derive_seed(b"xy")
+
+    def test_result_is_nonnegative_63_bit(self):
+        for part in ("x", 123, None, ("a", "b")):
+            seed = derive_seed(part)
+            assert 0 <= seed < 2 ** 63
+
+
+class TestNewRng:
+    def test_same_seed_same_stream(self):
+        a = new_rng(42).normal(size=5)
+        b = new_rng(42).normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_different_stream(self):
+        a = new_rng(1).normal(size=5)
+        b = new_rng(2).normal(size=5)
+        assert not np.allclose(a, b)
+
+    def test_string_seed(self):
+        a = new_rng("experiment-1").integers(0, 100, size=10)
+        b = new_rng("experiment-1").integers(0, 100, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_seed_is_deterministic(self):
+        np.testing.assert_array_equal(new_rng(None).normal(size=3), new_rng(None).normal(size=3))
+
+    def test_spawn_rngs_are_independent(self):
+        rngs = spawn_rngs("root", 3)
+        assert len(rngs) == 3
+        streams = [generator.normal(size=4) for generator in rngs]
+        assert not np.allclose(streams[0], streams[1])
+        assert not np.allclose(streams[1], streams[2])
+
+    def test_spawn_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs("root", -1)
+
+    def test_temporary_seed_restores_state(self):
+        np.random.seed(123)
+        before = np.random.get_state()[1][:5].copy()
+        with temporary_seed(7):
+            np.random.rand(10)
+        after = np.random.get_state()[1][:5]
+        np.testing.assert_array_equal(before, after)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        state = {"a": np.arange(6).reshape(2, 3), "b.weight": np.ones(4, dtype=np.float32)}
+        path = tmp_path / "weights.npz"
+        save_state_dict(state, path)
+        loaded = load_state_dict(path)
+        assert set(loaded) == {"a", "b.weight"}
+        np.testing.assert_array_equal(loaded["a"], state["a"])
+        np.testing.assert_array_equal(loaded["b.weight"], state["b.weight"])
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "weights.npz"
+        save_state_dict({"x": np.zeros(3)}, path)
+        assert path.exists()
+
+    def test_num_bytes(self):
+        state = {"a": np.zeros(10, dtype=np.float32), "b": np.zeros(5, dtype=np.int8)}
+        assert state_dict_num_bytes(state) == 10 * 4 + 5
+
+
+class TestLogger:
+    def test_logger_is_namespaced(self):
+        assert get_logger("foo").name == "repro.foo"
+        assert get_logger("repro.bar").name == "repro.bar"
