@@ -9,7 +9,8 @@ and Chakrabarti.  The package provides:
 * ``repro.models`` / ``repro.data`` — the ResNet-20 / ResNet-18 targets and
   synthetic datasets;
 * ``repro.attacks`` — the Progressive Bit-Flip Attack and variants;
-* ``repro.core`` — the RADAR detection and recovery scheme;
+* ``repro.core`` — the RADAR detection and recovery scheme, plus the
+  amortized scan scheduler and multi-model protection service;
 * ``repro.baselines`` — CRC / Hamming / parity comparison codes;
 * ``repro.memsim`` — DRAM, rowhammer and timing simulation;
 * ``repro.experiments`` — one harness per paper table and figure.

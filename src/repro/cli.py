@@ -12,6 +12,16 @@ the paper's artifacts can be regenerated without writing any Python:
 * ``detect`` — the Fig. 4 detection sweep (runs PBFA; slower);
 * ``recover`` — the Table III recovery sweep (runs PBFA; slowest).
 
+Three subcommands drive the run-time protection machinery directly:
+
+* ``protect`` — build the golden signatures for a setup and report the
+  per-layer grouping plus the amortized scan plan;
+* ``scan`` — run amortized scan passes (optionally after injecting random
+  MSB flips) and show the per-pass cost / detection-lag timeline;
+* ``serve-demo`` — a self-contained :class:`~repro.core.service.ProtectionService`
+  demo: several small models served together, one attacked mid-rotation,
+  detected and repaired by the scan rotation.
+
 Every subcommand prints the same plain-text table the corresponding
 benchmark emits and can optionally save the rows as JSON with ``--output``.
 """
@@ -54,6 +64,73 @@ def _default_group_sizes(setup: str) -> Sequence[int]:
     if "resnet20" in setup:
         return (4, 8, 16, 32, 64)
     return (8, 16, 32)
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for counts that must be >= 1."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _group_size_arg(text: str) -> int:
+    """argparse type for the checksum group size (``G >= 2``)."""
+    value = int(text)
+    if value < 2:
+        raise argparse.ArgumentTypeError(f"group size must be >= 2, got {value}")
+    return value
+
+
+def _default_group_size(setup: str) -> int:
+    """The paper's recommended single G for a setup (Section VII)."""
+    if "resnet18" in setup:
+        return 512
+    if "resnet20" in setup:
+        return 8
+    return 16
+
+
+def _protection_config(args: argparse.Namespace):
+    from repro.core import RadarConfig
+
+    return RadarConfig(
+        group_size=(
+            args.group_size if args.group_size is not None else _default_group_size(args.setup)
+        ),
+        signature_bits=args.signature_bits,
+        use_interleave=not args.no_interleave,
+        use_masking=not args.no_masking,
+    )
+
+
+def _add_protection_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--setup",
+        default="resnet20-cifar",
+        help="model-zoo setup to protect (see 'repro-radar list-setups')",
+    )
+    parser.add_argument(
+        "--group-size", type=_group_size_arg, default=None,
+        help="weights per checksum group (default: the paper's recommendation)",
+    )
+    parser.add_argument("--signature-bits", type=int, default=2, choices=(1, 2, 3))
+    parser.add_argument("--no-interleave", action="store_true", help="disable t-interleaving")
+    parser.add_argument("--no-masking", action="store_true", help="disable secret-key masking")
+    parser.add_argument(
+        "--num-shards", type=_positive_int, default=8,
+        help="shards the signature groups are partitioned into for amortized scanning",
+    )
+    parser.add_argument(
+        "--scan-policy",
+        default="round_robin",
+        choices=("round_robin", "priority_exposure", "full"),
+        help="shard-selection policy of the amortized scheduler",
+    )
+    parser.add_argument(
+        "--shards-per-pass", type=_positive_int, default=1, help="shards verified per scan pass"
+    )
+    parser.add_argument("--output", type=Path, default=None, help="write the rows to this JSON file")
 
 
 # -- subcommand handlers -------------------------------------------------------
@@ -155,6 +232,153 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_protect(args: argparse.Namespace) -> int:
+    from repro.core import ModelProtector, ScanPolicy
+    from repro.experiments.common import ExperimentContext
+
+    context = ExperimentContext.load(args.setup)
+    protector = ModelProtector(_protection_config(args))
+    store = protector.protect(context.model)
+    rows = [
+        {
+            "layer": entry.layer_name,
+            "weights": entry.layout.num_weights,
+            "groups": entry.num_groups,
+            "group_size": entry.layout.group_size,
+        }
+        for entry in store
+    ]
+    _emit(rows, f"Protected layers of {args.setup}", args.output)
+    scheduler = protector.scheduler(
+        num_shards=args.num_shards,
+        policy=ScanPolicy(args.scan_policy),
+        shards_per_pass=args.shards_per_pass,
+    )
+    plan = scheduler.describe()
+    print(
+        f"signature storage: {protector.storage_overhead_kb():.2f} KB "
+        f"({store.total_groups()} groups x {store.config.signature_bits} bits)"
+    )
+    print(
+        f"amortized scan plan: {plan['shards']} shards, policy {plan['policy']}, "
+        f"~{store.total_groups() * plan['shards_per_pass'] // max(plan['shards'], 1)} groups/pass, "
+        f"full model verified within {plan['worst_case_lag_passes']} passes"
+    )
+    return 0
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
+    from repro.core import ModelProtector, ScanPolicy
+    from repro.experiments.common import ExperimentContext
+
+    context = ExperimentContext.load(args.setup)
+    protector = ModelProtector(_protection_config(args))
+    protector.protect(context.model)
+    scheduler = protector.scheduler(
+        num_shards=args.num_shards,
+        policy=ScanPolicy(args.scan_policy),
+        shards_per_pass=args.shards_per_pass,
+    )
+    passes = args.passes or scheduler.worst_case_lag_passes
+    if args.inject_flips and not 0 <= args.inject_at_pass < passes:
+        print(
+            f"error: --inject-at-pass {args.inject_at_pass} is outside the "
+            f"{passes} scheduled passes; nothing would be injected",
+            file=sys.stderr,
+        )
+        return 2
+    rows: List[Dict] = []
+    detected_at = None
+    for pass_index in range(passes):
+        if args.inject_flips and pass_index == args.inject_at_pass:
+            RandomBitFlipAttack(
+                RandomFlipConfig(num_flips=args.inject_flips, msb_only=True, seed=args.seed)
+            ).run(context.model, context.model_name)
+        result = scheduler.step(context.model)
+        if result.attack_detected and detected_at is None:
+            detected_at = result.pass_index
+        rows.append(
+            {
+                "pass": result.pass_index,
+                "shards": ",".join(str(index) for index in result.shard_indices),
+                "groups_checked": result.groups_checked,
+                "flagged_groups": result.report.num_flagged_groups,
+                "rotation_complete": result.rotation_complete,
+            }
+        )
+    _emit(rows, f"Amortized scan of {args.setup} ({scheduler.num_shards} shards)", args.output)
+    reference = protector.scan(context.model)
+    print(f"full-scan reference: {reference.num_flagged_groups} flagged groups")
+    if args.inject_flips:
+        if detected_at is None:
+            print("injected flips not yet scanned (increase --passes to cover a full rotation)")
+        else:
+            print(
+                f"attack injected before pass {args.inject_at_pass + 1}, "
+                f"detected at pass {detected_at} "
+                f"(lag {detected_at - args.inject_at_pass - 1} passes)"
+            )
+    return 0
+
+
+def _cmd_serve_demo(args: argparse.Namespace) -> int:
+    from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
+    from repro.core import ProtectionService, RadarConfig, RecoveryPolicy, ScanPolicy
+    from repro.models.small import MLP
+    from repro.quant.layers import quantize_model
+
+    config = RadarConfig(
+        group_size=args.group_size if args.group_size is not None else 16,
+        signature_bits=args.signature_bits,
+    )
+    service = ProtectionService(
+        config,
+        num_shards=args.num_shards,
+        policy=ScanPolicy(args.scan_policy),
+        shards_per_pass=args.shards_per_pass,
+    )
+    for index in range(args.models):
+        model = MLP(
+            input_dim=64, num_classes=4, hidden_dims=(48, 24), seed=args.seed + index
+        )
+        quantize_model(model)
+        service.register(f"model-{index}", model, keep_golden_weights=True)
+    print(reporting.render_table(service.describe(), title="Protection service registry"))
+
+    victim = service.get("model-0")
+    rows: List[Dict] = []
+    detected_at = None
+    for pass_index in range(args.passes):
+        if pass_index == args.attack_at_pass:
+            RandomBitFlipAttack(
+                RandomFlipConfig(num_flips=args.num_flips, msb_only=True, seed=args.seed)
+            ).run(victim.model, victim.name)
+        outcomes = service.step_and_recover(policy=RecoveryPolicy.RELOAD)
+        for name, outcome in outcomes.items():
+            if outcome.attack_detected and detected_at is None:
+                detected_at = pass_index + 1
+            rows.append(
+                {
+                    "pass": pass_index + 1,
+                    "model": name,
+                    "shards": ",".join(str(i) for i in outcome.scan.shard_indices),
+                    "flagged_groups": outcome.scan.report.num_flagged_groups,
+                    "recovered_weights": outcome.recovery.reloaded_weights,
+                }
+            )
+    _emit(rows, f"Serving timeline ({args.models} models, {args.num_shards} shards)", args.output)
+    if detected_at is None:
+        print("attack not detected inside the served window; increase --passes")
+    else:
+        print(
+            f"attack on {victim.name} before pass {args.attack_at_pass + 1}, "
+            f"detected and repaired at pass {detected_at} "
+            f"(exposure window: {detected_at - args.attack_at_pass - 1} passes)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -199,6 +423,55 @@ def build_parser() -> argparse.ArgumentParser:
     recover_parser = subparsers.add_parser("recover", help="accuracy recovery sweep (Table III)")
     _add_common_model_arguments(recover_parser, default_setup="resnet20-cifar")
     recover_parser.set_defaults(handler=_cmd_recover)
+
+    protect_parser = subparsers.add_parser(
+        "protect", help="build golden signatures and show the amortized scan plan"
+    )
+    _add_protection_arguments(protect_parser)
+    protect_parser.set_defaults(handler=_cmd_protect)
+
+    scan_parser = subparsers.add_parser(
+        "scan", help="run amortized scan passes (optionally after injecting flips)"
+    )
+    _add_protection_arguments(scan_parser)
+    scan_parser.add_argument(
+        "--passes", type=_positive_int, default=None,
+        help="scan passes to run (default: one full rotation)",
+    )
+    scan_parser.add_argument(
+        "--inject-flips", type=int, default=0,
+        help="random MSB flips to inject before the pass given by --inject-at-pass",
+    )
+    scan_parser.add_argument(
+        "--inject-at-pass", type=int, default=0,
+        help="0-based pass before which the flips are injected",
+    )
+    scan_parser.add_argument("--seed", type=int, default=0)
+    scan_parser.set_defaults(handler=_cmd_scan)
+
+    serve_parser = subparsers.add_parser(
+        "serve-demo",
+        help="ProtectionService demo: a small model fleet, one attacked mid-rotation",
+    )
+    serve_parser.add_argument("--models", type=_positive_int, default=3, help="models in the fleet")
+    serve_parser.add_argument("--group-size", type=_group_size_arg, default=None)
+    serve_parser.add_argument("--signature-bits", type=int, default=2, choices=(1, 2, 3))
+    serve_parser.add_argument("--num-shards", type=_positive_int, default=4)
+    serve_parser.add_argument(
+        "--scan-policy",
+        default="round_robin",
+        choices=("round_robin", "priority_exposure", "full"),
+    )
+    serve_parser.add_argument("--shards-per-pass", type=_positive_int, default=1)
+    serve_parser.add_argument("--passes", type=_positive_int, default=8, help="serving ticks to simulate")
+    serve_parser.add_argument(
+        "--attack-at-pass", type=int, default=2,
+        help="0-based pass before which model-0 is attacked",
+    )
+    serve_parser.add_argument("--num-flips", type=int, default=6, help="flips the attack injects")
+    serve_parser.add_argument("--seed", type=int, default=0)
+    serve_parser.add_argument("--output", type=Path, default=None)
+    serve_parser.set_defaults(handler=_cmd_serve_demo)
 
     return parser
 

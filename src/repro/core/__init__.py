@@ -16,17 +16,30 @@ Pipeline (Sections IV and V of the paper):
 :class:`repro.core.protector.ModelProtector` ties everything together, and
 :class:`repro.core.runtime.ProtectedInference` embeds the check in the
 inference path as the paper's gem5 experiment does.
+
+Two run-time extensions go beyond the paper's stop-the-world scan:
+
+* :class:`repro.core.scheduler.ScanScheduler` — amortized scanning: the
+  model's signature groups are partitioned into shards (on the vectorized
+  :class:`repro.core.signature.FusedSignatures` fast path) and each forward
+  pass verifies only a bounded slice, so the whole model is verified within
+  one rotation at a fraction of the per-pass cost.
+* :class:`repro.core.service.ProtectionService` — a registry that manages
+  many protected models at once, advancing every model's scan rotation per
+  serving tick.
 """
 
 from repro.core.config import RadarConfig
 from repro.core.interleave import GroupLayout
 from repro.core.masking import SecretKey
 from repro.core.checksum import compute_group_sums, signature_from_sums
-from repro.core.signature import LayerSignatures, SignatureStore
+from repro.core.signature import FusedSignatures, LayerSignatures, SignatureStore
 from repro.core.detector import DetectionReport, RadarDetector, count_detected_flips
 from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
+from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler, ShardInfo
 from repro.core.protector import ModelProtector, ProtectionSummary
 from repro.core.runtime import InferenceOutcome, ProtectedInference
+from repro.core.service import ManagedModel, ProtectionService, ServiceStepOutcome
 from repro.core.streaming import StreamEvent, StreamReport, StreamingVerifier
 
 __all__ = [
@@ -37,16 +50,24 @@ __all__ = [
     "signature_from_sums",
     "LayerSignatures",
     "SignatureStore",
+    "FusedSignatures",
     "RadarDetector",
     "DetectionReport",
     "count_detected_flips",
     "RecoveryPolicy",
     "RecoveryReport",
     "recover_model",
+    "ScanPolicy",
+    "ScanPassResult",
+    "ScanScheduler",
+    "ShardInfo",
     "ModelProtector",
     "ProtectionSummary",
     "ProtectedInference",
     "InferenceOutcome",
+    "ProtectionService",
+    "ManagedModel",
+    "ServiceStepOutcome",
     "StreamingVerifier",
     "StreamEvent",
     "StreamReport",

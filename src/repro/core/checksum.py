@@ -61,17 +61,24 @@ def compute_group_sums(
     qweight_flat: np.ndarray,
     layout: GroupLayout,
     key: Optional[SecretKey] = None,
+    groups: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Per-group masked addition checksums ``M`` for one layer.
 
     ``qweight_flat`` is the layer's int8 weight tensor flattened in memory
     order; ``layout`` supplies the (possibly interleaved) grouping and
-    ``key`` the masking signs (``None`` disables masking).
+    ``key`` the masking signs (``None`` disables masking).  ``groups``
+    restricts the computation to the listed group indices (in the given
+    order); ``None`` computes every group.
     """
     qweight_flat = np.asarray(qweight_flat)
     if qweight_flat.dtype != np.int8:
         raise ProtectionError(f"Expected int8 weights, got dtype {qweight_flat.dtype}")
-    gathered = layout.gather(qweight_flat.astype(np.int64))
+    values = qweight_flat.astype(np.int64)
+    if groups is None:
+        gathered = layout.gather(values)
+    else:
+        gathered = layout.gather_rows(values, groups)
     if key is not None:
         gathered = gathered * key.signs(layout.group_size)[None, :]
     return gathered.sum(axis=1)
@@ -82,7 +89,8 @@ def compute_signatures(
     layout: GroupLayout,
     key: Optional[SecretKey] = None,
     signature_bits: int = 2,
+    groups: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Convenience wrapper: checksums then binarization."""
-    sums = compute_group_sums(qweight_flat, layout, key)
+    sums = compute_group_sums(qweight_flat, layout, key, groups=groups)
     return signature_from_sums(sums, signature_bits)

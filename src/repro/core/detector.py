@@ -36,6 +36,20 @@ class DetectionReport:
             return False
         return bool(np.isin(group_index, groups))
 
+    def merge(self, other: "DetectionReport") -> "DetectionReport":
+        """New report holding the union of both reports' flagged groups.
+
+        Lets callers accumulate the amortized scheduler's per-pass reports
+        themselves (the scheduler's ``rotation_report`` does the equivalent
+        accumulation internally on global rows).
+        """
+        merged = DetectionReport()
+        for name in {**self.flagged_groups, **other.flagged_groups}:
+            mine = self.flagged_groups.get(name, np.empty(0, dtype=np.int64))
+            theirs = other.flagged_groups.get(name, np.empty(0, dtype=np.int64))
+            merged.flagged_groups[name] = np.union1d(mine, theirs).astype(np.int64)
+        return merged
+
     def summary(self) -> Dict[str, int]:
         return {
             "flagged_groups": self.num_flagged_groups,
@@ -60,10 +74,29 @@ class RadarDetector:
             report.flagged_groups[entry.layer_name] = mismatches.astype(np.int64)
         return report
 
+    def scan_fused(self, model: Module) -> DetectionReport:
+        """:meth:`scan` on the store's vectorized fast path (same result).
+
+        One batched gather/sum/binarize pass over all layers via
+        :class:`~repro.core.signature.FusedSignatures` instead of a
+        per-layer Python loop that re-gathers each weight tensor.
+        """
+        fused = self.store.fused()
+        return report_from_fused_rows(fused, fused.mismatched_rows(model))
+
     def scan_layer(self, model: Module, layer_name: str) -> np.ndarray:
         """Flagged group indices for a single layer (used by the runtime wrapper)."""
         report = self.scan(model)
         return report.flagged_groups.get(layer_name, np.empty(0, dtype=np.int64))
+
+
+def report_from_fused_rows(fused, flagged_rows: np.ndarray) -> DetectionReport:
+    """Wrap flagged global rows of a fused view into a :class:`DetectionReport`.
+
+    Every protected layer gets an entry (empty when clean), matching the
+    shape :meth:`RadarDetector.scan` produces.
+    """
+    return DetectionReport(flagged_groups=fused.rows_to_layer_groups(flagged_rows))
 
 
 def count_detected_flips(

@@ -107,6 +107,31 @@ class GroupLayout:
         gathered[valid] = flat_values[self._groups[valid]]
         return gathered
 
+    def gather_rows(self, flat_values: np.ndarray, group_indices: np.ndarray) -> np.ndarray:
+        """:meth:`gather` restricted to a subset of group rows.
+
+        This is the amortized-scan fast path: the cost is proportional to
+        ``len(group_indices) * group_size`` rather than to the layer size,
+        so verifying a slice of a layer's groups does not pay for the rest.
+        """
+        flat_values = np.asarray(flat_values)
+        if flat_values.shape != (self.num_weights,):
+            raise ProtectionError(
+                f"Expected a flat array of {self.num_weights} values, got shape {flat_values.shape}"
+            )
+        group_indices = np.atleast_1d(np.asarray(group_indices, dtype=np.int64))
+        if group_indices.size and not (
+            0 <= group_indices.min() and group_indices.max() < self.num_groups
+        ):
+            raise ProtectionError(
+                f"group indices out of range ({self.num_groups} groups)"
+            )
+        rows = self._groups[group_indices]
+        valid = rows != PAD_INDEX
+        gathered = np.zeros(rows.shape, dtype=np.int64)
+        gathered[valid] = flat_values[rows[valid]]
+        return gathered
+
     def scatter_mask(self, group_indices: np.ndarray) -> np.ndarray:
         """Boolean mask over original indices covering the given groups.
 

@@ -10,6 +10,7 @@ import numpy as np
 from repro.core.config import RadarConfig
 from repro.core.detector import DetectionReport, RadarDetector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
+from repro.core.scheduler import ScanPolicy, ScanScheduler
 from repro.core.signature import SignatureStore
 from repro.errors import ProtectionError
 from repro.nn.module import Module
@@ -80,6 +81,30 @@ class ModelProtector:
         """Detection only."""
         self._require_protected()
         return self._detector.scan(model)
+
+    def scan_fused(self, model: Module) -> DetectionReport:
+        """Detection only, on the vectorized fast path (same result as :meth:`scan`)."""
+        self._require_protected()
+        return self._detector.scan_fused(model)
+
+    def scheduler(
+        self,
+        num_shards: int = 8,
+        policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+        shards_per_pass: int = 1,
+    ) -> ScanScheduler:
+        """An amortized :class:`~repro.core.scheduler.ScanScheduler` over this store.
+
+        Each returned scheduler has independent rotation state; a fresh one
+        starts a fresh rotation.
+        """
+        self._require_protected()
+        return ScanScheduler(
+            self._store,
+            num_shards=num_shards,
+            policy=policy,
+            shards_per_pass=shards_per_pass,
+        )
 
     def recover(
         self,

@@ -13,13 +13,14 @@ streaming loop is modelled separately by :mod:`repro.memsim.timing`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import RadarConfig
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy
+from repro.core.scheduler import ScanPolicy, ScanScheduler
 from repro.errors import ProtectionError
 from repro.nn.module import Module
 
@@ -50,7 +51,17 @@ class RuntimeLog:
 
 
 class ProtectedInference:
-    """Wraps a quantized model with RADAR checking on every forward pass."""
+    """Wraps a quantized model with RADAR checking on every forward pass.
+
+    Two checking modes are supported:
+
+    * **full** (``num_shards=None``, the default): every check verifies the
+      whole model, as in the paper's gem5 experiment;
+    * **amortized** (``num_shards=N``): each check verifies one slice of the
+      model's signature groups via a :class:`~repro.core.scheduler.ScanScheduler`,
+      bounding per-batch latency while the whole model is still verified
+      within one rotation (at most ``scheduler.worst_case_lag_passes`` checks).
+    """
 
     def __init__(
         self,
@@ -58,6 +69,9 @@ class ProtectedInference:
         config: Optional[RadarConfig] = None,
         policy: RecoveryPolicy = RecoveryPolicy.ZERO,
         check_every: int = 1,
+        num_shards: Optional[int] = None,
+        scan_policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+        shards_per_pass: int = 1,
     ) -> None:
         if check_every < 1:
             raise ProtectionError("check_every must be >= 1")
@@ -66,8 +80,25 @@ class ProtectedInference:
         self.check_every = check_every
         self.protector = ModelProtector(config)
         self.protector.protect(model)
+        self.scheduler: Optional[ScanScheduler] = None
+        if num_shards is not None:
+            self.scheduler = self.protector.scheduler(
+                num_shards=num_shards, policy=scan_policy, shards_per_pass=shards_per_pass
+            )
         self.log = RuntimeLog()
         self._since_last_check = 0
+
+    def _check(self) -> Tuple[bool, int, int]:
+        """One detection + recovery round (full or amortized)."""
+        if self.scheduler is None:
+            summary = self.protector.scan_and_recover(self.model, policy=self.policy)
+            detection, recovery = summary.detection, summary.recovery
+        else:
+            detection = self.scheduler.step(self.model).report
+            recovery = self.protector.recover(self.model, detection, policy=self.policy)
+        flagged = detection.num_flagged_groups
+        recovered = recovery.zeroed_weights + recovery.reloaded_weights
+        return detection.attack_detected, flagged, recovered
 
     def forward(self, images: np.ndarray) -> InferenceOutcome:
         """Run one protected inference batch."""
@@ -77,10 +108,7 @@ class ProtectedInference:
         self._since_last_check += 1
         if self._since_last_check >= self.check_every:
             self._since_last_check = 0
-            summary = self.protector.scan_and_recover(self.model, policy=self.policy)
-            attack_detected = summary.attack_detected
-            flagged = summary.detection.num_flagged_groups
-            recovered = summary.recovery.zeroed_weights + summary.recovery.reloaded_weights
+            attack_detected, flagged, recovered = self._check()
             if attack_detected:
                 self.log.detections += 1
                 self.log.events.append(

@@ -1,0 +1,237 @@
+"""Amortized scan scheduling: bounded-cost verification per forward pass.
+
+A stop-the-world scan (:meth:`~repro.core.protector.ModelProtector.scan`)
+verifies every group of every layer before each batch, which is the
+opposite of the paper's point that checking must hide inside the inference
+weight-streaming loop with near-zero overhead.  The
+:class:`ScanScheduler` instead partitions the model's signature groups —
+under the global-row numbering of
+:class:`~repro.core.signature.FusedSignatures` — into ``num_shards``
+shards and verifies a configurable slice of shards per pass, so per-pass
+latency is bounded by the slice size while the whole model is still
+verified within one full rotation.
+
+Three policies decide which shards a pass scans:
+
+* ``ROUND_ROBIN`` — cyclic order; every rotation takes exactly
+  ``ceil(num_shards / shards_per_pass)`` passes.
+* ``PRIORITY_EXPOSURE`` — longest-unscanned shard first (ties broken by
+  how often a shard has been flagged before, then by index), so a shard
+  that keeps catching flips is revisited sooner after service churn while
+  the exposure bound of round-robin is preserved: an unscanned shard's
+  exposure only grows, so it cannot starve.
+* ``FULL`` — every shard every pass (degenerates to a full scan; useful
+  as a baseline and for the highest-assurance deployments).
+
+The detection-lag tradeoff is explicit: a flip landing in the worst-placed
+shard is caught after at most one rotation (``worst_case_lag_passes``),
+which `benchmarks/test_bench_scan_scheduler.py` measures against the
+per-pass latency saving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.detector import DetectionReport, report_from_fused_rows
+from repro.core.signature import SignatureStore
+from repro.errors import ProtectionError
+from repro.nn.module import Module
+
+
+class ScanPolicy(str, Enum):
+    """Shard-selection policy of the :class:`ScanScheduler`."""
+
+    ROUND_ROBIN = "round_robin"
+    PRIORITY_EXPOSURE = "priority_exposure"
+    FULL = "full"
+
+
+@dataclass
+class ScanPassResult:
+    """What one amortized pass scanned and found."""
+
+    pass_index: int
+    shard_indices: List[int]
+    groups_checked: int
+    report: DetectionReport
+    rotation_complete: bool = False
+    rotation_report: Optional[DetectionReport] = None
+
+    @property
+    def attack_detected(self) -> bool:
+        return self.report.attack_detected
+
+
+@dataclass
+class ShardInfo:
+    """Introspection row for one shard (used by reports and the CLI)."""
+
+    index: int
+    num_groups: int
+    exposure_passes: int
+    times_scanned: int
+    times_flagged: int
+
+
+class ScanScheduler:
+    """Verifies a bounded slice of a model's signature groups per pass.
+
+    The scheduler is pure detection: it never mutates the model.  Callers
+    that want the paper's detect-then-recover behaviour feed the per-pass
+    :class:`~repro.core.detector.DetectionReport` to
+    :func:`~repro.core.recovery.recover_model` (as
+    :class:`~repro.core.runtime.ProtectedInference` and
+    :class:`~repro.core.service.ProtectionService` do).
+
+    Invariant: the union of the per-pass reports over one complete rotation
+    equals a full :meth:`~repro.core.detector.RadarDetector.scan` of the
+    same (unchanged) weights; ``rotation_report`` hands that union out
+    whenever a rotation completes.
+    """
+
+    def __init__(
+        self,
+        store: SignatureStore,
+        num_shards: int = 8,
+        policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+        shards_per_pass: int = 1,
+    ) -> None:
+        if num_shards < 1:
+            raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
+        if shards_per_pass < 1:
+            raise ProtectionError(f"shards_per_pass must be >= 1, got {shards_per_pass}")
+        self.store = store
+        self.policy = ScanPolicy(policy)
+        self.fused = store.fused()
+        self.num_shards = min(num_shards, self.fused.total_groups)
+        self.shards_per_pass = min(shards_per_pass, self.num_shards)
+        self._shards: List[np.ndarray] = [
+            rows.astype(np.int64)
+            for rows in np.array_split(np.arange(self.fused.total_groups), self.num_shards)
+        ]
+        self._exposure = np.zeros(self.num_shards, dtype=np.int64)
+        self._times_scanned = np.zeros(self.num_shards, dtype=np.int64)
+        self._times_flagged = np.zeros(self.num_shards, dtype=np.int64)
+        self._cursor = 0
+        self._pass_index = 0
+        self._rotation_pending = set(range(self.num_shards))
+        self._rotation_rows: List[np.ndarray] = []
+
+    # -- planning ---------------------------------------------------------------
+    @property
+    def total_groups(self) -> int:
+        return self.fused.total_groups
+
+    @property
+    def worst_case_lag_passes(self) -> int:
+        """Passes until any flip is guaranteed scanned (one full rotation)."""
+        if self.policy is ScanPolicy.FULL:
+            return 1
+        return -(-self.num_shards // self.shards_per_pass)
+
+    def plan(self) -> List[int]:
+        """Shard indices the next :meth:`step` will scan (no state change)."""
+        if self.policy is ScanPolicy.FULL:
+            return list(range(self.num_shards))
+        if self.policy is ScanPolicy.ROUND_ROBIN:
+            return [
+                (self._cursor + offset) % self.num_shards
+                for offset in range(self.shards_per_pass)
+            ]
+        # PRIORITY_EXPOSURE: most-exposed first, flag history then index as
+        # tie-breaks (lexsort orders by its last key first).
+        order = np.lexsort(
+            (np.arange(self.num_shards), -self._times_flagged, -self._exposure)
+        )
+        return [int(index) for index in order[: self.shards_per_pass]]
+
+    def shard_rows(self, shard_index: int) -> np.ndarray:
+        """Global group rows belonging to one shard."""
+        if not 0 <= shard_index < self.num_shards:
+            raise ProtectionError(f"shard_index {shard_index} out of range ({self.num_shards})")
+        return self._shards[shard_index].copy()
+
+    # -- scanning ---------------------------------------------------------------
+    def step(self, model: Module) -> ScanPassResult:
+        """Verify the next slice of shards against the golden signatures."""
+        shard_indices = self.plan()
+        rows = np.concatenate([self._shards[index] for index in shard_indices])
+        flagged_rows = self.fused.mismatched_rows(model, rows)
+
+        self._pass_index += 1
+        self._exposure += 1
+        for index in shard_indices:
+            self._exposure[index] = 0
+            self._times_scanned[index] += 1
+            # Shards are contiguous row ranges, so a range test attributes flags.
+            low, high = self._shards[index][0], self._shards[index][-1]
+            if np.any((flagged_rows >= low) & (flagged_rows <= high)):
+                self._times_flagged[index] += 1
+        if self.policy is ScanPolicy.ROUND_ROBIN:
+            self._cursor = (self._cursor + self.shards_per_pass) % self.num_shards
+
+        report = report_from_fused_rows(self.fused, flagged_rows)
+        self._rotation_rows.append(flagged_rows)
+        self._rotation_pending -= set(shard_indices)
+        rotation_complete = not self._rotation_pending
+        rotation_report = None
+        if rotation_complete:
+            rotation_report = report_from_fused_rows(
+                self.fused, np.concatenate(self._rotation_rows)
+            )
+            self._rotation_pending = set(range(self.num_shards))
+            self._rotation_rows = []
+        return ScanPassResult(
+            pass_index=self._pass_index,
+            shard_indices=shard_indices,
+            groups_checked=int(rows.size),
+            report=report,
+            rotation_complete=rotation_complete,
+            rotation_report=rotation_report,
+        )
+
+    def run_rotation(self, model: Module) -> DetectionReport:
+        """Step until the current rotation completes; return its union report."""
+        for _ in range(self.worst_case_lag_passes * 2):
+            result = self.step(model)
+            if result.rotation_complete:
+                return result.rotation_report
+        raise ProtectionError("Rotation did not complete; scheduler state is inconsistent")
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def passes(self) -> int:
+        return self._pass_index
+
+    @property
+    def max_exposure_passes(self) -> int:
+        """Largest number of passes any shard has currently gone unscanned."""
+        return int(self._exposure.max())
+
+    def shard_info(self) -> List[ShardInfo]:
+        return [
+            ShardInfo(
+                index=index,
+                num_groups=int(self._shards[index].size),
+                exposure_passes=int(self._exposure[index]),
+                times_scanned=int(self._times_scanned[index]),
+                times_flagged=int(self._times_flagged[index]),
+            )
+            for index in range(self.num_shards)
+        ]
+
+    def describe(self) -> Dict[str, int]:
+        """Summary row used by the CLI and the service registry."""
+        return {
+            "groups": self.total_groups,
+            "shards": self.num_shards,
+            "shards_per_pass": self.shards_per_pass,
+            "policy": self.policy.value,
+            "worst_case_lag_passes": self.worst_case_lag_passes,
+            "passes": self.passes,
+        }

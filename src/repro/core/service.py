@@ -1,0 +1,165 @@
+"""Fleet protection: one registry managing many protected models.
+
+A serving deployment rarely hosts a single network; the
+:class:`ProtectionService` keeps a :class:`~repro.core.protector.ModelProtector`
+and an amortized :class:`~repro.core.scheduler.ScanScheduler` per registered
+model so one ``step()`` call advances every model's scan rotation by one
+bounded-cost slice.  The registry is what the ``repro-radar serve-demo``
+subcommand drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.config import RadarConfig
+from repro.core.detector import DetectionReport
+from repro.core.protector import ModelProtector
+from repro.core.recovery import RecoveryPolicy, RecoveryReport
+from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
+from repro.errors import ProtectionError
+from repro.nn.module import Module
+
+
+@dataclass
+class ManagedModel:
+    """One registered model and its protection state."""
+
+    name: str
+    model: Module
+    protector: ModelProtector
+    scheduler: ScanScheduler
+
+
+@dataclass
+class ServiceStepOutcome:
+    """Result of one service pass over a single managed model."""
+
+    name: str
+    scan: ScanPassResult
+    recovery: Optional[RecoveryReport] = None
+
+    @property
+    def attack_detected(self) -> bool:
+        return self.scan.attack_detected
+
+
+class ProtectionService:
+    """Registry of protected models sharing an amortized scan budget.
+
+    Typical use::
+
+        service = ProtectionService(num_shards=8)
+        service.register("lane-a", model_a)
+        service.register("lane-b", model_b, config=RadarConfig(group_size=8))
+        ...
+        outcomes = service.step_and_recover()   # once per serving tick
+    """
+
+    def __init__(
+        self,
+        default_config: Optional[RadarConfig] = None,
+        num_shards: int = 8,
+        policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+        shards_per_pass: int = 1,
+    ) -> None:
+        self.default_config = default_config or RadarConfig()
+        self.num_shards = num_shards
+        self.policy = ScanPolicy(policy)
+        self.shards_per_pass = shards_per_pass
+        self._models: Dict[str, ManagedModel] = {}
+
+    # -- registry ---------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: Module,
+        config: Optional[RadarConfig] = None,
+        num_shards: Optional[int] = None,
+        policy: Optional[ScanPolicy] = None,
+        shards_per_pass: Optional[int] = None,
+        keep_golden_weights: bool = False,
+    ) -> ManagedModel:
+        """Protect ``model`` and enrol it in the scan rotation."""
+        if not name:
+            raise ProtectionError("Managed model name must be non-empty")
+        if name in self._models:
+            raise ProtectionError(f"Model {name!r} is already registered")
+        protector = ModelProtector(config or self.default_config)
+        protector.protect(model, keep_golden_weights=keep_golden_weights)
+        scheduler = ScanScheduler(
+            protector.store,
+            num_shards=num_shards if num_shards is not None else self.num_shards,
+            policy=policy if policy is not None else self.policy,
+            shards_per_pass=(
+                shards_per_pass if shards_per_pass is not None else self.shards_per_pass
+            ),
+        )
+        managed = ManagedModel(name=name, model=model, protector=protector, scheduler=scheduler)
+        self._models[name] = managed
+        return managed
+
+    def unregister(self, name: str) -> ManagedModel:
+        if name not in self._models:
+            raise ProtectionError(f"Model {name!r} is not registered")
+        return self._models.pop(name)
+
+    def get(self, name: str) -> ManagedModel:
+        if name not in self._models:
+            raise ProtectionError(f"Model {name!r} is not registered")
+        return self._models[name]
+
+    def names(self) -> List[str]:
+        return list(self._models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    # -- fleet operations ---------------------------------------------------------
+    def step(self) -> Dict[str, ScanPassResult]:
+        """One amortized scan pass over every registered model (detect only)."""
+        self._require_models()
+        return {
+            name: managed.scheduler.step(managed.model)
+            for name, managed in self._models.items()
+        }
+
+    def step_and_recover(
+        self, policy: RecoveryPolicy = RecoveryPolicy.ZERO
+    ) -> Dict[str, ServiceStepOutcome]:
+        """One amortized pass per model, recovering whatever the pass flagged."""
+        self._require_models()
+        outcomes: Dict[str, ServiceStepOutcome] = {}
+        for name, managed in self._models.items():
+            scan = managed.scheduler.step(managed.model)
+            recovery = managed.protector.recover(managed.model, scan.report, policy=policy)
+            outcomes[name] = ServiceStepOutcome(name=name, scan=scan, recovery=recovery)
+        return outcomes
+
+    def scan_all(self) -> Dict[str, DetectionReport]:
+        """Stop-the-world full scan of every model (the fused fast path)."""
+        self._require_models()
+        return {
+            name: managed.protector.scan_fused(managed.model)
+            for name, managed in self._models.items()
+        }
+
+    def describe(self) -> List[Dict]:
+        """One summary row per managed model (used by the CLI)."""
+        rows: List[Dict] = []
+        for name, managed in self._models.items():
+            row: Dict = {"model": name, "layers": len(managed.protector.store)}
+            row.update(managed.scheduler.describe())
+            row["storage_kb"] = round(managed.protector.storage_overhead_kb(), 3)
+            rows.append(row)
+        return rows
+
+    def _require_models(self) -> None:
+        if not self._models:
+            raise ProtectionError(
+                "ProtectionService has no registered models; call register(name, model) first"
+            )

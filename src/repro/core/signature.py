@@ -15,9 +15,9 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.checksum import compute_signatures
+from repro.core.checksum import compute_signatures, signature_from_sums
 from repro.core.config import RadarConfig
-from repro.core.interleave import GroupLayout
+from repro.core.interleave import PAD_INDEX, GroupLayout
 from repro.core.masking import SecretKey
 from repro.errors import ProtectionError
 from repro.nn.module import Module
@@ -44,6 +44,7 @@ class SignatureStore:
     def __init__(self, config: RadarConfig) -> None:
         self.config = config
         self._layers: Dict[str, LayerSignatures] = {}
+        self._fused: Optional["FusedSignatures"] = None
 
     # -- construction ---------------------------------------------------------
     def build(self, model: Module) -> "SignatureStore":
@@ -52,6 +53,7 @@ class SignatureStore:
         if not layers:
             raise ProtectionError("Model has no quantized layers to protect")
         self._layers.clear()
+        self._fused = None
         for name, layer in layers:
             if not layer.is_quantized:
                 raise ProtectionError(
@@ -112,6 +114,12 @@ class SignatureStore:
             )
         return signatures
 
+    def fused(self) -> "FusedSignatures":
+        """Cached vectorized view over all layers (rebuilt by :meth:`build`)."""
+        if self._fused is None:
+            self._fused = FusedSignatures(self)
+        return self._fused
+
     # -- storage accounting ----------------------------------------------------
     def total_groups(self) -> int:
         return sum(entry.num_groups for entry in self._layers.values())
@@ -142,6 +150,127 @@ class SignatureStore:
             "signature_bits": self.config.signature_bits,
             "storage_kb": self.storage_kilobytes(),
         }
+
+
+class FusedSignatures:
+    """Vectorized signature recomputation across all protected layers.
+
+    A :class:`SignatureStore` recomputes signatures layer by layer, each time
+    re-gathering the layer's full weight tensor.  This view instead caches,
+    once per store build, everything the recomputation needs:
+
+    * per layer, the padded gather-index matrix (pad slots redirected to
+      index 0) and a fused *sign mask* — ``+1``/``-1`` from the secret
+      masking key, ``0`` on padded slots — so masking and padding are one
+      multiply;
+    * the golden signatures of all layers concatenated under a **global
+      row** numbering (row ``r`` is group ``r - row_start`` of its layer).
+
+    Recomputing any slice of rows then costs one fancy-gather + multiply +
+    row-sum per covered layer — work proportional to the slice, not to the
+    model — which is exactly what the amortized
+    :class:`~repro.core.scheduler.ScanScheduler` needs, and a full scan
+    becomes a single batched pass with no per-layer index rebuilding.
+    """
+
+    def __init__(self, store: SignatureStore) -> None:
+        if len(store) == 0:
+            raise ProtectionError("Signature store is empty; call store.build(model) first")
+        self.store = store
+        self.config = store.config
+        entries = list(store)
+        self.layer_names: List[str] = [entry.layer_name for entry in entries]
+        group_size = self.config.group_size
+        self._indices: List[np.ndarray] = []
+        self._sign_masks: List[np.ndarray] = []
+        self._num_weights: List[int] = []
+        row_starts = np.zeros(len(entries) + 1, dtype=np.int64)
+        golden_blocks = []
+        for position, entry in enumerate(entries):
+            groups = entry.layout.groups
+            valid = groups != PAD_INDEX
+            signs = (
+                entry.key.signs(group_size)
+                if entry.key is not None
+                else np.ones(group_size, dtype=np.int64)
+            )
+            mask = np.where(valid, signs[None, :], 0).astype(np.int8)
+            self._indices.append(np.where(valid, groups, 0))
+            self._sign_masks.append(mask)
+            self._num_weights.append(entry.layout.num_weights)
+            row_starts[position + 1] = row_starts[position] + entry.num_groups
+            golden_blocks.append(entry.golden)
+        self._row_starts = row_starts
+        self.golden = np.concatenate(golden_blocks).astype(np.uint8)
+        self.total_groups = int(row_starts[-1])
+
+    # -- row bookkeeping -------------------------------------------------------
+    def row_range(self, layer_name: str) -> Tuple[int, int]:
+        """``[start, end)`` global row range of one layer's groups."""
+        position = self.layer_names.index(layer_name)
+        return int(self._row_starts[position]), int(self._row_starts[position + 1])
+
+    def _layer_flat(self, layer_map: Dict[str, Module], position: int) -> np.ndarray:
+        name = self.layer_names[position]
+        if name not in layer_map:
+            raise ProtectionError(f"Protected layer {name!r} missing from model")
+        flat = layer_map[name].qweight.reshape(-1)
+        if flat.size != self._num_weights[position]:
+            raise ProtectionError(
+                f"Layer {name!r} has {flat.size} weights, expected {self._num_weights[position]}"
+            )
+        return flat
+
+    # -- recomputation ---------------------------------------------------------
+    def group_sums(self, model: Module, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Masked checksums for the given global rows (``None`` = every group)."""
+        layer_map = dict(quantized_layers(model))
+        if rows is None:
+            sums = np.empty(self.total_groups, dtype=np.int64)
+            for position in range(len(self.layer_names)):
+                flat = self._layer_flat(layer_map, position)
+                start, end = self._row_starts[position], self._row_starts[position + 1]
+                gathered = flat[self._indices[position]].astype(np.int64)
+                sums[start:end] = (gathered * self._sign_masks[position]).sum(axis=1)
+            return sums
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and not (0 <= rows.min() and rows.max() < self.total_groups):
+            raise ProtectionError(f"global rows out of range ({self.total_groups} groups)")
+        sums = np.empty(rows.size, dtype=np.int64)
+        owning_layer = np.searchsorted(self._row_starts, rows, side="right") - 1
+        for position in np.unique(owning_layer):
+            where = np.nonzero(owning_layer == position)[0]
+            local = rows[where] - self._row_starts[position]
+            flat = self._layer_flat(layer_map, position)
+            gathered = flat[self._indices[position][local]].astype(np.int64)
+            sums[where] = (gathered * self._sign_masks[position][local]).sum(axis=1)
+        return sums
+
+    def signatures(self, model: Module, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Current signatures for the given global rows, in row order."""
+        return signature_from_sums(self.group_sums(model, rows), self.config.signature_bits)
+
+    def mismatched_rows(self, model: Module, rows: Optional[np.ndarray] = None) -> np.ndarray:
+        """Global rows (among ``rows``) whose current signature differs from golden."""
+        current = self.signatures(model, rows)
+        if rows is None:
+            return np.nonzero(current != self.golden)[0].astype(np.int64)
+        rows = np.asarray(rows, dtype=np.int64)
+        return rows[current != self.golden[rows]]
+
+    def rows_to_layer_groups(self, rows: np.ndarray) -> Dict[str, np.ndarray]:
+        """Translate global rows into per-layer group indices (all layers present).
+
+        Layers with no listed row map to an empty array, matching the shape
+        of a full :class:`~repro.core.detector.DetectionReport`.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        result: Dict[str, np.ndarray] = {}
+        for position, name in enumerate(self.layer_names):
+            start, end = self._row_starts[position], self._row_starts[position + 1]
+            inside = rows[(rows >= start) & (rows < end)]
+            result[name] = np.unique(inside - start).astype(np.int64)
+        return result
 
 
 def flip_group_index(store: SignatureStore, layer_name: str, flat_index: int) -> Tuple[str, int]:

@@ -80,8 +80,18 @@ class StreamingVerifier:
         self.store = store
 
     # -- single layer -----------------------------------------------------------
-    def verify_layer(self, layer_name: str, qweight_flat: np.ndarray) -> StreamEvent:
-        """Verify one layer's streamed weights and report its flagged groups."""
+    def verify_layer(
+        self,
+        layer_name: str,
+        qweight_flat: np.ndarray,
+        groups: Optional[np.ndarray] = None,
+    ) -> StreamEvent:
+        """Verify one layer's streamed weights and report its flagged groups.
+
+        ``groups`` restricts the check to the listed group indices — the
+        stream-level counterpart of one :class:`~repro.core.scheduler.ScanScheduler`
+        shard slice; ``None`` verifies every group of the layer.
+        """
         entry = self.store.layer(layer_name)
         qweight_flat = np.asarray(qweight_flat)
         if qweight_flat.ndim != 1 or qweight_flat.size != entry.layout.num_weights:
@@ -89,10 +99,21 @@ class StreamingVerifier:
                 f"Layer {layer_name!r} stream has shape {qweight_flat.shape}, "
                 f"expected ({entry.layout.num_weights},)"
             )
-        current = compute_signatures(
-            qweight_flat, entry.layout, entry.key, self.store.config.signature_bits
-        )
-        flagged = np.nonzero(current != entry.golden)[0].astype(np.int64)
+        if groups is None:
+            current = compute_signatures(
+                qweight_flat, entry.layout, entry.key, self.store.config.signature_bits
+            )
+            flagged = np.nonzero(current != entry.golden)[0].astype(np.int64)
+        else:
+            groups = np.atleast_1d(np.asarray(groups, dtype=np.int64))
+            current = compute_signatures(
+                qweight_flat,
+                entry.layout,
+                entry.key,
+                self.store.config.signature_bits,
+                groups=groups,
+            )
+            flagged = np.unique(groups[current != entry.golden[groups]])
         return StreamEvent(layer_name=layer_name, flagged_groups=flagged)
 
     def repair_layer(

@@ -1,0 +1,124 @@
+"""CLI tests for the protection subcommands (protect / scan / serve-demo)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.data.synthetic import make_tiny_dataset
+from repro.models.training import TrainConfig
+from repro.models.zoo import ZooEntry, register_setup
+
+
+@pytest.fixture(scope="module")
+def tiny_setup(tmp_path_factory):
+    entry = ZooEntry(
+        name="unit-cli-tiny",
+        model_name="mlp",
+        model_kwargs=(("input_dim", 3 * 8 * 8), ("num_classes", 4), ("hidden_dims", (32,))),
+        dataset_builder=lambda: make_tiny_dataset(
+            num_classes=4, image_size=8, train_size=256, test_size=128, seed=17
+        ),
+        train_config=TrainConfig(epochs=2, batch_size=64, lr=3e-3, optimizer="adam", seed=5),
+    )
+    register_setup(entry, overwrite=True)
+    cache_dir = tmp_path_factory.mktemp("cli-protection-cache")
+    import os
+
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield entry.name
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
+
+
+class TestProtectCommand:
+    def test_protect_reports_layers_and_plan(self, tiny_setup, tmp_path, capsys):
+        output = tmp_path / "protect.json"
+        code = main(
+            [
+                "protect",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--num-shards", "4",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "signature storage" in out
+        assert "amortized scan plan" in out
+        rows = json.loads(output.read_text())["rows"]
+        assert all({"layer", "weights", "groups"} <= set(row) for row in rows)
+
+
+class TestScanCommand:
+    def test_clean_scan_completes_a_rotation(self, tiny_setup, capsys):
+        code = main(
+            ["scan", "--setup", tiny_setup, "--group-size", "16", "--num-shards", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full-scan reference: 0 flagged groups" in out
+
+    def test_injected_flips_are_reported(self, tiny_setup, tmp_path, capsys):
+        output = tmp_path / "scan.json"
+        code = main(
+            [
+                "scan",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--num-shards", "4",
+                "--passes", "8",
+                "--inject-flips", "4",
+                "--inject-at-pass", "1",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "attack injected before pass 2" in out
+        rows = json.loads(output.read_text())["rows"]
+        assert len(rows) == 8
+        assert sum(row["flagged_groups"] for row in rows) > 0
+
+
+class TestServeDemoCommand:
+    def test_demo_detects_and_repairs_the_attacked_model(self, tmp_path, capsys):
+        output = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--num-shards", "4",
+                "--passes", "8",
+                "--attack-at-pass", "2",
+                "--num-flips", "4",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Protection service registry" in out
+        assert "detected and repaired at pass" in out
+        rows = json.loads(output.read_text())["rows"]
+        flagged = [row for row in rows if row["flagged_groups"] > 0]
+        assert flagged and all(row["model"] == "model-0" for row in flagged)
+        assert sum(row["recovered_weights"] for row in rows) > 0
+
+    def test_demo_with_priority_policy(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--num-shards", "3",
+                "--passes", "6",
+                "--scan-policy", "priority_exposure",
+            ]
+        )
+        assert code == 0
+        assert "Serving timeline" in capsys.readouterr().out

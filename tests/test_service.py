@@ -1,0 +1,146 @@
+"""Tests for :mod:`repro.core.service` (the multi-model protection registry)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProtectionService,
+    RadarConfig,
+    RecoveryPolicy,
+    ScanPolicy,
+)
+from repro.errors import ProtectionError
+from repro.models.small import MLP
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+def _small_model(seed: int) -> MLP:
+    model = MLP(input_dim=48, num_classes=4, hidden_dims=(24,), seed=seed)
+    quantize_model(model)
+    return model
+
+
+@pytest.fixture()
+def service():
+    return ProtectionService(RadarConfig(group_size=8), num_shards=4)
+
+
+class TestRegistry:
+    def test_register_protects_and_enrols(self, service):
+        managed = service.register("alpha", _small_model(1))
+        assert managed.protector.is_protected
+        assert managed.scheduler.num_shards == 4
+        assert "alpha" in service
+        assert len(service) == 1
+        assert service.names() == ["alpha"]
+
+    def test_duplicate_name_rejected(self, service):
+        service.register("alpha", _small_model(1))
+        with pytest.raises(ProtectionError):
+            service.register("alpha", _small_model(2))
+
+    def test_empty_name_rejected(self, service):
+        with pytest.raises(ProtectionError):
+            service.register("", _small_model(1))
+
+    def test_unregister_removes_model(self, service):
+        service.register("alpha", _small_model(1))
+        managed = service.unregister("alpha")
+        assert managed.name == "alpha"
+        assert "alpha" not in service
+        with pytest.raises(ProtectionError):
+            service.unregister("alpha")
+
+    def test_get_unknown_model_rejected(self, service):
+        with pytest.raises(ProtectionError):
+            service.get("ghost")
+
+    def test_per_model_overrides(self, service):
+        managed = service.register(
+            "beta",
+            _small_model(2),
+            config=RadarConfig(group_size=4),
+            num_shards=2,
+            policy=ScanPolicy.FULL,
+        )
+        assert managed.protector.config.group_size == 4
+        assert managed.scheduler.num_shards == 2
+        assert managed.scheduler.policy is ScanPolicy.FULL
+
+
+class TestEmptyService:
+    """A service with zero registered models must refuse fleet operations."""
+
+    def test_step_raises_cleanly(self, service):
+        with pytest.raises(ProtectionError, match="no registered models"):
+            service.step()
+
+    def test_step_and_recover_raises_cleanly(self, service):
+        with pytest.raises(ProtectionError, match="no registered models"):
+            service.step_and_recover()
+
+    def test_scan_all_raises_cleanly(self, service):
+        with pytest.raises(ProtectionError, match="no registered models"):
+            service.scan_all()
+
+    def test_describe_is_empty_but_allowed(self, service):
+        assert service.describe() == []
+
+
+class TestFleetOperations:
+    def test_step_advances_every_model(self, service):
+        service.register("alpha", _small_model(1))
+        service.register("beta", _small_model(2))
+        results = service.step()
+        assert set(results) == {"alpha", "beta"}
+        assert all(result.pass_index == 1 for result in results.values())
+
+    def test_clean_fleet_detects_nothing(self, service):
+        service.register("alpha", _small_model(1))
+        for _ in range(4):
+            outcomes = service.step_and_recover()
+            assert not any(outcome.attack_detected for outcome in outcomes.values())
+
+    def test_attacked_model_is_detected_and_repaired_within_one_rotation(self, service):
+        service.register("alpha", _small_model(1), keep_golden_weights=True)
+        service.register("beta", _small_model(2), keep_golden_weights=True)
+        victim = service.get("alpha")
+        name, layer = quantized_layers(victim.model)[0]
+        flat = layer.qweight.reshape(-1)
+        original = int(flat[3])
+        flat[3] = np.int8(original ^ -128)
+        recovered = 0
+        detected_models = set()
+        for _ in range(victim.scheduler.worst_case_lag_passes):
+            outcomes = service.step_and_recover(policy=RecoveryPolicy.RELOAD)
+            for outcome_name, outcome in outcomes.items():
+                if outcome.attack_detected:
+                    detected_models.add(outcome_name)
+                recovered += outcome.recovery.reloaded_weights
+        assert detected_models == {"alpha"}
+        assert recovered > 0
+        assert int(flat[3]) == original  # RELOAD restored the golden value
+        # The fleet is clean again after the repair.
+        reports = service.scan_all()
+        assert not any(report.attack_detected for report in reports.values())
+
+    def test_scan_all_matches_per_model_full_scans(self, service):
+        service.register("alpha", _small_model(1))
+        model = service.get("alpha").model
+        name, layer = quantized_layers(model)[1]
+        flat = layer.qweight.reshape(-1)
+        flat[0] = np.int8(int(flat[0]) ^ -128)
+        reports = service.scan_all()
+        reference = service.get("alpha").protector.scan(model)
+        assert reports["alpha"].num_flagged_groups == reference.num_flagged_groups
+
+    def test_describe_reports_one_row_per_model(self, service):
+        service.register("alpha", _small_model(1))
+        service.register("beta", _small_model(2), num_shards=2)
+        rows = {row["model"]: row for row in service.describe()}
+        assert set(rows) == {"alpha", "beta"}
+        assert rows["alpha"]["shards"] == 4
+        assert rows["beta"]["shards"] == 2
+        assert rows["alpha"]["storage_kb"] > 0

@@ -57,6 +57,46 @@ class TestVerifyLayer:
             StreamingVerifier(SignatureStore(RadarConfig(group_size=16)))
 
 
+class TestVerifyLayerGroups:
+    """Partial (sharded) verification of a layer's stream."""
+
+    def test_subset_matches_full_verification(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        stream = layer.qweight.reshape(-1).copy()
+        stream[5] = np.int8(int(stream[5]) ^ -128)
+        full = verifier.verify_layer(name, stream)
+        layout = store.layer(name).layout
+        all_groups = np.arange(layout.num_groups)
+        partial = verifier.verify_layer(name, stream, groups=all_groups)
+        np.testing.assert_array_equal(partial.flagged_groups, full.flagged_groups)
+
+    def test_unscanned_groups_are_not_flagged(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        stream = layer.qweight.reshape(-1).copy()
+        stream[5] = np.int8(int(stream[5]) ^ -128)
+        corrupted_group = store.layer(name).layout.group_of(5)
+        layout = store.layer(name).layout
+        others = np.setdiff1d(np.arange(layout.num_groups), [corrupted_group])
+        event = verifier.verify_layer(name, stream, groups=others)
+        assert not event.attack_detected
+        event = verifier.verify_layer(name, stream, groups=np.array([corrupted_group]))
+        assert event.flagged_groups.tolist() == [corrupted_group]
+
+    def test_out_of_range_groups_rejected(self, setup):
+        model, store, _ = setup
+        verifier = StreamingVerifier(store)
+        name, layer = quantized_layers(model)[0]
+        layout = store.layer(name).layout
+        with pytest.raises(ProtectionError):
+            verifier.verify_layer(
+                name, layer.qweight.reshape(-1), groups=np.array([layout.num_groups])
+            )
+
+
 class TestRepairLayer:
     def test_repair_zeroes_only_flagged_groups(self, setup):
         model, store, _ = setup
