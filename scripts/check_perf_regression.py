@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Perf-regression gate for the amortized scan scheduler.
+
+Compares a fresh ``benchmarks/test_bench_scan_scheduler.py`` run against the
+committed baseline (``results/scan_scheduler.json``).  Absolute per-pass
+milliseconds vary wildly across CI hosts, so the gate checks the
+*machine-independent* ratios instead: the amortized speedup over the full and
+fused scans for each shard count must not fall below the baseline by more
+than ``--tolerance`` (a fraction; 0.5 means a fresh speedup may be at most
+50 % worse before the gate trips).  Structural fields (group counts, lag
+bounds) must match exactly — a silent change there means the benchmark is no
+longer measuring the same thing.
+
+Exit status: 0 when no regression, 1 on regression or malformed input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+RATIO_METRICS = ("speedup_vs_full", "speedup_vs_fused")
+STRUCTURAL_FIELDS = ("groups", "groups_per_pass", "worst_case_lag_passes")
+
+
+def load_rows(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    rows = payload["rows"] if isinstance(payload, dict) else payload
+    return {row["num_shards"]: row for row in rows}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, required=True, help="committed scan_scheduler.json"
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True, help="freshly measured scan_scheduler.json"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="allowed fractional drop in speedup ratios (default 0.5)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+    if set(baseline) != set(fresh):
+        print(
+            f"REGRESSION GATE: shard counts differ — baseline {sorted(baseline)}, "
+            f"fresh {sorted(fresh)}"
+        )
+        return 1
+
+    failures = []
+    for num_shards, base_row in sorted(baseline.items()):
+        fresh_row = fresh[num_shards]
+        for metric in STRUCTURAL_FIELDS:
+            if base_row[metric] != fresh_row[metric]:
+                failures.append(
+                    f"{num_shards} shards: {metric} changed "
+                    f"{base_row[metric]} -> {fresh_row[metric]}"
+                )
+        for metric in RATIO_METRICS:
+            floor = base_row[metric] * (1.0 - args.tolerance)
+            if fresh_row[metric] < floor:
+                failures.append(
+                    f"{num_shards} shards: {metric} fell to {fresh_row[metric]:.2f}x "
+                    f"(baseline {base_row[metric]:.2f}x, floor {floor:.2f}x)"
+                )
+        print(
+            f"{num_shards:>3} shards: "
+            + ", ".join(
+                f"{metric} {fresh_row[metric]:.2f}x (baseline {base_row[metric]:.2f}x)"
+                for metric in RATIO_METRICS
+            )
+        )
+
+    if failures:
+        print("\nREGRESSION GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nregression gate passed (tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,11 @@ Three subcommands drive the run-time protection machinery directly:
   demo: several small models served together, one attacked mid-rotation,
   detected and repaired by the scan rotation.
 
+All three accept ``--budget-ms``: instead of fixing the shard structure, the
+slice each pass verifies is sized from a latency budget by the analytic scan
+cost model (:mod:`repro.core.cost`); for ``serve-demo`` the budget is
+fleet-wide and split across models by exposure and flagged history.
+
 Every subcommand prints the same plain-text table the corresponding
 benchmark emits and can optionally save the rows as JSON with ``--output``.
 """
@@ -71,6 +76,14 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type for strictly positive floats (latency budgets)."""
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -130,7 +143,31 @@ def _add_protection_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--shards-per-pass", type=_positive_int, default=1, help="shards verified per scan pass"
     )
+    parser.add_argument(
+        "--budget-ms", type=_positive_float, default=None,
+        help="per-pass latency budget in milliseconds; sizes shards adaptively from the "
+        "analytic cost model (overrides --num-shards / --shards-per-pass)",
+    )
     parser.add_argument("--output", type=Path, default=None, help="write the rows to this JSON file")
+
+
+def _build_scheduler(protector, args: argparse.Namespace):
+    """The amortized scheduler a protection subcommand asked for.
+
+    ``--budget-ms`` switches from structural sizing (``--num-shards``) to
+    budget-driven sizing via :meth:`ModelProtector.scheduler_for_budget`.
+    """
+    from repro.core import ScanPolicy
+
+    if args.budget_ms is not None:
+        return protector.scheduler_for_budget(
+            args.budget_ms / 1e3, policy=ScanPolicy(args.scan_policy)
+        )
+    return protector.scheduler(
+        num_shards=args.num_shards,
+        policy=ScanPolicy(args.scan_policy),
+        shards_per_pass=args.shards_per_pass,
+    )
 
 
 # -- subcommand handlers -------------------------------------------------------
@@ -153,12 +190,23 @@ def _cmd_list_setups(args: argparse.Namespace) -> int:
 
 
 def _cmd_overhead(args: argparse.Namespace) -> int:
-    from repro.experiments.overhead import table4_time_overhead, table5_crc_comparison
+    from repro.experiments.overhead import (
+        table4_amortized,
+        table4_time_overhead,
+        table5_crc_comparison,
+    )
 
     rows4 = table4_time_overhead()
     _emit(rows4, "Table IV — RADAR time overhead", args.output)
     rows5 = table5_crc_comparison(include_hamming=args.include_hamming)
     _emit(rows5, "Table V — RADAR vs CRC overhead", None)
+    if args.amortized:
+        rows4a = table4_amortized()
+        _emit(
+            rows4a,
+            "Table IV (amortized) — per-pass overhead, one shard of N per batch",
+            None,
+        )
     return 0
 
 
@@ -233,7 +281,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 
 def _cmd_protect(args: argparse.Namespace) -> int:
-    from repro.core import ModelProtector, ScanPolicy
+    from repro.core import ModelProtector
     from repro.experiments.common import ExperimentContext
 
     context = ExperimentContext.load(args.setup)
@@ -249,11 +297,7 @@ def _cmd_protect(args: argparse.Namespace) -> int:
         for entry in store
     ]
     _emit(rows, f"Protected layers of {args.setup}", args.output)
-    scheduler = protector.scheduler(
-        num_shards=args.num_shards,
-        policy=ScanPolicy(args.scan_policy),
-        shards_per_pass=args.shards_per_pass,
-    )
+    scheduler = _build_scheduler(protector, args)
     plan = scheduler.describe()
     print(
         f"signature storage: {protector.storage_overhead_kb():.2f} KB "
@@ -264,22 +308,24 @@ def _cmd_protect(args: argparse.Namespace) -> int:
         f"~{store.total_groups() * plan['shards_per_pass'] // max(plan['shards'], 1)} groups/pass, "
         f"full model verified within {plan['worst_case_lag_passes']} passes"
     )
+    if args.budget_ms is not None:
+        print(
+            f"latency budget: {plan['budget_ms']:.4f} ms/pass, "
+            f"priced per-pass cost {plan['per_pass_cost_ms']:.4f} ms "
+            "(analytic cost model)"
+        )
     return 0
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
-    from repro.core import ModelProtector, ScanPolicy
+    from repro.core import ModelProtector
     from repro.experiments.common import ExperimentContext
 
     context = ExperimentContext.load(args.setup)
     protector = ModelProtector(_protection_config(args))
     protector.protect(context.model)
-    scheduler = protector.scheduler(
-        num_shards=args.num_shards,
-        policy=ScanPolicy(args.scan_policy),
-        shards_per_pass=args.shards_per_pass,
-    )
+    scheduler = _build_scheduler(protector, args)
     passes = args.passes or scheduler.worst_case_lag_passes
     if args.inject_flips and not 0 <= args.inject_at_pass < passes:
         print(
@@ -298,15 +344,16 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         result = scheduler.step(context.model)
         if result.attack_detected and detected_at is None:
             detected_at = result.pass_index
-        rows.append(
-            {
-                "pass": result.pass_index,
-                "shards": ",".join(str(index) for index in result.shard_indices),
-                "groups_checked": result.groups_checked,
-                "flagged_groups": result.report.num_flagged_groups,
-                "rotation_complete": result.rotation_complete,
-            }
-        )
+        row = {
+            "pass": result.pass_index,
+            "shards": ",".join(str(index) for index in result.shard_indices),
+            "groups_checked": result.groups_checked,
+            "flagged_groups": result.report.num_flagged_groups,
+            "rotation_complete": result.rotation_complete,
+        }
+        if result.planned_cost_s is not None:
+            row["planned_cost_ms"] = round(result.planned_cost_s * 1e3, 6)
+        rows.append(row)
     _emit(rows, f"Amortized scan of {args.setup} ({scheduler.num_shards} shards)", args.output)
     reference = protector.scan(context.model)
     print(f"full-scan reference: {reference.num_flagged_groups} flagged groups")
@@ -337,6 +384,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         num_shards=args.num_shards,
         policy=ScanPolicy(args.scan_policy),
         shards_per_pass=args.shards_per_pass,
+        budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
     )
     for index in range(args.models):
         model = MLP(
@@ -358,15 +406,16 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         for name, outcome in outcomes.items():
             if outcome.attack_detected and detected_at is None:
                 detected_at = pass_index + 1
-            rows.append(
-                {
-                    "pass": pass_index + 1,
-                    "model": name,
-                    "shards": ",".join(str(i) for i in outcome.scan.shard_indices),
-                    "flagged_groups": outcome.scan.report.num_flagged_groups,
-                    "recovered_weights": outcome.recovery.reloaded_weights,
-                }
-            )
+            row = {
+                "pass": pass_index + 1,
+                "model": name,
+                "shards": ",".join(str(i) for i in outcome.scan.shard_indices),
+                "flagged_groups": outcome.scan.report.num_flagged_groups,
+                "recovered_weights": outcome.recovery.reloaded_weights,
+            }
+            if outcome.budget_s is not None:
+                row["budget_share_ms"] = round(outcome.budget_s * 1e3, 6)
+            rows.append(row)
     _emit(rows, f"Serving timeline ({args.models} models, {args.num_shards} shards)", args.output)
     if detected_at is None:
         print("attack not detected inside the served window; increase --passes")
@@ -394,6 +443,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     overhead_parser = subparsers.add_parser("overhead", help="Table IV / V time and storage overhead")
     overhead_parser.add_argument("--include-hamming", action="store_true")
+    overhead_parser.add_argument(
+        "--amortized", action="store_true",
+        help="also print Table IV re-priced for amortized (sharded) checking",
+    )
     overhead_parser.add_argument("--output", type=Path, default=None)
     overhead_parser.set_defaults(handler=_cmd_overhead)
 
@@ -469,6 +522,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="0-based pass before which model-0 is attacked",
     )
     serve_parser.add_argument("--num-flips", type=int, default=6, help="flips the attack injects")
+    serve_parser.add_argument(
+        "--budget-ms", type=_positive_float, default=None,
+        help="fleet-wide latency budget per serving tick, split across models "
+        "by exposure and flagged history",
+    )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--output", type=Path, default=None)
     serve_parser.set_defaults(handler=_cmd_serve_demo)

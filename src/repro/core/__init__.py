@@ -17,19 +17,40 @@ Pipeline (Sections IV and V of the paper):
 :class:`repro.core.runtime.ProtectedInference` embeds the check in the
 inference path as the paper's gem5 experiment does.
 
-Two run-time extensions go beyond the paper's stop-the-world scan:
+Several run-time extensions go beyond the paper's stop-the-world scan:
 
 * :class:`repro.core.scheduler.ScanScheduler` — amortized scanning: the
   model's signature groups are partitioned into shards (on the vectorized
   :class:`repro.core.signature.FusedSignatures` fast path) and each forward
   pass verifies only a bounded slice, so the whole model is verified within
   one rotation at a fraction of the per-pass cost.
+* :mod:`repro.core.cost` — scan cost models that price a verification slice
+  in seconds (analytic, from the memsim timing constants, or measured via an
+  EWMA), so slices can be sized from a *latency budget* rather than a shard
+  count (``ScanScheduler.from_budget``).
+* :mod:`repro.core.planner` — pluggable shard-selection planners behind the
+  scheduler's policies, including flip-rate-tuned priority-exposure ordering.
 * :class:`repro.core.service.ProtectionService` — a registry that manages
   many protected models at once, advancing every model's scan rotation per
-  serving tick.
+  serving tick and optionally splitting one fleet-wide latency budget across
+  the registry by exposure and flip history.
 """
 
 from repro.core.config import RadarConfig
+from repro.core.cost import (
+    AnalyticScanCostModel,
+    BudgetPlan,
+    MeasuredScanCostModel,
+    ScanCostModel,
+    plan_rotation,
+)
+from repro.core.planner import (
+    FullScanPlanner,
+    PriorityExposurePlanner,
+    RoundRobinPlanner,
+    ShardView,
+    VerificationPlanner,
+)
 from repro.core.interleave import GroupLayout
 from repro.core.masking import SecretKey
 from repro.core.checksum import compute_group_sums, signature_from_sums
@@ -44,6 +65,16 @@ from repro.core.streaming import StreamEvent, StreamReport, StreamingVerifier
 
 __all__ = [
     "RadarConfig",
+    "ScanCostModel",
+    "AnalyticScanCostModel",
+    "MeasuredScanCostModel",
+    "BudgetPlan",
+    "plan_rotation",
+    "VerificationPlanner",
+    "ShardView",
+    "FullScanPlanner",
+    "RoundRobinPlanner",
+    "PriorityExposurePlanner",
     "GroupLayout",
     "SecretKey",
     "compute_group_sums",

@@ -1,0 +1,156 @@
+"""Verification planners: the pluggable shard-selection layer of the scheduler.
+
+PR 1's :class:`~repro.core.scheduler.ScanScheduler` hard-wired its three
+policies into one ``plan()`` method.  This module pulls selection out into a
+:class:`VerificationPlanner` object the scheduler delegates to, so policies
+can carry their own state (a round-robin cursor, per-shard flip-rate
+estimates) and new ones can be plugged in without touching scan bookkeeping.
+
+The planner contract is deliberately small:
+
+* :meth:`VerificationPlanner.order` — given a read-only
+  :class:`ShardView` per shard, return **all** shard indices in
+  scan-preference order (most urgent first) without mutating any state.  The
+  scheduler truncates that order to the slice the pass can afford
+  (``shards_per_pass``, further narrowed by a latency budget when one is set).
+* :meth:`VerificationPlanner.committed` — feedback after the scheduler
+  actually scanned a slice: which shards ran and how many flagged groups each
+  produced.  This is where the cursor advances and flip-rate EWMAs update.
+
+Keeping ``order`` pure means :meth:`ScanScheduler.plan` stays side-effect
+free, and the budget truncation composes with every policy.
+
+Starvation bound
+----------------
+:class:`PriorityExposurePlanner` ranks shards by ``exposure + flip_bias``
+where ``flip_bias`` is **strictly less than 1**.  Exposure counts are
+integers, so a shard can only be overtaken by shards whose exposure is at
+least as large — the bias reorders *ties* (revisiting flip-prone shards
+sooner) but can never invert a strict exposure ordering.  The scheduler's
+round-robin rotation bound (``worst_case_lag_passes``) therefore survives
+flip-rate tuning; ``tests/test_planner.py`` property-tests this under
+injected flips.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import List, Mapping, Sequence
+
+from repro.errors import ProtectionError
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """Read-only state of one shard, as planners see it."""
+
+    index: int
+    num_groups: int
+    exposure_passes: int
+    times_scanned: int
+    times_flagged: int
+
+
+class VerificationPlanner(ABC):
+    """Orders shards for scanning; sees feedback after every committed pass."""
+
+    #: Planners that want every shard scanned every pass (the stop-the-world
+    #: baseline) set this; the scheduler then ignores ``shards_per_pass``.
+    scan_everything: bool = False
+
+    @abstractmethod
+    def order(self, shards: Sequence[ShardView]) -> List[int]:
+        """All shard indices, most scan-worthy first.  Must not mutate state."""
+
+    def committed(
+        self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
+    ) -> None:
+        """The scheduler scanned ``shard_indices``; ``flagged_counts`` maps
+        each scanned shard to the number of flagged groups it produced."""
+
+
+class RoundRobinPlanner(VerificationPlanner):
+    """Cyclic order; a rotation takes exactly ``ceil(n / slice)`` passes."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def order(self, shards: Sequence[ShardView]) -> List[int]:
+        count = len(shards)
+        return [(self._cursor + offset) % count for offset in range(count)]
+
+    def committed(
+        self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
+    ) -> None:
+        self._cursor += len(shard_indices)
+        # Normalization is deferred to order(), which knows the shard count;
+        # keep the raw count bounded anyway so it cannot grow without limit.
+        if shard_indices:
+            self._cursor %= 10**9
+
+
+class FullScanPlanner(RoundRobinPlanner):
+    """Every shard, every pass — degenerates to a stop-the-world scan.
+
+    Inherits the round-robin cursor so that when a latency budget truncates
+    the pass to an affordable prefix, consecutive passes still rotate through
+    all shards instead of rescanning the same prefix forever.  Without a
+    budget the cursor is irrelevant: every pass selects every shard.
+    """
+
+    scan_everything = True
+
+
+class PriorityExposurePlanner(VerificationPlanner):
+    """Longest-unscanned first, with flip-rate-tuned tie-breaking.
+
+    Priority of a shard is ``exposure + flip_bias`` where ``flip_bias`` is
+    ``flip_bias_weight × rate / (1 + rate)`` and ``rate`` is an EWMA of "did
+    this shard flag anything when scanned".  ``flip_bias_weight < 1`` keeps
+    the bias sub-integer, so it only reorders exposure ties (see the module
+    docstring for why that preserves the starvation bound).  Remaining ties
+    fall back to lifetime flag counts, then the shard index — matching the
+    PR 1 behaviour when no flips have been observed.
+    """
+
+    def __init__(self, flip_bias_weight: float = 0.99, ewma_alpha: float = 0.5) -> None:
+        if not 0 <= flip_bias_weight < 1:
+            raise ProtectionError(
+                f"flip_bias_weight must be in [0, 1) to preserve the "
+                f"starvation bound, got {flip_bias_weight}"
+            )
+        if not 0 < ewma_alpha <= 1:
+            raise ProtectionError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.flip_bias_weight = float(flip_bias_weight)
+        self.ewma_alpha = float(ewma_alpha)
+        self._flip_rate: dict = {}
+
+    def flip_rate(self, shard_index: int) -> float:
+        """Current EWMA flip rate of one shard (0 until it flags something)."""
+        return self._flip_rate.get(shard_index, 0.0)
+
+    def _bias(self, shard_index: int) -> float:
+        rate = self.flip_rate(shard_index)
+        return self.flip_bias_weight * rate / (1.0 + rate)
+
+    def order(self, shards: Sequence[ShardView]) -> List[int]:
+        return [
+            shard.index
+            for shard in sorted(
+                shards,
+                key=lambda shard: (
+                    -(shard.exposure_passes + self._bias(shard.index)),
+                    -shard.times_flagged,
+                    shard.index,
+                ),
+            )
+        ]
+
+    def committed(
+        self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
+    ) -> None:
+        for index in shard_indices:
+            observed = 1.0 if flagged_counts.get(index, 0) > 0 else 0.0
+            rate = self._flip_rate.get(index, 0.0)
+            self._flip_rate[index] = rate + self.ewma_alpha * (observed - rate)

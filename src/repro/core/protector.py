@@ -8,6 +8,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.config import RadarConfig
+from repro.core.cost import ScanCostModel
 from repro.core.detector import DetectionReport, RadarDetector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
 from repro.core.scheduler import ScanPolicy, ScanScheduler
@@ -92,11 +93,16 @@ class ModelProtector:
         num_shards: int = 8,
         policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
         shards_per_pass: int = 1,
+        budget_s: Optional[float] = None,
+        cost_model: Optional[ScanCostModel] = None,
     ) -> ScanScheduler:
         """An amortized :class:`~repro.core.scheduler.ScanScheduler` over this store.
 
         Each returned scheduler has independent rotation state; a fresh one
-        starts a fresh rotation.
+        starts a fresh rotation.  ``budget_s`` caps the priced cost of each
+        pass under ``cost_model`` (defaulting to the analytic model priced
+        from this protector's config); to *derive* the shard count from a
+        budget instead, use :meth:`scheduler_for_budget`.
         """
         self._require_protected()
         return ScanScheduler(
@@ -104,6 +110,25 @@ class ModelProtector:
             num_shards=num_shards,
             policy=policy,
             shards_per_pass=shards_per_pass,
+            budget_s=budget_s,
+            cost_model=cost_model,
+        )
+
+    def scheduler_for_budget(
+        self,
+        budget_s: float,
+        cost_model: Optional[ScanCostModel] = None,
+        policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+    ) -> ScanScheduler:
+        """A scheduler whose shards are sized so every pass fits ``budget_s``.
+
+        The structural knobs disappear: the shard count falls out of the
+        budget and the cost model (see
+        :meth:`~repro.core.scheduler.ScanScheduler.from_budget`).
+        """
+        self._require_protected()
+        return ScanScheduler.from_budget(
+            self._store, budget_s, cost_model=cost_model, policy=policy
         )
 
     def recover(

@@ -18,6 +18,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.core.config import RadarConfig
+from repro.core.cost import ScanCostModel
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy
 from repro.core.scheduler import ScanPolicy, ScanScheduler
@@ -53,14 +54,20 @@ class RuntimeLog:
 class ProtectedInference:
     """Wraps a quantized model with RADAR checking on every forward pass.
 
-    Two checking modes are supported:
+    Three checking modes are supported:
 
     * **full** (``num_shards=None``, the default): every check verifies the
       whole model, as in the paper's gem5 experiment;
     * **amortized** (``num_shards=N``): each check verifies one slice of the
       model's signature groups via a :class:`~repro.core.scheduler.ScanScheduler`,
       bounding per-batch latency while the whole model is still verified
-      within one rotation (at most ``scheduler.worst_case_lag_passes`` checks).
+      within one rotation (at most ``scheduler.worst_case_lag_passes`` checks);
+    * **budgeted** (``budget_s=B``): the slice is sized from a per-batch
+      latency budget instead of a shard count — the scheduler derives its
+      shards so no check is priced above ``B`` seconds under ``cost_model``
+      (the analytic :class:`~repro.core.cost.AnalyticScanCostModel` by
+      default).  Combine with ``num_shards`` to keep a fixed structure and
+      merely cap its per-pass cost.
     """
 
     def __init__(
@@ -72,18 +79,29 @@ class ProtectedInference:
         num_shards: Optional[int] = None,
         scan_policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
         shards_per_pass: int = 1,
+        budget_s: Optional[float] = None,
+        cost_model: Optional[ScanCostModel] = None,
     ) -> None:
         if check_every < 1:
             raise ProtectionError("check_every must be >= 1")
         self.model = model
         self.policy = policy
         self.check_every = check_every
+        self.budget_s = budget_s
         self.protector = ModelProtector(config)
         self.protector.protect(model)
         self.scheduler: Optional[ScanScheduler] = None
-        if num_shards is not None:
+        if budget_s is not None and num_shards is None:
+            self.scheduler = self.protector.scheduler_for_budget(
+                budget_s, cost_model=cost_model, policy=scan_policy
+            )
+        elif num_shards is not None:
             self.scheduler = self.protector.scheduler(
-                num_shards=num_shards, policy=scan_policy, shards_per_pass=shards_per_pass
+                num_shards=num_shards,
+                policy=scan_policy,
+                shards_per_pass=shards_per_pass,
+                budget_s=budget_s,
+                cost_model=cost_model,
             )
         self.log = RuntimeLog()
         self._since_last_check = 0

@@ -11,33 +11,55 @@ shards and verifies a configurable slice of shards per pass, so per-pass
 latency is bounded by the slice size while the whole model is still
 verified within one full rotation.
 
-Three policies decide which shards a pass scans:
+The scheduler splits responsibilities across two collaborators:
+
+* **Planning** — a pluggable :class:`~repro.core.planner.VerificationPlanner`
+  orders the shards each pass (see :class:`ScanPolicy` for the built-in
+  policies); the scheduler truncates that order to the affordable slice.
+* **Pricing** — an optional :class:`~repro.core.cost.ScanCostModel` converts
+  "g groups" into seconds, which lets the slice be chosen from a *latency
+  budget* instead of a fixed shard count: :meth:`ScanScheduler.from_budget`
+  sizes the shards so every pass is priced within the budget, and
+  :meth:`step` accepts a per-call budget override (how the
+  :class:`~repro.core.service.ProtectionService` spreads one fleet-wide
+  budget across models).
+
+Three built-in policies decide which shards a pass scans:
 
 * ``ROUND_ROBIN`` — cyclic order; every rotation takes exactly
   ``ceil(num_shards / shards_per_pass)`` passes.
-* ``PRIORITY_EXPOSURE`` — longest-unscanned shard first (ties broken by
-  how often a shard has been flagged before, then by index), so a shard
-  that keeps catching flips is revisited sooner after service churn while
-  the exposure bound of round-robin is preserved: an unscanned shard's
-  exposure only grows, so it cannot starve.
+* ``PRIORITY_EXPOSURE`` — longest-unscanned shard first, with a sub-integer
+  flip-rate bias that revisits shards that keep catching flips sooner while
+  provably preserving the rotation bound (see
+  :class:`~repro.core.planner.PriorityExposurePlanner`).
 * ``FULL`` — every shard every pass (degenerates to a full scan; useful
   as a baseline and for the highest-assurance deployments).
 
 The detection-lag tradeoff is explicit: a flip landing in the worst-placed
 shard is caught after at most one rotation (``worst_case_lag_passes``),
 which `benchmarks/test_bench_scan_scheduler.py` measures against the
-per-pass latency saving.
+per-pass latency saving, and ``results/table4_amortized.json`` re-prices
+Table IV under.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.core.cost import AnalyticScanCostModel, ScanCostModel, plan_rotation
 from repro.core.detector import DetectionReport, report_from_fused_rows
+from repro.core.planner import (
+    FullScanPlanner,
+    PriorityExposurePlanner,
+    RoundRobinPlanner,
+    ShardView,
+    VerificationPlanner,
+)
 from repro.core.signature import SignatureStore
 from repro.errors import ProtectionError
 from repro.nn.module import Module
@@ -51,6 +73,16 @@ class ScanPolicy(str, Enum):
     FULL = "full"
 
 
+def planner_for_policy(policy: ScanPolicy) -> VerificationPlanner:
+    """The default :class:`VerificationPlanner` implementing one policy."""
+    policy = ScanPolicy(policy)
+    if policy is ScanPolicy.FULL:
+        return FullScanPlanner()
+    if policy is ScanPolicy.PRIORITY_EXPOSURE:
+        return PriorityExposurePlanner()
+    return RoundRobinPlanner()
+
+
 @dataclass
 class ScanPassResult:
     """What one amortized pass scanned and found."""
@@ -61,10 +93,21 @@ class ScanPassResult:
     report: DetectionReport
     rotation_complete: bool = False
     rotation_report: Optional[DetectionReport] = None
+    #: Latency budget the pass was planned under (``None`` = structural slice).
+    budget_s: Optional[float] = None
+    #: Priced cost of the slice under the scheduler's cost model, when it has one.
+    planned_cost_s: Optional[float] = None
 
     @property
     def attack_detected(self) -> bool:
         return self.report.attack_detected
+
+    @property
+    def within_budget(self) -> bool:
+        """Whether the priced slice fit its budget (vacuously true without one)."""
+        if self.budget_s is None or self.planned_cost_s is None:
+            return True
+        return self.planned_cost_s <= self.budget_s
 
 
 @dataclass
@@ -100,27 +143,80 @@ class ScanScheduler:
         num_shards: int = 8,
         policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
         shards_per_pass: int = 1,
+        planner: Optional[VerificationPlanner] = None,
+        budget_s: Optional[float] = None,
+        cost_model: Optional[ScanCostModel] = None,
     ) -> None:
         if num_shards < 1:
             raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
         if shards_per_pass < 1:
             raise ProtectionError(f"shards_per_pass must be >= 1, got {shards_per_pass}")
+        if shards_per_pass > num_shards:
+            raise ProtectionError(
+                f"shards_per_pass must be within [1, num_shards]; "
+                f"got shards_per_pass={shards_per_pass} with num_shards={num_shards}"
+            )
+        if budget_s is not None and not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
         self.store = store
         self.policy = ScanPolicy(policy)
+        self._planner = planner if planner is not None else planner_for_policy(self.policy)
         self.fused = store.fused()
+        # Data-dependent clamping (distinct from argument validation above):
+        # a store can expose fewer groups than the requested shard count.
         self.num_shards = min(num_shards, self.fused.total_groups)
         self.shards_per_pass = min(shards_per_pass, self.num_shards)
+        self.cost_model = cost_model
+        self.budget_s = budget_s
         self._shards: List[np.ndarray] = [
             rows.astype(np.int64)
             for rows in np.array_split(np.arange(self.fused.total_groups), self.num_shards)
         ]
+        if budget_s is not None:
+            largest = max(shard.size for shard in self._shards)
+            cost = self._require_cost_model().pass_cost_s(int(largest))
+            if cost > budget_s:
+                raise ProtectionError(
+                    f"budget of {budget_s * 1e3:.6g} ms cannot cover the largest shard "
+                    f"({largest} groups, priced {cost * 1e3:.6g} ms); raise the budget, "
+                    "increase num_shards, or use ScanScheduler.from_budget"
+                )
         self._exposure = np.zeros(self.num_shards, dtype=np.int64)
         self._times_scanned = np.zeros(self.num_shards, dtype=np.int64)
         self._times_flagged = np.zeros(self.num_shards, dtype=np.int64)
-        self._cursor = 0
         self._pass_index = 0
         self._rotation_pending = set(range(self.num_shards))
         self._rotation_rows: List[np.ndarray] = []
+
+    @classmethod
+    def from_budget(
+        cls,
+        store: SignatureStore,
+        budget_s: float,
+        cost_model: Optional[ScanCostModel] = None,
+        policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+        planner: Optional[VerificationPlanner] = None,
+    ) -> "ScanScheduler":
+        """Size the shard rotation from a per-pass latency budget.
+
+        The shard count is derived with :func:`~repro.core.cost.plan_rotation`
+        so that the analytic cost of every pass stays within ``budget_s``
+        (raising :class:`~repro.errors.ProtectionError` when the budget cannot
+        cover even one group).  ``cost_model`` defaults to the
+        :class:`~repro.core.cost.AnalyticScanCostModel` priced from the
+        store's :class:`~repro.core.config.RadarConfig`.
+        """
+        model = cost_model or AnalyticScanCostModel.from_radar_config(store.config)
+        plan = plan_rotation(store.fused().total_groups, budget_s, model)
+        return cls(
+            store,
+            num_shards=plan.num_shards,
+            policy=policy,
+            shards_per_pass=1,
+            planner=planner,
+            budget_s=budget_s,
+            cost_model=model,
+        )
 
     # -- planning ---------------------------------------------------------------
     @property
@@ -128,27 +224,81 @@ class ScanScheduler:
         return self.fused.total_groups
 
     @property
-    def worst_case_lag_passes(self) -> int:
-        """Passes until any flip is guaranteed scanned (one full rotation)."""
-        if self.policy is ScanPolicy.FULL:
-            return 1
-        return -(-self.num_shards // self.shards_per_pass)
+    def planner(self) -> VerificationPlanner:
+        return self._planner
 
-    def plan(self) -> List[int]:
-        """Shard indices the next :meth:`step` will scan (no state change)."""
-        if self.policy is ScanPolicy.FULL:
-            return list(range(self.num_shards))
-        if self.policy is ScanPolicy.ROUND_ROBIN:
-            return [
-                (self._cursor + offset) % self.num_shards
-                for offset in range(self.shards_per_pass)
-            ]
-        # PRIORITY_EXPOSURE: most-exposed first, flag history then index as
-        # tie-breaks (lexsort orders by its last key first).
-        order = np.lexsort(
-            (np.arange(self.num_shards), -self._times_flagged, -self._exposure)
-        )
-        return [int(index) for index in order[: self.shards_per_pass]]
+    @property
+    def worst_case_lag_passes(self) -> int:
+        """Passes until any flip is guaranteed scanned (one full rotation).
+
+        A budget narrows the slice even for the FULL policy, so its lag bound
+        only collapses to one pass when every shard actually fits the budget.
+        """
+        return -(-self.num_shards // self._effective_slice(self.budget_s))
+
+    def _slots(self) -> int:
+        return self.num_shards if self._planner.scan_everything else self.shards_per_pass
+
+    def _effective_slice(self, budget_s: Optional[float]) -> int:
+        """Shards one pass can afford: the policy's slot count, narrowed by budget."""
+        slots = self._slots()
+        if budget_s is None:
+            return slots
+        largest = max(shard.size for shard in self._shards)
+        affordable = self._require_cost_model().groups_within(budget_s) // max(largest, 1)
+        return max(1, min(slots, int(affordable)))
+
+    def _require_cost_model(self) -> ScanCostModel:
+        if self.cost_model is None:
+            self.cost_model = AnalyticScanCostModel.from_radar_config(self.store.config)
+        return self.cost_model
+
+    def _shard_views(self) -> List[ShardView]:
+        return [
+            ShardView(
+                index=index,
+                num_groups=int(self._shards[index].size),
+                exposure_passes=int(self._exposure[index]),
+                times_scanned=int(self._times_scanned[index]),
+                times_flagged=int(self._times_flagged[index]),
+            )
+            for index in range(self.num_shards)
+        ]
+
+    def plan(self, budget_s: Optional[float] = None) -> List[int]:
+        """Shard indices the next :meth:`step` would scan (no state change).
+
+        ``budget_s`` previews the slice under a per-pass budget override;
+        without one the scheduler's own budget (if any) applies.
+        """
+        order = self._planner.order(self._shard_views())
+        budget = budget_s if budget_s is not None else self.budget_s
+        if self._planner.scan_everything and budget is None:
+            return order
+        selection = order[: self._slots()]
+        if budget is None:
+            return selection
+        cost_model = self._require_cost_model()
+        affordable: List[int] = []
+        groups = 0
+        for index in selection:
+            candidate = groups + int(self._shards[index].size)
+            if cost_model.pass_cost_s(candidate) > budget:
+                break
+            affordable.append(index)
+            groups = candidate
+        return affordable
+
+    def planned_slice_cost_s(self, budget_s: Optional[float] = None) -> float:
+        """Priced cost of the slice the next :meth:`step` would scan.
+
+        Uses the scheduler's cost model (instantiating the analytic default
+        if none was given); the :class:`~repro.core.service.ProtectionService`
+        uses this to let models claim exact slice costs out of a fleet budget.
+        """
+        shard_indices = self.plan(budget_s=budget_s)
+        groups = sum(int(self._shards[index].size) for index in shard_indices)
+        return self._require_cost_model().pass_cost_s(groups)
 
     def shard_rows(self, shard_index: int) -> np.ndarray:
         """Global group rows belonging to one shard."""
@@ -157,23 +307,46 @@ class ScanScheduler:
         return self._shards[shard_index].copy()
 
     # -- scanning ---------------------------------------------------------------
-    def step(self, model: Module) -> ScanPassResult:
-        """Verify the next slice of shards against the golden signatures."""
-        shard_indices = self.plan()
-        rows = np.concatenate([self._shards[index] for index in shard_indices])
+    def step(self, model: Module, budget_s: Optional[float] = None) -> ScanPassResult:
+        """Verify the next slice of shards against the golden signatures.
+
+        ``budget_s`` overrides the scheduler's own budget for this pass only —
+        the :class:`~repro.core.service.ProtectionService` uses it to hand each
+        model its allocated share of a fleet-wide budget.  A pass whose budget
+        cannot afford even one shard scans nothing (``shard_indices == []``);
+        its exposure counters still advance, so an underfunded model's claim
+        on the next allocation grows instead of silently overrunning.
+        """
+        budget = budget_s if budget_s is not None else self.budget_s
+        shard_indices = self.plan(budget_s=budget)
+        if shard_indices:
+            rows = np.concatenate([self._shards[index] for index in shard_indices])
+        else:
+            rows = np.empty(0, dtype=np.int64)
+        started = time.perf_counter()
         flagged_rows = self.fused.mismatched_rows(model, rows)
+        elapsed = time.perf_counter() - started
+
+        planned_cost = None
+        if self.cost_model is not None:
+            planned_cost = self.cost_model.pass_cost_s(int(rows.size))
+            observe = getattr(self.cost_model, "observe", None)
+            if observe is not None:
+                observe(int(rows.size), elapsed)
 
         self._pass_index += 1
         self._exposure += 1
+        flagged_counts: Dict[int, int] = {}
         for index in shard_indices:
             self._exposure[index] = 0
             self._times_scanned[index] += 1
             # Shards are contiguous row ranges, so a range test attributes flags.
             low, high = self._shards[index][0], self._shards[index][-1]
-            if np.any((flagged_rows >= low) & (flagged_rows <= high)):
+            count = int(np.count_nonzero((flagged_rows >= low) & (flagged_rows <= high)))
+            flagged_counts[index] = count
+            if count:
                 self._times_flagged[index] += 1
-        if self.policy is ScanPolicy.ROUND_ROBIN:
-            self._cursor = (self._cursor + self.shards_per_pass) % self.num_shards
+        self._planner.committed(shard_indices, flagged_counts)
 
         report = report_from_fused_rows(self.fused, flagged_rows)
         self._rotation_rows.append(flagged_rows)
@@ -193,6 +366,8 @@ class ScanScheduler:
             report=report,
             rotation_complete=rotation_complete,
             rotation_report=rotation_report,
+            budget_s=budget,
+            planned_cost_s=planned_cost,
         )
 
     def run_rotation(self, model: Module) -> DetectionReport:
@@ -216,18 +391,18 @@ class ScanScheduler:
     def shard_info(self) -> List[ShardInfo]:
         return [
             ShardInfo(
-                index=index,
-                num_groups=int(self._shards[index].size),
-                exposure_passes=int(self._exposure[index]),
-                times_scanned=int(self._times_scanned[index]),
-                times_flagged=int(self._times_flagged[index]),
+                index=view.index,
+                num_groups=view.num_groups,
+                exposure_passes=view.exposure_passes,
+                times_scanned=view.times_scanned,
+                times_flagged=view.times_flagged,
             )
-            for index in range(self.num_shards)
+            for view in self._shard_views()
         ]
 
-    def describe(self) -> Dict[str, int]:
+    def describe(self) -> Dict[str, object]:
         """Summary row used by the CLI and the service registry."""
-        return {
+        row: Dict[str, object] = {
             "groups": self.total_groups,
             "shards": self.num_shards,
             "shards_per_pass": self.shards_per_pass,
@@ -235,3 +410,10 @@ class ScanScheduler:
             "worst_case_lag_passes": self.worst_case_lag_passes,
             "passes": self.passes,
         }
+        if self.budget_s is not None:
+            row["budget_ms"] = round(self.budget_s * 1e3, 6)
+            largest = max(shard.size for shard in self._shards)
+            row["per_pass_cost_ms"] = round(
+                self._require_cost_model().pass_cost_s(int(largest)) * 1e3, 6
+            )
+        return row

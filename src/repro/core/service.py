@@ -6,14 +6,29 @@ and an amortized :class:`~repro.core.scheduler.ScanScheduler` per registered
 model so one ``step()`` call advances every model's scan rotation by one
 bounded-cost slice.  The registry is what the ``repro-radar serve-demo``
 subcommand drives.
+
+Budgeted fleet ticks
+--------------------
+Instead of stepping every model a fixed structural slice, the service can
+spread **one fleet-wide latency budget** over the registry: pass ``budget_s``
+to :meth:`ProtectionService.step` / :meth:`step_and_recover` (or set a
+default at construction).  :meth:`allocate_budget` hands the budget out in
+*urgency* order — exposure backlog plus flagged-flip history — with each
+model claiming exactly the priced cost of the shard slice it can afford
+from what is left.  A model that is falling behind or sitting in a blast
+radius therefore claims first; one whose leftover share affords nothing
+scans nothing this tick, accumulates backlog, and preempts its peers on a
+later tick.  Each model's :class:`~repro.core.cost.ScanCostModel` does the
+pricing (see :meth:`ScanScheduler.step`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.config import RadarConfig
+from repro.core.cost import AnalyticScanCostModel, ScanCostModel
 from repro.core.detector import DetectionReport
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport
@@ -30,6 +45,35 @@ class ManagedModel:
     model: Module
     protector: ModelProtector
     scheduler: ScanScheduler
+    cost_model: Optional[ScanCostModel] = None
+    keep_golden_weights: bool = False
+    #: Constructor arguments the scheduler was built with, so
+    #: :meth:`ProtectionService.reprotect` can rebuild an identical one
+    #: against the re-signed store.
+    scheduler_options: Dict = field(default_factory=dict)
+
+    def min_feasible_budget_s(self) -> float:
+        """Cost of this model's largest shard — the least budget that can
+        ever advance its rotation past that shard."""
+        largest = max(info.num_groups for info in self.scheduler.shard_info())
+        cost_model = self.cost_model or AnalyticScanCostModel.from_radar_config(
+            self.protector.config
+        )
+        return cost_model.pass_cost_s(largest)
+
+    def urgency(self) -> float:
+        """Budget-allocation rank: exposure backlog plus flagged history.
+
+        The backlog term is the *mean* shard exposure (not the max): a model
+        that scans one shard per tick still ages its other shards, so the max
+        cannot distinguish it from a model that scans nothing.  The mean
+        drops with every scanned shard, which is what lets an underfunded
+        model overtake its peers on the next tick.
+        """
+        info = self.scheduler.shard_info()
+        flagged = sum(entry.times_flagged for entry in info)
+        backlog = sum(entry.exposure_passes for entry in info) / max(len(info), 1)
+        return 1.0 + backlog + flagged
 
 
 @dataclass
@@ -39,6 +83,8 @@ class ServiceStepOutcome:
     name: str
     scan: ScanPassResult
     recovery: Optional[RecoveryReport] = None
+    #: Share of the fleet-wide budget this model was stepped with, if any.
+    budget_s: Optional[float] = None
 
     @property
     def attack_detected(self) -> bool:
@@ -55,6 +101,13 @@ class ProtectionService:
         service.register("lane-b", model_b, config=RadarConfig(group_size=8))
         ...
         outcomes = service.step_and_recover()   # once per serving tick
+
+    Budget-driven use (one latency budget for the whole fleet per tick)::
+
+        service = ProtectionService(budget_s=2e-3)      # 2 ms per tick
+        service.register("lane-a", model_a)
+        service.register("lane-b", model_b)
+        outcomes = service.step_and_recover()           # splits the 2 ms
     """
 
     def __init__(
@@ -63,11 +116,24 @@ class ProtectionService:
         num_shards: int = 8,
         policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
         shards_per_pass: int = 1,
+        budget_s: Optional[float] = None,
     ) -> None:
+        if num_shards < 1:
+            raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
+        if shards_per_pass < 1:
+            raise ProtectionError(f"shards_per_pass must be >= 1, got {shards_per_pass}")
+        if shards_per_pass > num_shards:
+            raise ProtectionError(
+                f"shards_per_pass must be within [1, num_shards]; "
+                f"got shards_per_pass={shards_per_pass} with num_shards={num_shards}"
+            )
+        if budget_s is not None and not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
         self.default_config = default_config or RadarConfig()
         self.num_shards = num_shards
         self.policy = ScanPolicy(policy)
         self.shards_per_pass = shards_per_pass
+        self.budget_s = budget_s
         self._models: Dict[str, ManagedModel] = {}
 
     # -- registry ---------------------------------------------------------------
@@ -80,23 +146,45 @@ class ProtectionService:
         policy: Optional[ScanPolicy] = None,
         shards_per_pass: Optional[int] = None,
         keep_golden_weights: bool = False,
+        cost_model: Optional[ScanCostModel] = None,
     ) -> ManagedModel:
-        """Protect ``model`` and enrol it in the scan rotation."""
+        """Protect ``model`` and enrol it in the scan rotation.
+
+        ``cost_model`` prices this model's scan slices for budgeted ticks;
+        it defaults to the analytic model derived from the model's
+        :class:`~repro.core.config.RadarConfig`.
+        """
         if not name:
             raise ProtectionError("Managed model name must be non-empty")
         if name in self._models:
             raise ProtectionError(f"Model {name!r} is already registered")
-        protector = ModelProtector(config or self.default_config)
+        radar_config = config or self.default_config
+        protector = ModelProtector(radar_config)
         protector.protect(model, keep_golden_weights=keep_golden_weights)
-        scheduler = ScanScheduler(
-            protector.store,
-            num_shards=num_shards if num_shards is not None else self.num_shards,
-            policy=policy if policy is not None else self.policy,
-            shards_per_pass=(
+        resolved_cost_model = cost_model or AnalyticScanCostModel.from_radar_config(
+            radar_config
+        )
+        scheduler_options = {
+            "num_shards": num_shards if num_shards is not None else self.num_shards,
+            "policy": policy if policy is not None else self.policy,
+            "shards_per_pass": (
                 shards_per_pass if shards_per_pass is not None else self.shards_per_pass
             ),
+        }
+        scheduler = ScanScheduler(
+            protector.store, cost_model=resolved_cost_model, **scheduler_options
         )
-        managed = ManagedModel(name=name, model=model, protector=protector, scheduler=scheduler)
+        managed = ManagedModel(
+            name=name,
+            model=model,
+            protector=protector,
+            scheduler=scheduler,
+            cost_model=resolved_cost_model,
+            keep_golden_weights=keep_golden_weights,
+            scheduler_options=scheduler_options,
+        )
+        if self.budget_s is not None:
+            self._require_feasible(self.budget_s, {name: managed})
         self._models[name] = managed
         return managed
 
@@ -104,6 +192,27 @@ class ProtectionService:
         if name not in self._models:
             raise ProtectionError(f"Model {name!r} is not registered")
         return self._models.pop(name)
+
+    def reprotect(self, name: str) -> ManagedModel:
+        """Re-sign a model after a legitimate weight update.
+
+        Rebuilds the golden signatures from the model's *current* weights and
+        replaces its scheduler with a fresh one (same structural options), so
+        the scan rotation restarts from a clean slate — the eviction /
+        re-protect lifecycle for models whose weights were deliberately
+        updated in place.  Without this, an updated model would be
+        indistinguishable from an attacked one.
+        """
+        managed = self.get(name)
+        managed.protector.protect(
+            managed.model, keep_golden_weights=managed.keep_golden_weights
+        )
+        managed.scheduler = ScanScheduler(
+            managed.protector.store,
+            cost_model=managed.cost_model,
+            **managed.scheduler_options,
+        )
+        return managed
 
     def get(self, name: str) -> ManagedModel:
         if name not in self._models:
@@ -120,24 +229,74 @@ class ProtectionService:
         return name in self._models
 
     # -- fleet operations ---------------------------------------------------------
-    def step(self) -> Dict[str, ScanPassResult]:
-        """One amortized scan pass over every registered model (detect only)."""
+    def allocate_budget(self, budget_s: float) -> Dict[str, float]:
+        """Split one fleet-wide tick budget across the registered models.
+
+        Models claim budget in :meth:`ManagedModel.urgency` order (exposure
+        backlog plus flagged history; registration order breaks ties): each
+        claims exactly the priced cost of the shard slice it can afford from
+        what is left, and the remainder flows to the next model.  A model
+        whose leftover cannot cover one of its shards gets a zero share this
+        tick — its backlog then grows, so it claims first on a later tick
+        instead of silently overrunning the budget.  Shares therefore sum to
+        at most ``budget_s``.
+        """
         self._require_models()
+        if not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
+        self._require_feasible(budget_s, self._models)
+        by_urgency = sorted(
+            self._models, key=lambda name: -self._models[name].urgency()
+        )
+        shares: Dict[str, float] = {}
+        remaining = budget_s
+        for name in by_urgency:
+            share = self._models[name].scheduler.planned_slice_cost_s(
+                budget_s=remaining
+            )
+            shares[name] = share
+            remaining -= share
+        return shares
+
+    def _tick_budgets(self, budget_s: Optional[float]) -> Dict[str, Optional[float]]:
+        # Each scheduler re-derives its slice from the share inside step();
+        # planner ordering is pure, so both plans agree.  The duplicated
+        # planning is O(shards log shards) per model — noise next to the
+        # vectorized signature recomputation the slice itself costs.
+        budget = budget_s if budget_s is not None else self.budget_s
+        if budget is None:
+            return {name: None for name in self._models}
+        return dict(self.allocate_budget(budget))
+
+    def step(self, budget_s: Optional[float] = None) -> Dict[str, ScanPassResult]:
+        """One amortized scan pass over every registered model (detect only).
+
+        With a budget (argument or service default) each model is stepped
+        with its :meth:`allocate_budget` share; otherwise every model scans
+        its fixed structural slice.
+        """
+        self._require_models()
+        shares = self._tick_budgets(budget_s)
         return {
-            name: managed.scheduler.step(managed.model)
+            name: managed.scheduler.step(managed.model, budget_s=shares[name])
             for name, managed in self._models.items()
         }
 
     def step_and_recover(
-        self, policy: RecoveryPolicy = RecoveryPolicy.ZERO
+        self,
+        policy: RecoveryPolicy = RecoveryPolicy.ZERO,
+        budget_s: Optional[float] = None,
     ) -> Dict[str, ServiceStepOutcome]:
         """One amortized pass per model, recovering whatever the pass flagged."""
         self._require_models()
+        shares = self._tick_budgets(budget_s)
         outcomes: Dict[str, ServiceStepOutcome] = {}
         for name, managed in self._models.items():
-            scan = managed.scheduler.step(managed.model)
+            scan = managed.scheduler.step(managed.model, budget_s=shares[name])
             recovery = managed.protector.recover(managed.model, scan.report, policy=policy)
-            outcomes[name] = ServiceStepOutcome(name=name, scan=scan, recovery=recovery)
+            outcomes[name] = ServiceStepOutcome(
+                name=name, scan=scan, recovery=recovery, budget_s=shares[name]
+            )
         return outcomes
 
     def scan_all(self) -> Dict[str, DetectionReport]:
@@ -157,6 +316,22 @@ class ProtectionService:
             row["storage_kb"] = round(managed.protector.storage_overhead_kb(), 3)
             rows.append(row)
         return rows
+
+    def _require_feasible(self, budget_s: float, models: Dict[str, ManagedModel]) -> None:
+        """A tick budget a model's largest shard can never fit inside would
+        silently disable that model's protection forever (every allocation
+        would grant it nothing); fail fast instead."""
+        needs = {name: managed.min_feasible_budget_s() for name, managed in models.items()}
+        infeasible = {name: need for name, need in needs.items() if need > budget_s}
+        if infeasible:
+            detail = ", ".join(
+                f"{name!r} needs >= {need * 1e3:.6g} ms" for name, need in infeasible.items()
+            )
+            raise ProtectionError(
+                f"fleet budget of {budget_s * 1e3:.6g} ms can never cover a full "
+                f"scan slice of: {detail}; raise the budget or register the "
+                "model with more shards"
+            )
 
     def _require_models(self) -> None:
         if not self._models:

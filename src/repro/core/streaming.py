@@ -24,6 +24,7 @@ from repro.core.signature import SignatureStore
 from repro.errors import ProtectionError
 
 if TYPE_CHECKING:  # imported lazily at run time to avoid a core <-> memsim import cycle
+    from repro.core.cost import ScanCostModel
     from repro.memsim.dram import DramModule
 
 
@@ -42,9 +43,14 @@ class StreamEvent:
 
 @dataclass
 class StreamReport:
-    """Aggregate of a full pass over the weight stream."""
+    """Aggregate of a (possibly partial) pass over the weight stream."""
 
     events: Dict[str, StreamEvent] = field(default_factory=dict)
+    #: Groups this report actually verified (a budgeted slice may cover few).
+    groups_checked: int = 0
+    #: Whether the verifier's rotation over all layers completed with this
+    #: report (always true for the unbudgeted full-stream methods).
+    rotation_complete: bool = True
 
     @property
     def attack_detected(self) -> bool:
@@ -78,6 +84,9 @@ class StreamingVerifier:
         if len(store) == 0:
             raise ProtectionError("Signature store is empty; call store.build(model) first")
         self.store = store
+        # Budgeted-verification cursor: (layer position, group offset) of the
+        # next unverified group in the current rotation.
+        self._cursor = (0, 0)
 
     # -- single layer -----------------------------------------------------------
     def verify_layer(
@@ -154,6 +163,55 @@ class StreamingVerifier:
         report = StreamReport()
         for layer_name, stream in self.iter_dram(dram):
             report.events[layer_name] = self.verify_layer(layer_name, stream)
+        report.groups_checked = self.store.total_groups()
+        return report
+
+    def verify_dram_budgeted(
+        self,
+        dram: "DramModule",
+        budget_s: float,
+        cost_model: Optional["ScanCostModel"] = None,
+    ) -> StreamReport:
+        """Verify the next budget's worth of groups out of the DRAM image.
+
+        The stream-level counterpart of a budgeted
+        :meth:`~repro.core.scheduler.ScanScheduler.step`: each call checks as
+        many consecutive groups (layer by layer, resuming from an internal
+        cursor) as ``cost_model`` prices within ``budget_s``, and reports
+        ``rotation_complete=True`` on the call that finishes the last layer.
+        ``cost_model`` defaults to the analytic model priced from the store's
+        config.  A budget too small for a single group verifies nothing —
+        the report then simply has no events and the cursor does not move.
+        """
+        from repro.core.cost import AnalyticScanCostModel
+
+        if not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
+        model = cost_model or AnalyticScanCostModel.from_radar_config(self.store.config)
+        remaining = model.groups_within(budget_s)
+        report = StreamReport(rotation_complete=False)
+        layer_names = self.store.layer_names()
+        position, offset = self._cursor
+        while remaining > 0:
+            layer_name = layer_names[position]
+            entry = self.store.layer(layer_name)
+            take = min(remaining, entry.num_groups - offset)
+            groups = np.arange(offset, offset + take, dtype=np.int64)
+            if layer_name not in dram.address_map.ranges:
+                raise ProtectionError(f"Layer {layer_name!r} is not present in the DRAM image")
+            event = self.verify_layer(layer_name, dram.read_layer(layer_name), groups=groups)
+            report.events[layer_name] = event
+            report.groups_checked += take
+            remaining -= take
+            offset += take
+            if offset >= entry.num_groups:
+                position += 1
+                offset = 0
+                if position >= len(layer_names):
+                    report.rotation_complete = True
+                    position = 0
+                    break
+        self._cursor = (position, offset)
         return report
 
     def verify_and_repair_dram(
@@ -171,4 +229,5 @@ class StreamingVerifier:
             repaired_stream, event = self.repair_layer(layer_name, stream, policy=policy)
             repaired[layer_name] = repaired_stream
             report.events[layer_name] = event
+        report.groups_checked = self.store.total_groups()
         return repaired, report

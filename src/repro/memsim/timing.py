@@ -127,6 +127,13 @@ def total_weights(ops: Sequence[LayerOps]) -> int:
     return int(sum(layer.weight_count for layer in ops))
 
 
+def total_groups(ops: Sequence[LayerOps], group_size: int) -> int:
+    """Signature groups a RADAR config with ``group_size`` induces over ``ops``."""
+    if group_size < 1:
+        raise SimulationError(f"group_size must be >= 1, got {group_size}")
+    return int(sum(math.ceil(layer.weight_count / group_size) for layer in ops))
+
+
 class TimingModel:
     """Converts operation counts into seconds for the modelled platform."""
 
@@ -162,6 +169,58 @@ class TimingModel:
             groups = math.ceil(layer.weight_count / radar_config.group_size)
             cycles += layer.weight_count * per_weight + groups * config.checksum_cycles_per_group
         return batches_checked * cycles / config.frequency_hz
+
+    def scan_cycles_per_group(self, radar_config: RadarConfig) -> float:
+        """Serial cycles to recompute and compare one group's signature.
+
+        ``group_size`` masked additions (pricier when the interleaved gather
+        breaks unit-stride access) plus the per-group binarize/compare cost.
+        This is the per-group price the amortized scheduler's analytic
+        :class:`~repro.core.cost.AnalyticScanCostModel` is built on.
+        """
+        config = self.config
+        per_weight = (
+            config.checksum_cycles_per_weight_interleaved
+            if radar_config.use_interleave
+            else config.checksum_cycles_per_weight_contiguous
+        )
+        return radar_config.group_size * per_weight + config.checksum_cycles_per_group
+
+    def scan_seconds_per_group(self, radar_config: RadarConfig) -> float:
+        """:meth:`scan_cycles_per_group` on the modelled platform, in seconds."""
+        return self.scan_cycles_per_group(radar_config) / self.config.frequency_hz
+
+    def amortized_overhead_s(
+        self,
+        ops: Sequence[LayerOps],
+        radar_config: RadarConfig,
+        groups_per_pass: Optional[int] = None,
+        num_shards: Optional[int] = None,
+    ) -> float:
+        """Per-pass checking time when each pass verifies only a shard slice.
+
+        Give exactly one of ``groups_per_pass`` (the slice size directly) or
+        ``num_shards`` (the slice a :class:`~repro.core.scheduler.ScanScheduler`
+        rotation of that many shards scans per pass, i.e. the largest shard).
+        The price is conservative for a full rotation: padded tail groups are
+        billed at the full ``group_size``, so ``num_shards=1`` bounds
+        :meth:`radar_overhead_s` from above.
+        """
+        if (groups_per_pass is None) == (num_shards is None):
+            raise SimulationError(
+                "give exactly one of groups_per_pass or num_shards"
+            )
+        model_groups = total_groups(ops, radar_config.group_size)
+        if num_shards is not None:
+            if num_shards < 1:
+                raise SimulationError(f"num_shards must be >= 1, got {num_shards}")
+            groups_per_pass = math.ceil(model_groups / min(num_shards, model_groups))
+        if groups_per_pass < 0:
+            raise SimulationError(
+                f"groups_per_pass must be >= 0, got {groups_per_pass}"
+            )
+        groups_per_pass = min(groups_per_pass, model_groups)
+        return groups_per_pass * self.scan_seconds_per_group(radar_config)
 
     # -- baseline codes -------------------------------------------------------------
     def crc_overhead_s(

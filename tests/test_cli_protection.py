@@ -122,3 +122,96 @@ class TestServeDemoCommand:
         )
         assert code == 0
         assert "Serving timeline" in capsys.readouterr().out
+
+
+class TestBudgetFlags:
+    """--budget-ms on protect / scan / serve-demo."""
+
+    def test_protect_with_budget_reports_the_priced_plan(self, tiny_setup, capsys):
+        code = main(
+            [
+                "protect",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--budget-ms", "0.01",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "amortized scan plan" in out
+        assert "latency budget: 0.0100 ms/pass" in out
+        assert "priced per-pass cost" in out
+
+    def test_scan_with_budget_stays_within_it(self, tiny_setup, tmp_path, capsys):
+        output = tmp_path / "scan_budget.json"
+        code = main(
+            [
+                "scan",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--budget-ms", "0.01",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "full-scan reference: 0 flagged groups" in out
+        rows = json.loads(output.read_text())["rows"]
+        assert rows, "a budgeted scan still runs a full rotation of passes"
+        assert all(row["planned_cost_ms"] <= 0.01 for row in rows)
+        assert rows[-1]["rotation_complete"]
+
+    def test_scan_budget_overrides_num_shards(self, tiny_setup, tmp_path):
+        output = tmp_path / "scan_budget_shards.json"
+        code = main(
+            [
+                "scan",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--num-shards", "2",
+                "--budget-ms", "0.01",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(output.read_text())["rows"]
+        # 2 shards of the ~392-group model would cost ~0.028 ms per pass;
+        # the budget forces a finer slicing instead.
+        assert len(rows) > 2
+
+    def test_infeasible_budget_fails_with_clear_error(self, tiny_setup, capsys):
+        with pytest.raises(Exception, match="cannot cover a single group"):
+            main(
+                [
+                    "protect",
+                    "--setup", tiny_setup,
+                    "--group-size", "16",
+                    "--budget-ms", "0.0000001",
+                ]
+            )
+
+    def test_serve_demo_with_fleet_budget(self, tmp_path, capsys):
+        output = tmp_path / "serve_budget.json"
+        code = main(
+            [
+                "serve-demo",
+                "--models", "3",
+                "--num-shards", "4",
+                "--passes", "10",
+                "--attack-at-pass", "2",
+                "--num-flips", "4",
+                "--budget-ms", "0.03",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "detected and repaired at pass" in out
+        rows = json.loads(output.read_text())["rows"]
+        assert all("budget_share_ms" in row for row in rows)
+        # Shares per tick never exceed the fleet budget.
+        by_tick = {}
+        for row in rows:
+            by_tick.setdefault(row["pass"], 0.0)
+            by_tick[row["pass"]] += row["budget_share_ms"]
+        assert all(total <= 0.03 + 1e-9 for total in by_tick.values())

@@ -13,7 +13,14 @@ from repro.memsim.cache import CacheConfig, CacheHierarchy
 from repro.memsim.dram import AddressMap, DramConfig, DramModule
 from repro.memsim.rowhammer import RowhammerAttacker
 from repro.memsim.system import SystemConfig, SystemSim
-from repro.memsim.timing import TimingConfig, TimingModel, count_model_ops, total_macs, total_weights
+from repro.memsim.timing import (
+    TimingConfig,
+    TimingModel,
+    count_model_ops,
+    total_groups,
+    total_macs,
+    total_weights,
+)
 from repro.models.small import MLP, LeNet5
 from repro.quant.bitops import MSB_POSITION
 from repro.quant.layers import quantize_model, quantized_layers
@@ -285,3 +292,64 @@ class TestSystemSim:
         system, model = sim
         dram = system.build_dram(model)
         assert dram.address_map.total_bytes() == system.num_weights()
+
+
+class TestAmortizedOverhead:
+    """Per-pass pricing of sharded checking (the Table IV re-pricing)."""
+
+    @pytest.fixture(scope="class")
+    def ops(self):
+        model = LeNet5(num_classes=4, seed=5)
+        quantize_model(model)
+        return count_model_ops(model, np.zeros((1, 3, 32, 32), dtype=np.float32))
+
+    def test_full_rotation_bounds_radar_overhead_from_above(self, ops):
+        timing = TimingModel()
+        radar = RadarConfig(group_size=8)
+        amortized_full = timing.amortized_overhead_s(ops, radar, num_shards=1)
+        assert amortized_full >= timing.radar_overhead_s(ops, radar)
+
+    def test_per_pass_cost_shrinks_with_shard_count(self, ops):
+        timing = TimingModel()
+        radar = RadarConfig(group_size=8)
+        costs = [
+            timing.amortized_overhead_s(ops, radar, num_shards=n) for n in (1, 4, 8, 16)
+        ]
+        assert all(earlier > later for earlier, later in zip(costs, costs[1:]))
+
+    def test_slice_price_is_proportional_to_groups(self, ops):
+        timing = TimingModel()
+        radar = RadarConfig(group_size=8)
+        ten = timing.amortized_overhead_s(ops, radar, groups_per_pass=10)
+        twenty = timing.amortized_overhead_s(ops, radar, groups_per_pass=20)
+        assert twenty == pytest.approx(2 * ten)
+        assert ten == pytest.approx(10 * timing.scan_seconds_per_group(radar))
+
+    def test_slice_is_clamped_to_the_model(self, ops):
+        timing = TimingModel()
+        radar = RadarConfig(group_size=8)
+        everything = timing.amortized_overhead_s(ops, radar, num_shards=1)
+        oversized = timing.amortized_overhead_s(ops, radar, groups_per_pass=10**9)
+        assert oversized == pytest.approx(everything)
+
+    def test_interleave_raises_the_per_group_price(self, ops):
+        timing = TimingModel()
+        interleaved = timing.scan_seconds_per_group(RadarConfig(group_size=8))
+        contiguous = timing.scan_seconds_per_group(
+            RadarConfig(group_size=8, use_interleave=False)
+        )
+        assert interleaved > contiguous
+
+    def test_argument_validation(self, ops):
+        timing = TimingModel()
+        radar = RadarConfig(group_size=8)
+        with pytest.raises(SimulationError):
+            timing.amortized_overhead_s(ops, radar)
+        with pytest.raises(SimulationError):
+            timing.amortized_overhead_s(ops, radar, groups_per_pass=1, num_shards=2)
+        with pytest.raises(SimulationError):
+            timing.amortized_overhead_s(ops, radar, num_shards=0)
+        with pytest.raises(SimulationError):
+            timing.amortized_overhead_s(ops, radar, groups_per_pass=-1)
+        with pytest.raises(SimulationError):
+            total_groups(ops, 0)

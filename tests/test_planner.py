@@ -1,0 +1,188 @@
+"""Tests for :mod:`repro.core.planner` (pluggable shard-selection planners).
+
+The PRIORITY_EXPOSURE satellite properties live here: under injected flips a
+flagged shard is revisited sooner than round-robin would revisit it, while no
+shard's exposure ever exceeds the rotation bound (``worst_case_lag_passes``)
+— the flip-rate bias is sub-integer, so it reorders exposure ties without
+being able to starve a clean shard.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FullScanPlanner,
+    ModelProtector,
+    PriorityExposurePlanner,
+    RadarConfig,
+    RoundRobinPlanner,
+    ScanPolicy,
+    ShardView,
+)
+from repro.errors import ProtectionError
+from repro.models.small import MLP
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+def _views(exposures, flagged=None):
+    flagged = flagged or [0] * len(exposures)
+    return [
+        ShardView(
+            index=index,
+            num_groups=4,
+            exposure_passes=exposure,
+            times_scanned=0,
+            times_flagged=flags,
+        )
+        for index, (exposure, flags) in enumerate(zip(exposures, flagged))
+    ]
+
+
+@pytest.fixture()
+def protected():
+    model = MLP(input_dim=48, num_classes=4, hidden_dims=(32, 16), seed=21)
+    quantize_model(model)
+    protector = ModelProtector(RadarConfig(group_size=8))
+    protector.protect(model)
+    return model, protector
+
+
+def _flip_weight_in_shard(model, protector, scheduler, shard_index):
+    """Flip the MSB of one weight inside a given shard; returns an undo closure."""
+    rows = scheduler.shard_rows(shard_index)
+    fused = protector.store.fused()
+    groups_by_layer = fused.rows_to_layer_groups(rows[:1])
+    layer_name = next(name for name, groups in groups_by_layer.items() if groups.size)
+    entry = protector.store.layer(layer_name)
+    member = int(entry.layout.members_of(int(groups_by_layer[layer_name][0]))[0])
+    flat = dict(quantized_layers(model))[layer_name].qweight.reshape(-1)
+    flat[member] = np.int8(int(flat[member]) ^ -128)
+
+    def undo():
+        flat[member] = np.int8(int(flat[member]) ^ -128)
+
+    return undo
+
+
+class TestPlannerOrdering:
+    def test_full_scan_planner_orders_everything(self):
+        planner = FullScanPlanner()
+        assert planner.scan_everything
+        assert planner.order(_views([0, 0, 0])) == [0, 1, 2]
+
+    def test_round_robin_cycles_and_advances_on_commit(self):
+        planner = RoundRobinPlanner()
+        views = _views([0, 0, 0, 0])
+        assert planner.order(views) == [0, 1, 2, 3]
+        planner.committed([0], {0: 0})
+        assert planner.order(views) == [1, 2, 3, 0]
+        planner.committed([1, 2], {1: 0, 2: 0})
+        assert planner.order(views) == [3, 0, 1, 2]
+
+    def test_priority_exposure_orders_by_exposure_then_flags_then_index(self):
+        planner = PriorityExposurePlanner()
+        order = planner.order(_views([1, 3, 3, 0], flagged=[0, 0, 1, 0]))
+        assert order == [2, 1, 0, 3]  # exposure 3 twice; flags break the tie
+
+    def test_priority_exposure_bias_only_reorders_ties(self):
+        planner = PriorityExposurePlanner()
+        # A huge observed flip rate on shard 0...
+        planner.committed([0], {0: 5})
+        # ...still cannot beat a strictly larger exposure elsewhere.
+        assert planner.order(_views([0, 1]))[0] == 1
+        # But it wins any exposure tie.
+        assert planner.order(_views([1, 1]))[0] == 0
+
+    def test_flip_rate_decays_when_scans_come_back_clean(self):
+        planner = PriorityExposurePlanner(ewma_alpha=0.5)
+        planner.committed([0], {0: 3})
+        hot = planner.flip_rate(0)
+        planner.committed([0], {0: 0})
+        assert 0 < planner.flip_rate(0) < hot
+
+    def test_invalid_weights_rejected(self):
+        with pytest.raises(ProtectionError):
+            PriorityExposurePlanner(flip_bias_weight=1.0)
+        with pytest.raises(ProtectionError):
+            PriorityExposurePlanner(ewma_alpha=0.0)
+
+
+class TestPriorityExposureUnderFlips:
+    """The satellite properties, driven through a real scheduler."""
+
+    def test_flagged_shard_revisited_sooner_than_round_robin(self, protected):
+        model, protector = protected
+        scheduler = protector.scheduler(
+            num_shards=5, policy=ScanPolicy.PRIORITY_EXPOSURE, shards_per_pass=2
+        )
+        undo = _flip_weight_in_shard(model, protector, scheduler, 1)
+        try:
+            first = scheduler.step(model)  # scans [0, 1] and flags shard 1
+            assert first.shard_indices == [0, 1]
+            assert first.attack_detected
+            second = scheduler.step(model)  # scans [2, 3]
+            assert second.shard_indices == [2, 3]
+        finally:
+            undo()
+        # Third pass: shard 4 is the most exposed either way, but the spare
+        # slot goes back to the *flagged* shard 1 — cyclic round-robin order
+        # would hand it to shard 0 first.
+        assert scheduler.plan()[:2] == [4, 1]
+
+    def test_exposure_never_exceeds_rotation_bound_under_flips(self, protected):
+        model, protector = protected
+        scheduler = protector.scheduler(
+            num_shards=5, policy=ScanPolicy.PRIORITY_EXPOSURE, shards_per_pass=2
+        )
+        bound = scheduler.worst_case_lag_passes
+        rng = np.random.default_rng(11)
+        undo = None
+        for _ in range(10 * bound):
+            # Keep re-flipping random shards so flip-rate biases churn.
+            if undo is not None:
+                undo()
+            undo = _flip_weight_in_shard(
+                model, protector, scheduler, int(rng.integers(scheduler.num_shards))
+            )
+            scheduler.step(model)
+            assert scheduler.max_exposure_passes <= bound
+        if undo is not None:
+            undo()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        num_shards=st.integers(min_value=1, max_value=12),
+        flag_pattern=st.lists(
+            st.integers(min_value=0, max_value=11), min_size=0, max_size=20
+        ),
+    )
+    def test_starvation_bound_property(self, num_shards, flag_pattern):
+        """Pure planner-level property: whatever flags are observed, selecting
+        the planner's top choice every pass keeps exposure within the bound."""
+        planner = PriorityExposurePlanner()
+        exposures = [0] * num_shards
+        flags = [0] * num_shards
+        for step in range(4 * num_shards + len(flag_pattern)):
+            views = [
+                ShardView(
+                    index=i,
+                    num_groups=4,
+                    exposure_passes=exposures[i],
+                    times_scanned=step,
+                    times_flagged=flags[i],
+                )
+                for i in range(num_shards)
+            ]
+            chosen = planner.order(views)[0]
+            flagged_now = (
+                1 if step < len(flag_pattern) and flag_pattern[step] % num_shards == chosen else 0
+            )
+            flags[chosen] += flagged_now
+            planner.committed([chosen], {chosen: flagged_now})
+            exposures = [e + 1 for e in exposures]
+            exposures[chosen] = 0
+            assert max(exposures) <= num_shards

@@ -176,12 +176,18 @@ class TestScanSchedulerDegenerateCases:
     def test_slice_covering_all_shards_degenerates_to_full_scan(self, protected):
         model, protector = protected
         _flip_msb(model, 0, 9)
-        scheduler = protector.scheduler(num_shards=4, shards_per_pass=9)
+        scheduler = protector.scheduler(num_shards=4, shards_per_pass=4)
         assert scheduler.shards_per_pass == scheduler.num_shards
         result = scheduler.step(model)
         assert result.rotation_complete
         assert result.groups_checked == scheduler.total_groups
         assert _reports_equal(result.report, protector.scan(model))
+
+    def test_slice_larger_than_shard_count_rejected(self, protected):
+        """shards_per_pass > num_shards is a configuration error, not a clamp."""
+        _, protector = protected
+        with pytest.raises(ProtectionError, match=r"within \[1, num_shards\]"):
+            protector.scheduler(num_shards=4, shards_per_pass=9)
 
     def test_more_shards_than_groups_is_clipped(self, protected):
         model, protector = protected
@@ -254,6 +260,102 @@ class TestScanPolicies:
         assert info[1].exposure_passes == 1 and info[1].times_scanned == 0
 
 
+class TestBudgetedScheduler:
+    """Budget-driven shard sizing (ScanScheduler.from_budget and step overrides)."""
+
+    def test_from_budget_prices_every_pass_within_budget(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        model, protector = protected
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        budget_s = cost_model.pass_cost_s(50)  # affords 50 of the 264 groups
+        scheduler = protector.scheduler_for_budget(budget_s, cost_model=cost_model)
+        for _ in range(scheduler.worst_case_lag_passes):
+            result = scheduler.step(model)
+            assert result.planned_cost_s is not None
+            assert result.planned_cost_s <= budget_s
+            assert result.within_budget
+        assert result.rotation_complete
+
+    def test_budgeted_rotation_still_matches_full_scan(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        model, protector = protected
+        _flip_msb(model, 0, 3)
+        _flip_msb(model, 2, 7)
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        scheduler = protector.scheduler_for_budget(
+            cost_model.pass_cost_s(40), cost_model=cost_model
+        )
+        assert _reports_equal(scheduler.run_rotation(model), protector.scan(model))
+
+    def test_generous_budget_degenerates_to_full_scan(self, protected):
+        model, protector = protected
+        scheduler = protector.scheduler_for_budget(10.0)  # 10 s: everything fits
+        result = scheduler.step(model)
+        assert result.rotation_complete
+        assert result.groups_checked == scheduler.total_groups
+
+    def test_infeasible_budget_rejected(self, protected):
+        _, protector = protected
+        with pytest.raises(ProtectionError, match="cannot cover a single group"):
+            protector.scheduler_for_budget(1e-12)
+
+    def test_structural_scheduler_with_too_small_budget_rejected(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        _, protector = protected
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        # Largest shard of a 4-shard split holds 66 groups; a 10-group budget
+        # cannot cover it, and the constructor must say so instead of
+        # silently overrunning.
+        with pytest.raises(ProtectionError, match="largest shard"):
+            protector.scheduler(
+                num_shards=4,
+                budget_s=cost_model.pass_cost_s(10),
+                cost_model=cost_model,
+            )
+
+    def test_per_call_budget_override_narrows_the_slice(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        model, protector = protected
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        scheduler = protector.scheduler(
+            num_shards=8, shards_per_pass=4, cost_model=cost_model
+        )
+        one_shard = scheduler.shard_rows(0).size
+        # A budget that affords only one shard narrows the 4-shard slice.
+        result = scheduler.step(model, budget_s=cost_model.pass_cost_s(one_shard))
+        assert len(result.shard_indices) == 1
+        assert result.within_budget
+
+    def test_underfunded_pass_scans_nothing_but_keeps_exposure_growing(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        model, protector = protected
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        scheduler = protector.scheduler(num_shards=4, cost_model=cost_model)
+        before = scheduler.max_exposure_passes
+        result = scheduler.step(model, budget_s=cost_model.seconds_per_group / 2)
+        assert result.shard_indices == []
+        assert result.groups_checked == 0
+        assert not result.rotation_complete
+        assert scheduler.max_exposure_passes == before + 1
+
+    def test_measured_cost_model_learns_from_passes(self, protected):
+        from repro.core import MeasuredScanCostModel
+
+        model, protector = protected
+        cost_model = MeasuredScanCostModel.from_radar_config(protector.config)
+        scheduler = protector.scheduler(num_shards=4, cost_model=cost_model)
+        assert cost_model.observations == 0
+        scheduler.step(model)
+        scheduler.step(model)
+        assert cost_model.observations == 2
+        assert cost_model.seconds_per_group > 0
+
+
 class TestAmortizedProtectedInference:
     def test_amortized_runtime_detects_within_one_rotation(self, trained_tiny):
         model, _, test_set, _ = trained_tiny
@@ -288,3 +390,81 @@ class TestAmortizedProtectedInference:
         assert runtime.scheduler is None
         outcome = runtime(test_set.images[:8])
         assert not outcome.attack_detected
+
+    def test_budgeted_runtime_sizes_shards_from_budget(self, trained_tiny):
+        from repro.core import AnalyticScanCostModel
+
+        model, _, test_set, _ = trained_tiny
+        cost_model = AnalyticScanCostModel.from_radar_config(RadarConfig(group_size=8))
+        budget_s = cost_model.pass_cost_s(10)
+        runtime = ProtectedInference(
+            model, RadarConfig(group_size=8), budget_s=budget_s, cost_model=cost_model
+        )
+        assert runtime.scheduler is not None
+        assert runtime.budget_s == budget_s
+        largest = max(
+            runtime.scheduler.shard_rows(i).size
+            for i in range(runtime.scheduler.num_shards)
+        )
+        assert cost_model.pass_cost_s(largest) <= budget_s
+        outcome = runtime(test_set.images[:8])
+        assert not outcome.attack_detected
+
+
+class TestFullPolicyUnderBudget:
+    """FULL policy + budget must rotate through all shards, not rescan a prefix."""
+
+    def test_budgeted_full_policy_completes_a_rotation(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        model, protector = protected
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        # 4 shards of 66 groups; the budget affords exactly one shard per pass.
+        scheduler = protector.scheduler(
+            num_shards=4,
+            policy=ScanPolicy.FULL,
+            budget_s=cost_model.pass_cost_s(66),
+            cost_model=cost_model,
+        )
+        assert scheduler.worst_case_lag_passes == 4
+        seen = set()
+        for _ in range(scheduler.worst_case_lag_passes):
+            result = scheduler.step(model)
+            seen.update(result.shard_indices)
+        assert seen == set(range(scheduler.num_shards))
+        assert result.rotation_complete
+
+    def test_budgeted_full_policy_detects_flip_in_last_shard(self, protected):
+        from repro.core import AnalyticScanCostModel
+
+        model, protector = protected
+        cost_model = AnalyticScanCostModel.from_radar_config(protector.config)
+        scheduler = protector.scheduler(
+            num_shards=4,
+            policy=ScanPolicy.FULL,
+            budget_s=cost_model.pass_cost_s(66),
+            cost_model=cost_model,
+        )
+        last_rows = scheduler.shard_rows(scheduler.num_shards - 1)
+        fused = protector.store.fused()
+        groups_by_layer = fused.rows_to_layer_groups(last_rows[-1:])
+        layer_name = next(name for name, groups in groups_by_layer.items() if groups.size)
+        entry = protector.store.layer(layer_name)
+        member = int(entry.layout.members_of(int(groups_by_layer[layer_name][0]))[0])
+        flat = dict(quantized_layers(model))[layer_name].qweight.reshape(-1)
+        flat[member] = np.int8(int(flat[member]) ^ -128)
+        try:
+            detected = False
+            for _ in range(scheduler.worst_case_lag_passes):
+                detected = detected or scheduler.step(model).attack_detected
+            assert detected
+        finally:
+            flat[member] = np.int8(int(flat[member]) ^ -128)
+
+    def test_unbudgeted_full_policy_still_scans_everything_at_lag_one(self, protected):
+        model, protector = protected
+        scheduler = protector.scheduler(num_shards=4, policy=ScanPolicy.FULL)
+        assert scheduler.worst_case_lag_passes == 1
+        result = scheduler.step(model)
+        assert result.groups_checked == scheduler.total_groups
+        assert result.rotation_complete

@@ -144,3 +144,189 @@ class TestFleetOperations:
         assert rows["alpha"]["shards"] == 4
         assert rows["beta"]["shards"] == 2
         assert rows["alpha"]["storage_kb"] > 0
+
+
+class TestConstructorValidation:
+    """The satellite: bad structural arguments fail fast with clear errors."""
+
+    def test_invalid_num_shards_rejected(self):
+        with pytest.raises(ProtectionError, match="num_shards must be >= 1"):
+            ProtectionService(num_shards=0)
+
+    def test_invalid_shards_per_pass_rejected(self):
+        with pytest.raises(ProtectionError, match="shards_per_pass must be >= 1"):
+            ProtectionService(shards_per_pass=0)
+
+    def test_slice_larger_than_shard_count_rejected(self):
+        with pytest.raises(ProtectionError, match=r"within \[1, num_shards\]"):
+            ProtectionService(num_shards=2, shards_per_pass=3)
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ProtectionError, match="budget_s must be positive"):
+            ProtectionService(budget_s=0.0)
+
+    def test_per_model_override_validated_at_register(self, service):
+        with pytest.raises(ProtectionError, match=r"within \[1, num_shards\]"):
+            service.register("alpha", _small_model(1), num_shards=2, shards_per_pass=5)
+
+
+class TestReprotect:
+    """The eviction / re-protect lifecycle for legitimate weight updates."""
+
+    def test_reprotect_accepts_updated_weights_as_new_golden(self, service):
+        service.register("alpha", _small_model(1))
+        model = service.get("alpha").model
+        name, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        # An update big enough for the 2-bit signatures to notice (MSB scale).
+        flat[:8] = flat[:8] ^ np.int8(-128)
+        # Before re-signing, the deliberate update looks exactly like an attack.
+        assert service.scan_all()["alpha"].attack_detected
+        service.reprotect("alpha")
+        assert not service.scan_all()["alpha"].attack_detected
+
+    def test_reprotect_resets_the_scan_rotation(self, service):
+        managed = service.register("alpha", _small_model(1))
+        for _ in range(3):
+            service.step()
+        assert managed.scheduler.passes == 3
+        refreshed = service.reprotect("alpha")
+        assert refreshed.scheduler.passes == 0
+        assert refreshed.scheduler.max_exposure_passes == 0
+        # Structural options survive the rebuild.
+        assert refreshed.scheduler.num_shards == managed.scheduler.num_shards
+
+    def test_reprotect_preserves_golden_weight_snapshot_policy(self, service):
+        service.register("alpha", _small_model(1), keep_golden_weights=True)
+        model = service.get("alpha").model
+        name, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        flat[:4] = np.clip(flat[:4].astype(np.int64) + 2, -128, 127).astype(np.int8)
+        service.reprotect("alpha")
+        # The refreshed snapshot lets RELOAD restore the *updated* weights.
+        updated = int(flat[0])
+        flat[0] = np.int8(updated ^ -128)
+        from repro.core import RecoveryPolicy
+
+        for _ in range(service.get("alpha").scheduler.worst_case_lag_passes):
+            service.step_and_recover(policy=RecoveryPolicy.RELOAD)
+        assert int(flat[0]) == updated
+
+    def test_reprotect_unknown_model_rejected(self, service):
+        with pytest.raises(ProtectionError, match="not registered"):
+            service.reprotect("ghost")
+
+
+class TestBudgetedFleet:
+    """One fleet-wide budget per tick, claimed in urgency order."""
+
+    def test_generous_budget_funds_every_model_exactly(self, service):
+        service.register("alpha", _small_model(1))
+        service.register("beta", _small_model(2))
+        shares = service.allocate_budget(1.0)
+        # Each model claims exactly the priced cost of its next slice.
+        for name, share in shares.items():
+            scheduler = service.get(name).scheduler
+            assert share == pytest.approx(scheduler.planned_slice_cost_s())
+            assert share > 0
+        assert sum(shares.values()) <= 1.0
+
+    def test_flagged_history_makes_a_model_claim_first(self, service):
+        from repro.core import AnalyticScanCostModel
+
+        service.register("clean", _small_model(1), keep_golden_weights=True)
+        service.register("victim", _small_model(2), keep_golden_weights=True)
+        victim = service.get("victim")
+        name, layer = quantized_layers(victim.model)[0]
+        flat = layer.qweight.reshape(-1)
+        flat[0] = np.int8(int(flat[0]) ^ -128)
+        for _ in range(victim.scheduler.worst_case_lag_passes):
+            service.step_and_recover(policy=RecoveryPolicy.RELOAD)
+        # Both backlogs are identical after the shared ticks; the victim's
+        # flag history tips the urgency, so under a one-slice budget it
+        # claims the whole tick and the clean model gets nothing.
+        cost_model = AnalyticScanCostModel.from_radar_config(RadarConfig(group_size=8))
+        one_slice = victim.scheduler.planned_slice_cost_s()
+        shares = service.allocate_budget(one_slice + cost_model.seconds_per_group)
+        assert shares["victim"] == pytest.approx(one_slice)
+        assert shares["clean"] == 0.0
+
+    def test_budgeted_step_passes_each_model_its_share(self):
+        from repro.core import AnalyticScanCostModel
+
+        config = RadarConfig(group_size=8)
+        cost_model = AnalyticScanCostModel.from_radar_config(config)
+        # Affords one ~39-group shard for each of the two models.
+        service = ProtectionService(
+            config, num_shards=4, budget_s=2 * cost_model.pass_cost_s(40)
+        )
+        service.register("alpha", _small_model(1))
+        service.register("beta", _small_model(2))
+        results = service.step()
+        for result in results.values():
+            assert result.budget_s is not None
+            assert result.planned_cost_s is not None
+            assert result.within_budget
+            assert result.shard_indices  # both models afford their slice
+
+    def test_underfunded_model_preempts_on_the_next_tick(self):
+        from repro.core import AnalyticScanCostModel
+
+        config = RadarConfig(group_size=8)
+        cost_model = AnalyticScanCostModel.from_radar_config(config)
+        # Each model's shard holds ~39 groups; the fleet budget affords one
+        # shard *total* per tick, so exactly one model scans each tick.
+        service = ProtectionService(
+            config, num_shards=4, budget_s=cost_model.pass_cost_s(40)
+        )
+        service.register("alpha", _small_model(1))
+        service.register("beta", _small_model(2))
+        scanned_by_tick = []
+        for _ in range(4):
+            results = service.step()
+            scanned = {name for name, result in results.items() if result.shard_indices}
+            assert len(scanned) == 1, "budget affords exactly one slice per tick"
+            scanned_by_tick.append(scanned.pop())
+        # The starved model's backlog grows, so the fleet alternates instead
+        # of starving one model forever.
+        assert scanned_by_tick[:4] == ["alpha", "beta", "alpha", "beta"]
+
+    def test_explicit_budget_overrides_service_default(self, service):
+        service.register("alpha", _small_model(1))
+        results = service.step(budget_s=1.0)  # generous: everything fits
+        assert results["alpha"].budget_s is not None
+        assert results["alpha"].shard_indices
+
+    def test_allocation_requires_models_and_positive_budget(self, service):
+        with pytest.raises(ProtectionError, match="no registered models"):
+            service.allocate_budget(1e-3)
+        service.register("alpha", _small_model(1))
+        with pytest.raises(ProtectionError, match="budget_s must be positive"):
+            service.allocate_budget(0.0)
+
+
+class TestBudgetFeasibility:
+    """A budget no model slice can ever fit must fail fast, not scan nothing."""
+
+    def test_register_rejects_model_the_default_budget_cannot_cover(self):
+        service = ProtectionService(
+            RadarConfig(group_size=8), num_shards=4, budget_s=1e-9
+        )
+        with pytest.raises(ProtectionError, match="can never cover a full scan slice"):
+            service.register("alpha", _small_model(1))
+
+    def test_allocate_budget_rejects_infeasible_tick_budget(self, service):
+        service.register("alpha", _small_model(1))
+        with pytest.raises(ProtectionError, match="can never cover a full scan slice"):
+            service.allocate_budget(1e-9)
+
+    def test_feasible_budget_passes_the_check(self):
+        from repro.core import AnalyticScanCostModel
+
+        config = RadarConfig(group_size=8)
+        cost_model = AnalyticScanCostModel.from_radar_config(config)
+        service = ProtectionService(
+            config, num_shards=4, budget_s=cost_model.pass_cost_s(40)
+        )
+        service.register("alpha", _small_model(1))
+        assert service.step()["alpha"].shard_indices

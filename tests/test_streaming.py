@@ -181,3 +181,81 @@ class TestDramIntegration:
         verifier = StreamingVerifier(store)
         with pytest.raises(ProtectionError):
             verifier.verify_dram(other_dram)
+
+
+class TestBudgetedVerification:
+    """verify_dram_budgeted: the stream-level counterpart of a budgeted step."""
+
+    @staticmethod
+    def _per_group_model(store):
+        from repro.core import AnalyticScanCostModel
+
+        return AnalyticScanCostModel.from_radar_config(store.config)
+
+    def test_budgeted_slices_cover_the_whole_rotation(self, setup):
+        _, store, dram = setup
+        verifier = StreamingVerifier(store)
+        cost_model = self._per_group_model(store)
+        budget_s = cost_model.pass_cost_s(7)  # 7 groups per call
+        total = 0
+        for call in range(100):
+            report = verifier.verify_dram_budgeted(dram, budget_s, cost_model)
+            assert report.groups_checked <= 7
+            total += report.groups_checked
+            if report.rotation_complete:
+                break
+        assert report.rotation_complete
+        assert total == store.total_groups()
+
+    def test_budgeted_rotation_finds_a_planted_flip(self, setup):
+        model, store, dram = setup
+        verifier = StreamingVerifier(store)
+        cost_model = self._per_group_model(store)
+        name, layer = quantized_layers(model)[0]
+        profile = AttackProfile(
+            model_name="mlp", flips=(make_bit_flip(name, layer.qweight, 5, MSB_POSITION),)
+        )
+        RowhammerAttacker(dram).mount(profile)
+        flagged = []
+        for _ in range(100):
+            report = verifier.verify_dram_budgeted(
+                dram, cost_model.pass_cost_s(5), cost_model
+            )
+            if report.attack_detected:
+                flagged.extend(
+                    event.flagged_groups.tolist() for event in report.events.values()
+                )
+            if report.rotation_complete:
+                break
+        assert flagged
+        expected = store.layer(name).layout.group_of(5)
+        assert [expected] in flagged
+
+    def test_generous_budget_completes_in_one_call(self, setup):
+        _, store, dram = setup
+        verifier = StreamingVerifier(store)
+        report = verifier.verify_dram_budgeted(dram, budget_s=10.0)
+        assert report.rotation_complete
+        assert report.groups_checked == store.total_groups()
+        assert not report.attack_detected
+
+    def test_too_small_budget_verifies_nothing_and_holds_position(self, setup):
+        _, store, dram = setup
+        verifier = StreamingVerifier(store)
+        cost_model = self._per_group_model(store)
+        report = verifier.verify_dram_budgeted(
+            dram, cost_model.seconds_per_group / 2, cost_model
+        )
+        assert report.groups_checked == 0
+        assert not report.rotation_complete
+        assert report.events == {}
+        # The next adequately-funded call starts from the same position.
+        follow_up = verifier.verify_dram_budgeted(dram, 10.0, cost_model)
+        assert follow_up.rotation_complete
+        assert follow_up.groups_checked == store.total_groups()
+
+    def test_invalid_budget_rejected(self, setup):
+        _, store, dram = setup
+        verifier = StreamingVerifier(store)
+        with pytest.raises(ProtectionError):
+            verifier.verify_dram_budgeted(dram, 0.0)
