@@ -1,15 +1,26 @@
 #!/usr/bin/env python
-"""Perf-regression gate for the amortized scan scheduler.
+"""Perf-regression gate for the run-time verification subsystem.
 
-Compares a fresh ``benchmarks/test_bench_scan_scheduler.py`` run against the
-committed baseline (``results/scan_scheduler.json``).  Absolute per-pass
-milliseconds vary wildly across CI hosts, so the gate checks the
-*machine-independent* ratios instead: the amortized speedup over the full and
-fused scans for each shard count must not fall below the baseline by more
-than ``--tolerance`` (a fraction; 0.5 means a fresh speedup may be at most
-50 % worse before the gate trips).  Structural fields (group counts, lag
-bounds) must match exactly — a silent change there means the benchmark is no
-longer measuring the same thing.
+Compares a freshly measured benchmark run against its committed baseline
+under ``results/``.  Absolute milliseconds vary wildly across CI hosts, so
+the gate checks *machine-independent* ratios: a fresh speedup may be at
+most ``--tolerance`` (a fraction; 0.5 = 50 %) worse than the committed one
+before the gate trips.  Structural fields (group counts, lag bounds) must
+match exactly — a silent change there means the benchmark is no longer
+measuring the same thing.
+
+Two benchmark kinds are understood (``--kind``):
+
+* ``scan-scheduler`` (default) — ``results/scan_scheduler.json`` from
+  ``benchmarks/test_bench_scan_scheduler.py``: rows keyed by ``num_shards``,
+  ratio metrics ``speedup_vs_full`` / ``speedup_vs_fused``.
+* ``fleet`` — ``results/fleet_throughput.json`` from
+  ``benchmarks/test_bench_fleet_throughput.py``: rows keyed by
+  ``num_models``, ratio metric ``speedup`` (batched vs sequential
+  stepping).  ``--min-speedup`` additionally enforces an *absolute* floor
+  on the best fleet-sized (>= 4 models) row — the acceptance bar that
+  batched cross-model stepping stays >= 1.5x sequential, regardless of how
+  the baseline drifts.
 
 Exit status: 0 when no regression, 1 on regression or malformed input.
 """
@@ -19,64 +30,128 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import dataclass
 from pathlib import Path
-
-RATIO_METRICS = ("speedup_vs_full", "speedup_vs_fused")
-STRUCTURAL_FIELDS = ("groups", "groups_per_pass", "worst_case_lag_passes")
+from typing import Dict, Tuple
 
 
-def load_rows(path: Path) -> dict:
+@dataclass(frozen=True)
+class GateSpec:
+    """What one benchmark kind's gate checks."""
+
+    key_field: str
+    ratio_metrics: Tuple[str, ...]
+    structural_fields: Tuple[str, ...]
+
+
+GATES: Dict[str, GateSpec] = {
+    "scan-scheduler": GateSpec(
+        key_field="num_shards",
+        ratio_metrics=("speedup_vs_full", "speedup_vs_fused"),
+        structural_fields=("groups", "groups_per_pass", "worst_case_lag_passes"),
+    ),
+    "fleet": GateSpec(
+        key_field="num_models",
+        ratio_metrics=("speedup",),
+        structural_fields=("groups_per_tick",),
+    ),
+}
+
+#: Rows at or above this fleet size count toward ``--min-speedup``.
+FLEET_SIZE_FLOOR = 4
+
+
+def load_rows(path: Path, key_field: str) -> dict:
     payload = json.loads(path.read_text())
     rows = payload["rows"] if isinstance(payload, dict) else payload
-    return {row["num_shards"]: row for row in rows}
+    return {row[key_field]: row for row in rows}
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline", type=Path, required=True, help="committed scan_scheduler.json"
+        "--kind", choices=sorted(GATES), default="scan-scheduler",
+        help="which benchmark's gate to run (default: scan-scheduler)",
     )
     parser.add_argument(
-        "--fresh", type=Path, required=True, help="freshly measured scan_scheduler.json"
+        "--baseline", type=Path, required=True, help="committed results JSON"
+    )
+    parser.add_argument(
+        "--fresh", type=Path, required=True, help="freshly measured results JSON"
     )
     parser.add_argument(
         "--tolerance", type=float, default=0.5,
         help="allowed fractional drop in speedup ratios (default 0.5)",
     )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="(fleet) absolute floor the best >= 4-model row must clear",
+    )
     args = parser.parse_args(argv)
 
-    baseline = load_rows(args.baseline)
-    fresh = load_rows(args.fresh)
+    spec = GATES[args.kind]
+    baseline = load_rows(args.baseline, spec.key_field)
+    fresh = load_rows(args.fresh, spec.key_field)
     if set(baseline) != set(fresh):
         print(
-            f"REGRESSION GATE: shard counts differ — baseline {sorted(baseline)}, "
-            f"fresh {sorted(fresh)}"
+            f"REGRESSION GATE: {spec.key_field} values differ — "
+            f"baseline {sorted(baseline)}, fresh {sorted(fresh)}"
         )
         return 1
 
     failures = []
-    for num_shards, base_row in sorted(baseline.items()):
-        fresh_row = fresh[num_shards]
-        for metric in STRUCTURAL_FIELDS:
+    for key, base_row in sorted(baseline.items()):
+        fresh_row = fresh[key]
+        for metric in spec.structural_fields:
             if base_row[metric] != fresh_row[metric]:
                 failures.append(
-                    f"{num_shards} shards: {metric} changed "
+                    f"{spec.key_field}={key}: {metric} changed "
                     f"{base_row[metric]} -> {fresh_row[metric]}"
                 )
-        for metric in RATIO_METRICS:
+        for metric in spec.ratio_metrics:
             floor = base_row[metric] * (1.0 - args.tolerance)
             if fresh_row[metric] < floor:
                 failures.append(
-                    f"{num_shards} shards: {metric} fell to {fresh_row[metric]:.2f}x "
+                    f"{spec.key_field}={key}: {metric} fell to "
+                    f"{fresh_row[metric]:.2f}x "
                     f"(baseline {base_row[metric]:.2f}x, floor {floor:.2f}x)"
                 )
         print(
-            f"{num_shards:>3} shards: "
+            f"{spec.key_field}={key}: "
             + ", ".join(
                 f"{metric} {fresh_row[metric]:.2f}x (baseline {base_row[metric]:.2f}x)"
-                for metric in RATIO_METRICS
+                for metric in spec.ratio_metrics
             )
         )
+
+    if args.min_speedup is not None:
+        if args.kind != "fleet":
+            print("REGRESSION GATE: --min-speedup only applies to --kind fleet")
+            return 1
+        fleet_rows = {
+            key: row for key, row in fresh.items() if key >= FLEET_SIZE_FLOOR
+        }
+        if not fleet_rows:
+            failures.append(
+                f"no rows with {spec.key_field} >= {FLEET_SIZE_FLOOR} to hold "
+                f"the {args.min_speedup:.2f}x floor"
+            )
+        else:
+            best_key, best_row = max(
+                fleet_rows.items(), key=lambda item: item[1]["speedup"]
+            )
+            if best_row["speedup"] < args.min_speedup:
+                failures.append(
+                    f"best fleet speedup {best_row['speedup']:.2f}x "
+                    f"({spec.key_field}={best_key}) is below the "
+                    f"{args.min_speedup:.2f}x acceptance floor"
+                )
+            else:
+                print(
+                    f"acceptance floor: best fleet speedup "
+                    f"{best_row['speedup']:.2f}x "
+                    f"({spec.key_field}={best_key}) >= {args.min_speedup:.2f}x"
+                )
 
     if failures:
         print("\nREGRESSION GATE FAILED:")

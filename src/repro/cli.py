@@ -17,15 +17,21 @@ Three subcommands drive the run-time protection machinery directly:
 * ``protect`` — build the golden signatures for a setup and report the
   per-layer grouping plus the amortized scan plan;
 * ``scan`` — run amortized scan passes (optionally after injecting random
-  MSB flips) and show the per-pass cost / detection-lag timeline;
-* ``serve-demo`` — a self-contained :class:`~repro.core.service.ProtectionService`
-  demo: several small models served together, one attacked mid-rotation,
-  detected and repaired by the scan rotation.
+  MSB flips) and show the per-pass cost / detection-lag timeline; with
+  ``--all``, every cached model-zoo setup is registered into one
+  :class:`~repro.core.fleet.VerificationEngine` and scanned as a fleet;
+* ``serve-demo`` — a self-contained fleet-engine demo: several small models
+  served together, one attacked mid-rotation, detected, repaired *and
+  re-signed* automatically by the engine's
+  detect → recover → reprotect lifecycle.  ``--workers`` sizes the engine's
+  batch worker pool and ``--events`` prints the engine's event stream
+  (detection / recovery / reprotect / budget_exhausted).
 
 All three accept ``--budget-ms``: instead of fixing the shard structure, the
 slice each pass verifies is sized from a latency budget by the analytic scan
-cost model (:mod:`repro.core.cost`); for ``serve-demo`` the budget is
-fleet-wide and split across models by exposure and flagged history.
+cost model (:mod:`repro.core.cost`); for ``serve-demo`` and ``scan --all``
+the budget is fleet-wide and split across models by exposure and flagged
+history.
 
 Every subcommand prints the same plain-text table the corresponding
 benchmark emits and can optionally save the rows as JSON with ``--output``.
@@ -317,11 +323,93 @@ def _cmd_protect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scan_all(args: argparse.Namespace) -> int:
+    """``scan --all``: every cached setup as one fleet through the engine."""
+    from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
+    from repro.core import RadarConfig, ScanPolicy, VerificationEngine
+    from repro.experiments.common import ExperimentContext
+    from repro.models.zoo import ModelZoo, available_setups
+
+    zoo = ModelZoo()
+    setups = [args.setup] + [
+        setup
+        for setup in available_setups()
+        if setup != args.setup and zoo.is_cached(setup)
+    ]
+    engine = VerificationEngine(
+        num_shards=args.num_shards,
+        policy=ScanPolicy(args.scan_policy),
+        shards_per_pass=args.shards_per_pass,
+        budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
+    )
+    contexts = {}
+    for setup in setups:
+        context = ExperimentContext.load(setup)
+        contexts[setup] = context
+        config = RadarConfig(
+            group_size=(
+                args.group_size
+                if args.group_size is not None
+                else _default_group_size(setup)
+            ),
+            signature_bits=args.signature_bits,
+            use_interleave=not args.no_interleave,
+            use_masking=not args.no_masking,
+        )
+        engine.register(setup, context.model, config=config)
+    print(reporting.render_table(engine.describe(), title="Fleet engine registry"))
+
+    passes = args.passes or max(
+        engine.get(setup).scheduler.worst_case_lag_passes for setup in setups
+    )
+    if args.inject_flips and not 0 <= args.inject_at_pass < passes:
+        print(
+            f"error: --inject-at-pass {args.inject_at_pass} is outside the "
+            f"{passes} scheduled passes; nothing would be injected",
+            file=sys.stderr,
+        )
+        return 2
+    rows: List[Dict] = []
+    detected_at = None
+    for pass_index in range(passes):
+        if args.inject_flips and pass_index == args.inject_at_pass:
+            RandomBitFlipAttack(
+                RandomFlipConfig(num_flips=args.inject_flips, msb_only=True, seed=args.seed)
+            ).run(contexts[args.setup].model, args.setup)
+        outcomes = engine.tick()
+        for name, outcome in outcomes.items():
+            if outcome.attack_detected and detected_at is None:
+                detected_at = pass_index + 1
+            row = {
+                "pass": pass_index + 1,
+                "model": name,
+                "shards": ",".join(str(i) for i in outcome.scan.shard_indices),
+                "groups_checked": outcome.scan.groups_checked,
+                "flagged_groups": outcome.scan.report.num_flagged_groups,
+                "state": outcome.state.value,
+            }
+            if outcome.budget_s is not None:
+                row["budget_share_ms"] = round(outcome.budget_s * 1e3, 6)
+            rows.append(row)
+    _emit(rows, f"Fleet scan of {len(setups)} setups", args.output)
+    if args.inject_flips:
+        if detected_at is None:
+            print("injected flips not yet scanned (increase --passes to cover a full rotation)")
+        else:
+            print(
+                f"attack on {args.setup} injected before pass {args.inject_at_pass + 1}, "
+                f"detected, recovered and re-signed at pass {detected_at}"
+            )
+    return 0
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
     from repro.core import ModelProtector
     from repro.experiments.common import ExperimentContext
 
+    if args.all:
+        return _cmd_scan_all(args)
     context = ExperimentContext.load(args.setup)
     protector = ModelProtector(_protection_config(args))
     protector.protect(context.model)
@@ -371,7 +459,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
-    from repro.core import ProtectionService, RadarConfig, RecoveryPolicy, ScanPolicy
+    from repro.core import RadarConfig, RecoveryPolicy, ScanPolicy, VerificationEngine
     from repro.models.small import MLP
     from repro.quant.layers import quantize_model
 
@@ -379,22 +467,25 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         group_size=args.group_size if args.group_size is not None else 16,
         signature_bits=args.signature_bits,
     )
-    service = ProtectionService(
+    engine = VerificationEngine(
         config,
         num_shards=args.num_shards,
         policy=ScanPolicy(args.scan_policy),
         shards_per_pass=args.shards_per_pass,
         budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
+        workers=args.workers,
+        recovery_policy=RecoveryPolicy.RELOAD,
+        auto_reprotect=True,
     )
     for index in range(args.models):
         model = MLP(
             input_dim=64, num_classes=4, hidden_dims=(48, 24), seed=args.seed + index
         )
         quantize_model(model)
-        service.register(f"model-{index}", model, keep_golden_weights=True)
-    print(reporting.render_table(service.describe(), title="Protection service registry"))
+        engine.register(f"model-{index}", model, keep_golden_weights=True)
+    print(reporting.render_table(engine.describe(), title="Fleet engine registry"))
 
-    victim = service.get("model-0")
+    victim = engine.get("model-0")
     rows: List[Dict] = []
     detected_at = None
     for pass_index in range(args.passes):
@@ -402,29 +493,51 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             RandomBitFlipAttack(
                 RandomFlipConfig(num_flips=args.num_flips, msb_only=True, seed=args.seed)
             ).run(victim.model, victim.name)
-        outcomes = service.step_and_recover(policy=RecoveryPolicy.RELOAD)
+        outcomes = engine.tick()
         for name, outcome in outcomes.items():
             if outcome.attack_detected and detected_at is None:
                 detected_at = pass_index + 1
+            recovered = 0
+            if outcome.recovery is not None:
+                recovered = (
+                    outcome.recovery.reloaded_weights + outcome.recovery.zeroed_weights
+                )
             row = {
                 "pass": pass_index + 1,
                 "model": name,
                 "shards": ",".join(str(i) for i in outcome.scan.shard_indices),
                 "flagged_groups": outcome.scan.report.num_flagged_groups,
-                "recovered_weights": outcome.recovery.reloaded_weights,
+                "recovered_weights": recovered,
+                "state": outcome.state.value,
             }
             if outcome.budget_s is not None:
                 row["budget_share_ms"] = round(outcome.budget_s * 1e3, 6)
             rows.append(row)
     _emit(rows, f"Serving timeline ({args.models} models, {args.num_shards} shards)", args.output)
+    if args.events:
+        event_rows = [
+            {
+                "tick": event.tick,
+                "event": event.type.value,
+                "model": event.model,
+                "detail": ", ".join(f"{key}={value}" for key, value in event.detail.items()),
+            }
+            for event in engine.bus.events()
+        ]
+        if event_rows:
+            print(reporting.render_table(event_rows, title="Fleet event stream"))
+        else:
+            print("no fleet events (clean rotation)")
     if detected_at is None:
         print("attack not detected inside the served window; increase --passes")
     else:
         print(
             f"attack on {victim.name} before pass {args.attack_at_pass + 1}, "
             f"detected and repaired at pass {detected_at} "
-            f"(exposure window: {detected_at - args.attack_at_pass - 1} passes)"
+            f"(exposure window: {detected_at - args.attack_at_pass - 1} passes; "
+            "re-signed by the engine)"
         )
+    engine.close()
     return 0
 
 
@@ -500,6 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="0-based pass before which the flips are injected",
     )
     scan_parser.add_argument("--seed", type=int, default=0)
+    scan_parser.add_argument(
+        "--all", action="store_true",
+        help="scan every cached model-zoo setup (plus --setup) as one fleet "
+        "through the verification engine",
+    )
     scan_parser.set_defaults(handler=_cmd_scan)
 
     serve_parser = subparsers.add_parser(
@@ -526,6 +644,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--budget-ms", type=_positive_float, default=None,
         help="fleet-wide latency budget per serving tick, split across models "
         "by exposure and flagged history",
+    )
+    serve_parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker threads for the engine's batched verification passes",
+    )
+    serve_parser.add_argument(
+        "--events", action="store_true",
+        help="print the engine's event stream (detection / recovery / "
+        "reprotect / budget_exhausted) after the timeline",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--output", type=Path, default=None)

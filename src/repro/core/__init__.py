@@ -30,16 +30,24 @@ Several run-time extensions go beyond the paper's stop-the-world scan:
   count (``ScanScheduler.from_budget``).
 * :mod:`repro.core.planner` — pluggable shard-selection planners behind the
   scheduler's policies, including flip-rate-tuned priority-exposure ordering.
-* :class:`repro.core.service.ProtectionService` — a registry that manages
-  many protected models at once, advancing every model's scan rotation per
-  serving tick and optionally splitting one fleet-wide latency budget across
-  the registry by exposure and flip history.
+* :class:`repro.core.fleet.VerificationEngine` — the fleet engine: one work
+  queue of scan slices drawn from all registered models, coalesced into
+  batched cross-model vectorized passes, with an explicit
+  PROTECTED → FLAGGED → RECOVERING → REPROTECTING → PROTECTED state machine
+  and a ``detection`` / ``recovery`` / ``reprotect`` / ``budget_exhausted``
+  event bus, so the detect→recover→reprotect loop is engine policy rather
+  than caller discipline.
+* :class:`repro.core.service.ProtectionService` — the backward-compatible
+  façade over the engine: a registry that advances every model's scan
+  rotation per serving tick and optionally splits one fleet-wide latency
+  budget across the registry by exposure and flip history.
 """
 
 from repro.core.config import RadarConfig
 from repro.core.cost import (
     AnalyticScanCostModel,
     BudgetPlan,
+    CacheAwareScanCostModel,
     MeasuredScanCostModel,
     ScanCostModel,
     plan_rotation,
@@ -54,19 +62,34 @@ from repro.core.planner import (
 from repro.core.interleave import GroupLayout
 from repro.core.masking import SecretKey
 from repro.core.checksum import compute_group_sums, signature_from_sums
-from repro.core.signature import FusedSignatures, LayerSignatures, SignatureStore
+from repro.core.signature import (
+    FusedSignatures,
+    LayerSignatures,
+    SignatureStore,
+    batched_mismatched_rows,
+)
 from repro.core.detector import DetectionReport, RadarDetector, count_detected_flips
 from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
 from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler, ShardInfo
 from repro.core.protector import ModelProtector, ProtectionSummary
 from repro.core.runtime import InferenceOutcome, ProtectedInference
-from repro.core.service import ManagedModel, ProtectionService, ServiceStepOutcome
+from repro.core.fleet import (
+    EngineTickOutcome,
+    EventBus,
+    FleetEvent,
+    FleetEventType,
+    ManagedModel,
+    ProtectionState,
+    VerificationEngine,
+)
+from repro.core.service import ProtectionService, ServiceStepOutcome
 from repro.core.streaming import StreamEvent, StreamReport, StreamingVerifier
 
 __all__ = [
     "RadarConfig",
     "ScanCostModel",
     "AnalyticScanCostModel",
+    "CacheAwareScanCostModel",
     "MeasuredScanCostModel",
     "BudgetPlan",
     "plan_rotation",
@@ -82,6 +105,7 @@ __all__ = [
     "LayerSignatures",
     "SignatureStore",
     "FusedSignatures",
+    "batched_mismatched_rows",
     "RadarDetector",
     "DetectionReport",
     "count_detected_flips",
@@ -99,6 +123,12 @@ __all__ = [
     "ProtectionService",
     "ManagedModel",
     "ServiceStepOutcome",
+    "VerificationEngine",
+    "ProtectionState",
+    "FleetEvent",
+    "FleetEventType",
+    "EventBus",
+    "EngineTickOutcome",
     "StreamingVerifier",
     "StreamEvent",
     "StreamReport",

@@ -12,13 +12,20 @@ bridges the two: it prices "verify ``g`` signature groups" in seconds, so
 * :mod:`repro.memsim.timing` can re-price Table IV for amortized checking
   (``results/table4_amortized.json``).
 
-Two implementations share the protocol:
+Three implementations share the protocol:
 
 * :class:`AnalyticScanCostModel` — the :class:`~repro.memsim.timing.TimingModel`
   per-group price (``group_size`` × per-weight checksum cycles, which depend on
   whether the interleaved gather breaks unit-stride access, plus the per-group
   binarize/compare cycles, divided by the platform frequency).  Deterministic
   and available before any pass has run.
+* :class:`CacheAwareScanCostModel` — the analytic compute price *plus* the
+  DRAM streaming time of the slice's weights through
+  :meth:`~repro.memsim.cache.CacheHierarchy.scan_stream_time_s`.  A background
+  scan slice cannot piggyback on the inference weight stream the way the
+  paper's inline check does, so its weights must be re-fetched; ignoring that
+  (as the pure analytic model does) under-prices every slice on
+  bandwidth-bound platforms and makes budgeted rotations overrun.
 * :class:`MeasuredScanCostModel` — an exponentially-weighted moving average of
   observed wall-clock seconds per group, for hosts where the analytic
   calibration constants do not apply.
@@ -39,6 +46,7 @@ from repro.core.config import RadarConfig
 from repro.errors import ProtectionError
 
 if TYPE_CHECKING:  # lazy at run time; see module docstring
+    from repro.memsim.cache import CacheConfig, CacheHierarchy
     from repro.memsim.timing import TimingConfig
 
 
@@ -89,6 +97,94 @@ class AnalyticScanCostModel:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"AnalyticScanCostModel(seconds_per_group={self.seconds_per_group:.3e})"
+
+
+class CacheAwareScanCostModel:
+    """Analytic compute price plus the DRAM cost of re-streaming the slice.
+
+    A non-empty pass is priced affinely::
+
+        cost(g) = g * (compute_per_group + bytes_per_group / bandwidth)
+                  + dram_latency                      # stream-open, once
+
+    with ``cost(0) = 0``.  The affine shape keeps :meth:`groups_within`
+    exactly invertible, so :func:`plan_rotation`'s within-budget guarantee
+    holds for cache-aware pricing too.
+    """
+
+    def __init__(
+        self,
+        compute_seconds_per_group: float,
+        group_size: int,
+        cache: Optional["CacheHierarchy"] = None,
+    ) -> None:
+        from repro.memsim.cache import CacheHierarchy
+
+        if not compute_seconds_per_group > 0:
+            raise ProtectionError(
+                "compute_seconds_per_group must be positive, "
+                f"got {compute_seconds_per_group}"
+            )
+        if group_size < 1:
+            raise ProtectionError(f"group_size must be >= 1, got {group_size}")
+        self.compute_seconds_per_group = float(compute_seconds_per_group)
+        self.group_size = int(group_size)
+        self.cache = cache if cache is not None else CacheHierarchy()
+        self.seconds_per_group = (
+            self.compute_seconds_per_group
+            + self.group_size / self.cache.config.dram_bandwidth_bytes_per_s
+        )
+
+    @classmethod
+    def from_radar_config(
+        cls,
+        radar_config: RadarConfig,
+        timing_config: Optional["TimingConfig"] = None,
+        cache_config: Optional["CacheConfig"] = None,
+    ) -> "CacheAwareScanCostModel":
+        """Compute price from :meth:`~repro.memsim.timing.TimingModel.scan_seconds_per_group`,
+        memory price from the (default: paper's 32 KB L1 / 64 KB L2) hierarchy."""
+        from repro.memsim.cache import CacheHierarchy
+        from repro.memsim.timing import TimingModel
+
+        timing = TimingModel(timing_config)
+        cache = CacheHierarchy(cache_config) if cache_config is not None else CacheHierarchy()
+        return cls(
+            timing.scan_seconds_per_group(radar_config),
+            radar_config.group_size,
+            cache=cache,
+        )
+
+    def pass_cost_s(self, num_groups: int) -> float:
+        if num_groups < 0:
+            raise ProtectionError(f"num_groups must be >= 0, got {num_groups}")
+        if num_groups == 0:
+            return 0.0
+        return (
+            num_groups * self.compute_seconds_per_group
+            + self.cache.scan_stream_time_s(num_groups, self.group_size)
+        )
+
+    def groups_within(self, budget_s: float) -> int:
+        if budget_s < 0:
+            raise ProtectionError(f"budget_s must be >= 0, got {budget_s}")
+        latency = self.cache.config.dram_latency_s
+        if budget_s < self.seconds_per_group + latency:
+            return 0
+        affordable = int((budget_s - latency) / self.seconds_per_group)
+        # The affine inversion and pass_cost_s associate their float
+        # operations differently, which can disagree by an ulp; the
+        # within-budget guarantee of plan_rotation must hold *exactly*
+        # under pass_cost_s, so step down until it does.
+        while affordable > 0 and self.pass_cost_s(affordable) > budget_s:
+            affordable -= 1
+        return affordable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CacheAwareScanCostModel(seconds_per_group={self.seconds_per_group:.3e}, "
+            f"group_size={self.group_size})"
+        )
 
 
 class MeasuredScanCostModel:

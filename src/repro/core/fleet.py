@@ -1,0 +1,745 @@
+"""Fleet verification engine: cross-model batched scanning with an explicit
+detect → recover → reprotect lifecycle.
+
+PR 1–2 gave every registered model its own amortized
+:class:`~repro.core.scheduler.ScanScheduler` and let the
+:class:`~repro.core.service.ProtectionService` walk the registry *one model
+at a time*, with recovery and re-signing left to caller discipline
+(``step_and_recover`` + a manual ``reprotect``).  The
+:class:`VerificationEngine` replaces that sequential tick with a shared
+work queue of scan slices drawn from all registered models:
+
+* **Batched execution** — each tick, every model plans its affordable slice
+  and the engine coalesces slices of *structurally identical* models (same
+  :meth:`~repro.core.signature.FusedSignatures.structure_key`, same shard
+  rotation position) into one stacked verification pass via
+  :func:`~repro.core.signature.batched_mismatched_rows`.  For a fleet of
+  same-architecture models the per-pass NumPy dispatch cost is paid once
+  instead of once per model (`results/fleet_throughput.json` measures the
+  verified-groups-per-second win over the sequential per-model loop).
+* **Worker pool** — independent batch groups (heterogeneous fleets produce
+  several) can run on a small thread pool (``workers > 1``); the stacked
+  NumPy kernels release the GIL, and all scheduler bookkeeping stays on the
+  calling thread, so no engine state is shared across threads.
+* **Lifecycle state machine** — each model carries a
+  :class:`ProtectionState`::
+
+      PROTECTED ──flip detected──▶ FLAGGED ──▶ RECOVERING ──▶ REPROTECTING
+          ▲                                                        │
+          └────────────── re-signed over recovered weights ────────┘
+
+  The engine drives the whole loop itself: a flagged slice triggers
+  recovery (the paper's group-zeroing, or RELOAD from a golden snapshot)
+  and — because zeroed groups no longer match their golden signatures —
+  an automatic re-sign (``auto_reprotect``) so the fleet returns to a
+  verifiably clean PROTECTED state without any manual
+  ``step_and_recover`` / ``reprotect`` calls.  The re-sign is preceded by a
+  full-model sweep: the detection slice covered one shard, and re-signing
+  with other shards unscanned would accept their corruption as golden.
+* **Event bus** — ``detection`` / ``recovery`` / ``reprotect`` /
+  ``budget_exhausted`` events (:class:`FleetEventType`) are published to an
+  :class:`EventBus` with a bounded history, so operators observe the
+  lifecycle instead of polling per-model state.
+
+:class:`~repro.core.service.ProtectionService` is a thin façade over this
+engine, preserving the PR 1–2 API (detect-only ``step``, caller-driven
+``step_and_recover``/``reprotect``).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import RadarConfig
+from repro.core.cost import AnalyticScanCostModel, ScanCostModel
+from repro.core.detector import DetectionReport
+from repro.core.protector import ModelProtector
+from repro.core.recovery import RecoveryPolicy, RecoveryReport
+from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
+from repro.core.signature import batched_mismatched_rows
+from repro.errors import ProtectionError
+from repro.nn.module import Module
+from repro.quant.layers import quantized_layers
+
+
+class ProtectionState(str, Enum):
+    """Where a managed model sits in the detect → recover → reprotect loop."""
+
+    PROTECTED = "protected"
+    FLAGGED = "flagged"
+    RECOVERING = "recovering"
+    REPROTECTING = "reprotecting"
+
+
+class FleetEventType(str, Enum):
+    """What the engine's event bus publishes."""
+
+    DETECTION = "detection"
+    RECOVERY = "recovery"
+    REPROTECT = "reprotect"
+    BUDGET_EXHAUSTED = "budget_exhausted"
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One lifecycle event of one managed model."""
+
+    type: FleetEventType
+    model: str
+    tick: int
+    detail: Dict[str, object] = field(default_factory=dict)
+
+
+class EventBus:
+    """Bounded-history publish/subscribe bus for :class:`FleetEvent`.
+
+    Subscribers are called synchronously from the engine's control thread
+    (never from worker threads), in subscription order; exceptions propagate
+    to the ``tick`` caller.  ``subscribe`` returns an unsubscribe callable.
+    """
+
+    def __init__(self, history: int = 256) -> None:
+        if history < 1:
+            raise ProtectionError(f"history must be >= 1, got {history}")
+        self._history: Deque[FleetEvent] = deque(maxlen=history)
+        self._subscribers: List[Tuple[Optional[FleetEventType], Callable, object]] = []
+
+    def subscribe(
+        self,
+        callback: Callable[[FleetEvent], None],
+        event_type: Optional[FleetEventType] = None,
+    ) -> Callable[[], None]:
+        """Register ``callback`` for every event (or one ``event_type``)."""
+        # The sentinel makes every entry unique, so unsubscribing one of two
+        # identical (type, callback) subscriptions never removes the other.
+        entry = (
+            FleetEventType(event_type) if event_type is not None else None,
+            callback,
+            object(),
+        )
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._subscribers:
+                self._subscribers.remove(entry)
+
+        return unsubscribe
+
+    def emit(self, event: FleetEvent) -> None:
+        self._history.append(event)
+        for event_type, callback, _ in list(self._subscribers):
+            if event_type is None or event_type is event.type:
+                callback(event)
+
+    def events(self, event_type: Optional[FleetEventType] = None) -> List[FleetEvent]:
+        """Snapshot of the retained history (optionally one type only)."""
+        if event_type is None:
+            return list(self._history)
+        event_type = FleetEventType(event_type)
+        return [event for event in self._history if event.type is event_type]
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+
+@dataclass
+class ManagedModel:
+    """One registered model and its protection state."""
+
+    name: str
+    model: Module
+    protector: ModelProtector
+    scheduler: ScanScheduler
+    cost_model: Optional[ScanCostModel] = None
+    keep_golden_weights: bool = False
+    #: Constructor arguments the scheduler was built with, so the
+    #: REPROTECTING step can rebuild an identical one against the re-signed
+    #: store.
+    scheduler_options: Dict = field(default_factory=dict)
+    #: Lifecycle position (see :class:`ProtectionState`).
+    state: ProtectionState = ProtectionState.PROTECTED
+    #: ``{layer_name: quantized layer}`` cache so batched execution does not
+    #: re-walk the module tree every tick (layer objects are stable; their
+    #: ``qweight`` buffers are mutated in place by attacks and recovery).
+    layer_map: Dict[str, Module] = field(default_factory=dict)
+    #: ``(scheduler, price, floor)`` memo for :meth:`min_feasible_budget_s` —
+    #: the floor only changes when the scheduler is rebuilt or a measured
+    #: cost model recalibrates, but feasibility is re-checked on every
+    #: budgeted tick.
+    _min_feasible_memo: Optional[Tuple[ScanScheduler, Optional[float], float]] = None
+
+    def refresh_layer_map(self) -> None:
+        self.layer_map = dict(quantized_layers(self.model))
+
+    def min_feasible_budget_s(self) -> float:
+        """Cost of this model's largest shard — the least budget that can
+        ever advance its rotation past that shard."""
+        price = getattr(self.cost_model, "seconds_per_group", None)
+        memo = self._min_feasible_memo
+        if memo is not None and memo[0] is self.scheduler and memo[1] == price:
+            return memo[2]
+        cost_model = self.cost_model or AnalyticScanCostModel.from_radar_config(
+            self.protector.config
+        )
+        floor = cost_model.pass_cost_s(self.scheduler.largest_shard_groups)
+        self._min_feasible_memo = (self.scheduler, price, floor)
+        return floor
+
+    def urgency(self) -> float:
+        """Budget-allocation rank: exposure backlog plus flagged history.
+
+        The backlog term is the *mean* shard exposure (not the max): a model
+        that scans one shard per tick still ages its other shards, so the max
+        cannot distinguish it from a model that scans nothing.  The mean
+        drops with every scanned shard, which is what lets an underfunded
+        model overtake its peers on the next tick.
+        """
+        return (
+            1.0
+            + self.scheduler.mean_exposure_passes
+            + self.scheduler.total_flagged_passes
+        )
+
+
+@dataclass
+class EngineTickOutcome:
+    """What one engine tick did to one managed model."""
+
+    name: str
+    scan: ScanPassResult
+    state: ProtectionState
+    #: States entered during this tick, in order (empty when nothing moved).
+    transitions: List[ProtectionState] = field(default_factory=list)
+    recovery: Optional[RecoveryReport] = None
+    reprotected: bool = False
+    #: Share of the fleet-wide budget this model was stepped with, if any.
+    budget_s: Optional[float] = None
+    #: Models co-verified in this model's batched pass (1 = ran alone).
+    batch_size: int = 1
+
+    @property
+    def attack_detected(self) -> bool:
+        return self.scan.attack_detected
+
+    @property
+    def measured_s(self) -> Optional[float]:
+        """Wall-clock share this model's verification actually spent."""
+        return self.scan.measured_s
+
+
+@dataclass
+class _PlannedSlice:
+    """Internal work item: one model's affordable slice for this tick."""
+
+    managed: ManagedModel
+    share: Optional[float]
+    shard_indices: List[int]
+    rows: np.ndarray
+    flagged_rows: Optional[np.ndarray] = None
+    measured_s: float = 0.0
+    batch_size: int = 1
+
+
+class VerificationEngine:
+    """Event-driven verification over a registry of protected models.
+
+    Typical use::
+
+        engine = VerificationEngine(budget_s=2e-3)      # 2 ms per tick
+        engine.register("lane-a", model_a, keep_golden_weights=True)
+        engine.register("lane-b", model_b)
+        engine.bus.subscribe(print, FleetEventType.DETECTION)
+        ...
+        outcomes = engine.tick()        # once per serving tick: scan a
+                                        # batched cross-model slice, recover
+                                        # and re-sign whatever was flagged
+
+    ``workers > 1`` runs independent batch groups on a thread pool (useful
+    for heterogeneous fleets whose models cannot share a stacked pass);
+    bookkeeping and event delivery always stay on the calling thread.
+    """
+
+    def __init__(
+        self,
+        default_config: Optional[RadarConfig] = None,
+        num_shards: int = 8,
+        policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
+        shards_per_pass: int = 1,
+        budget_s: Optional[float] = None,
+        workers: int = 1,
+        recovery_policy: RecoveryPolicy = RecoveryPolicy.ZERO,
+        auto_reprotect: bool = True,
+        event_history: int = 256,
+    ) -> None:
+        if num_shards < 1:
+            raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
+        if shards_per_pass < 1:
+            raise ProtectionError(f"shards_per_pass must be >= 1, got {shards_per_pass}")
+        if shards_per_pass > num_shards:
+            raise ProtectionError(
+                f"shards_per_pass must be within [1, num_shards]; "
+                f"got shards_per_pass={shards_per_pass} with num_shards={num_shards}"
+            )
+        if budget_s is not None and not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
+        if workers < 1:
+            raise ProtectionError(f"workers must be >= 1, got {workers}")
+        self.default_config = default_config or RadarConfig()
+        self.num_shards = num_shards
+        self.policy = ScanPolicy(policy)
+        self.shards_per_pass = shards_per_pass
+        self.budget_s = budget_s
+        self.workers = workers
+        self.recovery_policy = RecoveryPolicy(recovery_policy)
+        self.auto_reprotect = auto_reprotect
+        self.bus = EventBus(history=event_history)
+        self._models: Dict[str, ManagedModel] = {}
+        self._tick_index = 0
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # -- registry ---------------------------------------------------------------
+    def register(
+        self,
+        name: str,
+        model: Module,
+        config: Optional[RadarConfig] = None,
+        num_shards: Optional[int] = None,
+        policy: Optional[ScanPolicy] = None,
+        shards_per_pass: Optional[int] = None,
+        keep_golden_weights: bool = False,
+        cost_model: Optional[ScanCostModel] = None,
+    ) -> ManagedModel:
+        """Protect ``model`` and enrol it in the scan rotation.
+
+        ``cost_model`` prices this model's scan slices for budgeted ticks;
+        it defaults to the analytic model derived from the model's
+        :class:`~repro.core.config.RadarConfig`.
+        """
+        if not name:
+            raise ProtectionError("Managed model name must be non-empty")
+        if name in self._models:
+            raise ProtectionError(f"Model {name!r} is already registered")
+        radar_config = config or self.default_config
+        protector = ModelProtector(radar_config)
+        protector.protect(model, keep_golden_weights=keep_golden_weights)
+        resolved_cost_model = cost_model or AnalyticScanCostModel.from_radar_config(
+            radar_config
+        )
+        scheduler_options = {
+            "num_shards": num_shards if num_shards is not None else self.num_shards,
+            "policy": policy if policy is not None else self.policy,
+            "shards_per_pass": (
+                shards_per_pass if shards_per_pass is not None else self.shards_per_pass
+            ),
+        }
+        scheduler = ScanScheduler(
+            protector.store, cost_model=resolved_cost_model, **scheduler_options
+        )
+        managed = ManagedModel(
+            name=name,
+            model=model,
+            protector=protector,
+            scheduler=scheduler,
+            cost_model=resolved_cost_model,
+            keep_golden_weights=keep_golden_weights,
+            scheduler_options=scheduler_options,
+        )
+        managed.refresh_layer_map()
+        if self.budget_s is not None:
+            self._require_feasible(self.budget_s, {name: managed})
+        self._models[name] = managed
+        return managed
+
+    def unregister(self, name: str) -> ManagedModel:
+        if name not in self._models:
+            raise ProtectionError(f"Model {name!r} is not registered")
+        return self._models.pop(name)
+
+    def get(self, name: str) -> ManagedModel:
+        if name not in self._models:
+            raise ProtectionError(f"Model {name!r} is not registered")
+        return self._models[name]
+
+    def names(self) -> List[str]:
+        return list(self._models)
+
+    def state_of(self, name: str) -> ProtectionState:
+        return self.get(name).state
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    # -- lifecycle ---------------------------------------------------------------
+    def reprotect(self, name: str) -> ManagedModel:
+        """Re-sign a model after a legitimate weight update (or a recovery).
+
+        Rebuilds the golden signatures from the model's *current* weights and
+        replaces its scheduler with a fresh rotation over the re-signed
+        store.  The planner object is carried over (with its rotation cursor
+        reset), so learned per-shard flip rates survive the re-sign — the
+        shard that was just attacked stays a priority.  Emits a
+        ``reprotect`` event and returns the model to PROTECTED.
+        """
+        managed = self.get(name)
+        self._resign(managed)
+        managed.state = ProtectionState.PROTECTED
+        self._emit(FleetEventType.REPROTECT, name, {"trigger": "manual"})
+        return managed
+
+    def _resign(self, managed: ManagedModel) -> None:
+        managed.protector.protect(
+            managed.model, keep_golden_weights=managed.keep_golden_weights
+        )
+        planner = managed.scheduler.planner
+        planner.reset()
+        managed.scheduler = ScanScheduler(
+            managed.protector.store,
+            cost_model=managed.cost_model,
+            planner=planner,
+            **managed.scheduler_options,
+        )
+        managed.refresh_layer_map()
+
+    # -- budget allocation --------------------------------------------------------
+    def allocate_budget(self, budget_s: float) -> Dict[str, float]:
+        """Split one fleet-wide tick budget across the registered models.
+
+        Models claim budget in :meth:`ManagedModel.urgency` order (exposure
+        backlog plus flagged history; registration order breaks ties): each
+        claims exactly the priced cost of the shard slice it can afford from
+        what is left, and the remainder flows to the next model.  A model
+        whose leftover cannot cover one of its shards gets a zero share this
+        tick — its backlog then grows, so it claims first on a later tick
+        instead of silently overrunning the budget.  Shares therefore sum to
+        at most ``budget_s``.
+        """
+        self._require_models()
+        return {
+            name: share for name, (share, _) in self._plan_budgeted(budget_s).items()
+        }
+
+    def _plan_budgeted(
+        self, budget_s: float
+    ) -> Dict[str, Tuple[float, List[int]]]:
+        """Urgency-ordered allocation: each model's (share, planned slice)."""
+        if not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
+        self._require_feasible(budget_s, self._models)
+        by_urgency = sorted(
+            self._models, key=lambda name: -self._models[name].urgency()
+        )
+        planned: Dict[str, Tuple[float, List[int]]] = {}
+        remaining = budget_s
+        for name in by_urgency:
+            scheduler = self._models[name].scheduler
+            shard_indices = scheduler.plan(budget_s=remaining)
+            share = scheduler.slice_cost_s(shard_indices)
+            planned[name] = (share, shard_indices)
+            remaining -= share
+        # Preserve registration order for callers iterating the result.
+        return {name: planned[name] for name in self._models}
+
+    def _plan_tick(
+        self, budget_s: Optional[float]
+    ) -> Dict[str, Tuple[Optional[float], List[int]]]:
+        """Every model's budget share and slice for one tick, planned once."""
+        budget = budget_s if budget_s is not None else self.budget_s
+        if budget is None:
+            return {
+                name: (None, managed.scheduler.plan())
+                for name, managed in self._models.items()
+            }
+        return dict(self._plan_budgeted(budget))
+
+    # -- the tick -----------------------------------------------------------------
+    def tick(
+        self,
+        budget_s: Optional[float] = None,
+        recovery_policy: Optional[RecoveryPolicy] = None,
+    ) -> Dict[str, EngineTickOutcome]:
+        """One engine pass: batched cross-model scan + automatic lifecycle.
+
+        Every registered model contributes its affordable slice to the work
+        queue; structurally identical slices are verified together in one
+        stacked pass.  Flagged models are then recovered under
+        ``recovery_policy`` (default: the engine's policy;
+        ``RecoveryPolicy.NONE`` detects only) and — when ``auto_reprotect``
+        is on — re-signed, so the whole
+        FLAGGED → RECOVERING → REPROTECTING → PROTECTED loop happens inside
+        this call.
+        """
+        self._require_models()
+        policy = (
+            RecoveryPolicy(recovery_policy)
+            if recovery_policy is not None
+            else self.recovery_policy
+        )
+        self._tick_index += 1
+        plans = self._plan_tick(budget_s)
+        slices: List[_PlannedSlice] = []
+        for name, managed in self._models.items():
+            share, shard_indices = plans[name]
+            rows = managed.scheduler.slice_rows(shard_indices)
+            if share is not None and not shard_indices:
+                self._emit(
+                    FleetEventType.BUDGET_EXHAUSTED,
+                    name,
+                    {
+                        "budget_share_s": share,
+                        "min_feasible_budget_s": managed.min_feasible_budget_s(),
+                    },
+                )
+            slices.append(_PlannedSlice(managed, share, shard_indices, rows))
+        self._execute(slices)
+        outcomes: Dict[str, EngineTickOutcome] = {}
+        for planned in slices:
+            scan = planned.managed.scheduler.apply_scan(
+                planned.shard_indices,
+                planned.flagged_rows,
+                measured_s=planned.measured_s,
+                budget_s=planned.share,
+            )
+            outcomes[planned.managed.name] = self._lifecycle(
+                planned, scan, policy
+            )
+        return outcomes
+
+    def _execute(self, slices: List[_PlannedSlice]) -> None:
+        """Verify every planned slice, coalescing identical-structure ones."""
+        batches: Dict[Tuple, List[_PlannedSlice]] = {}
+        for planned in slices:
+            if planned.rows.size == 0:
+                planned.flagged_rows = planned.rows
+                planned.measured_s = 0.0
+                continue
+            scheduler = planned.managed.scheduler
+            # Same structure key + same shard partition + same slice ⇒ the
+            # row arrays are identical by construction, so the slices can
+            # share one stacked pass.
+            key = (
+                scheduler.fused.structure_key(),
+                scheduler.num_shards,
+                tuple(planned.shard_indices),
+            )
+            batches.setdefault(key, []).append(planned)
+        groups = list(batches.values())
+        if self.workers > 1 and len(groups) > 1:
+            started = time.perf_counter()
+            pool = self._ensure_pool()
+            list(pool.map(self._run_batch, groups))
+            elapsed = time.perf_counter() - started
+            # Concurrent batches overlap, so their individual spans
+            # double-count shared wall-clock; apportion the *aggregate*
+            # elapsed time by verified groups instead, keeping the measured
+            # cost models calibrated to what the tick really spent.
+            total_rows = sum(
+                planned.rows.size for group in groups for planned in group
+            )
+            for group in groups:
+                for planned in group:
+                    planned.measured_s = elapsed * planned.rows.size / max(total_rows, 1)
+        else:
+            for group in groups:
+                self._run_batch(group)
+
+    def _run_batch(self, batch: List[_PlannedSlice]) -> None:
+        started = time.perf_counter()
+        # Singletons go through the same kernel: a one-model "stack" costs the
+        # same as the direct path but reuses the cached layer maps instead of
+        # re-walking the module tree every tick.
+        flagged = batched_mismatched_rows(
+            [planned.managed.scheduler.fused for planned in batch],
+            [planned.managed.layer_map for planned in batch],
+            batch[0].rows,
+        )
+        elapsed = time.perf_counter() - started
+        share = elapsed / len(batch)
+        for planned, flagged_rows in zip(batch, flagged):
+            planned.flagged_rows = flagged_rows
+            planned.measured_s = share
+            planned.batch_size = len(batch)
+
+    def _lifecycle(
+        self,
+        planned: _PlannedSlice,
+        scan: ScanPassResult,
+        policy: RecoveryPolicy,
+    ) -> EngineTickOutcome:
+        managed = planned.managed
+        transitions: List[ProtectionState] = []
+        recovery: Optional[RecoveryReport] = None
+        reprotected = False
+
+        def move(state: ProtectionState) -> None:
+            managed.state = state
+            transitions.append(state)
+
+        if scan.attack_detected:
+            move(ProtectionState.FLAGGED)
+            self._emit(
+                FleetEventType.DETECTION,
+                managed.name,
+                {
+                    "flagged_groups": scan.report.num_flagged_groups,
+                    "shards": list(scan.shard_indices),
+                    "pass_index": scan.pass_index,
+                },
+            )
+            if policy is not RecoveryPolicy.NONE:
+                move(ProtectionState.RECOVERING)
+                if self.auto_reprotect:
+                    # The slice only scanned part of the model, but the
+                    # re-sign below accepts *all* current weights as the new
+                    # golden baseline — recovering the slice alone would
+                    # bake any still-unscanned corruption into the fresh
+                    # signatures, where it could never be detected again.
+                    # Sweep the whole model (fused fast path) and recover
+                    # everything the attack touched before re-signing.
+                    sweep = managed.protector.scan_fused(managed.model)
+                    recovery = managed.protector.recover(
+                        managed.model, sweep, policy=policy
+                    )
+                else:
+                    recovery = managed.protector.recover(
+                        managed.model, scan.report, policy=policy
+                    )
+                self._emit(
+                    FleetEventType.RECOVERY,
+                    managed.name,
+                    {
+                        "policy": policy.value,
+                        "full_sweep": self.auto_reprotect,
+                        "groups_recovered": recovery.groups_recovered,
+                        "zeroed_weights": recovery.zeroed_weights,
+                        "reloaded_weights": recovery.reloaded_weights,
+                        "elapsed_s": recovery.elapsed_s,
+                    },
+                )
+                if self.auto_reprotect:
+                    # Zeroed groups no longer match their golden signatures,
+                    # so without this re-sign every later pass would flag
+                    # them again forever.
+                    move(ProtectionState.REPROTECTING)
+                    self._resign(managed)
+                    reprotected = True
+                    self._emit(
+                        FleetEventType.REPROTECT,
+                        managed.name,
+                        {"trigger": "recovery"},
+                    )
+                    move(ProtectionState.PROTECTED)
+        else:
+            if policy is not RecoveryPolicy.NONE:
+                recovery = managed.protector.recover(
+                    managed.model, scan.report, policy=policy
+                )
+            if (
+                managed.state is not ProtectionState.PROTECTED
+                and scan.rotation_complete
+                and scan.rotation_report is not None
+                and not scan.rotation_report.attack_detected
+            ):
+                # A full clean rotation proves the signatures verify clean
+                # again (e.g. RELOAD restored the golden weights): heal the
+                # state without a re-sign.
+                move(ProtectionState.PROTECTED)
+
+        return EngineTickOutcome(
+            name=managed.name,
+            scan=scan,
+            state=managed.state,
+            transitions=transitions,
+            recovery=recovery,
+            reprotected=reprotected,
+            budget_s=planned.share,
+            batch_size=planned.batch_size,
+        )
+
+    # -- fleet queries ------------------------------------------------------------
+    def scan_all(self) -> Dict[str, DetectionReport]:
+        """Stop-the-world full scan of every model (the fused fast path)."""
+        self._require_models()
+        return {
+            name: managed.protector.scan_fused(managed.model)
+            for name, managed in self._models.items()
+        }
+
+    def describe(self) -> List[Dict]:
+        """One summary row per managed model (used by the CLI)."""
+        rows: List[Dict] = []
+        for name, managed in self._models.items():
+            row: Dict = {
+                "model": name,
+                "state": managed.state.value,
+                "layers": len(managed.protector.store),
+            }
+            row.update(managed.scheduler.describe())
+            row["storage_kb"] = round(managed.protector.storage_overhead_kb(), 3)
+            rows.append(row)
+        return rows
+
+    # -- plumbing -----------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the engine stays usable,
+        a later threaded tick lazily recreates the pool)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "VerificationEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-fleet"
+            )
+        return self._pool
+
+    def _emit(self, event_type: FleetEventType, model: str, detail: Dict) -> None:
+        self.bus.emit(
+            FleetEvent(
+                type=event_type, model=model, tick=self._tick_index, detail=detail
+            )
+        )
+
+    def _require_feasible(
+        self, budget_s: float, models: Dict[str, ManagedModel]
+    ) -> None:
+        """A tick budget a model's largest shard can never fit inside would
+        silently disable that model's protection forever (every allocation
+        would grant it nothing); fail fast instead."""
+        needs = {
+            name: managed.min_feasible_budget_s() for name, managed in models.items()
+        }
+        infeasible = {name: need for name, need in needs.items() if need > budget_s}
+        if infeasible:
+            detail = ", ".join(
+                f"{name!r} needs >= {need * 1e3:.6g} ms"
+                for name, need in infeasible.items()
+            )
+            raise ProtectionError(
+                f"fleet budget of {budget_s * 1e3:.6g} ms can never cover a full "
+                f"scan slice of: {detail}; raise the budget or register the "
+                "model with more shards"
+            )
+
+    def _require_models(self) -> None:
+        if not self._models:
+            raise ProtectionError(
+                "VerificationEngine has no registered models; "
+                "call register(name, model) first"
+            )

@@ -18,6 +18,7 @@ Two alternative policies are provided for comparison/ablation:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Optional
@@ -48,6 +49,9 @@ class RecoveryReport:
     reloaded_weights: int = 0
     groups_recovered: int = 0
     per_layer: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds the recovery pass took (what the fleet engine's
+    #: ``recovery`` events report alongside the scan's ``measured_s``).
+    elapsed_s: float = 0.0
 
 
 def recover_model(
@@ -61,11 +65,14 @@ def recover_model(
     if policy is RecoveryPolicy.RELOAD and golden_weights is None:
         raise ProtectionError("RELOAD recovery needs the golden weights snapshot")
 
-    layer_map = dict(quantized_layers(model))
+    started = time.perf_counter()
     recovery = RecoveryReport(policy=policy)
     if policy is RecoveryPolicy.NONE:
         return recovery
+    if not any(flagged.size for flagged in report.flagged_groups.values()):
+        return recovery  # clean report: nothing to walk, nothing to touch
 
+    layer_map = dict(quantized_layers(model))
     for layer_name, flagged in report.flagged_groups.items():
         if flagged.size == 0:
             continue
@@ -87,4 +94,5 @@ def recover_model(
             recovery.reloaded_weights += affected
         recovery.groups_recovered += int(flagged.size)
         recovery.per_layer[layer_name] = affected
+    recovery.elapsed_s = time.perf_counter() - started
     return recovery

@@ -8,17 +8,27 @@ granularity it has: before (or interleaved with) each batch's forward pass
 it verifies all protected layers, optionally recovers, and records what
 happened.  The cycle-accurate cost of doing this inside the weight
 streaming loop is modelled separately by :mod:`repro.memsim.timing`.
+
+Budgeted checking self-calibrates: in budgeted mode the default cost model
+is a :class:`~repro.core.cost.MeasuredScanCostModel` seeded with the
+analytic price, every check's wall-clock is folded back into it, and —
+unless an explicit ``check_every`` overrides it — the check cadence is
+re-derived from the calibrated price after each check, so the amortized
+per-batch overhead tracks ``budget_s`` on the *actual* host rather than on
+the calibrated Cortex-M platform.
 """
 
 from __future__ import annotations
 
+import math
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import RadarConfig
-from repro.core.cost import ScanCostModel
+from repro.core.cost import MeasuredScanCostModel, ScanCostModel
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy
 from repro.core.scheduler import ScanPolicy, ScanScheduler
@@ -45,9 +55,12 @@ class RuntimeLog:
     """Accumulated statistics over the lifetime of a ProtectedInference object."""
 
     batches: int = 0
+    checks: int = 0
     detections: int = 0
     flagged_groups: int = 0
     recovered_weights: int = 0
+    #: Wall-clock seconds spent inside detection + recovery checks.
+    check_seconds: float = 0.0
     events: List[str] = field(default_factory=list)
 
 
@@ -65,9 +78,24 @@ class ProtectedInference:
     * **budgeted** (``budget_s=B``): the slice is sized from a per-batch
       latency budget instead of a shard count — the scheduler derives its
       shards so no check is priced above ``B`` seconds under ``cost_model``
-      (the analytic :class:`~repro.core.cost.AnalyticScanCostModel` by
-      default).  Combine with ``num_shards`` to keep a fixed structure and
-      merely cap its per-pass cost.
+      (a self-calibrating :class:`~repro.core.cost.MeasuredScanCostModel`
+      seeded with the analytic price, by default).  Combine with
+      ``num_shards`` to keep a fixed structure and merely cap its per-pass
+      cost.
+
+    ``check_every`` picks the cadence:
+
+    * an explicit ``int`` fixes it (one check every N batches, as before);
+    * ``None`` (the default) auto-tunes it in budgeted mode — the cadence is
+      ``ceil(slice_cost / budget_s)`` under the *calibrated* cost model, so
+      checking never exceeds an amortized ``budget_s`` per batch, and each
+      check may spend the budget the skipped batches saved up.  The cadence
+      is re-derived after every check as the measured price drifts.  A
+      ``budget_s`` too small for even one signature group — which
+      :meth:`ScanScheduler.from_budget` rejects outright — is made feasible
+      by falling back to the finest possible rotation (one group per shard)
+      and stretching the cadence instead.  Without a budget, ``None`` means
+      every batch.
     """
 
     def __init__(
@@ -75,26 +103,47 @@ class ProtectedInference:
         model: Module,
         config: Optional[RadarConfig] = None,
         policy: RecoveryPolicy = RecoveryPolicy.ZERO,
-        check_every: int = 1,
+        check_every: Optional[int] = None,
         num_shards: Optional[int] = None,
         scan_policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
         shards_per_pass: int = 1,
         budget_s: Optional[float] = None,
         cost_model: Optional[ScanCostModel] = None,
     ) -> None:
-        if check_every < 1:
+        if check_every is not None and check_every < 1:
             raise ProtectionError("check_every must be >= 1")
+        if budget_s is not None and not budget_s > 0:
+            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
         self.model = model
         self.policy = policy
-        self.check_every = check_every
         self.budget_s = budget_s
+        #: Whether the cadence follows the calibrated cost model (no explicit
+        #: ``check_every`` and a budget to derive it from).
+        self.auto_cadence = check_every is None and budget_s is not None
         self.protector = ModelProtector(config)
         self.protector.protect(model)
+        if budget_s is not None and cost_model is None:
+            # Self-calibrating default: analytic prior, measured updates.
+            cost_model = MeasuredScanCostModel.from_radar_config(
+                self.protector.config
+            )
+        self.cost_model = cost_model
         self.scheduler: Optional[ScanScheduler] = None
         if budget_s is not None and num_shards is None:
-            self.scheduler = self.protector.scheduler_for_budget(
-                budget_s, cost_model=cost_model, policy=scan_policy
-            )
+            try:
+                self.scheduler = self.protector.scheduler_for_budget(
+                    budget_s, cost_model=cost_model, policy=scan_policy
+                )
+            except ProtectionError:
+                if not self.auto_cadence:
+                    raise
+                # Budget below one group's price: use the finest rotation the
+                # store allows and let the cadence stretch to afford it.
+                self.scheduler = self.protector.scheduler(
+                    num_shards=self.protector.store.total_groups(),
+                    policy=scan_policy,
+                    cost_model=cost_model,
+                )
         elif num_shards is not None:
             self.scheduler = self.protector.scheduler(
                 num_shards=num_shards,
@@ -103,17 +152,55 @@ class ProtectedInference:
                 budget_s=budget_s,
                 cost_model=cost_model,
             )
+        self.check_every = (
+            check_every if check_every is not None else self._derived_cadence()
+        )
         self.log = RuntimeLog()
         self._since_last_check = 0
 
+    def _derived_cadence(self) -> int:
+        """Batches per check so amortized checking stays within ``budget_s``."""
+        if not self.auto_cadence or self.scheduler is None or self.cost_model is None:
+            return 1
+        slice_cost = self.cost_model.pass_cost_s(self.scheduler.largest_shard_groups)
+        return max(1, math.ceil(slice_cost / self.budget_s))
+
+    def _retune_cadence(self) -> None:
+        cadence = self._derived_cadence()
+        if cadence != self.check_every:
+            self.log.events.append(
+                f"batch {self.log.batches}: check cadence retuned "
+                f"{self.check_every} -> {cadence} "
+                f"(calibrated slice cost vs {self.budget_s * 1e3:.4g} ms budget)"
+            )
+            self.check_every = cadence
+
     def _check(self) -> Tuple[bool, int, int]:
         """One detection + recovery round (full or amortized)."""
+        started = time.perf_counter()
         if self.scheduler is None:
             summary = self.protector.scan_and_recover(self.model, policy=self.policy)
             detection, recovery = summary.detection, summary.recovery
+            elapsed = time.perf_counter() - started
+            observe = getattr(self.cost_model, "observe", None)
+            if observe is not None:
+                observe(self.protector.store.total_groups(), elapsed)
         else:
-            detection = self.scheduler.step(self.model).report
+            # In auto-cadence mode each check may spend what the skipped
+            # batches saved up; the scheduler observes the measured
+            # wall-clock into the cost model itself (apply_scan).
+            pass_budget = (
+                self.check_every * self.budget_s
+                if self.auto_cadence
+                else None
+            )
+            detection = self.scheduler.step(self.model, budget_s=pass_budget).report
             recovery = self.protector.recover(self.model, detection, policy=self.policy)
+            elapsed = time.perf_counter() - started
+        self.log.checks += 1
+        self.log.check_seconds += elapsed
+        if self.auto_cadence:
+            self._retune_cadence()
         flagged = detection.num_flagged_groups
         recovered = recovery.zeroed_weights + recovery.reloaded_weights
         return detection.attack_detected, flagged, recovered

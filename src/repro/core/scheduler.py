@@ -97,6 +97,11 @@ class ScanPassResult:
     budget_s: Optional[float] = None
     #: Priced cost of the slice under the scheduler's cost model, when it has one.
     planned_cost_s: Optional[float] = None
+    #: Wall-clock seconds the verification actually took (what the pass
+    #: *spent*, as opposed to ``planned_cost_s`` — what the cost model
+    #: predicted).  For engine-batched passes this is the model's share of
+    #: its batch's elapsed time.
+    measured_s: Optional[float] = None
 
     @property
     def attack_detected(self) -> bool:
@@ -187,6 +192,22 @@ class ScanScheduler:
         self._pass_index = 0
         self._rotation_pending = set(range(self.num_shards))
         self._rotation_rows: List[np.ndarray] = []
+        # Shard views only change when a pass commits; planning, pricing and
+        # fleet urgency ranking may all consult them several times per tick,
+        # so they are cached between apply_scan calls.  State-blind planners
+        # (``planner.uses_shard_state == False``) get a static tuple built
+        # once — their order() never reads the mutable fields.
+        self._shard_views_cache: Optional[List[ShardView]] = None
+        self._static_views: List[ShardView] = [
+            ShardView(
+                index=index,
+                num_groups=int(self._shards[index].size),
+                exposure_passes=0,
+                times_scanned=0,
+                times_flagged=0,
+            )
+            for index in range(self.num_shards)
+        ]
 
     @classmethod
     def from_budget(
@@ -224,6 +245,11 @@ class ScanScheduler:
         return self.fused.total_groups
 
     @property
+    def largest_shard_groups(self) -> int:
+        """Groups in the largest shard — what a one-shard pass can cost."""
+        return int(max(shard.size for shard in self._shards))
+
+    @property
     def planner(self) -> VerificationPlanner:
         return self._planner
 
@@ -254,16 +280,18 @@ class ScanScheduler:
         return self.cost_model
 
     def _shard_views(self) -> List[ShardView]:
-        return [
-            ShardView(
-                index=index,
-                num_groups=int(self._shards[index].size),
-                exposure_passes=int(self._exposure[index]),
-                times_scanned=int(self._times_scanned[index]),
-                times_flagged=int(self._times_flagged[index]),
-            )
-            for index in range(self.num_shards)
-        ]
+        if self._shard_views_cache is None:
+            self._shard_views_cache = [
+                ShardView(
+                    index=index,
+                    num_groups=int(self._shards[index].size),
+                    exposure_passes=int(self._exposure[index]),
+                    times_scanned=int(self._times_scanned[index]),
+                    times_flagged=int(self._times_flagged[index]),
+                )
+                for index in range(self.num_shards)
+            ]
+        return self._shard_views_cache
 
     def plan(self, budget_s: Optional[float] = None) -> List[int]:
         """Shard indices the next :meth:`step` would scan (no state change).
@@ -271,7 +299,12 @@ class ScanScheduler:
         ``budget_s`` previews the slice under a per-pass budget override;
         without one the scheduler's own budget (if any) applies.
         """
-        order = self._planner.order(self._shard_views())
+        views = (
+            self._shard_views()
+            if self._planner.uses_shard_state
+            else self._static_views
+        )
+        order = self._planner.order(views)
         budget = budget_s if budget_s is not None else self.budget_s
         if self._planner.scan_everything and budget is None:
             return order
@@ -296,7 +329,15 @@ class ScanScheduler:
         if none was given); the :class:`~repro.core.service.ProtectionService`
         uses this to let models claim exact slice costs out of a fleet budget.
         """
-        shard_indices = self.plan(budget_s=budget_s)
+        return self.slice_cost_s(self.plan(budget_s=budget_s))
+
+    def slice_cost_s(self, shard_indices: List[int]) -> float:
+        """Priced cost of an already-planned slice (no re-planning).
+
+        ``planned_slice_cost_s`` = :meth:`plan` + this; the fleet engine
+        plans each model's slice once per tick and prices, executes and
+        commits that same plan.
+        """
         groups = sum(int(self._shards[index].size) for index in shard_indices)
         return self._require_cost_model().pass_cost_s(groups)
 
@@ -305,6 +346,12 @@ class ScanScheduler:
         if not 0 <= shard_index < self.num_shards:
             raise ProtectionError(f"shard_index {shard_index} out of range ({self.num_shards})")
         return self._shards[shard_index].copy()
+
+    def slice_rows(self, shard_indices: List[int]) -> np.ndarray:
+        """Concatenated global rows of a planned slice, in scan order."""
+        if not shard_indices:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate([self._shards[index] for index in shard_indices])
 
     # -- scanning ---------------------------------------------------------------
     def step(self, model: Module, budget_s: Optional[float] = None) -> ScanPassResult:
@@ -316,30 +363,61 @@ class ScanScheduler:
         cannot afford even one shard scans nothing (``shard_indices == []``);
         its exposure counters still advance, so an underfunded model's claim
         on the next allocation grows instead of silently overrunning.
+
+        ``step`` is plan → verify → :meth:`apply_scan`; callers that verify a
+        planned slice *externally* (the batched cross-model pass of
+        :class:`~repro.core.fleet.VerificationEngine`) run the same pipeline
+        with their own middle stage.
         """
         budget = budget_s if budget_s is not None else self.budget_s
         shard_indices = self.plan(budget_s=budget)
-        if shard_indices:
-            rows = np.concatenate([self._shards[index] for index in shard_indices])
-        else:
-            rows = np.empty(0, dtype=np.int64)
+        rows = self.slice_rows(shard_indices)
         started = time.perf_counter()
         flagged_rows = self.fused.mismatched_rows(model, rows)
         elapsed = time.perf_counter() - started
+        return self.apply_scan(
+            shard_indices, flagged_rows, measured_s=elapsed, budget_s=budget
+        )
 
+    def apply_scan(
+        self,
+        shard_indices: List[int],
+        flagged_rows: np.ndarray,
+        measured_s: Optional[float] = None,
+        budget_s: Optional[float] = None,
+    ) -> ScanPassResult:
+        """Commit one verified slice: bookkeeping, rotation tracking, report.
+
+        ``shard_indices`` must be the slice :meth:`plan` produced for this
+        pass and ``flagged_rows`` the mismatching global rows found within
+        it (however they were computed — per model via
+        ``fused.mismatched_rows`` as :meth:`step` does, or stacked across
+        models by :func:`~repro.core.signature.batched_mismatched_rows`).
+        ``measured_s`` is fed to the cost model's ``observe`` hook when it
+        has one, so measured pricing calibrates no matter who executed the
+        verification.
+        """
+        groups_checked = int(
+            sum(int(self._shards[index].size) for index in shard_indices)
+        )
         planned_cost = None
         if self.cost_model is not None:
-            planned_cost = self.cost_model.pass_cost_s(int(rows.size))
+            planned_cost = self.cost_model.pass_cost_s(groups_checked)
             observe = getattr(self.cost_model, "observe", None)
-            if observe is not None:
-                observe(int(rows.size), elapsed)
+            if observe is not None and measured_s is not None:
+                observe(groups_checked, measured_s)
 
         self._pass_index += 1
         self._exposure += 1
+        self._shard_views_cache = None
+        clean = flagged_rows.size == 0
         flagged_counts: Dict[int, int] = {}
         for index in shard_indices:
             self._exposure[index] = 0
             self._times_scanned[index] += 1
+            if clean:
+                flagged_counts[index] = 0
+                continue
             # Shards are contiguous row ranges, so a range test attributes flags.
             low, high = self._shards[index][0], self._shards[index][-1]
             count = int(np.count_nonzero((flagged_rows >= low) & (flagged_rows <= high)))
@@ -361,13 +439,14 @@ class ScanScheduler:
             self._rotation_rows = []
         return ScanPassResult(
             pass_index=self._pass_index,
-            shard_indices=shard_indices,
-            groups_checked=int(rows.size),
+            shard_indices=list(shard_indices),
+            groups_checked=groups_checked,
             report=report,
             rotation_complete=rotation_complete,
             rotation_report=rotation_report,
-            budget_s=budget,
+            budget_s=budget_s,
             planned_cost_s=planned_cost,
+            measured_s=measured_s,
         )
 
     def run_rotation(self, model: Module) -> DetectionReport:
@@ -387,6 +466,16 @@ class ScanScheduler:
     def max_exposure_passes(self) -> int:
         """Largest number of passes any shard has currently gone unscanned."""
         return int(self._exposure.max())
+
+    @property
+    def mean_exposure_passes(self) -> float:
+        """Mean shard exposure — the backlog term of fleet urgency ranking."""
+        return float(self._exposure.sum()) / self.num_shards
+
+    @property
+    def total_flagged_passes(self) -> int:
+        """Sum over shards of how many passes flagged each (flip history)."""
+        return int(self._times_flagged.sum())
 
     def shard_info(self) -> List[ShardInfo]:
         return [

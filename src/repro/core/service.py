@@ -1,11 +1,20 @@
-"""Fleet protection: one registry managing many protected models.
+"""Fleet protection façade: the PR 1–2 registry API over the fleet engine.
 
 A serving deployment rarely hosts a single network; the
-:class:`ProtectionService` keeps a :class:`~repro.core.protector.ModelProtector`
-and an amortized :class:`~repro.core.scheduler.ScanScheduler` per registered
-model so one ``step()`` call advances every model's scan rotation by one
-bounded-cost slice.  The registry is what the ``repro-radar serve-demo``
-subcommand drives.
+:class:`ProtectionService` keeps a registry of protected models and advances
+every model's amortized scan rotation once per ``step()``.  Since the fleet
+engine landed (:mod:`repro.core.fleet`) the service is a thin façade over a
+:class:`~repro.core.fleet.VerificationEngine`: registration, budget
+allocation, and the per-tick scan all delegate to the engine — which
+coalesces structurally identical models' slices into batched cross-model
+passes — while this class preserves the original caller-driven semantics:
+
+* :meth:`step` detects only (engine tick with ``RecoveryPolicy.NONE``);
+* :meth:`step_and_recover` recovers what the pass flagged but does **not**
+  re-sign — callers keep explicit control of :meth:`reprotect`, exactly as
+  before.  For the automatic detect → recover → reprotect loop, use the
+  engine directly (``service.engine`` or a standalone
+  :class:`~repro.core.fleet.VerificationEngine`).
 
 Budgeted fleet ticks
 --------------------
@@ -20,60 +29,27 @@ radius therefore claims first; one whose leftover share affords nothing
 scans nothing this tick, accumulates backlog, and preempts its peers on a
 later tick.  Each model's :class:`~repro.core.cost.ScanCostModel` does the
 pricing (see :meth:`ScanScheduler.step`).
+
+Every returned :class:`~repro.core.scheduler.ScanPassResult` carries
+``measured_s`` — the wall-clock the model's verification actually spent
+(its share of a batched pass) — alongside the planned cost, so budget
+accounting can be validated end-to-end.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.core.config import RadarConfig
-from repro.core.cost import AnalyticScanCostModel, ScanCostModel
+from repro.core.cost import ScanCostModel
 from repro.core.detector import DetectionReport
-from repro.core.protector import ModelProtector
+from repro.core.fleet import ManagedModel, VerificationEngine
 from repro.core.recovery import RecoveryPolicy, RecoveryReport
-from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
-from repro.errors import ProtectionError
+from repro.core.scheduler import ScanPassResult, ScanPolicy
 from repro.nn.module import Module
 
-
-@dataclass
-class ManagedModel:
-    """One registered model and its protection state."""
-
-    name: str
-    model: Module
-    protector: ModelProtector
-    scheduler: ScanScheduler
-    cost_model: Optional[ScanCostModel] = None
-    keep_golden_weights: bool = False
-    #: Constructor arguments the scheduler was built with, so
-    #: :meth:`ProtectionService.reprotect` can rebuild an identical one
-    #: against the re-signed store.
-    scheduler_options: Dict = field(default_factory=dict)
-
-    def min_feasible_budget_s(self) -> float:
-        """Cost of this model's largest shard — the least budget that can
-        ever advance its rotation past that shard."""
-        largest = max(info.num_groups for info in self.scheduler.shard_info())
-        cost_model = self.cost_model or AnalyticScanCostModel.from_radar_config(
-            self.protector.config
-        )
-        return cost_model.pass_cost_s(largest)
-
-    def urgency(self) -> float:
-        """Budget-allocation rank: exposure backlog plus flagged history.
-
-        The backlog term is the *mean* shard exposure (not the max): a model
-        that scans one shard per tick still ages its other shards, so the max
-        cannot distinguish it from a model that scans nothing.  The mean
-        drops with every scanned shard, which is what lets an underfunded
-        model overtake its peers on the next tick.
-        """
-        info = self.scheduler.shard_info()
-        flagged = sum(entry.times_flagged for entry in info)
-        backlog = sum(entry.exposure_passes for entry in info) / max(len(info), 1)
-        return 1.0 + backlog + flagged
+__all__ = ["ManagedModel", "ProtectionService", "ServiceStepOutcome"]
 
 
 @dataclass
@@ -89,6 +65,11 @@ class ServiceStepOutcome:
     @property
     def attack_detected(self) -> bool:
         return self.scan.attack_detected
+
+    @property
+    def measured_s(self) -> Optional[float]:
+        """Wall-clock seconds the model's scan actually spent."""
+        return self.scan.measured_s
 
 
 class ProtectionService:
@@ -108,6 +89,9 @@ class ProtectionService:
         service.register("lane-a", model_a)
         service.register("lane-b", model_b)
         outcomes = service.step_and_recover()           # splits the 2 ms
+
+    ``workers`` is forwarded to the underlying engine's batch-group thread
+    pool (only heterogeneous fleets produce more than one group per tick).
     """
 
     def __init__(
@@ -117,24 +101,44 @@ class ProtectionService:
         policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
         shards_per_pass: int = 1,
         budget_s: Optional[float] = None,
+        workers: int = 1,
     ) -> None:
-        if num_shards < 1:
-            raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
-        if shards_per_pass < 1:
-            raise ProtectionError(f"shards_per_pass must be >= 1, got {shards_per_pass}")
-        if shards_per_pass > num_shards:
-            raise ProtectionError(
-                f"shards_per_pass must be within [1, num_shards]; "
-                f"got shards_per_pass={shards_per_pass} with num_shards={num_shards}"
-            )
-        if budget_s is not None and not budget_s > 0:
-            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
-        self.default_config = default_config or RadarConfig()
-        self.num_shards = num_shards
-        self.policy = ScanPolicy(policy)
-        self.shards_per_pass = shards_per_pass
-        self.budget_s = budget_s
-        self._models: Dict[str, ManagedModel] = {}
+        #: The fleet engine doing the actual work.  Exposed so callers can
+        #: opt into engine-level features (event bus, automatic reprotect via
+        #: ``engine.tick``) without abandoning the façade.
+        self.engine = VerificationEngine(
+            default_config=default_config,
+            num_shards=num_shards,
+            policy=policy,
+            shards_per_pass=shards_per_pass,
+            budget_s=budget_s,
+            workers=workers,
+            recovery_policy=RecoveryPolicy.ZERO,
+            # The façade preserves PR 1–2 semantics: recovery happens on
+            # request, re-signing only via an explicit reprotect() call.
+            auto_reprotect=False,
+        )
+
+    # -- mirrored configuration -------------------------------------------------
+    @property
+    def default_config(self) -> RadarConfig:
+        return self.engine.default_config
+
+    @property
+    def num_shards(self) -> int:
+        return self.engine.num_shards
+
+    @property
+    def policy(self) -> ScanPolicy:
+        return self.engine.policy
+
+    @property
+    def shards_per_pass(self) -> int:
+        return self.engine.shards_per_pass
+
+    @property
+    def budget_s(self) -> Optional[float]:
+        return self.engine.budget_s
 
     # -- registry ---------------------------------------------------------------
     def register(
@@ -154,133 +158,63 @@ class ProtectionService:
         it defaults to the analytic model derived from the model's
         :class:`~repro.core.config.RadarConfig`.
         """
-        if not name:
-            raise ProtectionError("Managed model name must be non-empty")
-        if name in self._models:
-            raise ProtectionError(f"Model {name!r} is already registered")
-        radar_config = config or self.default_config
-        protector = ModelProtector(radar_config)
-        protector.protect(model, keep_golden_weights=keep_golden_weights)
-        resolved_cost_model = cost_model or AnalyticScanCostModel.from_radar_config(
-            radar_config
-        )
-        scheduler_options = {
-            "num_shards": num_shards if num_shards is not None else self.num_shards,
-            "policy": policy if policy is not None else self.policy,
-            "shards_per_pass": (
-                shards_per_pass if shards_per_pass is not None else self.shards_per_pass
-            ),
-        }
-        scheduler = ScanScheduler(
-            protector.store, cost_model=resolved_cost_model, **scheduler_options
-        )
-        managed = ManagedModel(
-            name=name,
-            model=model,
-            protector=protector,
-            scheduler=scheduler,
-            cost_model=resolved_cost_model,
+        return self.engine.register(
+            name,
+            model,
+            config=config,
+            num_shards=num_shards,
+            policy=policy,
+            shards_per_pass=shards_per_pass,
             keep_golden_weights=keep_golden_weights,
-            scheduler_options=scheduler_options,
+            cost_model=cost_model,
         )
-        if self.budget_s is not None:
-            self._require_feasible(self.budget_s, {name: managed})
-        self._models[name] = managed
-        return managed
 
     def unregister(self, name: str) -> ManagedModel:
-        if name not in self._models:
-            raise ProtectionError(f"Model {name!r} is not registered")
-        return self._models.pop(name)
+        return self.engine.unregister(name)
 
     def reprotect(self, name: str) -> ManagedModel:
         """Re-sign a model after a legitimate weight update.
 
         Rebuilds the golden signatures from the model's *current* weights and
-        replaces its scheduler with a fresh one (same structural options), so
-        the scan rotation restarts from a clean slate — the eviction /
+        replaces its scheduler with a fresh rotation (same structural
+        options), so the scan restarts from a clean slate — the eviction /
         re-protect lifecycle for models whose weights were deliberately
         updated in place.  Without this, an updated model would be
         indistinguishable from an attacked one.
         """
-        managed = self.get(name)
-        managed.protector.protect(
-            managed.model, keep_golden_weights=managed.keep_golden_weights
-        )
-        managed.scheduler = ScanScheduler(
-            managed.protector.store,
-            cost_model=managed.cost_model,
-            **managed.scheduler_options,
-        )
-        return managed
+        return self.engine.reprotect(name)
 
     def get(self, name: str) -> ManagedModel:
-        if name not in self._models:
-            raise ProtectionError(f"Model {name!r} is not registered")
-        return self._models[name]
+        return self.engine.get(name)
 
     def names(self) -> List[str]:
-        return list(self._models)
+        return self.engine.names()
 
     def __len__(self) -> int:
-        return len(self._models)
+        return len(self.engine)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._models
+        return name in self.engine
 
     # -- fleet operations ---------------------------------------------------------
     def allocate_budget(self, budget_s: float) -> Dict[str, float]:
-        """Split one fleet-wide tick budget across the registered models.
-
-        Models claim budget in :meth:`ManagedModel.urgency` order (exposure
-        backlog plus flagged history; registration order breaks ties): each
-        claims exactly the priced cost of the shard slice it can afford from
-        what is left, and the remainder flows to the next model.  A model
-        whose leftover cannot cover one of its shards gets a zero share this
-        tick — its backlog then grows, so it claims first on a later tick
-        instead of silently overrunning the budget.  Shares therefore sum to
-        at most ``budget_s``.
-        """
-        self._require_models()
-        if not budget_s > 0:
-            raise ProtectionError(f"budget_s must be positive, got {budget_s}")
-        self._require_feasible(budget_s, self._models)
-        by_urgency = sorted(
-            self._models, key=lambda name: -self._models[name].urgency()
-        )
-        shares: Dict[str, float] = {}
-        remaining = budget_s
-        for name in by_urgency:
-            share = self._models[name].scheduler.planned_slice_cost_s(
-                budget_s=remaining
-            )
-            shares[name] = share
-            remaining -= share
-        return shares
-
-    def _tick_budgets(self, budget_s: Optional[float]) -> Dict[str, Optional[float]]:
-        # Each scheduler re-derives its slice from the share inside step();
-        # planner ordering is pure, so both plans agree.  The duplicated
-        # planning is O(shards log shards) per model — noise next to the
-        # vectorized signature recomputation the slice itself costs.
-        budget = budget_s if budget_s is not None else self.budget_s
-        if budget is None:
-            return {name: None for name in self._models}
-        return dict(self.allocate_budget(budget))
+        """Split one fleet-wide tick budget across the registered models
+        (see :meth:`VerificationEngine.allocate_budget`)."""
+        return self.engine.allocate_budget(budget_s)
 
     def step(self, budget_s: Optional[float] = None) -> Dict[str, ScanPassResult]:
         """One amortized scan pass over every registered model (detect only).
 
         With a budget (argument or service default) each model is stepped
         with its :meth:`allocate_budget` share; otherwise every model scans
-        its fixed structural slice.
+        its fixed structural slice.  Structurally identical models are
+        verified together in one batched pass; each result's ``measured_s``
+        is the wall-clock its model's share actually took.
         """
-        self._require_models()
-        shares = self._tick_budgets(budget_s)
-        return {
-            name: managed.scheduler.step(managed.model, budget_s=shares[name])
-            for name, managed in self._models.items()
-        }
+        outcomes = self.engine.tick(
+            budget_s=budget_s, recovery_policy=RecoveryPolicy.NONE
+        )
+        return {name: outcome.scan for name, outcome in outcomes.items()}
 
     def step_and_recover(
         self,
@@ -288,53 +222,23 @@ class ProtectionService:
         budget_s: Optional[float] = None,
     ) -> Dict[str, ServiceStepOutcome]:
         """One amortized pass per model, recovering whatever the pass flagged."""
-        self._require_models()
-        shares = self._tick_budgets(budget_s)
-        outcomes: Dict[str, ServiceStepOutcome] = {}
-        for name, managed in self._models.items():
-            scan = managed.scheduler.step(managed.model, budget_s=shares[name])
-            recovery = managed.protector.recover(managed.model, scan.report, policy=policy)
-            outcomes[name] = ServiceStepOutcome(
-                name=name, scan=scan, recovery=recovery, budget_s=shares[name]
+        outcomes = self.engine.tick(budget_s=budget_s, recovery_policy=policy)
+        return {
+            name: ServiceStepOutcome(
+                name=name,
+                scan=outcome.scan,
+                recovery=outcome.recovery
+                if outcome.recovery is not None
+                else RecoveryReport(policy=RecoveryPolicy(policy)),
+                budget_s=outcome.budget_s,
             )
-        return outcomes
+            for name, outcome in outcomes.items()
+        }
 
     def scan_all(self) -> Dict[str, DetectionReport]:
         """Stop-the-world full scan of every model (the fused fast path)."""
-        self._require_models()
-        return {
-            name: managed.protector.scan_fused(managed.model)
-            for name, managed in self._models.items()
-        }
+        return self.engine.scan_all()
 
     def describe(self) -> List[Dict]:
         """One summary row per managed model (used by the CLI)."""
-        rows: List[Dict] = []
-        for name, managed in self._models.items():
-            row: Dict = {"model": name, "layers": len(managed.protector.store)}
-            row.update(managed.scheduler.describe())
-            row["storage_kb"] = round(managed.protector.storage_overhead_kb(), 3)
-            rows.append(row)
-        return rows
-
-    def _require_feasible(self, budget_s: float, models: Dict[str, ManagedModel]) -> None:
-        """A tick budget a model's largest shard can never fit inside would
-        silently disable that model's protection forever (every allocation
-        would grant it nothing); fail fast instead."""
-        needs = {name: managed.min_feasible_budget_s() for name, managed in models.items()}
-        infeasible = {name: need for name, need in needs.items() if need > budget_s}
-        if infeasible:
-            detail = ", ".join(
-                f"{name!r} needs >= {need * 1e3:.6g} ms" for name, need in infeasible.items()
-            )
-            raise ProtectionError(
-                f"fleet budget of {budget_s * 1e3:.6g} ms can never cover a full "
-                f"scan slice of: {detail}; raise the budget or register the "
-                "model with more shards"
-            )
-
-    def _require_models(self) -> None:
-        if not self._models:
-            raise ProtectionError(
-                "ProtectionService has no registered models; call register(name, model) first"
-            )
+        return self.engine.describe()

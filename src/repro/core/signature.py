@@ -11,7 +11,7 @@ ResNet-18 at ``G = 512``, 8.2 KB for ResNet-20 at ``G = 8``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -203,6 +203,40 @@ class FusedSignatures:
         self._row_starts = row_starts
         self.golden = np.concatenate(golden_blocks).astype(np.uint8)
         self.total_groups = int(row_starts[-1])
+        # Shared empty per-layer arrays for the clean-scan fast path of
+        # rows_to_layer_groups (never mutated; reports treat them read-only).
+        self._empty_groups: Dict[str, np.ndarray] = {
+            name: np.empty(0, dtype=np.int64) for name in self.layer_names
+        }
+        self._structure_key: Optional[Tuple] = None
+
+    def structure_key(self) -> Tuple:
+        """Hashable fingerprint of everything that determines this view's
+        gather indices, sign masks and row numbering.
+
+        Two stores with equal structure keys — same :class:`RadarConfig`
+        grouping/masking parameters over the same layer names and weight
+        counts — produce *identical* ``GroupLayout`` index matrices and
+        secret-key sign masks (both are deterministic functions of these
+        fields), so their slices can be verified together in one batched
+        pass (:func:`batched_mismatched_rows`).  Golden signatures are NOT
+        part of the key: they depend on each model's weights and stay
+        per-view.
+        """
+        if self._structure_key is None:
+            config = self.config
+            self._structure_key = (
+                config.group_size,
+                config.signature_bits,
+                config.use_interleave,
+                config.interleave_offset,
+                config.use_masking,
+                config.key_bits,
+                config.secret_seed,
+                tuple(self.layer_names),
+                tuple(self._num_weights),
+            )
+        return self._structure_key
 
     # -- row bookkeeping -------------------------------------------------------
     def row_range(self, layer_name: str) -> Tuple[int, int]:
@@ -265,12 +299,83 @@ class FusedSignatures:
         of a full :class:`~repro.core.detector.DetectionReport`.
         """
         rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            # Clean scans dominate a healthy fleet's ticks; skip the per-layer
+            # unique/compare work and hand out the shared empty arrays.
+            return dict(self._empty_groups)
         result: Dict[str, np.ndarray] = {}
         for position, name in enumerate(self.layer_names):
             start, end = self._row_starts[position], self._row_starts[position + 1]
             inside = rows[(rows >= start) & (rows < end)]
             result[name] = np.unique(inside - start).astype(np.int64)
         return result
+
+
+def batched_mismatched_rows(
+    views: Sequence[FusedSignatures],
+    layer_maps: Sequence[Mapping[str, Module]],
+    rows: np.ndarray,
+) -> List[np.ndarray]:
+    """Verify the same global-row slice of several *structurally identical*
+    models in one vectorized pass.
+
+    ``views[i]`` is model *i*'s fused view and ``layer_maps[i]`` its
+    ``{layer_name: quantized layer}`` mapping.  All views must share a
+    :meth:`FusedSignatures.structure_key` — they then share gather indices
+    and sign masks, so the per-layer recomputation stacks every model's
+    gathered weights into one ``(models, rows, group_size)`` tensor and the
+    masked multiply / row-sum / binarize / golden-compare each run once for
+    the whole batch instead of once per model.  This is the kernel behind
+    the fleet engine's cross-model batched stepping
+    (:meth:`repro.core.fleet.VerificationEngine.tick`): for a fleet of
+    same-architecture models the per-pass NumPy dispatch overhead is paid
+    once, not ``k`` times.
+
+    Returns one flagged-row array per model, identical to what
+    ``views[i].mismatched_rows(model_i, rows)`` would report.
+    """
+    if not views:
+        raise ProtectionError("batched_mismatched_rows needs at least one view")
+    if len(views) != len(layer_maps):
+        raise ProtectionError(
+            f"got {len(views)} views but {len(layer_maps)} layer maps"
+        )
+    reference = views[0]
+    key = reference.structure_key()
+    for view in views[1:]:
+        if view.structure_key() != key:
+            raise ProtectionError(
+                "batched verification needs structurally identical models; "
+                "structure keys differ"
+            )
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.size == 0:
+        return [rows.copy() for _ in views]
+    if not (0 <= rows.min() and rows.max() < reference.total_groups):
+        raise ProtectionError(
+            f"global rows out of range ({reference.total_groups} groups)"
+        )
+    num_models = len(views)
+    sums = np.empty((num_models, rows.size), dtype=np.int64)
+    owning_layer = np.searchsorted(reference._row_starts, rows, side="right") - 1
+    for position in np.unique(owning_layer):
+        where = np.nonzero(owning_layer == position)[0]
+        local = rows[where] - reference._row_starts[position]
+        indices = reference._indices[position][local]
+        mask = reference._sign_masks[position][local]
+        gathered = np.empty((num_models,) + indices.shape, dtype=np.int64)
+        for index, layer_map in enumerate(layer_maps):
+            gathered[index] = reference._layer_flat(layer_map, position)[indices]
+        sums[:, where] = (gathered * mask[None, :, :]).sum(axis=2)
+    current = signature_from_sums(
+        sums.reshape(-1), reference.config.signature_bits
+    ).reshape(num_models, rows.size)
+    golden = np.stack([view.golden[rows] for view in views])
+    mismatched = current != golden
+    if not mismatched.any():
+        empty = rows[:0]
+        return [empty.copy() for _ in views]
+    return [rows[mismatched[index]] for index in range(num_models)]
 
 
 def flip_group_index(store: SignatureStore, layer_name: str, flat_index: int) -> Tuple[str, int]:

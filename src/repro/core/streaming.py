@@ -12,6 +12,7 @@ what a DMA engine would deliver) without ever needing the ``Module`` object.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 
@@ -80,10 +81,18 @@ class StreamingVerifier:
     model (verification on the DRAM-to-cache stream).
     """
 
-    def __init__(self, store: SignatureStore) -> None:
+    def __init__(
+        self, store: SignatureStore, cost_model: Optional["ScanCostModel"] = None
+    ) -> None:
         if len(store) == 0:
             raise ProtectionError("Signature store is empty; call store.build(model) first")
         self.store = store
+        #: Prices budgeted slices (:meth:`verify_dram_budgeted`); defaults
+        #: lazily to the analytic model.  Models with an ``observe`` hook
+        #: (e.g. :class:`~repro.core.cost.MeasuredScanCostModel`) are fed
+        #: every budgeted pass's measured wall-clock, so stream-level budgets
+        #: self-calibrate the same way the scheduler's do.
+        self.cost_model = cost_model
         # Budgeted-verification cursor: (layer position, group offset) of the
         # next unverified group in the current rotation.
         self._cursor = (0, 0)
@@ -179,15 +188,24 @@ class StreamingVerifier:
         many consecutive groups (layer by layer, resuming from an internal
         cursor) as ``cost_model`` prices within ``budget_s``, and reports
         ``rotation_complete=True`` on the call that finishes the last layer.
-        ``cost_model`` defaults to the analytic model priced from the store's
-        config.  A budget too small for a single group verifies nothing —
-        the report then simply has no events and the cursor does not move.
+        ``cost_model`` overrides the verifier's own (constructor) model for
+        this call; with neither given, the analytic model priced from the
+        store's config is instantiated and kept.  A budget too small for a
+        single group verifies nothing — the report then simply has no events
+        and the cursor does not move.
         """
         from repro.core.cost import AnalyticScanCostModel
 
         if not budget_s > 0:
             raise ProtectionError(f"budget_s must be positive, got {budget_s}")
-        model = cost_model or AnalyticScanCostModel.from_radar_config(self.store.config)
+        if cost_model is None:
+            if self.cost_model is None:
+                self.cost_model = AnalyticScanCostModel.from_radar_config(
+                    self.store.config
+                )
+            cost_model = self.cost_model
+        started = time.perf_counter()
+        model = cost_model
         remaining = model.groups_within(budget_s)
         report = StreamReport(rotation_complete=False)
         layer_names = self.store.layer_names()
@@ -212,6 +230,10 @@ class StreamingVerifier:
                     position = 0
                     break
         self._cursor = (position, offset)
+        if report.groups_checked:
+            observe = getattr(model, "observe", None)
+            if observe is not None:
+                observe(report.groups_checked, time.perf_counter() - started)
         return report
 
     def verify_and_repair_dram(

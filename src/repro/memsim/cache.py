@@ -55,13 +55,46 @@ class CacheHierarchy:
         return int(max(activation_bytes - resident, 0))
 
     def stream_time_s(self, traffic_bytes: int) -> float:
-        """Time to move ``traffic_bytes`` over the DRAM interface."""
+        """Time to move ``traffic_bytes`` over the DRAM interface.
+
+        Bandwidth-limited transfer plus one DRAM access latency to open the
+        stream (subsequent lines pipeline behind it), so the cost of a
+        non-empty stream is affine in its size:
+        ``traffic / bandwidth + latency``.
+        """
         if traffic_bytes <= 0:
             return 0.0
-        lines = max(traffic_bytes // self.config.line_bytes, 1)
-        return traffic_bytes / self.config.dram_bandwidth_bytes_per_s + (
-            self.config.dram_latency_s * min(lines, 1)
+        return (
+            traffic_bytes / self.config.dram_bandwidth_bytes_per_s
+            + self.config.dram_latency_s
         )
+
+    def scan_traffic_bytes(self, num_groups: int, group_size: int) -> int:
+        """DRAM traffic of a *background* verification pass over ``num_groups``.
+
+        The paper's inline check rides the inference weight stream for free;
+        an asynchronous scan slice (the amortized scheduler stepping between
+        batches) has no such stream to piggyback on and must re-fetch its
+        weights from DRAM.  Weight tensors do not fit in the caches (the
+        "accessed only once" observation), so every scanned int8 weight —
+        ``group_size`` bytes per signature group — is billed as traffic.
+        """
+        if num_groups < 0 or group_size < 1:
+            raise ValueError(
+                f"num_groups must be >= 0 and group_size >= 1, "
+                f"got {num_groups} and {group_size}"
+            )
+        return int(num_groups) * int(group_size)
+
+    def scan_stream_time_s(self, num_groups: int, group_size: int) -> float:
+        """Memory-side seconds of a background scan slice
+        (:meth:`stream_time_s` of :meth:`scan_traffic_bytes`).
+
+        This is the term the cache-aware scan cost model
+        (:class:`repro.core.cost.CacheAwareScanCostModel`) adds on top of
+        the compute-only analytic price.
+        """
+        return self.stream_time_s(self.scan_traffic_bytes(num_groups, group_size))
 
     def describe(self) -> Dict[str, float]:
         return {

@@ -86,6 +86,29 @@ class TestScanCommand:
         assert len(rows) == 8
         assert sum(row["flagged_groups"] for row in rows) > 0
 
+    def test_scan_all_runs_the_fleet_engine(self, tiny_setup, tmp_path, capsys):
+        output = tmp_path / "scan_all.json"
+        code = main(
+            [
+                "scan",
+                "--all",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--num-shards", "4",
+                "--inject-flips", "4",
+                "--inject-at-pass", "0",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet engine registry" in out
+        assert "detected, recovered and re-signed at pass" in out
+        rows = json.loads(output.read_text())["rows"]
+        assert rows and all(row["model"] == tiny_setup for row in rows)
+        assert sum(row["flagged_groups"] for row in rows) > 0
+        assert rows[-1]["state"] == "protected"
+
 
 class TestServeDemoCommand:
     def test_demo_detects_and_repairs_the_attacked_model(self, tmp_path, capsys):
@@ -103,12 +126,14 @@ class TestServeDemoCommand:
         )
         assert code == 0
         out = capsys.readouterr().out
-        assert "Protection service registry" in out
+        assert "Fleet engine registry" in out
         assert "detected and repaired at pass" in out
         rows = json.loads(output.read_text())["rows"]
         flagged = [row for row in rows if row["flagged_groups"] > 0]
         assert flagged and all(row["model"] == "model-0" for row in flagged)
         assert sum(row["recovered_weights"] for row in rows) > 0
+        # The engine re-signs after recovery, so every model ends PROTECTED.
+        assert all(row["state"] == "protected" for row in rows[-2:])
 
     def test_demo_with_priority_policy(self, capsys):
         code = main(
@@ -122,6 +147,25 @@ class TestServeDemoCommand:
         )
         assert code == 0
         assert "Serving timeline" in capsys.readouterr().out
+
+    def test_demo_events_and_workers(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--models", "3",
+                "--num-shards", "4",
+                "--passes", "8",
+                "--attack-at-pass", "1",
+                "--num-flips", "4",
+                "--workers", "2",
+                "--events",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fleet event stream" in out
+        # The lifecycle leaves a full detection -> recovery -> reprotect trail.
+        assert "detection" in out and "recovery" in out and "reprotect" in out
 
 
 class TestBudgetFlags:

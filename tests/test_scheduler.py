@@ -411,6 +411,106 @@ class TestAmortizedProtectedInference:
         assert not outcome.attack_detected
 
 
+class TestAutoCadence:
+    """check_every=None: the cadence follows budget_s and the calibrated price."""
+
+    def test_default_cadence_is_every_batch_without_budget(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        runtime = ProtectedInference(model, RadarConfig(group_size=8))
+        assert runtime.check_every == 1
+        assert not runtime.auto_cadence
+
+    def test_explicit_check_every_disables_tuning(self, trained_tiny):
+        from repro.core import AnalyticScanCostModel
+
+        model, _, _, _ = trained_tiny
+        cost_model = AnalyticScanCostModel.from_radar_config(RadarConfig(group_size=8))
+        runtime = ProtectedInference(
+            model,
+            RadarConfig(group_size=8),
+            budget_s=cost_model.pass_cost_s(10),
+            check_every=3,
+        )
+        assert runtime.check_every == 3
+        assert not runtime.auto_cadence
+
+    def test_budgeted_runtime_defaults_to_a_measured_cost_model(self, trained_tiny):
+        from repro.core import MeasuredScanCostModel
+
+        model, _, test_set, _ = trained_tiny
+        cost_model = MeasuredScanCostModel.from_radar_config(RadarConfig(group_size=8))
+        runtime = ProtectedInference(
+            model, RadarConfig(group_size=8), budget_s=cost_model.pass_cost_s(10)
+        )
+        assert isinstance(runtime.cost_model, MeasuredScanCostModel)
+        assert runtime.auto_cadence
+        runtime(test_set.images[:8])
+        # The check's wall-clock was folded back into the estimate.
+        assert runtime.cost_model.observations >= 1
+        assert runtime.log.checks == 1
+        assert runtime.log.check_seconds > 0
+
+    def test_feasible_budget_checks_every_batch(self, trained_tiny):
+        from repro.core import AnalyticScanCostModel
+
+        model, _, _, _ = trained_tiny
+        cost_model = AnalyticScanCostModel.from_radar_config(RadarConfig(group_size=8))
+        runtime = ProtectedInference(
+            model,
+            RadarConfig(group_size=8),
+            budget_s=cost_model.pass_cost_s(10),
+            cost_model=cost_model,
+        )
+        assert runtime.auto_cadence
+        assert runtime.check_every == 1
+
+    def test_sub_group_budget_stretches_the_cadence(self, trained_tiny):
+        from repro.core import AnalyticScanCostModel
+
+        model, _, test_set, _ = trained_tiny
+        cost_model = AnalyticScanCostModel.from_radar_config(RadarConfig(group_size=8))
+        # Half a group per batch: from_budget would refuse this outright.
+        budget_s = cost_model.seconds_per_group / 2
+        runtime = ProtectedInference(
+            model, RadarConfig(group_size=8), budget_s=budget_s, cost_model=cost_model
+        )
+        assert runtime.scheduler is not None
+        assert runtime.check_every == 2  # one 1-group shard per two batches
+        # The amortized per-batch price stays within the budget.
+        slice_cost = cost_model.pass_cost_s(runtime.scheduler.largest_shard_groups)
+        assert slice_cost / runtime.check_every <= budget_s
+        # Batches between checks run unchecked; the cadence batch checks.
+        assert not runtime(test_set.images[:4]).attack_detected
+        assert runtime.log.checks == 0
+        runtime(test_set.images[:4])
+        assert runtime.log.checks == 1
+
+    def test_cadence_retunes_as_the_measured_price_drifts(self, trained_tiny):
+        from repro.core import MeasuredScanCostModel
+
+        model, _, test_set, _ = trained_tiny
+        cost_model = MeasuredScanCostModel.from_radar_config(
+            RadarConfig(group_size=8), alpha=1.0
+        )
+        runtime = ProtectedInference(
+            model,
+            RadarConfig(group_size=8),
+            budget_s=cost_model.pass_cost_s(10),
+            cost_model=cost_model,
+        )
+        assert runtime.check_every == 1
+        # Pretend the host turned out 1000x slower than the analytic prior.
+        cost_model.observe(100, 100 * cost_model.seconds_per_group * 1000)
+        runtime(test_set.images[:4])
+        assert runtime.check_every > 1
+        assert any("cadence retuned" in event for event in runtime.log.events)
+
+    def test_invalid_check_every_still_rejected(self, trained_tiny):
+        model, _, _, _ = trained_tiny
+        with pytest.raises(ProtectionError, match="check_every must be >= 1"):
+            ProtectedInference(model, RadarConfig(group_size=8), check_every=0)
+
+
 class TestFullPolicyUnderBudget:
     """FULL policy + budget must rotate through all shards, not rescan a prefix."""
 

@@ -305,6 +305,60 @@ class TestBudgetedFleet:
             service.allocate_budget(0.0)
 
 
+class TestMeasuredWallClock:
+    """step() reports what each model's verification actually spent."""
+
+    def test_step_reports_per_model_measured_seconds(self, service):
+        service.register("alpha", _small_model(1))
+        service.register("beta", _small_model(2))
+        results = service.step()
+        for result in results.values():
+            assert result.measured_s is not None
+            assert result.measured_s > 0
+
+    def test_budget_accounting_validates_end_to_end(self, service):
+        from repro.core import MeasuredScanCostModel
+
+        config = RadarConfig(group_size=8)
+        cost_model = MeasuredScanCostModel.from_radar_config(config)
+        service.register("alpha", _small_model(1), cost_model=cost_model)
+        results = service.step(budget_s=1.0)
+        result = results["alpha"]
+        # Planned cost and measured spend are both visible, and the measured
+        # wall-clock calibrated the cost model.
+        assert result.planned_cost_s is not None
+        assert result.measured_s is not None
+        assert cost_model.observations == 1
+
+    def test_step_and_recover_exposes_measured_seconds(self, service):
+        service.register("alpha", _small_model(1))
+        outcomes = service.step_and_recover()
+        assert outcomes["alpha"].measured_s == outcomes["alpha"].scan.measured_s
+        assert outcomes["alpha"].measured_s > 0
+
+
+class TestEngineFacade:
+    """The service is a thin façade: engine features stay reachable."""
+
+    def test_service_exposes_its_engine(self, service):
+        from repro.core import VerificationEngine
+
+        assert isinstance(service.engine, VerificationEngine)
+        assert not service.engine.auto_reprotect  # façade keeps PR 1-2 semantics
+
+    def test_detect_only_step_does_not_recover_or_resign(self, service):
+        service.register("alpha", _small_model(1))
+        model = service.get("alpha").model
+        name, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        flat[0] = np.int8(int(flat[0]) ^ -128)
+        for _ in range(service.get("alpha").scheduler.worst_case_lag_passes):
+            service.step()
+        # Detection happened but the weights stayed corrupted and the store
+        # was not re-signed: a full scan still flags the model.
+        assert service.scan_all()["alpha"].attack_detected
+
+
 class TestBudgetFeasibility:
     """A budget no model slice can ever fit must fail fast, not scan nothing."""
 
