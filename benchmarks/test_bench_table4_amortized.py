@@ -28,14 +28,19 @@ def test_table4_amortized(benchmark):
     )
     by_key = {(row["model"], row["num_shards"]): row for row in rows}
     for row in rows:
-        # The acceptance bar: every sharded configuration beats the
-        # stop-the-world scan it replaces, strictly.
-        if row["num_shards"] > 1:
-            assert row["per_pass_overhead_s"] < row["full_scan_overhead_s"]
-        # The single-shard degenerate case conservatively bounds Table IV's
-        # full-scan overhead from above (padded tail groups billed in full).
-        else:
-            assert row["per_pass_overhead_s"] >= row["full_scan_overhead_s"]
+        # The acceptance bar: every configuration beats the stop-the-world
+        # scan it replaces, strictly.  Since the zero-copy kernel landed this
+        # includes the single-shard degenerate case: narrow accumulation
+        # discounts the per-weight checksum term, so even a full-model
+        # background pass is priced below the serial inline check.
+        assert row["per_pass_overhead_s"] < row["full_scan_overhead_s"]
+        if row["num_shards"] == 1:
+            # ...but never by more than the narrow-accumulation factor (the
+            # per-group binarize/compare term is not discounted, and padded
+            # tail groups are billed in full).
+            assert row["per_pass_overhead_s"] >= (
+                row["full_scan_overhead_s"] / row["narrow_speedup"]
+            )
     # Amortization is roughly proportional: 8 shards cut the per-pass cost
     # by ~8x (exactly ceil(total/8)/total of the full slice price).
     for model in ("resnet20", "resnet18"):

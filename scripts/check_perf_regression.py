@@ -9,7 +9,7 @@ before the gate trips.  Structural fields (group counts, lag bounds) must
 match exactly — a silent change there means the benchmark is no longer
 measuring the same thing.
 
-Two benchmark kinds are understood (``--kind``):
+Three benchmark kinds are understood (``--kind``):
 
 * ``scan-scheduler`` (default) — ``results/scan_scheduler.json`` from
   ``benchmarks/test_bench_scan_scheduler.py``: rows keyed by ``num_shards``,
@@ -21,6 +21,12 @@ Two benchmark kinds are understood (``--kind``):
   on the best fleet-sized (>= 4 models) row — the acceptance bar that
   batched cross-model stepping stays >= 1.5x sequential, regardless of how
   the baseline drifts.
+* ``kernel`` — ``results/scan_kernel.json`` from
+  ``benchmarks/test_bench_scan_kernel.py``: rows keyed by ``mode``
+  (``full`` / ``slice``), ratio metric ``speedup`` (zero-copy scan kernel
+  vs the retained PR-3 per-layer path).  ``--min-speedup`` enforces the
+  absolute floor on *every* row — the acceptance bar that the kernel stays
+  >= 2x on both full scans and scheduler slices.
 
 Exit status: 0 when no regression, 1 on regression or malformed input.
 """
@@ -55,6 +61,11 @@ GATES: Dict[str, GateSpec] = {
         ratio_metrics=("speedup",),
         structural_fields=("groups_per_tick",),
     ),
+    "kernel": GateSpec(
+        key_field="mode",
+        ratio_metrics=("speedup",),
+        structural_fields=("groups", "rows_per_pass", "num_shards"),
+    ),
 }
 
 #: Rows at or above this fleet size count toward ``--min-speedup``.
@@ -85,7 +96,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--min-speedup", type=float, default=None,
-        help="(fleet) absolute floor the best >= 4-model row must clear",
+        help="absolute speedup floor: fleet = best >= 4-model row must clear "
+        "it; kernel = every row (full AND slice) must clear it",
     )
     args = parser.parse_args(argv)
 
@@ -125,33 +137,54 @@ def main(argv=None) -> int:
         )
 
     if args.min_speedup is not None:
-        if args.kind != "fleet":
-            print("REGRESSION GATE: --min-speedup only applies to --kind fleet")
-            return 1
-        fleet_rows = {
-            key: row for key, row in fresh.items() if key >= FLEET_SIZE_FLOOR
-        }
-        if not fleet_rows:
-            failures.append(
-                f"no rows with {spec.key_field} >= {FLEET_SIZE_FLOOR} to hold "
-                f"the {args.min_speedup:.2f}x floor"
-            )
-        else:
-            best_key, best_row = max(
-                fleet_rows.items(), key=lambda item: item[1]["speedup"]
-            )
-            if best_row["speedup"] < args.min_speedup:
+        if args.kind == "fleet":
+            # Fleet floor: the best fleet-sized row must clear it (small
+            # fleets amortize the batch dispatch less).
+            fleet_rows = {
+                key: row for key, row in fresh.items() if key >= FLEET_SIZE_FLOOR
+            }
+            if not fleet_rows:
                 failures.append(
-                    f"best fleet speedup {best_row['speedup']:.2f}x "
-                    f"({spec.key_field}={best_key}) is below the "
-                    f"{args.min_speedup:.2f}x acceptance floor"
+                    f"no rows with {spec.key_field} >= {FLEET_SIZE_FLOOR} to hold "
+                    f"the {args.min_speedup:.2f}x floor"
                 )
             else:
-                print(
-                    f"acceptance floor: best fleet speedup "
-                    f"{best_row['speedup']:.2f}x "
-                    f"({spec.key_field}={best_key}) >= {args.min_speedup:.2f}x"
+                best_key, best_row = max(
+                    fleet_rows.items(), key=lambda item: item[1]["speedup"]
                 )
+                if best_row["speedup"] < args.min_speedup:
+                    failures.append(
+                        f"best fleet speedup {best_row['speedup']:.2f}x "
+                        f"({spec.key_field}={best_key}) is below the "
+                        f"{args.min_speedup:.2f}x acceptance floor"
+                    )
+                else:
+                    print(
+                        f"acceptance floor: best fleet speedup "
+                        f"{best_row['speedup']:.2f}x "
+                        f"({spec.key_field}={best_key}) >= {args.min_speedup:.2f}x"
+                    )
+        elif args.kind == "kernel":
+            # Kernel floor: every mode (full scan AND scheduler slice) must
+            # clear it — the acceptance bar is not mode-averaged.
+            for key, row in sorted(fresh.items()):
+                if row["speedup"] < args.min_speedup:
+                    failures.append(
+                        f"kernel speedup {row['speedup']:.2f}x "
+                        f"({spec.key_field}={key}) is below the "
+                        f"{args.min_speedup:.2f}x acceptance floor"
+                    )
+                else:
+                    print(
+                        f"acceptance floor: kernel speedup {row['speedup']:.2f}x "
+                        f"({spec.key_field}={key}) >= {args.min_speedup:.2f}x"
+                    )
+        else:
+            print(
+                "REGRESSION GATE: --min-speedup only applies to "
+                "--kind fleet or --kind kernel"
+            )
+            return 1
 
     if failures:
         print("\nREGRESSION GATE FAILED:")

@@ -65,6 +65,7 @@ from repro.core.checksum import compute_group_sums, signature_from_sums
 from repro.core.signature import (
     FusedSignatures,
     LayerSignatures,
+    ScanScratch,
     SignatureStore,
     batched_mismatched_rows,
 )
@@ -105,6 +106,7 @@ __all__ = [
     "LayerSignatures",
     "SignatureStore",
     "FusedSignatures",
+    "ScanScratch",
     "batched_mismatched_rows",
     "RadarDetector",
     "DetectionReport",

@@ -18,7 +18,11 @@ Three implementations share the protocol:
   per-group price (``group_size`` × per-weight checksum cycles, which depend on
   whether the interleaved gather breaks unit-stride access, plus the per-group
   binarize/compare cycles, divided by the platform frequency).  Deterministic
-  and available before any pass has run.
+  and available before any pass has run.  Since the zero-copy scan kernel
+  landed the default price carries the narrow-accumulation discount
+  (``TimingConfig.narrow_accumulation_speedup`` on the per-weight term):
+  budgets are sized for the kernel the scheduler actually runs, and
+  ``narrow=False`` reproduces the PR-3 per-layer price.
 * :class:`CacheAwareScanCostModel` — the analytic compute price *plus* the
   DRAM streaming time of the slice's weights through
   :meth:`~repro.memsim.cache.CacheHierarchy.scan_stream_time_s`.  A background
@@ -78,12 +82,18 @@ class AnalyticScanCostModel:
         cls,
         radar_config: RadarConfig,
         timing_config: Optional["TimingConfig"] = None,
+        narrow: bool = True,
     ) -> "AnalyticScanCostModel":
-        """Price a group with :meth:`~repro.memsim.timing.TimingModel.scan_seconds_per_group`."""
+        """Price a group with :meth:`~repro.memsim.timing.TimingModel.scan_seconds_per_group`.
+
+        ``narrow`` (the default) prices the zero-copy scan kernel's int8
+        gather + int32 accumulation; ``narrow=False`` reproduces the
+        pre-kernel per-layer price (kept for comparisons).
+        """
         from repro.memsim.timing import TimingModel
 
         timing = TimingModel(timing_config)
-        return cls(timing.scan_seconds_per_group(radar_config))
+        return cls(timing.scan_seconds_per_group(radar_config, narrow=narrow))
 
     def pass_cost_s(self, num_groups: int) -> float:
         if num_groups < 0:
@@ -141,16 +151,18 @@ class CacheAwareScanCostModel:
         radar_config: RadarConfig,
         timing_config: Optional["TimingConfig"] = None,
         cache_config: Optional["CacheConfig"] = None,
+        narrow: bool = True,
     ) -> "CacheAwareScanCostModel":
         """Compute price from :meth:`~repro.memsim.timing.TimingModel.scan_seconds_per_group`,
-        memory price from the (default: paper's 32 KB L1 / 64 KB L2) hierarchy."""
+        memory price from the (default: paper's 32 KB L1 / 64 KB L2) hierarchy.
+        ``narrow`` selects the kernel (default) vs pre-kernel compute price."""
         from repro.memsim.cache import CacheHierarchy
         from repro.memsim.timing import TimingModel
 
         timing = TimingModel(timing_config)
         cache = CacheHierarchy(cache_config) if cache_config is not None else CacheHierarchy()
         return cls(
-            timing.scan_seconds_per_group(radar_config),
+            timing.scan_seconds_per_group(radar_config, narrow=narrow),
             radar_config.group_size,
             cache=cache,
         )

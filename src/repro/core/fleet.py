@@ -10,17 +10,27 @@ at a time*, with recovery and re-signing left to caller discipline
 work queue of scan slices drawn from all registered models:
 
 * **Batched execution** — each tick, every model plans its affordable slice
-  and the engine coalesces slices of *structurally identical* models (same
-  :meth:`~repro.core.signature.FusedSignatures.structure_key`, same shard
-  rotation position) into one stacked verification pass via
-  :func:`~repro.core.signature.batched_mismatched_rows`.  For a fleet of
-  same-architecture models the per-pass NumPy dispatch cost is paid once
-  instead of once per model (`results/fleet_throughput.json` measures the
+  and the engine coalesces every slice sharing a *kernel bucket* (same
+  :meth:`~repro.core.signature.FusedSignatures.kernel_key`, i.e. same
+  ``group_size`` and ``signature_bits``) into one stacked verification pass
+  via :func:`~repro.core.signature.batched_mismatched_rows`.  Structurally
+  identical models at the same rotation position share one broadcast
+  index/sign matrix; models of *different* architectures ride the same
+  stacked pass through bucketed padded stacking (row counts padded to the
+  bucket max), so a heterogeneous fleet no longer falls back to sequential
+  per-model scans.  The per-pass NumPy dispatch cost is paid once instead
+  of once per model (`results/fleet_throughput.json` measures the
   verified-groups-per-second win over the sequential per-model loop).
-* **Worker pool** — independent batch groups (heterogeneous fleets produce
-  several) can run on a small thread pool (``workers > 1``); the stacked
-  NumPy kernels release the GIL, and all scheduler bookkeeping stays on the
-  calling thread, so no engine state is shared across threads.
+  Registration *adopts* each model into its view's zero-copy weight plane
+  (:meth:`~repro.core.signature.FusedSignatures.adopt`), and all stacked
+  workspaces come from engine-owned per-bucket
+  :class:`~repro.core.signature.ScanScratch` buffers reused across ticks —
+  the steady-state tick moves no weight bytes beyond the gather itself.
+* **Worker pool** — independent kernel buckets (fleets mixing group sizes
+  or signature widths produce several) can run on a small thread pool
+  (``workers > 1``); the stacked NumPy kernels release the GIL, and all
+  scheduler bookkeeping (and each bucket's scratch) stays confined to one
+  batch, so no engine state is shared across threads.
 * **Lifecycle state machine** — each model carries a
   :class:`ProtectionState`::
 
@@ -63,7 +73,7 @@ from repro.core.detector import DetectionReport
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport
 from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
-from repro.core.signature import batched_mismatched_rows
+from repro.core.signature import ScanScratch, batched_mismatched_rows
 from repro.errors import ProtectionError
 from repro.nn.module import Module
 from repro.quant.layers import quantized_layers
@@ -177,6 +187,10 @@ class ManagedModel:
 
     def refresh_layer_map(self) -> None:
         self.layer_map = dict(quantized_layers(self.model))
+        # Adopt the model into the fused view's zero-copy weight plane: the
+        # engine's scans then gather straight from the buffers attacks and
+        # recovery mutate, with no per-tick weight copies.
+        self.scheduler.fused.adopt(self.layer_map)
 
     def min_feasible_budget_s(self) -> float:
         """Cost of this model's largest shard — the least budget that can
@@ -303,6 +317,10 @@ class VerificationEngine:
         self._models: Dict[str, ManagedModel] = {}
         self._tick_index = 0
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Per-bucket kernel workspaces, reused across ticks.  A bucket is
+        # one batch per tick and batches never share a ScanScratch, so the
+        # worker pool can run buckets concurrently without contention.
+        self._scratch: Dict[Tuple, ScanScratch] = {}
 
     # -- registry ---------------------------------------------------------------
     def register(
@@ -515,44 +533,52 @@ class VerificationEngine:
         return outcomes
 
     def _execute(self, slices: List[_PlannedSlice]) -> None:
-        """Verify every planned slice, coalescing identical-structure ones."""
+        """Verify every planned slice, coalescing kernel-compatible ones.
+
+        Slices are bucketed by :meth:`FusedSignatures.kernel_key` — the same
+        ``(group_size, signature_bits)`` means the same gather-row width and
+        binarization, which is all the stacked pass needs.  Structurally
+        identical models at the same rotation position share one broadcast
+        index matrix inside the pass; everything else rides along via padded
+        stacking, so even a fully heterogeneous fleet coalesces into one
+        batch per bucket instead of one pass per model.
+        """
         batches: Dict[Tuple, List[_PlannedSlice]] = {}
         for planned in slices:
             if planned.rows.size == 0:
                 planned.flagged_rows = planned.rows
                 planned.measured_s = 0.0
                 continue
-            scheduler = planned.managed.scheduler
-            # Same structure key + same shard partition + same slice ⇒ the
-            # row arrays are identical by construction, so the slices can
-            # share one stacked pass.
-            key = (
-                scheduler.fused.structure_key(),
-                scheduler.num_shards,
-                tuple(planned.shard_indices),
-            )
+            key = planned.managed.scheduler.fused.kernel_key()
             batches.setdefault(key, []).append(planned)
-        groups = list(batches.values())
+        groups = [
+            (batch, self._scratch.setdefault(key, ScanScratch()))
+            for key, batch in batches.items()
+        ]
         if self.workers > 1 and len(groups) > 1:
             started = time.perf_counter()
             pool = self._ensure_pool()
-            list(pool.map(self._run_batch, groups))
+            list(pool.map(lambda item: self._run_batch(*item), groups))
             elapsed = time.perf_counter() - started
             # Concurrent batches overlap, so their individual spans
             # double-count shared wall-clock; apportion the *aggregate*
-            # elapsed time by verified groups instead, keeping the measured
-            # cost models calibrated to what the tick really spent.
-            total_rows = sum(
-                planned.rows.size for group in groups for planned in group
+            # elapsed time instead.  A model's share of a padded stacked
+            # pass is its batch's full width (not its own row count), so
+            # weight by batch width — the same equal-share-within-a-batch
+            # rule _run_batch applies on the single-threaded path.
+            total_work = sum(
+                max(planned.rows.size for planned in batch) * len(batch)
+                for batch, _ in groups
             )
-            for group in groups:
-                for planned in group:
-                    planned.measured_s = elapsed * planned.rows.size / max(total_rows, 1)
+            for batch, _ in groups:
+                width = max(planned.rows.size for planned in batch)
+                for planned in batch:
+                    planned.measured_s = elapsed * width / max(total_work, 1)
         else:
-            for group in groups:
-                self._run_batch(group)
+            for batch, scratch in groups:
+                self._run_batch(batch, scratch)
 
-    def _run_batch(self, batch: List[_PlannedSlice]) -> None:
+    def _run_batch(self, batch: List[_PlannedSlice], scratch: ScanScratch) -> None:
         started = time.perf_counter()
         # Singletons go through the same kernel: a one-model "stack" costs the
         # same as the direct path but reuses the cached layer maps instead of
@@ -560,12 +586,18 @@ class VerificationEngine:
         flagged = batched_mismatched_rows(
             [planned.managed.scheduler.fused for planned in batch],
             [planned.managed.layer_map for planned in batch],
-            batch[0].rows,
+            [planned.rows for planned in batch],
+            scratch=scratch,
         )
         elapsed = time.perf_counter() - started
         share = elapsed / len(batch)
         for planned, flagged_rows in zip(batch, flagged):
             planned.flagged_rows = flagged_rows
+            # Every model's column in the padded stack is gathered and
+            # reduced at the full bucket width, so each model really costs
+            # an equal share of the pass — billing by own row count would
+            # under-charge short slices and miscalibrate measured cost
+            # models in mixed-size buckets.
             planned.measured_s = share
             planned.batch_size = len(batch)
 

@@ -91,23 +91,28 @@ class GroupLayout:
         members = self._groups[group_index]
         return members[members != PAD_INDEX].copy()
 
-    def gather(self, flat_values: np.ndarray) -> np.ndarray:
+    def gather(self, flat_values: np.ndarray, dtype=np.int64) -> np.ndarray:
         """Arrange ``flat_values`` into the (num_groups, group_size) layout.
 
         Padded slots are filled with zeros, which is neutral for the
-        addition checksum.
+        addition checksum.  ``dtype`` selects the gathered dtype; the
+        default promotes to int64 (the historical behaviour), while the
+        narrow-accumulation checksum path gathers int8 weights as int8 and
+        defers widening to the accumulator.
         """
         flat_values = np.asarray(flat_values)
         if flat_values.shape != (self.num_weights,):
             raise ProtectionError(
                 f"Expected a flat array of {self.num_weights} values, got shape {flat_values.shape}"
             )
-        gathered = np.zeros((self.num_groups, self.group_size), dtype=np.int64)
+        gathered = np.zeros((self.num_groups, self.group_size), dtype=dtype)
         valid = self._groups != PAD_INDEX
         gathered[valid] = flat_values[self._groups[valid]]
         return gathered
 
-    def gather_rows(self, flat_values: np.ndarray, group_indices: np.ndarray) -> np.ndarray:
+    def gather_rows(
+        self, flat_values: np.ndarray, group_indices: np.ndarray, dtype=np.int64
+    ) -> np.ndarray:
         """:meth:`gather` restricted to a subset of group rows.
 
         This is the amortized-scan fast path: the cost is proportional to
@@ -128,7 +133,7 @@ class GroupLayout:
             )
         rows = self._groups[group_indices]
         valid = rows != PAD_INDEX
-        gathered = np.zeros(rows.shape, dtype=np.int64)
+        gathered = np.zeros(rows.shape, dtype=dtype)
         gathered[valid] = flat_values[rows[valid]]
         return gathered
 

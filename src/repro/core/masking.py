@@ -49,12 +49,16 @@ class SecretKey:
         bits = tuple(int(bit) for bit in rng.integers(0, 2, size=num_bits))
         return SecretKey(bits=bits)
 
-    def signs(self, group_size: int) -> np.ndarray:
-        """Vector of ±1 masking signs for the ``group_size`` slots of a group."""
+    def signs(self, group_size: int, dtype=np.int64) -> np.ndarray:
+        """Vector of ±1 masking signs for the ``group_size`` slots of a group.
+
+        ``dtype`` selects the sign dtype; the scan kernel requests int8 so
+        the masked accumulation never widens its operands.
+        """
         if group_size < 1:
             raise ProtectionError(f"group_size must be >= 1, got {group_size}")
         repeated = np.resize(np.asarray(self.bits, dtype=np.int64), group_size)
-        return np.where(repeated == 1, 1, -1).astype(np.int64)
+        return np.where(repeated == 1, 1, -1).astype(dtype)
 
     def as_int(self) -> int:
         """The key packed into an integer (LSB = first bit); for display only."""

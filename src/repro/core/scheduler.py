@@ -354,7 +354,12 @@ class ScanScheduler:
         return np.concatenate([self._shards[index] for index in shard_indices])
 
     # -- scanning ---------------------------------------------------------------
-    def step(self, model: Module, budget_s: Optional[float] = None) -> ScanPassResult:
+    def step(
+        self,
+        model: Module,
+        budget_s: Optional[float] = None,
+        reference: bool = False,
+    ) -> ScanPassResult:
         """Verify the next slice of shards against the golden signatures.
 
         ``budget_s`` overrides the scheduler's own budget for this pass only —
@@ -364,8 +369,12 @@ class ScanScheduler:
         its exposure counters still advance, so an underfunded model's claim
         on the next allocation grows instead of silently overrunning.
 
-        ``step`` is plan → verify → :meth:`apply_scan`; callers that verify a
-        planned slice *externally* (the batched cross-model pass of
+        ``step`` is plan → verify → :meth:`apply_scan`; the middle stage runs
+        on the zero-copy scan kernel of
+        :class:`~repro.core.signature.FusedSignatures` (``reference=True``
+        pins it to the retained PR-3 per-layer path — the bit-exactness
+        oracle the kernel benchmark measures against).  Callers that verify
+        a planned slice *externally* (the batched cross-model pass of
         :class:`~repro.core.fleet.VerificationEngine`) run the same pipeline
         with their own middle stage.
         """
@@ -373,7 +382,7 @@ class ScanScheduler:
         shard_indices = self.plan(budget_s=budget)
         rows = self.slice_rows(shard_indices)
         started = time.perf_counter()
-        flagged_rows = self.fused.mismatched_rows(model, rows)
+        flagged_rows = self.fused.mismatched_rows(model, rows, reference=reference)
         elapsed = time.perf_counter() - started
         return self.apply_scan(
             shard_indices, flagged_rows, measured_s=elapsed, budget_s=budget

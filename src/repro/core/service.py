@@ -6,8 +6,10 @@ every model's amortized scan rotation once per ``step()``.  Since the fleet
 engine landed (:mod:`repro.core.fleet`) the service is a thin façade over a
 :class:`~repro.core.fleet.VerificationEngine`: registration, budget
 allocation, and the per-tick scan all delegate to the engine — which
-coalesces structurally identical models' slices into batched cross-model
-passes — while this class preserves the original caller-driven semantics:
+adopts every model into a zero-copy weight plane and coalesces all slices
+sharing a kernel bucket (``group_size``, ``signature_bits``) into batched
+stacked passes, heterogeneous architectures included — while this class
+preserves the original caller-driven semantics:
 
 * :meth:`step` detects only (engine tick with ``RecoveryPolicy.NONE``);
 * :meth:`step_and_recover` recovers what the pass flagged but does **not**
@@ -91,7 +93,8 @@ class ProtectionService:
         outcomes = service.step_and_recover()           # splits the 2 ms
 
     ``workers`` is forwarded to the underlying engine's batch-group thread
-    pool (only heterogeneous fleets produce more than one group per tick).
+    pool (only fleets mixing group sizes or signature widths produce more
+    than one kernel bucket per tick).
     """
 
     def __init__(

@@ -6,16 +6,29 @@ A :class:`SignatureStore` holds, for every protected layer, its
 from the clean weights.  The store also accounts for its own size, which is
 the paper's storage-overhead metric (2 bits per group; 5.6 KB for
 ResNet-18 at ``G = 512``, 8.2 KB for ResNet-20 at ``G = 8``).
+
+The run-time side of this module is the **zero-copy scan kernel** of
+:class:`FusedSignatures`: all layers fused at store-build time into one
+contiguous int8 weight plane with a single global gather-index matrix and a
+single int8 sign mask, so verifying any set of global rows is one int8
+gather plus one narrow-accumulation ``einsum`` — no per-layer Python loop,
+no ``searchsorted`` routing, no materialized product matrix, and (for
+engine-adopted models) no weight copies at all.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.checksum import compute_signatures, signature_from_sums
+from repro.core.checksum import (
+    accumulator_dtype,
+    compute_signatures,
+    signature_from_sums,
+    signature_shift_mask,
+)
 from repro.core.config import RadarConfig
 from repro.core.interleave import PAD_INDEX, GroupLayout
 from repro.core.masking import SecretKey
@@ -152,25 +165,72 @@ class SignatureStore:
         }
 
 
+class ScanScratch:
+    """Grow-only, named scratch buffers for the scan kernel.
+
+    Every kernel pass needs the same few workspaces (gathered weights, row
+    indices, sums); allocating them per pass would dominate small slices.
+    A :class:`ScanScratch` hands out views of flat grow-only buffers keyed
+    by ``(name, dtype)``, so steady-state passes allocate nothing.  One
+    instance must not be shared across threads — the fleet engine owns one
+    per batch bucket, each :class:`FusedSignatures` one for its own scans.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: Dict[Tuple[str, np.dtype], np.ndarray] = {}
+
+    def take(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
+        """A C-contiguous ``shape``-d view of the named buffer (grown if needed)."""
+        dtype = np.dtype(dtype)
+        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        buffer = self._buffers.get((name, dtype))
+        if buffer is None or buffer.size < size:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[(name, dtype)] = buffer
+        return buffer[:size].reshape(shape)
+
+
 class FusedSignatures:
-    """Vectorized signature recomputation across all protected layers.
+    """Zero-copy scan kernel: vectorized recomputation across all layers.
 
-    A :class:`SignatureStore` recomputes signatures layer by layer, each time
-    re-gathering the layer's full weight tensor.  This view instead caches,
-    once per store build, everything the recomputation needs:
+    A :class:`SignatureStore` recomputes signatures layer by layer, each
+    time re-gathering the layer's full weight tensor.  This view instead
+    fuses, once per store build, everything recomputation needs into three
+    global arrays under one **global row** numbering (row ``r`` is group
+    ``r - row_start`` of its owning layer):
 
-    * per layer, the padded gather-index matrix (pad slots redirected to
-      index 0) and a fused *sign mask* — ``+1``/``-1`` from the secret
-      masking key, ``0`` on padded slots — so masking and padding are one
-      multiply;
-    * the golden signatures of all layers concatenated under a **global
-      row** numbering (row ``r`` is group ``r - row_start`` of its layer).
+    * an int8 **weight plane** — all layers' flat weights, concatenated;
+    * one **gather-index matrix** ``(total_groups, group_size)`` into that
+      plane (padding redirected to an in-layer slot);
+    * one int8 **sign mask** of the same shape — ``+1``/``-1`` from the
+      secret masking key, ``0`` on padded slots — so masking and padding
+      cost nothing beyond the multiply already fused into the sum.
 
-    Recomputing any slice of rows then costs one fancy-gather + multiply +
-    row-sum per covered layer — work proportional to the slice, not to the
-    model — which is exactly what the amortized
-    :class:`~repro.core.scheduler.ScanScheduler` needs, and a full scan
-    becomes a single batched pass with no per-layer index rebuilding.
+    Verifying any row set is then one int8 gather plus one masked-sum
+    ``einsum`` accumulated in int32 (int64 only when ``group_size * 128``
+    could overflow — never at paper scales), with all workspaces reused
+    from a :class:`ScanScratch` across passes.  Both matrices are stored
+    slot-major (``group_size × total_groups``) so the einsum reduces over
+    the short axis and streams rows contiguously.  There is no per-layer
+    Python loop, no per-row ``searchsorted`` dispatch, and no materialized
+    ``gathered * mask`` product matrix.
+
+    Weights reach the plane one of two ways:
+
+    * **Adopted (zero-copy)** — :meth:`adopt` copies a model's weights into
+      the plane once and rebinds each layer's ``qweight`` to a view of it;
+      from then on attacks and recovery mutate the plane directly and a
+      scan performs *no* weight copies (the fleet engine adopts every
+      registered model).  A layer whose ``qweight`` is later replaced
+      wholesale (``set_qweight``) is transparently re-adopted.
+    * **Copied (compatibility)** — un-adopted models get their covered
+      layers memcpy'd into the plane per pass: still int8-narrow and still
+      free of the per-layer gather loop.
+
+    The PR-3 per-layer implementation is retained behind ``reference=True``
+    on :meth:`group_sums` / :meth:`signatures` / :meth:`mismatched_rows`
+    for bit-exactness tests and as the benchmark baseline
+    (``benchmarks/test_bench_scan_kernel.py``).
     """
 
     def __init__(self, store: SignatureStore) -> None:
@@ -180,6 +240,9 @@ class FusedSignatures:
         self.config = store.config
         entries = list(store)
         self.layer_names: List[str] = [entry.layer_name for entry in entries]
+        self._positions: Dict[str, int] = {
+            name: position for position, name in enumerate(self.layer_names)
+        }
         group_size = self.config.group_size
         self._indices: List[np.ndarray] = []
         self._sign_masks: List[np.ndarray] = []
@@ -210,6 +273,66 @@ class FusedSignatures:
         }
         self._structure_key: Optional[Tuple] = None
 
+        # -- fused kernel state (built lazily by _ensure_kernel: streaming-
+        # only callers use the per-layer arrays and never pay for the global
+        # matrices or the weight plane) ---------------------------------------
+        offsets = np.zeros(len(entries) + 1, dtype=np.int64)
+        offsets[1:] = np.cumsum(self._num_weights)
+        self._weight_offsets = offsets
+        self.total_weights = int(offsets[-1])
+        self._accum_dtype = accumulator_dtype(group_size)
+        self._scratch = ScanScratch()
+        self._kernel_indices: Optional[np.ndarray] = None
+        self._kernel_signs: Optional[np.ndarray] = None
+        self._plane: Optional[np.ndarray] = None
+        self._row_arange: Optional[np.ndarray] = None
+        # Adoption state: the layer objects whose qweight buffers are views
+        # of the plane, and those views themselves (identity-checked per
+        # scan; see _prepare_plane).
+        self._adopted = False
+        self._plane_layers: List[Optional[Module]] = [None] * len(entries)
+        self._plane_sources: List[Optional[np.ndarray]] = [None] * len(entries)
+        # Scans of a *foreign* model while adopted must not write into the
+        # adopted model's plane; they get their own lazily allocated one.
+        self._foreign_plane: Optional[np.ndarray] = None
+
+    def _ensure_kernel(self) -> None:
+        """Build the global kernel arrays on first kernel use (idempotent).
+
+        Per-layer local indices already send pad slots to 0, so shifting by
+        the layer offset keeps every index (pads included) inside its own
+        layer's plane segment.  The global matrices are stored TRANSPOSED —
+        ``(group_size, total_groups)``, slot-major — so the masked-sum
+        einsum reduces over the short slot axis while streaming contiguously
+        along the row axis (SIMD-friendly: ~2x the row-major reduction), and
+        a row slice is one ``axis=1`` take.
+        """
+        if self._kernel_indices is not None:
+            return
+        index_dtype = (
+            np.int32 if self.total_weights <= np.iinfo(np.int32).max else np.int64
+        )
+        self._kernel_indices = np.ascontiguousarray(
+            np.concatenate(
+                [
+                    local + self._weight_offsets[position]
+                    for position, local in enumerate(self._indices)
+                ]
+            ).T
+        ).astype(index_dtype)
+        self._kernel_signs = np.ascontiguousarray(
+            np.concatenate(self._sign_masks).T
+        )
+        self._plane = np.empty(self.total_weights, dtype=np.int8)
+        # Cached identity permutation so _row_block's contiguity test is an
+        # allocation-free compare against a view.
+        self._row_arange = np.arange(self.total_groups, dtype=np.int64)
+
+    @property
+    def adopted(self) -> bool:
+        """Whether a model's weight buffers currently live inside the plane."""
+        return self._adopted
+
     def structure_key(self) -> Tuple:
         """Hashable fingerprint of everything that determines this view's
         gather indices, sign masks and row numbering.
@@ -238,13 +361,32 @@ class FusedSignatures:
             )
         return self._structure_key
 
+    def kernel_key(self) -> Tuple[int, int]:
+        """The coarser fingerprint bucketed stacking coalesces on.
+
+        Views whose ``(group_size, signature_bits)`` match gather rows of
+        the same width and binarize them identically, so their slices can
+        share one padded stacked pass even when layer names, weight counts
+        or masking keys differ (heterogeneous fleets); see
+        :func:`batched_mismatched_rows`.
+        """
+        return (self.config.group_size, self.config.signature_bits)
+
     # -- row bookkeeping -------------------------------------------------------
     def row_range(self, layer_name: str) -> Tuple[int, int]:
         """``[start, end)`` global row range of one layer's groups."""
-        position = self.layer_names.index(layer_name)
+        position = self._position_of(layer_name)
         return int(self._row_starts[position]), int(self._row_starts[position + 1])
 
-    def _layer_flat(self, layer_map: Dict[str, Module], position: int) -> np.ndarray:
+    def _position_of(self, layer_name: str) -> int:
+        position = self._positions.get(layer_name)
+        if position is None:
+            raise ProtectionError(
+                f"Layer {layer_name!r} is not protected by this store"
+            )
+        return position
+
+    def _layer_flat(self, layer_map: Mapping[str, Module], position: int) -> np.ndarray:
         name = self.layer_names[position]
         if name not in layer_map:
             raise ProtectionError(f"Protected layer {name!r} missing from model")
@@ -255,10 +397,244 @@ class FusedSignatures:
             )
         return flat
 
+    # -- plane management ------------------------------------------------------
+    def adopt(self, layer_map: Mapping[str, Module]) -> None:
+        """Move a model's int8 weights into the kernel plane (zero-copy scans).
+
+        Copies each layer's current weights into its plane segment and
+        rebinds the layer's ``qweight`` to a view of that segment, so every
+        later in-place mutation (attacks, recovery) lands directly in the
+        plane and scans gather without copying anything.  Layers whose
+        buffer is replaced wholesale later (``set_qweight``, re-quantize)
+        are re-adopted transparently on the next scan.
+
+        A model previously adopted by another view with identical geometry
+        (the re-sign path: same layers, same weight counts) already keeps
+        its buffers in one conforming plane — that plane is adopted as-is,
+        with no copy and no rebinding, so weight references taken before a
+        re-protect stay valid.
+        """
+        self._ensure_kernel()
+        for position in range(len(self.layer_names)):
+            name = self.layer_names[position]
+            if name not in layer_map:
+                raise ProtectionError(f"Protected layer {name!r} missing from model")
+        alias = self._plane_alias(layer_map)
+        if alias is not None:
+            self._plane = alias
+            for position, name in enumerate(self.layer_names):
+                layer = layer_map[name]
+                self._plane_layers[position] = layer
+                self._plane_sources[position] = layer.qweight
+        else:
+            for position, name in enumerate(self.layer_names):
+                self._adopt_layer(position, layer_map[name])
+        self._adopted = True
+
+    def _plane_alias(self, layer_map: Mapping[str, Module]) -> Optional[np.ndarray]:
+        """An existing buffer the layers' weights already form a plane in.
+
+        Returns the one int8 array every layer's ``qweight`` is a
+        contiguous view of, laid out exactly at this view's offsets —
+        or ``None`` when the buffers are independent and adoption must
+        copy-and-rebind.
+        """
+        owner: Optional[np.ndarray] = None
+        owner_address = 0
+        for position, name in enumerate(self.layer_names):
+            qweight = layer_map[name].qweight
+            if (
+                qweight is None
+                or qweight.dtype != np.int8
+                or not qweight.flags["C_CONTIGUOUS"]
+                or qweight.size != self._num_weights[position]
+            ):
+                return None
+            base = qweight
+            while base.base is not None:
+                base = base.base
+            if base is qweight:
+                return None
+            if owner is None:
+                if (
+                    base.dtype != np.int8
+                    or base.ndim != 1
+                    or not base.flags["C_CONTIGUOUS"]
+                    or base.size != self.total_weights
+                ):
+                    return None
+                owner = base
+                owner_address = owner.__array_interface__["data"][0]
+            elif base is not owner:
+                return None
+            address = qweight.__array_interface__["data"][0]
+            if address != owner_address + int(self._weight_offsets[position]):
+                return None
+        return owner
+
+    def _adopt_layer(self, position: int, layer: Module) -> None:
+        flat = layer.qweight.reshape(-1)
+        # Adoption rebinds the layer's buffer, so a bad dtype here would not
+        # just miscompute one scan — it would silently truncate the weights
+        # into the int8 plane and corrupt the model.  Fail loudly instead.
+        if flat.dtype != np.int8:
+            raise ProtectionError(
+                f"Layer {self.layer_names[position]!r} qweight has dtype "
+                f"{flat.dtype}; only int8 weights can be adopted into the plane"
+            )
+        if flat.size != self._num_weights[position]:
+            raise ProtectionError(
+                f"Layer {self.layer_names[position]!r} has {flat.size} weights, "
+                f"expected {self._num_weights[position]}"
+            )
+        start, end = self._weight_offsets[position], self._weight_offsets[position + 1]
+        segment = self._plane[start:end]
+        segment[:] = flat
+        layer.qweight = segment.reshape(layer.qweight.shape)
+        self._plane_layers[position] = layer
+        self._plane_sources[position] = layer.qweight
+
+    def _covered_positions(self, rows: Optional[np.ndarray]) -> Sequence[int]:
+        """Layers whose plane segment a row slice reads (all, for a full scan)."""
+        if rows is None:
+            return range(len(self.layer_names))
+        owning = np.searchsorted(self._row_starts, rows, side="right") - 1
+        return np.unique(owning).tolist()
+
+    def _prepare_plane(
+        self, layer_map: Mapping[str, Module], rows: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """The plane the kernel should gather from, refreshed as needed.
+
+        Adopted steady state: every layer's ``qweight`` *is* its plane
+        segment, so this is a pure identity sweep — zero copies.  A layer
+        whose buffer was swapped out is re-adopted in place; a scan of a
+        different model entirely falls back to memcpy-ing its covered
+        layers into a separate foreign plane (the adopted model's weights
+        live in the main plane and must not be overwritten).
+        """
+        self._ensure_kernel()
+        if self._adopted:
+            stale: List[int] = []
+            foreign = False
+            for position, name in enumerate(self.layer_names):
+                if name not in layer_map:
+                    raise ProtectionError(
+                        f"Protected layer {name!r} missing from model"
+                    )
+                layer = layer_map[name]
+                if layer is self._plane_layers[position]:
+                    if layer.qweight is not self._plane_sources[position]:
+                        stale.append(position)
+                else:
+                    foreign = True
+                    break
+            if not foreign:
+                for position in stale:
+                    self._adopt_layer(
+                        position, layer_map[self.layer_names[position]]
+                    )
+                return self._plane
+            if self._foreign_plane is None:
+                self._foreign_plane = np.empty(self.total_weights, dtype=np.int8)
+            plane = self._foreign_plane
+        else:
+            plane = self._plane
+        for position in self._covered_positions(rows):
+            flat = self._layer_flat(layer_map, position)
+            start = self._weight_offsets[position]
+            plane[start : start + flat.size] = flat
+        return plane
+
+    # -- the kernel ------------------------------------------------------------
+    def _validated_rows(self, rows: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        if rows is None:
+            return None
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size and not (0 <= rows.min() and rows.max() < self.total_groups):
+            raise ProtectionError(f"global rows out of range ({self.total_groups} groups)")
+        return rows
+
+    def _kernel_sums(
+        self,
+        layer_map: Mapping[str, Module],
+        rows: Optional[np.ndarray],
+        scratch: Optional[ScanScratch] = None,
+    ) -> np.ndarray:
+        """Masked checksums for validated ``rows`` (``None`` = all groups).
+
+        Returns a view into scratch storage — callers either consume it
+        immediately (binarize/compare) or copy it out (:meth:`group_sums`).
+        """
+        self._ensure_kernel()
+        plane = self._prepare_plane(layer_map, rows)
+        scratch = scratch if scratch is not None else self._scratch
+        group_size = self.config.group_size
+        if rows is None:
+            indices = self._kernel_indices
+            signs = self._kernel_signs
+            count = self.total_groups
+        else:
+            count = int(rows.size)
+            if count == 0:
+                return np.empty(0, dtype=self._accum_dtype)
+            indices, signs = self._row_block(rows, count, scratch)
+        gathered = scratch.take("gathered", (group_size, count), np.int8)
+        # mode="clip" skips per-element bounds checking; every index was
+        # validated at build time (and row slices just above), so clipping
+        # can never trigger.
+        np.take(plane, indices, out=gathered, mode="clip")
+        sums = scratch.take("sums", (count,), self._accum_dtype)
+        np.einsum("gr,gr->r", gathered, signs, dtype=self._accum_dtype, out=sums)
+        return sums
+
+    def _row_block(
+        self, rows: np.ndarray, count: int, scratch: ScanScratch
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Index and sign columns for a validated row slice.
+
+        A contiguous ascending range — the shape every round-robin shard
+        slice has — is served as plain views of the global matrices (no
+        copy at all); anything else is gathered into scratch with one
+        ``axis=1`` take per matrix.
+        """
+        start = int(rows[0])
+        if int(rows[-1]) - start + 1 == count and np.array_equal(
+            rows, self._row_arange[start : start + count]
+        ):
+            block = slice(start, start + count)
+            return self._kernel_indices[:, block], self._kernel_signs[:, block]
+        group_size = self.config.group_size
+        indices = scratch.take(
+            "row-indices", (group_size, count), self._kernel_indices.dtype
+        )
+        np.take(self._kernel_indices, rows, axis=1, out=indices)
+        signs = scratch.take("row-signs", (group_size, count), np.int8)
+        np.take(self._kernel_signs, rows, axis=1, out=signs)
+        return indices, signs
+
     # -- recomputation ---------------------------------------------------------
-    def group_sums(self, model: Module, rows: Optional[np.ndarray] = None) -> np.ndarray:
-        """Masked checksums for the given global rows (``None`` = every group)."""
+    def group_sums(
+        self,
+        model: Module,
+        rows: Optional[np.ndarray] = None,
+        reference: bool = False,
+    ) -> np.ndarray:
+        """Masked checksums for the given global rows (``None`` = every group).
+
+        ``reference=True`` runs the retained PR-3 per-layer path (int64
+        promotion, per-layer gathers, ``searchsorted`` routing) — the
+        bit-exactness oracle and benchmark baseline for the kernel.
+        """
         layer_map = dict(quantized_layers(model))
+        rows = self._validated_rows(rows)
+        if reference:
+            return self._reference_sums(layer_map, rows)
+        return self._kernel_sums(layer_map, rows).astype(np.int64)
+
+    def _reference_sums(
+        self, layer_map: Mapping[str, Module], rows: Optional[np.ndarray]
+    ) -> np.ndarray:
         if rows is None:
             sums = np.empty(self.total_groups, dtype=np.int64)
             for position in range(len(self.layer_names)):
@@ -267,9 +643,6 @@ class FusedSignatures:
                 gathered = flat[self._indices[position]].astype(np.int64)
                 sums[start:end] = (gathered * self._sign_masks[position]).sum(axis=1)
             return sums
-        rows = np.asarray(rows, dtype=np.int64)
-        if rows.size and not (0 <= rows.min() and rows.max() < self.total_groups):
-            raise ProtectionError(f"global rows out of range ({self.total_groups} groups)")
         sums = np.empty(rows.size, dtype=np.int64)
         owning_layer = np.searchsorted(self._row_starts, rows, side="right") - 1
         for position in np.unique(owning_layer):
@@ -280,17 +653,104 @@ class FusedSignatures:
             sums[where] = (gathered * self._sign_masks[position][local]).sum(axis=1)
         return sums
 
-    def signatures(self, model: Module, rows: Optional[np.ndarray] = None) -> np.ndarray:
+    def signatures(
+        self,
+        model: Module,
+        rows: Optional[np.ndarray] = None,
+        reference: bool = False,
+    ) -> np.ndarray:
         """Current signatures for the given global rows, in row order."""
-        return signature_from_sums(self.group_sums(model, rows), self.config.signature_bits)
+        if reference:
+            return signature_from_sums(
+                self.group_sums(model, rows, reference=True), self.config.signature_bits
+            )
+        layer_map = dict(quantized_layers(model))
+        rows = self._validated_rows(rows)
+        sums = self._kernel_sums(layer_map, rows)
+        return signature_from_sums(sums, self.config.signature_bits)
 
-    def mismatched_rows(self, model: Module, rows: Optional[np.ndarray] = None) -> np.ndarray:
+    def mismatched_rows(
+        self,
+        model: Module,
+        rows: Optional[np.ndarray] = None,
+        reference: bool = False,
+    ) -> np.ndarray:
         """Global rows (among ``rows``) whose current signature differs from golden."""
-        current = self.signatures(model, rows)
+        if reference:
+            current = self.signatures(model, rows, reference=True)
+            if rows is None:
+                return np.nonzero(current != self.golden)[0].astype(np.int64)
+            rows = np.asarray(rows, dtype=np.int64)
+            return rows[current != self.golden[rows]]
+        layer_map = dict(quantized_layers(model))
+        rows = self._validated_rows(rows)
+        sums = self._kernel_sums(layer_map, rows)
+        # The sums live in scratch and are consumed right here, so binarize
+        # them in place instead of allocating signature_from_sums's
+        # intermediates on the hottest path.
+        shift, mask = signature_shift_mask(self.config.signature_bits)
+        np.right_shift(sums, shift, out=sums)
+        np.bitwise_and(sums, mask, out=sums)
         if rows is None:
-            return np.nonzero(current != self.golden)[0].astype(np.int64)
-        rows = np.asarray(rows, dtype=np.int64)
-        return rows[current != self.golden[rows]]
+            return np.nonzero(sums != self.golden)[0].astype(np.int64)
+        return rows[sums != self.golden[rows]]
+
+    def layer_stream_signatures(
+        self,
+        layer_name: str,
+        qweight_flat: np.ndarray,
+        groups: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Signatures of one layer's *streamed* weights on the kernel path.
+
+        The streaming counterpart of :meth:`signatures`: no model object,
+        just the flat int8 payload a DMA engine would deliver for
+        ``layer_name``.  Uses the fused per-layer gather matrix and sign
+        mask with narrow accumulation, so
+        :class:`~repro.core.streaming.StreamingVerifier` shares the
+        kernel's speed without owning a plane.  ``groups`` restricts the
+        check to the listed local group indices (in order).
+        """
+        position = self._position_of(layer_name)
+        qweight_flat = np.asarray(qweight_flat)
+        if qweight_flat.dtype != np.int8:
+            raise ProtectionError(
+                f"Expected int8 weights, got dtype {qweight_flat.dtype}"
+            )
+        if qweight_flat.ndim != 1 or qweight_flat.size != self._num_weights[position]:
+            raise ProtectionError(
+                f"Layer {layer_name!r} stream has shape {qweight_flat.shape}, "
+                f"expected ({self._num_weights[position]},)"
+            )
+        indices = self._indices[position]
+        signs = self._sign_masks[position]
+        if groups is not None:
+            groups = np.atleast_1d(np.asarray(groups, dtype=np.int64))
+            num_groups = indices.shape[0]
+            if groups.size and not (
+                0 <= groups.min() and groups.max() < num_groups
+            ):
+                raise ProtectionError(
+                    f"group indices out of range ({num_groups} groups)"
+                )
+            if groups.size == 0:
+                return np.empty(0, dtype=np.uint8)
+            count = int(groups.size)
+            group_size = self.config.group_size
+            row_indices = self._scratch.take(
+                "stream-indices", (count, group_size), indices.dtype
+            )
+            np.take(indices, groups, axis=0, out=row_indices)
+            row_signs = self._scratch.take(
+                "stream-signs", (count, group_size), np.int8
+            )
+            np.take(signs, groups, axis=0, out=row_signs)
+            indices, signs = row_indices, row_signs
+        gathered = self._scratch.take("stream-gathered", indices.shape, np.int8)
+        np.take(qweight_flat, indices, out=gathered)
+        sums = self._scratch.take("stream-sums", (indices.shape[0],), self._accum_dtype)
+        np.einsum("ij,ij->i", gathered, signs, dtype=self._accum_dtype, out=sums)
+        return signature_from_sums(sums, self.config.signature_bits)
 
     def rows_to_layer_groups(self, rows: np.ndarray) -> Dict[str, np.ndarray]:
         """Translate global rows into per-layer group indices (all layers present).
@@ -311,28 +771,41 @@ class FusedSignatures:
         return result
 
 
+RowsArg = Union[np.ndarray, Sequence[np.ndarray]]
+
+
 def batched_mismatched_rows(
     views: Sequence[FusedSignatures],
     layer_maps: Sequence[Mapping[str, Module]],
-    rows: np.ndarray,
+    rows: RowsArg,
+    scratch: Optional[ScanScratch] = None,
 ) -> List[np.ndarray]:
-    """Verify the same global-row slice of several *structurally identical*
-    models in one vectorized pass.
+    """Verify row slices of several models in one stacked kernel pass.
 
     ``views[i]`` is model *i*'s fused view and ``layer_maps[i]`` its
-    ``{layer_name: quantized layer}`` mapping.  All views must share a
-    :meth:`FusedSignatures.structure_key` — they then share gather indices
-    and sign masks, so the per-layer recomputation stacks every model's
-    gathered weights into one ``(models, rows, group_size)`` tensor and the
-    masked multiply / row-sum / binarize / golden-compare each run once for
-    the whole batch instead of once per model.  This is the kernel behind
-    the fleet engine's cross-model batched stepping
-    (:meth:`repro.core.fleet.VerificationEngine.tick`): for a fleet of
-    same-architecture models the per-pass NumPy dispatch overhead is paid
-    once, not ``k`` times.
+    ``{layer_name: quantized layer}`` mapping.  Two calling conventions:
+
+    * ``rows`` as a **single array** — the legacy homogeneous contract: all
+      views must share a :meth:`FusedSignatures.structure_key` and the one
+      slice is verified for every model.
+    * ``rows`` as a **sequence of per-model arrays** — bucketed padded
+      stacking: views only need matching :meth:`FusedSignatures.kernel_key`
+      (``group_size``, ``signature_bits``); row counts are padded to the
+      bucket max with zero sign rows, so models of *different*
+      architectures still share the stacked gather + einsum + binarize +
+      compare.  This is what lets the fleet engine coalesce heterogeneous
+      fleets instead of falling back to sequential per-model scans.
+
+    When every view shares a structure key and every model scans the same
+    rows, the stack degenerates to the broadcast fast path (one shared
+    index/sign matrix); otherwise each model contributes its own.  Either
+    way the per-pass NumPy dispatch overhead is paid once for the whole
+    batch, the gather stays int8 and the accumulation narrow, and all
+    stacked workspaces come from ``scratch`` (the engine passes its
+    per-bucket :class:`ScanScratch`; ``None`` allocates a private one).
 
     Returns one flagged-row array per model, identical to what
-    ``views[i].mismatched_rows(model_i, rows)`` would report.
+    ``views[i].mismatched_rows(model_i, rows_i)`` would report.
     """
     if not views:
         raise ProtectionError("batched_mismatched_rows needs at least one view")
@@ -340,42 +813,113 @@ def batched_mismatched_rows(
         raise ProtectionError(
             f"got {len(views)} views but {len(layer_maps)} layer maps"
         )
+    # A list/tuple is per-model rows only when every element is itself an
+    # array-like; a plain sequence of ints (``rows=[0, 1, 2]``) keeps its
+    # historical meaning of one shared row slice.
+    per_model = (
+        not isinstance(rows, np.ndarray)
+        and isinstance(rows, (list, tuple))
+        and len(rows) > 0
+        and all(isinstance(item, (np.ndarray, list, tuple)) for item in rows)
+    )
+    shared = not per_model
     reference = views[0]
-    key = reference.structure_key()
-    for view in views[1:]:
-        if view.structure_key() != key:
+    if shared:
+        key = reference.structure_key()
+        for view in views[1:]:
+            if view.structure_key() != key:
+                raise ProtectionError(
+                    "batched verification of one shared row slice needs "
+                    "structurally identical models; structure keys differ "
+                    "(pass per-model row arrays for bucketed stacking)"
+                )
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return [rows.copy() for _ in views]
+        rows_list = [reference._validated_rows(rows)] * len(views)
+    else:
+        if len(rows) != len(views):
             raise ProtectionError(
-                "batched verification needs structurally identical models; "
-                "structure keys differ"
+                f"got {len(views)} views but {len(rows)} row arrays"
             )
-    rows = np.asarray(rows, dtype=np.int64)
-    if rows.size == 0:
-        return [rows.copy() for _ in views]
-    if not (0 <= rows.min() and rows.max() < reference.total_groups):
-        raise ProtectionError(
-            f"global rows out of range ({reference.total_groups} groups)"
-        )
+        kernel_key = reference.kernel_key()
+        for view in views[1:]:
+            if view.kernel_key() != kernel_key:
+                raise ProtectionError(
+                    "bucketed stacking needs matching (group_size, "
+                    "signature_bits) kernel keys"
+                )
+        rows_list = [
+            view._validated_rows(np.asarray(item, dtype=np.int64))
+            for view, item in zip(views, rows)
+        ]
+
     num_models = len(views)
-    sums = np.empty((num_models, rows.size), dtype=np.int64)
-    owning_layer = np.searchsorted(reference._row_starts, rows, side="right") - 1
-    for position in np.unique(owning_layer):
-        where = np.nonzero(owning_layer == position)[0]
-        local = rows[where] - reference._row_starts[position]
-        indices = reference._indices[position][local]
-        mask = reference._sign_masks[position][local]
-        gathered = np.empty((num_models,) + indices.shape, dtype=np.int64)
-        for index, layer_map in enumerate(layer_maps):
-            gathered[index] = reference._layer_flat(layer_map, position)[indices]
-        sums[:, where] = (gathered * mask[None, :, :]).sum(axis=2)
-    current = signature_from_sums(
-        sums.reshape(-1), reference.config.signature_bits
-    ).reshape(num_models, rows.size)
-    golden = np.stack([view.golden[rows] for view in views])
-    mismatched = current != golden
-    if not mismatched.any():
-        empty = rows[:0]
-        return [empty.copy() for _ in views]
-    return [rows[mismatched[index]] for index in range(num_models)]
+    sizes = [int(item.size) for item in rows_list]
+    width = max(sizes)
+    if width == 0:
+        return [np.empty(0, dtype=np.int64) for _ in views]
+    for view in views:
+        view._ensure_kernel()
+    scratch = scratch if scratch is not None else ScanScratch()
+    group_size = reference.config.group_size
+    accum = reference._accum_dtype
+    signature_bits = reference.config.signature_bits
+
+    homogeneous = all(
+        view.structure_key() == reference.structure_key() for view in views
+    ) and all(
+        size == sizes[0] and np.array_equal(item, rows_list[0])
+        for size, item in zip(sizes, rows_list)
+    )
+
+    stacked = scratch.take("stacked", (num_models, group_size, width), np.int8)
+    sums = scratch.take("stacked-sums", (num_models, width), accum)
+    if homogeneous:
+        rows0 = rows_list[0]
+        indices, signs = reference._row_block(rows0, width, scratch)
+        for index, (view, layer_map) in enumerate(zip(views, layer_maps)):
+            plane = view._prepare_plane(layer_map, rows0)
+            np.take(plane, indices, out=stacked[index], mode="clip")
+        np.einsum("kgr,gr->kr", stacked, signs, dtype=accum, out=sums)
+    else:
+        signs = scratch.take(
+            "stacked-signs", (num_models, group_size, width), np.int8
+        )
+        padded_rows = scratch.take("padded-rows", (width,), np.int64)
+        for index, (view, layer_map, model_rows) in enumerate(
+            zip(views, layer_maps, rows_list)
+        ):
+            size = sizes[index]
+            if size == 0:
+                signs[index].fill(0)
+                continue
+            plane = view._prepare_plane(layer_map, model_rows)
+            # Pad the row list (any valid row does — 0) so every take lands
+            # in a contiguous full-width workspace; the padded columns' sign
+            # is then zeroed, which zeroes their accumulated sum exactly.
+            padded_rows[:size] = model_rows
+            padded_rows[size:] = 0
+            indices = scratch.take(
+                "bucket-indices", (group_size, width), view._kernel_indices.dtype
+            )
+            np.take(view._kernel_indices, padded_rows, axis=1, out=indices)
+            np.take(view._kernel_signs, padded_rows, axis=1, out=signs[index])
+            if size < width:
+                signs[index, :, size:] = 0
+            np.take(plane, indices, out=stacked[index], mode="clip")
+        np.einsum("kgr,kgr->kr", stacked, signs, dtype=accum, out=sums)
+
+    current = signature_from_sums(sums, signature_bits)
+    flagged: List[np.ndarray] = []
+    for index, (view, model_rows) in enumerate(zip(views, rows_list)):
+        size = sizes[index]
+        if size == 0:
+            flagged.append(np.empty(0, dtype=np.int64))
+            continue
+        mismatched = current[index, :size] != view.golden[model_rows]
+        flagged.append(model_rows[mismatched])
+    return flagged
 
 
 def flip_group_index(store: SignatureStore, layer_name: str, flat_index: int) -> Tuple[str, int]:

@@ -19,7 +19,6 @@ from typing import TYPE_CHECKING, Dict, Iterator, Optional, Tuple
 import numpy as np
 
 from repro.core.detector import DetectionReport
-from repro.core.checksum import compute_signatures
 from repro.core.recovery import RecoveryPolicy
 from repro.core.signature import SignatureStore
 from repro.errors import ProtectionError
@@ -109,27 +108,25 @@ class StreamingVerifier:
         ``groups`` restricts the check to the listed group indices — the
         stream-level counterpart of one :class:`~repro.core.scheduler.ScanScheduler`
         shard slice; ``None`` verifies every group of the layer.
+
+        Verification runs on the scan kernel's per-layer arrays
+        (:meth:`~repro.core.signature.FusedSignatures.layer_stream_signatures`):
+        precomputed gather indices and int8 sign mask with narrow (int32)
+        accumulation, instead of re-deriving the layout's index matrix and
+        promoting every streamed weight to int64 per call.
         """
         entry = self.store.layer(layer_name)
         qweight_flat = np.asarray(qweight_flat)
-        if qweight_flat.ndim != 1 or qweight_flat.size != entry.layout.num_weights:
-            raise ProtectionError(
-                f"Layer {layer_name!r} stream has shape {qweight_flat.shape}, "
-                f"expected ({entry.layout.num_weights},)"
-            )
+        # Dtype/shape validation happens in layer_stream_signatures — one
+        # validator, one error message.
+        fused = self.store.fused()
         if groups is None:
-            current = compute_signatures(
-                qweight_flat, entry.layout, entry.key, self.store.config.signature_bits
-            )
+            current = fused.layer_stream_signatures(layer_name, qweight_flat)
             flagged = np.nonzero(current != entry.golden)[0].astype(np.int64)
         else:
             groups = np.atleast_1d(np.asarray(groups, dtype=np.int64))
-            current = compute_signatures(
-                qweight_flat,
-                entry.layout,
-                entry.key,
-                self.store.config.signature_bits,
-                groups=groups,
+            current = fused.layer_stream_signatures(
+                layer_name, qweight_flat, groups=groups
             )
             flagged = np.unique(groups[current != entry.golden[groups]])
         return StreamEvent(layer_name=layer_name, flagged_groups=flagged)

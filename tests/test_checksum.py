@@ -72,6 +72,40 @@ class TestSignatureFromSums:
         assert (shifted & 1) == (original & 1)          # S_B unchanged
         assert (shifted >> 1) != (original >> 1)        # S_A toggled
 
+    def test_negative_checksums_pin_twos_complement_floor(self):
+        """Regression pin for the vectorized (shift-based) binarization.
+
+        The documented behaviour is Equation (1) with *floor* division —
+        for negative checksums that is the two's-complement reading (an
+        arithmetic right shift), NOT truncation toward zero.  These values
+        are pinned explicitly so a reimplementation that reaches for C-style
+        ``/`` semantics fails loudly.
+        """
+        sums = np.array([-1, -64, -65, -128, -129, -256, -257, -384, 383])
+        # floor(-1/128) = -1 (odd) -> S_B = 1; truncation would give 0.
+        expected = {
+            1: [1, 1, 1, 1, 0, 0, 1, 1, 0],
+            2: [3, 3, 3, 3, 2, 2, 1, 1, 2],
+            3: [7, 7, 6, 6, 5, 4, 3, 2, 5],
+        }
+        for bits, values in expected.items():
+            np.testing.assert_array_equal(
+                signature_from_sums(sums, bits), values
+            )
+            # ...and every pinned value matches Equation (1) spelled out.
+            for total, value in zip(sums, values):
+                assert value == _manual_signature(int(total), bits)
+
+    def test_int32_and_int64_checksums_binarize_identically(self):
+        """The kernel feeds int32 sums straight through — same signatures."""
+        rng = np.random.default_rng(5)
+        sums64 = rng.integers(-100_000, 100_000, size=512)
+        for bits in (1, 2, 3):
+            np.testing.assert_array_equal(
+                signature_from_sums(sums64.astype(np.int32), bits),
+                signature_from_sums(sums64, bits),
+            )
+
 
 class TestComputeGroupSums:
     def _weights(self, count, seed=0):

@@ -168,7 +168,8 @@ class TestBatchedEquivalence:
         outcomes = engine.tick()
         assert all(outcome.batch_size == 4 for outcome in outcomes.values())
 
-    def test_heterogeneous_fleet_splits_batches(self):
+    def test_heterogeneous_fleet_shares_one_bucketed_batch(self):
+        """Mixed architectures coalesce via padded stacking (same kernel key)."""
         engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
         engine.register("mlp-a", _small_model(1))
         engine.register("mlp-b", _small_model(2))
@@ -176,9 +177,20 @@ class TestBatchedEquivalence:
         quantize_model(lenet)
         engine.register("lenet", lenet)
         outcomes = engine.tick()
+        assert all(outcome.batch_size == 3 for outcome in outcomes.values())
+
+    def test_mixed_group_sizes_split_kernel_buckets(self):
+        """Different group sizes cannot share a stacked gather width."""
+        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        engine.register("mlp-a", _small_model(1))
+        engine.register("mlp-b", _small_model(2))
+        engine.register(
+            "coarse", _small_model(3), config=RadarConfig(group_size=16)
+        )
+        outcomes = engine.tick()
         assert outcomes["mlp-a"].batch_size == 2
         assert outcomes["mlp-b"].batch_size == 2
-        assert outcomes["lenet"].batch_size == 1
+        assert outcomes["coarse"].batch_size == 1
 
     def test_worker_pool_ticks_heterogeneous_fleet(self):
         with VerificationEngine(

@@ -350,10 +350,37 @@ class TestAmortizedOverhead:
         return count_model_ops(model, np.zeros((1, 3, 32, 32), dtype=np.float32))
 
     def test_full_rotation_bounds_radar_overhead_from_above(self, ops):
+        """The pre-kernel (narrow=False) price keeps the historical bound."""
         timing = TimingModel()
         radar = RadarConfig(group_size=8)
-        amortized_full = timing.amortized_overhead_s(ops, radar, num_shards=1)
+        amortized_full = timing.amortized_overhead_s(
+            ops, radar, num_shards=1, narrow=False
+        )
         assert amortized_full >= timing.radar_overhead_s(ops, radar)
+
+    def test_narrow_kernel_discounts_the_per_weight_term_only(self, ops):
+        timing = TimingModel()
+        radar = RadarConfig(group_size=8)
+        config = timing.config
+        wide = timing.scan_cycles_per_group(radar, narrow=False)
+        narrow = timing.scan_cycles_per_group(radar)
+        per_weight = config.checksum_cycles_per_weight_interleaved
+        expected = (
+            radar.group_size * per_weight / config.narrow_accumulation_speedup
+            + config.checksum_cycles_per_group
+        )
+        assert narrow == pytest.approx(expected)
+        assert narrow < wide
+        # The per-group binarize/compare term is not discounted.
+        assert wide - narrow == pytest.approx(
+            radar.group_size
+            * per_weight
+            * (1 - 1 / config.narrow_accumulation_speedup)
+        )
+
+    def test_narrow_speedup_below_one_rejected(self, ops):
+        with pytest.raises(SimulationError):
+            TimingConfig(narrow_accumulation_speedup=0.5)
 
     def test_per_pass_cost_shrinks_with_shard_count(self, ops):
         timing = TimingModel()

@@ -1,0 +1,478 @@
+"""Tests for the zero-copy scan kernel of :class:`FusedSignatures`.
+
+Three contracts are pinned here:
+
+* **Bit-exactness** — the kernel (fused int8 plane + narrow-accumulation
+  einsum) returns exactly what the retained PR-3 reference path returns,
+  across group sizes, interleave/masking settings, signature widths and
+  every row-slice shape the scheduler can produce.
+* **Adoption** — moving a model's weights into the plane is invisible to
+  callers: in-place mutations are seen immediately, wholesale buffer
+  replacement re-adopts transparently, foreign models never corrupt the
+  adopted plane, and a re-protect adopts the existing plane in place so
+  weight references stay valid.
+* **Bucketed stacking** — heterogeneous fleets (different structure keys,
+  same kernel key) verified in one padded stacked pass report exactly the
+  per-model rows the sequential path finds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ModelProtector,
+    RadarConfig,
+    RecoveryPolicy,
+    ScanScratch,
+    VerificationEngine,
+    batched_mismatched_rows,
+)
+from repro.errors import ProtectionError
+from repro.models.small import MLP, LeNet5
+from repro.quant.layers import quantize_model, quantized_layers
+from repro.utils.rng import new_rng
+
+
+def _protected_mlp(
+    seed=0, group_size=8, hidden=(16,), input_dim=24, num_classes=4, **config_kwargs
+):
+    model = MLP(
+        input_dim=input_dim, num_classes=num_classes, hidden_dims=hidden, seed=seed
+    )
+    quantize_model(model)
+    protector = ModelProtector(RadarConfig(group_size=group_size, **config_kwargs))
+    protector.protect(model)
+    return model, protector
+
+
+def _flip(model, layer_index=0, weight_index=0):
+    _, layer = quantized_layers(model)[layer_index]
+    flat = layer.qweight.reshape(-1)
+    flat[weight_index] = np.int8(int(flat[weight_index]) ^ -128)
+
+
+class TestKernelBitExactness:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        group_size=st.sampled_from([2, 3, 8, 16, 64]),
+        use_interleave=st.booleans(),
+        use_masking=st.booleans(),
+        signature_bits=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_kernel_matches_reference_across_configs(
+        self, seed, group_size, use_interleave, use_masking, signature_bits
+    ):
+        model, protector = _protected_mlp(
+            seed=seed,
+            group_size=group_size,
+            use_interleave=use_interleave,
+            use_masking=use_masking,
+            signature_bits=signature_bits,
+        )
+        fused = protector.store.fused()
+        rng = new_rng(("kernel-exact", seed))
+        # Corrupt a couple of weights so mismatches actually occur.
+        for layer_index in (0, 1):
+            _flip(model, layer_index, int(rng.integers(16)))
+        total = fused.total_groups
+        row_cases = [
+            None,
+            np.empty(0, dtype=np.int64),                      # empty slice
+            np.arange(total, dtype=np.int64),                 # full slice
+            np.arange(total // 2, dtype=np.int64),            # contiguous prefix
+            rng.choice(total, size=max(1, total // 3), replace=False),  # scattered
+            np.array([0, 0, total - 1, 0], dtype=np.int64),   # duplicates, unsorted
+        ]
+        for rows in row_cases:
+            np.testing.assert_array_equal(
+                fused.group_sums(model, rows),
+                fused.group_sums(model, rows, reference=True),
+            )
+            np.testing.assert_array_equal(
+                fused.signatures(model, rows),
+                fused.signatures(model, rows, reference=True),
+            )
+            np.testing.assert_array_equal(
+                fused.mismatched_rows(model, rows),
+                fused.mismatched_rows(model, rows, reference=True),
+            )
+
+    def test_adopted_and_copy_mode_agree(self):
+        model, protector = _protected_mlp(seed=3)
+        fused = protector.store.fused()
+        _flip(model, 0, 5)
+        copy_mode = fused.mismatched_rows(model)
+        fused.adopt(dict(quantized_layers(model)))
+        assert fused.adopted
+        np.testing.assert_array_equal(copy_mode, fused.mismatched_rows(model))
+
+    def test_kernel_rejects_out_of_range_rows(self):
+        model, protector = _protected_mlp(seed=4)
+        fused = protector.store.fused()
+        with pytest.raises(ProtectionError, match="out of range"):
+            fused.mismatched_rows(model, np.array([fused.total_groups]))
+
+    def test_group_sums_returns_int64(self):
+        model, protector = _protected_mlp(seed=5)
+        fused = protector.store.fused()
+        assert fused.group_sums(model).dtype == np.int64
+
+
+class TestPlaneAdoption:
+    def test_inplace_mutation_after_adoption_is_detected(self):
+        model, protector = _protected_mlp(seed=1)
+        fused = protector.store.fused()
+        fused.adopt(dict(quantized_layers(model)))
+        assert fused.mismatched_rows(model).size == 0
+        _flip(model, 0, 7)  # mutates the plane view in place
+        flagged = fused.mismatched_rows(model)
+        assert flagged.size > 0
+        np.testing.assert_array_equal(
+            flagged, fused.mismatched_rows(model, reference=True)
+        )
+
+    def test_set_qweight_replacement_is_readopted(self):
+        model, protector = _protected_mlp(seed=2)
+        fused = protector.store.fused()
+        layer_map = dict(quantized_layers(model))
+        fused.adopt(layer_map)
+        name, layer = quantized_layers(model)[0]
+        corrupted = layer.qweight.copy()
+        corrupted.reshape(-1)[3] = np.int8(int(corrupted.reshape(-1)[3]) ^ -128)
+        layer.qweight = corrupted  # wholesale buffer swap, bypassing the plane
+        flagged = fused.mismatched_rows(model)
+        assert flagged.size > 0
+        # The swap was healed by re-adoption: the buffer is a plane view again.
+        assert layer.qweight.base is not None
+        np.testing.assert_array_equal(
+            flagged, fused.mismatched_rows(model, reference=True)
+        )
+
+    def test_foreign_model_scan_does_not_corrupt_adopted_plane(self):
+        model, protector = _protected_mlp(seed=6)
+        fused = protector.store.fused()
+        fused.adopt(dict(quantized_layers(model)))
+        snapshot = {
+            name: layer.qweight.copy() for name, layer in quantized_layers(model)
+        }
+        foreign = MLP(input_dim=24, num_classes=4, hidden_dims=(16,), seed=99)
+        quantize_model(foreign)
+        _flip(foreign, 0, 2)
+        foreign_flagged = fused.mismatched_rows(foreign)
+        assert foreign_flagged.size > 0  # foreign weights differ from golden
+        # The adopted model's weights and scan are untouched.
+        for name, layer in quantized_layers(model):
+            np.testing.assert_array_equal(layer.qweight, snapshot[name])
+        assert fused.mismatched_rows(model).size == 0
+        # And the foreign model was not hijacked into the plane.
+        assert not any(
+            layer.qweight.base is fused._plane
+            for _, layer in quantized_layers(foreign)
+        )
+
+    def test_readoption_after_reprotect_preserves_weight_references(self):
+        model, protector = _protected_mlp(seed=7)
+        fused = protector.store.fused()
+        layer_map = dict(quantized_layers(model))
+        fused.adopt(layer_map)
+        name, layer = quantized_layers(model)[0]
+        flat_before = layer.qweight.reshape(-1)
+        # Re-protect (new store, new fused view) and adopt again: the new
+        # view aliases the existing plane instead of rebinding buffers.
+        protector.protect(model)
+        refreshed = protector.store.fused()
+        refreshed.adopt(dict(quantized_layers(model)))
+        assert layer.qweight.reshape(-1) is not None
+        flat_after = quantized_layers(model)[0][1].qweight.reshape(-1)
+        assert np.shares_memory(flat_before, flat_after)
+
+    def test_adopt_validates_layer_presence(self):
+        model, protector = _protected_mlp(seed=8)
+        fused = protector.store.fused()
+        with pytest.raises(ProtectionError, match="missing from model"):
+            fused.adopt({})
+
+    def test_readoption_rejects_non_int8_buffer(self):
+        """A bad-dtype buffer swap must fail loudly, not truncate into the plane."""
+        model, protector = _protected_mlp(seed=12)
+        fused = protector.store.fused()
+        fused.adopt(dict(quantized_layers(model)))
+        _, layer = quantized_layers(model)[0]
+        layer.qweight = layer.qweight.astype(np.int32)
+        with pytest.raises(ProtectionError, match="int8"):
+            fused.mismatched_rows(model)
+
+    def test_layer_map_memo_does_not_pin_foreign_models(self):
+        import gc
+        import weakref
+
+        model, protector = _protected_mlp(seed=13)
+        fused = protector.store.fused()
+        foreign = MLP(input_dim=24, num_classes=4, hidden_dims=(16,), seed=42)
+        quantize_model(foreign)
+        fused.mismatched_rows(foreign)
+        # Sentinels on the root AND the layer modules: scanning a transient
+        # foreign model must not leave the view holding any part of it.
+        sentinels = [weakref.ref(foreign)] + [
+            weakref.ref(layer) for _, layer in quantized_layers(foreign)
+        ]
+        del foreign
+        gc.collect()
+        assert all(sentinel() is None for sentinel in sentinels)
+
+    def test_streaming_path_does_not_build_the_global_kernel(self):
+        """Streaming-only callers must not pay for the plane/global matrices."""
+        model, protector = _protected_mlp(seed=14)
+        fused = protector.store.fused()
+        name = protector.store.layer_names()[0]
+        layer = dict(quantized_layers(model))[name]
+        fused.layer_stream_signatures(name, layer.qweight.reshape(-1))
+        assert fused._kernel_indices is None and fused._plane is None
+        # The first plane scan builds it on demand.
+        fused.mismatched_rows(model)
+        assert fused._kernel_indices is not None
+
+
+class TestScanScratch:
+    def test_buffers_grow_and_are_reused(self):
+        scratch = ScanScratch()
+        small = scratch.take("x", (4, 8), np.int8)
+        again = scratch.take("x", (4, 8), np.int8)
+        assert np.shares_memory(small, again)
+        bigger = scratch.take("x", (8, 8), np.int8)
+        assert bigger.shape == (8, 8)
+        shrunk = scratch.take("x", (2, 2), np.int8)
+        assert np.shares_memory(bigger, shrunk)
+
+    def test_dtypes_do_not_collide(self):
+        scratch = ScanScratch()
+        a = scratch.take("x", (16,), np.int8)
+        b = scratch.take("x", (16,), np.int32)
+        assert a.dtype == np.int8 and b.dtype == np.int32
+        assert not np.shares_memory(a, b)
+
+
+class TestBucketedStacking:
+    def _fleet(self, specs):
+        """Protected (model, fused, layer_map) triples from (seed, hidden) specs."""
+        triples = []
+        for seed, hidden in specs:
+            model, protector = _protected_mlp(
+                seed=seed, hidden=hidden, input_dim=32, num_classes=4
+            )
+            fused = protector.store.fused()
+            triples.append((model, fused, dict(quantized_layers(model))))
+        return triples
+
+    def test_heterogeneous_stack_matches_sequential(self):
+        triples = self._fleet(
+            [(0, (16,)), (1, (16,)), (2, (24, 12)), (3, (8, 8, 8))]
+        )
+        _flip(triples[1][0], 0, 3)
+        _flip(triples[2][0], 1, 1)
+        rng = new_rng(("bucket", 1))
+        rows_list = []
+        for _, fused, _ in triples:
+            total = fused.total_groups
+            rows_list.append(
+                np.sort(rng.choice(total, size=max(1, total // 2), replace=False))
+            )
+        batched = batched_mismatched_rows(
+            [fused for _, fused, _ in triples],
+            [layer_map for _, _, layer_map in triples],
+            rows_list,
+        )
+        for (model, fused, _), rows, flagged in zip(triples, rows_list, batched):
+            np.testing.assert_array_equal(
+                flagged, fused.mismatched_rows(model, rows, reference=True)
+            )
+
+    def test_mixed_row_counts_pad_to_bucket_max(self):
+        triples = self._fleet([(0, (16,)), (1, (24, 12))])
+        _flip(triples[0][0], 0, 0)
+        rows_list = [
+            np.arange(triples[0][1].total_groups, dtype=np.int64),
+            np.arange(3, dtype=np.int64),  # much shorter slice
+        ]
+        batched = batched_mismatched_rows(
+            [fused for _, fused, _ in triples],
+            [layer_map for _, _, layer_map in triples],
+            rows_list,
+            scratch=ScanScratch(),
+        )
+        for (model, fused, _), rows, flagged in zip(triples, rows_list, batched):
+            np.testing.assert_array_equal(
+                flagged, fused.mismatched_rows(model, rows, reference=True)
+            )
+
+    def test_empty_per_model_rows_yield_empty_results(self):
+        triples = self._fleet([(0, (16,)), (1, (24, 12))])
+        rows_list = [
+            np.empty(0, dtype=np.int64),
+            np.arange(4, dtype=np.int64),
+        ]
+        batched = batched_mismatched_rows(
+            [fused for _, fused, _ in triples],
+            [layer_map for _, _, layer_map in triples],
+            rows_list,
+        )
+        assert batched[0].size == 0
+        np.testing.assert_array_equal(
+            batched[1],
+            triples[1][1].mismatched_rows(triples[1][0], rows_list[1]),
+        )
+
+    def test_shared_rows_still_require_identical_structure(self):
+        triples = self._fleet([(0, (16,)), (1, (24, 12))])
+        with pytest.raises(ProtectionError, match="structure keys differ"):
+            batched_mismatched_rows(
+                [fused for _, fused, _ in triples],
+                [layer_map for _, _, layer_map in triples],
+                np.arange(4, dtype=np.int64),
+            )
+
+    def test_mismatched_kernel_keys_rejected(self):
+        model_a, protector_a = _protected_mlp(seed=0, group_size=8)
+        model_b, protector_b = _protected_mlp(seed=1, group_size=16)
+        with pytest.raises(ProtectionError, match="kernel keys"):
+            batched_mismatched_rows(
+                [protector_a.store.fused(), protector_b.store.fused()],
+                [
+                    dict(quantized_layers(model_a)),
+                    dict(quantized_layers(model_b)),
+                ],
+                [np.arange(2, dtype=np.int64), np.arange(2, dtype=np.int64)],
+            )
+
+    def test_plain_int_list_keeps_shared_rows_meaning(self):
+        """``rows=[0, 1, 2]`` is one shared slice, not three per-model arrays."""
+        triples = self._fleet([(0, (16,)), (1, (16,)), (2, (16,))])
+        _flip(triples[2][0], 0, 0)
+        batched = batched_mismatched_rows(
+            [fused for _, fused, _ in triples],
+            [layer_map for _, _, layer_map in triples],
+            [0, 1, 2],
+        )
+        shared_rows = np.array([0, 1, 2], dtype=np.int64)
+        for (model, fused, _), flagged in zip(triples, batched):
+            np.testing.assert_array_equal(
+                flagged, fused.mismatched_rows(model, shared_rows)
+            )
+
+    def test_row_array_count_must_match_views(self):
+        model, protector = _protected_mlp(seed=0)
+        with pytest.raises(ProtectionError, match="row arrays"):
+            batched_mismatched_rows(
+                [protector.store.fused()],
+                [dict(quantized_layers(model))],
+                [np.arange(2, dtype=np.int64), np.arange(2, dtype=np.int64)],
+            )
+
+
+class TestHeterogeneousEngine:
+    def test_mixed_architecture_fleet_coalesces_and_detects(self):
+        """>= 4 models of mixed structure run as ONE stacked bucketed pass."""
+        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        engine.register("mlp-a", self._mlp(0, (16,)))
+        engine.register("mlp-b", self._mlp(1, (16,)))
+        engine.register("wide", self._mlp(2, (24, 12)))
+        lenet = LeNet5(num_classes=4, seed=3)
+        quantize_model(lenet)
+        engine.register("lenet", lenet)
+
+        reference = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        reference.register("mlp-a", self._mlp(0, (16,)))
+        reference.register("mlp-b", self._mlp(1, (16,)))
+        reference.register("wide", self._mlp(2, (24, 12)))
+        lenet_ref = LeNet5(num_classes=4, seed=3)
+        quantize_model(lenet_ref)
+        reference.register("lenet", lenet_ref)
+
+        _flip(engine.get("wide").model, 0, 5)
+        _flip(reference.get("wide").model, 0, 5)
+
+        lag = max(
+            engine.get(name).scheduler.worst_case_lag_passes
+            for name in engine.names()
+        )
+        detected = set()
+        for _ in range(lag):
+            outcomes = engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            # Every model rode one stacked pass — no sequential fallback.
+            assert all(
+                outcome.batch_size == 4 for outcome in outcomes.values()
+            )
+            for name, outcome in outcomes.items():
+                expected = reference.get(name).scheduler.step(
+                    reference.get(name).model, reference=True
+                )
+                assert outcome.scan.shard_indices == expected.shard_indices
+                for layer, groups in expected.report.flagged_groups.items():
+                    np.testing.assert_array_equal(
+                        outcome.scan.report.flagged_groups[layer], groups
+                    )
+                if outcome.attack_detected:
+                    detected.add(name)
+        assert detected == {"wide"}
+
+    @staticmethod
+    def _mlp(seed, hidden):
+        model = MLP(input_dim=32, num_classes=4, hidden_dims=hidden, seed=seed)
+        quantize_model(model)
+        return model
+
+
+class TestStreamKernel:
+    def test_layer_stream_signatures_match_store_recomputation(self):
+        model, protector = _protected_mlp(seed=9, group_size=8)
+        fused = protector.store.fused()
+        _flip(model, 0, 4)
+        from repro.core.checksum import compute_signatures
+
+        for entry in protector.store:
+            layer = dict(quantized_layers(model))[entry.layer_name]
+            stream = layer.qweight.reshape(-1)
+            expected = compute_signatures(
+                stream, entry.layout, entry.key, protector.config.signature_bits
+            )
+            np.testing.assert_array_equal(
+                fused.layer_stream_signatures(entry.layer_name, stream), expected
+            )
+            subset = np.arange(0, entry.num_groups, 2, dtype=np.int64)
+            np.testing.assert_array_equal(
+                fused.layer_stream_signatures(entry.layer_name, stream, subset),
+                expected[subset],
+            )
+
+    def test_stream_kernel_validates_inputs(self):
+        model, protector = _protected_mlp(seed=10)
+        fused = protector.store.fused()
+        name = protector.store.layer_names()[0]
+        entry = protector.store.layer(name)
+        stream = np.zeros(entry.layout.num_weights, dtype=np.int8)
+        with pytest.raises(ProtectionError, match="not protected"):
+            fused.layer_stream_signatures("ghost", stream)
+        with pytest.raises(ProtectionError, match="int8"):
+            fused.layer_stream_signatures(name, stream.astype(np.int64))
+        with pytest.raises(ProtectionError, match="out of range"):
+            fused.layer_stream_signatures(
+                name, stream, np.array([entry.num_groups])
+            )
+
+
+class TestRowRangeLookup:
+    def test_row_range_uses_precomputed_positions(self):
+        model, protector = _protected_mlp(seed=11)
+        fused = protector.store.fused()
+        running = 0
+        for entry in protector.store:
+            start, end = fused.row_range(entry.layer_name)
+            assert (start, end) == (running, running + entry.num_groups)
+            running = end
+        with pytest.raises(ProtectionError, match="not protected"):
+            fused.row_range("ghost")
