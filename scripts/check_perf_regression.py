@@ -27,6 +27,14 @@ Three benchmark kinds are understood (``--kind``):
   vs the retained PR-3 per-layer path).  ``--min-speedup`` enforces the
   absolute floor on *every* row — the acceptance bar that the kernel stays
   >= 2x on both full scans and scheduler slices.
+* ``campaign`` — ``results/campaign_sla.json`` from
+  ``benchmarks/test_bench_campaign_sla.py``: rows keyed by ``case``
+  (``scenario:model``).  Milliseconds vary across hosts, so this gate is a
+  *validity* gate rather than a ratio gate: every scenario must report a
+  **finite** p99 detection latency (ticks and milliseconds) with **zero**
+  missed injections, and the scenario set must match the committed
+  baseline — a scenario silently disappearing or going undetected is the
+  regression.
 
 Exit status: 0 when no regression, 1 on regression or malformed input.
 """
@@ -35,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,7 +75,23 @@ GATES: Dict[str, GateSpec] = {
         ratio_metrics=("speedup",),
         structural_fields=("groups", "rows_per_pass", "num_shards"),
     ),
+    "campaign": GateSpec(
+        key_field="case",
+        ratio_metrics=(),
+        structural_fields=(
+            "scenario",
+            "model",
+            "kind",
+            "cadence",
+            "signature_bits",
+            "num_models",
+            "num_shards",
+        ),
+    ),
 }
+
+#: Per-row SLA checks of the campaign gate: these must be finite numbers.
+CAMPAIGN_FINITE_METRICS = ("p99_detection_ticks", "p99_detection_ms")
 
 #: Rows at or above this fleet size count toward ``--min-speedup``.
 FLEET_SIZE_FLOOR = 4
@@ -128,6 +153,27 @@ def main(argv=None) -> int:
                     f"{fresh_row[metric]:.2f}x "
                     f"(baseline {base_row[metric]:.2f}x, floor {floor:.2f}x)"
                 )
+        if args.kind == "campaign":
+            for metric in CAMPAIGN_FINITE_METRICS:
+                value = fresh_row.get(metric)
+                if not isinstance(value, (int, float)) or not math.isfinite(value):
+                    failures.append(
+                        f"{spec.key_field}={key}: {metric} is {value!r} "
+                        "(detection never happened or the window was truncated)"
+                    )
+            missed = fresh_row.get("missed", 0)
+            if missed:
+                failures.append(
+                    f"{spec.key_field}={key}: {missed} injected attack(s) "
+                    "were never detected"
+                )
+            print(
+                f"{spec.key_field}={key}: "
+                f"p99 {fresh_row.get('p99_detection_ticks')} ticks / "
+                f"{fresh_row.get('p99_detection_ms')} ms, "
+                f"missed {missed}"
+            )
+            continue
         print(
             f"{spec.key_field}={key}: "
             + ", ".join(

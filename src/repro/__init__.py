@@ -11,9 +11,12 @@ and Chakrabarti.  The package provides:
 * ``repro.attacks`` — the Progressive Bit-Flip Attack and variants;
 * ``repro.core`` — the RADAR detection and recovery scheme, plus the
   amortized scan scheduler and multi-model protection service;
+* ``repro.telemetry`` — fleet SLA metrics (detection-latency percentiles)
+  and durable persistence of calibrated state across restarts;
 * ``repro.baselines`` — CRC / Hamming / parity comparison codes;
 * ``repro.memsim`` — DRAM, rowhammer and timing simulation;
-* ``repro.experiments`` — one harness per paper table and figure.
+* ``repro.experiments`` — one harness per paper table and figure, plus
+  the scripted attack-campaign SLA driver.
 
 Quick taste (see ``examples/quickstart.py`` for the full version)::
 

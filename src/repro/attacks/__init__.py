@@ -32,6 +32,14 @@ from repro.attacks.knowledgeable import (
     PairedFlipAttack,
     PairedFlipConfig,
 )
+from repro.attacks.scripted import (
+    AttackCadence,
+    LowBitAdversary,
+    PairedFlipAdversary,
+    PbfaAdversary,
+    RandomFlipAdversary,
+    ScriptedAdversary,
+)
 
 __all__ = [
     "BitFlip",
@@ -53,4 +61,10 @@ __all__ = [
     "PairedFlipConfig",
     "PairedFlipAttack",
     "LowBitAttack",
+    "AttackCadence",
+    "ScriptedAdversary",
+    "RandomFlipAdversary",
+    "PbfaAdversary",
+    "PairedFlipAdversary",
+    "LowBitAdversary",
 ]

@@ -1,0 +1,246 @@
+"""Scripted adversaries: attack kinds × injection cadences for campaigns.
+
+The attack classes in this package answer *what* an adversary flips
+(random MSBs, PBFA's progressive bit search, the knowledgeable evasions).
+An operational SLA study additionally needs *when*: a real rowhammer
+campaign is a temporal pattern — one burst of flips, or a trickle spread
+over many serving ticks.  This module composes the two:
+
+* :class:`AttackCadence` — the temporal script: at which engine ticks the
+  adversary fires a *salvo* (``burst`` fires once, ``trickle`` fires
+  every ``interval`` ticks for ``salvos`` rounds);
+* :class:`ScriptedAdversary` — one attack kind bound to a cadence.
+  :meth:`ScriptedAdversary.maybe_attack` is called once per serving tick
+  by the campaign driver (:mod:`repro.experiments.campaign`) and mounts a
+  salvo in place when the cadence says so, returning the
+  :class:`~repro.attacks.profiles.AttackProfile` of what was flipped —
+  the ground truth the telemetry layer's detection-latency clock starts
+  from.
+
+Salvo seeds derive from the adversary seed plus the salvo index, so a
+trickle's rounds flip different bits while the whole campaign stays
+deterministic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.attacks.knowledgeable import LowBitAttack, PairedFlipAttack, PairedFlipConfig
+from repro.attacks.pbfa import PbfaConfig, ProgressiveBitFlipAttack
+from repro.attacks.profiles import AttackProfile
+from repro.attacks.random_attack import RandomBitFlipAttack, RandomFlipConfig
+from repro.errors import AttackError
+from repro.nn.module import Module
+
+
+@dataclass(frozen=True)
+class AttackCadence:
+    """When a scripted adversary fires, in 0-based serving-tick indices.
+
+    Salvo *k* (``0 <= k < salvos``) fires immediately **before** tick
+    ``start_tick + k * interval`` runs — matching the campaign driver's
+    inject-then-tick loop, so a salvo at tick *t* is scannable during
+    tick *t* itself.
+    """
+
+    start_tick: int = 2
+    interval: int = 1
+    salvos: int = 1
+
+    def __post_init__(self) -> None:
+        if self.start_tick < 0:
+            raise AttackError(f"start_tick must be >= 0, got {self.start_tick}")
+        if self.interval < 1:
+            raise AttackError(f"interval must be >= 1, got {self.interval}")
+        if self.salvos < 1:
+            raise AttackError(f"salvos must be >= 1, got {self.salvos}")
+
+    @classmethod
+    def burst(cls, at_tick: int = 2) -> "AttackCadence":
+        """Everything at once: one salvo before ``at_tick``."""
+        return cls(start_tick=at_tick, interval=1, salvos=1)
+
+    @classmethod
+    def trickle(
+        cls, start_tick: int = 1, interval: int = 3, salvos: int = 3
+    ) -> "AttackCadence":
+        """Slow drip: one salvo every ``interval`` ticks, ``salvos`` times."""
+        return cls(start_tick=start_tick, interval=interval, salvos=salvos)
+
+    def fires_at(self, tick: int) -> bool:
+        offset = tick - self.start_tick
+        if offset < 0 or offset % self.interval:
+            return False
+        return offset // self.interval < self.salvos
+
+    @property
+    def last_tick(self) -> int:
+        """Tick of the final salvo (campaigns size their window past it)."""
+        return self.start_tick + (self.salvos - 1) * self.interval
+
+
+class ScriptedAdversary(ABC):
+    """One attack kind bound to an :class:`AttackCadence`.
+
+    Stateful over one campaign run: tracks which salvo is next so trickle
+    rounds draw distinct seeds.  Not reusable across runs — build a fresh
+    adversary per scenario execution.
+    """
+
+    #: Short kind label reports use (subclasses override).
+    kind = "scripted"
+
+    def __init__(self, cadence: AttackCadence, seed: int = 0) -> None:
+        self.cadence = cadence
+        self.seed = int(seed)
+        self._next_salvo = 0
+
+    @property
+    def salvos_fired(self) -> int:
+        return self._next_salvo
+
+    def maybe_attack(
+        self, model: Module, tick: int, model_name: str = ""
+    ) -> Optional[AttackProfile]:
+        """Mount the next salvo in place if the cadence fires at ``tick``."""
+        if not self.cadence.fires_at(tick):
+            return None
+        profile = self.attack(model, self.seed + self._next_salvo, model_name)
+        self._next_salvo += 1
+        return profile
+
+    @abstractmethod
+    def attack(self, model: Module, salvo_seed: int, model_name: str) -> AttackProfile:
+        """Mount one salvo in place and return what was flipped."""
+
+
+class RandomFlipAdversary(ScriptedAdversary):
+    """Random MSB flips — the paper's hardware-fault / weak-attacker model."""
+
+    kind = "random"
+
+    def __init__(
+        self, cadence: AttackCadence, num_flips: int = 4, seed: int = 0
+    ) -> None:
+        super().__init__(cadence, seed=seed)
+        self.num_flips = int(num_flips)
+
+    def attack(self, model: Module, salvo_seed: int, model_name: str) -> AttackProfile:
+        return RandomBitFlipAttack(
+            RandomFlipConfig(num_flips=self.num_flips, msb_only=True, seed=salvo_seed)
+        ).run(model, model_name)
+
+
+class _DataDrivenAdversary(ScriptedAdversary):
+    """Shared plumbing for adversaries that need an attack batch."""
+
+    def __init__(
+        self,
+        cadence: AttackCadence,
+        images: np.ndarray,
+        labels: np.ndarray,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cadence, seed=seed)
+        if len(images) == 0 or len(images) != len(labels):
+            raise AttackError(
+                "scripted adversary needs a non-empty attack batch with "
+                "matching images and labels"
+            )
+        self.images = images
+        self.labels = labels
+
+
+class PbfaAdversary(_DataDrivenAdversary):
+    """The progressive bit-flip attack (the paper's primary threat)."""
+
+    kind = "pbfa"
+
+    def __init__(
+        self,
+        cadence: AttackCadence,
+        images: np.ndarray,
+        labels: np.ndarray,
+        num_flips: int = 3,
+        attack_batch_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cadence, images, labels, seed=seed)
+        self.num_flips = int(num_flips)
+        self.attack_batch_size = int(attack_batch_size)
+
+    def attack(self, model: Module, salvo_seed: int, model_name: str) -> AttackProfile:
+        attack = ProgressiveBitFlipAttack(
+            PbfaConfig(
+                num_flips=self.num_flips,
+                attack_batch_size=self.attack_batch_size,
+                seed=salvo_seed,
+            )
+        )
+        return attack.run(model, self.images, self.labels, model_name=model_name).profile
+
+
+class PairedFlipAdversary(_DataDrivenAdversary):
+    """Knowledgeable checksum-evader: PBFA plus compensating MSB flips."""
+
+    kind = "paired"
+
+    def __init__(
+        self,
+        cadence: AttackCadence,
+        images: np.ndarray,
+        labels: np.ndarray,
+        num_flips: int = 2,
+        assumed_group_size: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cadence, images, labels, seed=seed)
+        self.num_flips = int(num_flips)
+        self.assumed_group_size = int(assumed_group_size)
+
+    def attack(self, model: Module, salvo_seed: int, model_name: str) -> AttackProfile:
+        attack = PairedFlipAttack(
+            PairedFlipConfig(
+                pbfa=PbfaConfig(num_flips=self.num_flips, seed=salvo_seed),
+                assumed_group_size=self.assumed_group_size,
+                seed=salvo_seed,
+            )
+        )
+        return attack.run(model, self.images, self.labels, model_name=model_name).profile
+
+
+class LowBitAdversary(_DataDrivenAdversary):
+    """Knowledgeable MSB-avoider: PBFA restricted to sub-MSB positions.
+
+    Campaigns pairing this adversary with a fleet should protect the
+    victim with 3-bit signatures — the paper's Section VIII point is that
+    2-bit signatures can miss sub-MSB flips while 3 bits catch them.
+    """
+
+    kind = "low-bit"
+
+    def __init__(
+        self,
+        cadence: AttackCadence,
+        images: np.ndarray,
+        labels: np.ndarray,
+        num_flips: int = 6,
+        bit_positions: Tuple[int, ...] = (6,),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(cadence, images, labels, seed=seed)
+        self.num_flips = int(num_flips)
+        self.bit_positions = tuple(bit_positions)
+
+    def attack(self, model: Module, salvo_seed: int, model_name: str) -> AttackProfile:
+        attack = LowBitAttack(
+            num_flips=self.num_flips,
+            bit_positions=self.bit_positions,
+            seed=salvo_seed,
+        )
+        return attack.run(model, self.images, self.labels, model_name=model_name).profile

@@ -33,6 +33,20 @@ cost model (:mod:`repro.core.cost`); for ``serve-demo`` and ``scan --all``
 the budget is fleet-wide and split across models by exposure and flagged
 history.
 
+All three also accept ``--state-dir``, backed by
+:class:`~repro.telemetry.store.StateStore`: ``protect`` seeds (and ``scan``
+resumes and updates) the per-setup measured scan-cost calibration, while
+``serve-demo`` and ``scan --all`` persist the whole engine's learned state —
+calibrated cost-model EWMAs, planner flip rates, scheduler rotation
+counters, lifecycle states — so a killed-and-restarted service resumes warm
+instead of re-calibrating from the analytic prior.
+
+* ``sla-report`` — run the scripted attack campaign
+  (:mod:`repro.experiments.campaign`: random / PBFA / knowledgeable
+  adversaries, burst and trickle cadences) against engine-managed fleets
+  and print the per-model detection-latency SLA (p50/p95/p99 in serving
+  ticks and wall-clock milliseconds) the attached telemetry collected.
+
 Every subcommand prints the same plain-text table the corresponding
 benchmark emits and can optionally save the rows as JSON with ``--output``.
 """
@@ -67,6 +81,27 @@ def _emit(rows: List[Dict], title: str, output: Optional[Path]) -> None:
     if output is not None:
         reporting.save_results(rows, output)
         print(f"saved {len(rows)} rows to {output}")
+
+
+def _announce_restore(engine, restore: Optional[Dict]) -> None:
+    """Print whether an engine warm-started from persisted state."""
+    if restore is None:
+        print("no persisted engine state; cold start (analytic calibration)")
+        return
+    restored = restore["restored"]
+    calibrated = []
+    for name in restored:
+        observations = getattr(engine.get(name).cost_model, "observations", 0)
+        if observations:
+            calibrated.append(f"{name} ({observations} obs)")
+    print(
+        f"resumed warm from persisted state: {len(restored)} models restored"
+        + (f", calibrated pricing for {', '.join(calibrated)}" if calibrated else "")
+    )
+    for note in restore["partial"]:
+        print(f"  partial restore: {note}")
+    for name in restore["skipped"]:
+        print(f"  persisted model {name!r} is not registered; skipped")
 
 
 def _default_group_sizes(setup: str) -> Sequence[int]:
@@ -154,25 +189,35 @@ def _add_protection_arguments(parser: argparse.ArgumentParser) -> None:
         help="per-pass latency budget in milliseconds; sizes shards adaptively from the "
         "analytic cost model (overrides --num-shards / --shards-per-pass)",
     )
+    parser.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="directory persisting calibrated scan-cost state across runs "
+        "(protect seeds it, scan resumes and updates it)",
+    )
     parser.add_argument("--output", type=Path, default=None, help="write the rows to this JSON file")
 
 
-def _build_scheduler(protector, args: argparse.Namespace):
+def _build_scheduler(protector, args: argparse.Namespace, cost_model=None):
     """The amortized scheduler a protection subcommand asked for.
 
     ``--budget-ms`` switches from structural sizing (``--num-shards``) to
     budget-driven sizing via :meth:`ModelProtector.scheduler_for_budget`.
+    ``cost_model`` overrides the analytic default (the ``--state-dir``
+    warm-calibration path).
     """
     from repro.core import ScanPolicy
 
     if args.budget_ms is not None:
         return protector.scheduler_for_budget(
-            args.budget_ms / 1e3, policy=ScanPolicy(args.scan_policy)
+            args.budget_ms / 1e3,
+            cost_model=cost_model,
+            policy=ScanPolicy(args.scan_policy),
         )
     return protector.scheduler(
         num_shards=args.num_shards,
         policy=ScanPolicy(args.scan_policy),
         shards_per_pass=args.shards_per_pass,
+        cost_model=cost_model,
     )
 
 
@@ -320,13 +365,31 @@ def _cmd_protect(args: argparse.Namespace) -> int:
             f"priced per-pass cost {plan['per_pass_cost_ms']:.4f} ms "
             "(analytic cost model)"
         )
+    if args.state_dir is not None:
+        from repro.telemetry.store import StateStore
+
+        state_store = StateStore(args.state_dir)
+        cost_model = state_store.measured_cost_model(args.setup, protector.config)
+        path = state_store.save_calibration(
+            args.setup, cost_model, radar_config=protector.config
+        )
+        print(
+            f"calibration state for {args.setup!r} seeded in {path} "
+            f"({cost_model.observations} prior observations, "
+            f"{cost_model.seconds_per_group * 1e6:.4g} us/group)"
+        )
     return 0
 
 
 def _cmd_scan_all(args: argparse.Namespace) -> int:
     """``scan --all``: every cached setup as one fleet through the engine."""
     from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
-    from repro.core import RadarConfig, ScanPolicy, VerificationEngine
+    from repro.core import (
+        MeasuredScanCostModel,
+        RadarConfig,
+        ScanPolicy,
+        VerificationEngine,
+    )
     from repro.experiments.common import ExperimentContext
     from repro.models.zoo import ModelZoo, available_setups
 
@@ -356,7 +419,26 @@ def _cmd_scan_all(args: argparse.Namespace) -> int:
             use_interleave=not args.no_interleave,
             use_masking=not args.no_masking,
         )
-        engine.register(setup, context.model, config=config)
+        engine.register(
+            setup,
+            context.model,
+            config=config,
+            # With a state dir each model calibrates measured pricing, so
+            # the persisted engine state has learned prices to resume from
+            # (an analytic model would save nothing restorable).
+            cost_model=(
+                MeasuredScanCostModel.from_radar_config(config)
+                if args.state_dir is not None
+                else None
+            ),
+        )
+    state_store = None
+    if args.state_dir is not None:
+        from repro.telemetry.store import StateStore
+
+        state_store = StateStore(args.state_dir)
+        restore = state_store.restore_engine(engine)
+        _announce_restore(engine, restore)
     print(reporting.render_table(engine.describe(), title="Fleet engine registry"))
 
     passes = args.passes or max(
@@ -392,6 +474,8 @@ def _cmd_scan_all(args: argparse.Namespace) -> int:
                 row["budget_share_ms"] = round(outcome.budget_s * 1e3, 6)
             rows.append(row)
     _emit(rows, f"Fleet scan of {len(setups)} setups", args.output)
+    if state_store is not None:
+        print(f"engine state persisted to {state_store.save_engine(engine)}")
     if args.inject_flips:
         if detected_at is None:
             print("injected flips not yet scanned (increase --passes to cover a full rotation)")
@@ -413,7 +497,25 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     context = ExperimentContext.load(args.setup)
     protector = ModelProtector(_protection_config(args))
     protector.protect(context.model)
-    scheduler = _build_scheduler(protector, args)
+    state_store = None
+    cost_model = None
+    if args.state_dir is not None:
+        from repro.telemetry.store import StateStore
+
+        state_store = StateStore(args.state_dir)
+        cost_model = state_store.measured_cost_model(args.setup, protector.config)
+        if cost_model.observations:
+            print(
+                f"resumed calibration for {args.setup!r}: "
+                f"{cost_model.seconds_per_group * 1e6:.4g} us/group after "
+                f"{cost_model.observations} observed passes"
+            )
+        else:
+            print(
+                f"no persisted calibration for {args.setup!r}; starting from "
+                "the analytic prior"
+            )
+    scheduler = _build_scheduler(protector, args, cost_model=cost_model)
     passes = args.passes or scheduler.worst_case_lag_passes
     if args.inject_flips and not 0 <= args.inject_at_pass < passes:
         print(
@@ -443,6 +545,15 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             row["planned_cost_ms"] = round(result.planned_cost_s * 1e3, 6)
         rows.append(row)
     _emit(rows, f"Amortized scan of {args.setup} ({scheduler.num_shards} shards)", args.output)
+    if state_store is not None and cost_model is not None:
+        path = state_store.save_calibration(
+            args.setup, cost_model, radar_config=protector.config
+        )
+        print(
+            f"calibration persisted to {path}: "
+            f"{cost_model.seconds_per_group * 1e6:.4g} us/group "
+            f"({cost_model.observations} total observations)"
+        )
     reference = protector.scan(context.model)
     print(f"full-scan reference: {reference.num_flagged_groups} flagged groups")
     if args.inject_flips:
@@ -459,7 +570,13 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
 def _cmd_serve_demo(args: argparse.Namespace) -> int:
     from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
-    from repro.core import RadarConfig, RecoveryPolicy, ScanPolicy, VerificationEngine
+    from repro.core import (
+        MeasuredScanCostModel,
+        RadarConfig,
+        RecoveryPolicy,
+        ScanPolicy,
+        VerificationEngine,
+    )
     from repro.models.small import MLP
     from repro.quant.layers import quantize_model
 
@@ -482,7 +599,24 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             input_dim=64, num_classes=4, hidden_dims=(48, 24), seed=args.seed + index
         )
         quantize_model(model)
-        engine.register(f"model-{index}", model, keep_golden_weights=True)
+        engine.register(
+            f"model-{index}",
+            model,
+            keep_golden_weights=True,
+            # With a state dir the demo calibrates measured pricing so a
+            # restart has something learned to resume from.
+            cost_model=(
+                MeasuredScanCostModel.from_radar_config(config)
+                if args.state_dir is not None
+                else None
+            ),
+        )
+    state_store = None
+    if args.state_dir is not None:
+        from repro.telemetry.store import StateStore
+
+        state_store = StateStore(args.state_dir)
+        _announce_restore(engine, state_store.restore_engine(engine))
     print(reporting.render_table(engine.describe(), title="Fleet engine registry"))
 
     victim = engine.get("model-0")
@@ -537,7 +671,49 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             f"(exposure window: {detected_at - args.attack_at_pass - 1} passes; "
             "re-signed by the engine)"
         )
+    if state_store is not None:
+        print(f"engine state persisted to {state_store.save_engine(engine)}")
     engine.close()
+    return 0
+
+
+def _cmd_sla_report(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import default_scenarios, run_campaign
+
+    scenarios = list(default_scenarios())
+    if args.scenario:
+        known = {scenario.name: scenario for scenario in scenarios}
+        unknown = [name for name in args.scenario if name not in known]
+        if unknown:
+            print(
+                f"error: unknown scenario(s) {', '.join(unknown)}; "
+                f"available: {', '.join(known)}",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = [known[name] for name in args.scenario]
+    rows = run_campaign(
+        scenarios=scenarios,
+        num_models=args.models,
+        num_shards=args.num_shards,
+        budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
+        seed=args.seed,
+    )
+    _emit(
+        rows,
+        f"Detection-latency SLA — {len(scenarios)} attack scenarios vs a "
+        f"{args.models}-model fleet (per-model p50/p95/p99)",
+        args.output,
+    )
+    missed = sum(row["missed"] for row in rows)
+    if missed:
+        print(f"WARNING: {missed} injection(s) were never detected")
+    else:
+        print(
+            "all injections detected; worst p99 detection latency: "
+            f"{max(row['p99_detection_ticks'] for row in rows):.0f} ticks / "
+            f"{max(row['p99_detection_ms'] for row in rows):.3f} ms"
+        )
     return 0
 
 
@@ -654,9 +830,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the engine's event stream (detection / recovery / "
         "reprotect / budget_exhausted) after the timeline",
     )
+    serve_parser.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="persist and resume the engine's learned state (calibrated "
+        "cost models, planner flip rates, scheduler counters) across runs",
+    )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--output", type=Path, default=None)
     serve_parser.set_defaults(handler=_cmd_serve_demo)
+
+    sla_parser = subparsers.add_parser(
+        "sla-report",
+        help="run the scripted attack campaign and print per-model "
+        "p50/p95/p99 detection-latency SLAs",
+    )
+    sla_parser.add_argument(
+        "--scenario", action="append", default=None,
+        help="run only this scenario (repeatable; default: all scenarios)",
+    )
+    sla_parser.add_argument(
+        "--models", type=_positive_int, default=3, help="models in each scenario's fleet"
+    )
+    sla_parser.add_argument("--num-shards", type=_positive_int, default=4)
+    sla_parser.add_argument(
+        "--budget-ms", type=_positive_float, default=None,
+        help="fleet-wide latency budget per tick (adds budget-utilisation "
+        "telemetry to the report)",
+    )
+    sla_parser.add_argument("--seed", type=int, default=0)
+    sla_parser.add_argument("--output", type=Path, default=None)
+    sla_parser.set_defaults(handler=_cmd_sla_report)
 
     return parser
 

@@ -68,6 +68,7 @@ from repro.core.signature import (
     ScanScratch,
     SignatureStore,
     batched_mismatched_rows,
+    split_by_padding_waste,
 )
 from repro.core.detector import DetectionReport, RadarDetector, count_detected_flips
 from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
@@ -108,6 +109,7 @@ __all__ = [
     "FusedSignatures",
     "ScanScratch",
     "batched_mismatched_rows",
+    "split_by_padding_waste",
     "RadarDetector",
     "DetectionReport",
     "count_detected_flips",

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Protocol, runtime_checkable
 
 from repro.core.config import RadarConfig
 from repro.errors import ProtectionError
@@ -250,6 +250,34 @@ class MeasuredScanCostModel:
         if budget_s < 0:
             raise ProtectionError(f"budget_s must be >= 0, got {budget_s}")
         return int(budget_s / self.seconds_per_group)
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable calibration snapshot (what a restart must keep).
+
+        The EWMA *is* the calibration: persisting ``seconds_per_group`` and
+        the observation count lets :mod:`repro.telemetry.store` restore a
+        measured price without re-observing a single pass, so a restarted
+        service prices budgets from the learned host speed immediately.
+        """
+        return {
+            "seconds_per_group": float(self.seconds_per_group),
+            "alpha": float(self.alpha),
+            "observations": int(self.observations),
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`."""
+        seconds = float(state["seconds_per_group"])
+        if not seconds > 0:
+            raise ProtectionError(
+                f"persisted seconds_per_group must be positive, got {seconds}"
+            )
+        alpha = float(state.get("alpha", self.alpha))
+        if not 0 < alpha <= 1:
+            raise ProtectionError(f"persisted alpha must be in (0, 1], got {alpha}")
+        self.seconds_per_group = seconds
+        self.alpha = alpha
+        self.observations = int(state.get("observations", 0))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -73,7 +73,11 @@ from repro.core.detector import DetectionReport
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport
 from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
-from repro.core.signature import ScanScratch, batched_mismatched_rows
+from repro.core.signature import (
+    ScanScratch,
+    batched_mismatched_rows,
+    split_by_padding_waste,
+)
 from repro.errors import ProtectionError
 from repro.nn.module import Module
 from repro.quant.layers import quantized_layers
@@ -237,6 +241,10 @@ class EngineTickOutcome:
     budget_s: Optional[float] = None
     #: Models co-verified in this model's batched pass (1 = ran alone).
     batch_size: int = 1
+    #: Row count the batched pass was padded to (0 = empty slice).  The
+    #: ratio ``scan.groups_checked / batch_width`` is the stacking fill —
+    #: what telemetry tracks as bucketed-stacking efficiency.
+    batch_width: int = 0
 
     @property
     def attack_detected(self) -> bool:
@@ -259,6 +267,7 @@ class _PlannedSlice:
     flagged_rows: Optional[np.ndarray] = None
     measured_s: float = 0.0
     batch_size: int = 1
+    batch_width: int = 0
 
 
 class VerificationEngine:
@@ -291,6 +300,7 @@ class VerificationEngine:
         recovery_policy: RecoveryPolicy = RecoveryPolicy.ZERO,
         auto_reprotect: bool = True,
         event_history: int = 256,
+        max_padding_waste: Optional[float] = 0.5,
     ) -> None:
         if num_shards < 1:
             raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
@@ -305,6 +315,10 @@ class VerificationEngine:
             raise ProtectionError(f"budget_s must be positive, got {budget_s}")
         if workers < 1:
             raise ProtectionError(f"workers must be >= 1, got {workers}")
+        if max_padding_waste is not None and not 0 <= max_padding_waste < 1:
+            raise ProtectionError(
+                f"max_padding_waste must be in [0, 1) or None, got {max_padding_waste}"
+            )
         self.default_config = default_config or RadarConfig()
         self.num_shards = num_shards
         self.policy = ScanPolicy(policy)
@@ -313,7 +327,17 @@ class VerificationEngine:
         self.workers = workers
         self.recovery_policy = RecoveryPolicy(recovery_policy)
         self.auto_reprotect = auto_reprotect
+        #: Width-disparity guard for bucketed padded stacking: kernel
+        #: buckets whose padding-waste ratio would exceed this are sub-split
+        #: into separate stacked passes (``None`` disables the guard); see
+        #: :func:`~repro.core.signature.split_by_padding_waste`.
+        self.max_padding_waste = max_padding_waste
         self.bus = EventBus(history=event_history)
+        #: Optional per-tick observer (duck-typed: needs ``observe_tick``).
+        #: :meth:`repro.telemetry.monitor.FleetTelemetry.attach` sets this —
+        #: lifecycle *events* travel over the bus, but budget utilisation
+        #: and stacking efficiency live in tick outcomes, which never do.
+        self.telemetry = None
         self._models: Dict[str, ManagedModel] = {}
         self._tick_index = 0
         self._pool: Optional[ThreadPoolExecutor] = None
@@ -530,7 +554,14 @@ class VerificationEngine:
             outcomes[planned.managed.name] = self._lifecycle(
                 planned, scan, policy
             )
+        if self.telemetry is not None:
+            self.telemetry.observe_tick(self._tick_index, outcomes)
         return outcomes
+
+    @property
+    def tick_index(self) -> int:
+        """Ticks run so far (the tick stamp :class:`FleetEvent`\\ s carry)."""
+        return self._tick_index
 
     def _execute(self, slices: List[_PlannedSlice]) -> None:
         """Verify every planned slice, coalescing kernel-compatible ones.
@@ -551,10 +582,23 @@ class VerificationEngine:
                 continue
             key = planned.managed.scheduler.fused.kernel_key()
             batches.setdefault(key, []).append(planned)
-        groups = [
-            (batch, self._scratch.setdefault(key, ScanScratch()))
-            for key, batch in batches.items()
-        ]
+        groups: List[Tuple[List[_PlannedSlice], ScanScratch]] = []
+        for key, batch in batches.items():
+            # Width-disparity guard: padding every slice to the bucket max is
+            # wasteful when one model's row count dwarfs the rest, so such a
+            # bucket is sub-split into separately stacked passes.  Each
+            # sub-bucket keeps its own scratch (sub-buckets of one key may run
+            # concurrently on the worker pool).
+            if self.max_padding_waste is not None and len(batch) > 1:
+                parts = split_by_padding_waste(
+                    [planned.rows.size for planned in batch],
+                    self.max_padding_waste,
+                )
+            else:
+                parts = [list(range(len(batch)))]
+            for sub_index, part in enumerate(parts):
+                scratch = self._scratch.setdefault((key, sub_index), ScanScratch())
+                groups.append(([batch[index] for index in part], scratch))
         if self.workers > 1 and len(groups) > 1:
             started = time.perf_counter()
             pool = self._ensure_pool()
@@ -591,6 +635,7 @@ class VerificationEngine:
         )
         elapsed = time.perf_counter() - started
         share = elapsed / len(batch)
+        width = max(planned.rows.size for planned in batch)
         for planned, flagged_rows in zip(batch, flagged):
             planned.flagged_rows = flagged_rows
             # Every model's column in the padded stack is gathered and
@@ -600,6 +645,7 @@ class VerificationEngine:
             # models in mixed-size buckets.
             planned.measured_s = share
             planned.batch_size = len(batch)
+            planned.batch_width = width
 
     def _lifecycle(
         self,
@@ -695,6 +741,7 @@ class VerificationEngine:
             reprotected=reprotected,
             budget_s=planned.share,
             batch_size=planned.batch_size,
+            batch_width=planned.batch_width,
         )
 
     # -- fleet queries ------------------------------------------------------------

@@ -35,7 +35,7 @@ injected flips.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Mapping, NamedTuple, Sequence
+from typing import Dict, List, Mapping, NamedTuple, Sequence
 
 from repro.errors import ProtectionError
 
@@ -89,6 +89,19 @@ class VerificationPlanner(ABC):
         just attacked stays a priority in the fresh rotation.
         """
 
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot of the planner's mutable state.
+
+        What :mod:`repro.telemetry.store` persists across service restarts:
+        positional cursors *and* learned statistics, so a restored planner
+        resumes exactly where the saved one stopped (same next slice, same
+        flip-rate priorities).  Stateless planners return ``{}``.
+        """
+        return {}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict` (same type)."""
+
 
 class RoundRobinPlanner(VerificationPlanner):
     """Cyclic order; a rotation takes exactly ``ceil(n / slice)`` passes."""
@@ -113,6 +126,12 @@ class RoundRobinPlanner(VerificationPlanner):
 
     def reset(self) -> None:
         self._cursor = 0
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"cursor": int(self._cursor)}
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self._cursor = int(state.get("cursor", 0))
 
 
 class FullScanPlanner(RoundRobinPlanner):
@@ -179,3 +198,17 @@ class PriorityExposurePlanner(VerificationPlanner):
             observed = 1.0 if flagged_counts.get(index, 0) > 0 else 0.0
             rate = self._flip_rate.get(index, 0.0)
             self._flip_rate[index] = rate + self.ewma_alpha * (observed - rate)
+
+    def state_dict(self) -> Dict[str, object]:
+        # JSON object keys are strings; load_state_dict converts them back.
+        return {
+            "flip_rate": {
+                str(index): float(rate) for index, rate in self._flip_rate.items()
+            }
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        rates = state.get("flip_rate", {})
+        self._flip_rate = {
+            int(index): float(rate) for index, rate in dict(rates).items()
+        }

@@ -34,6 +34,7 @@ from repro.core.recovery import RecoveryPolicy
 from repro.core.scheduler import ScanPolicy, ScanScheduler
 from repro.errors import ProtectionError
 from repro.nn.module import Module
+from repro.quant.layers import quantized_layers
 
 
 @dataclass
@@ -155,6 +156,12 @@ class ProtectedInference:
         self.check_every = (
             check_every if check_every is not None else self._derived_cadence()
         )
+        # Adopt the wrapped model into the fused view's zero-copy weight
+        # plane, exactly as the fleet engine does for registered models: the
+        # inline check path (scheduler slices and fused full scans alike)
+        # then gathers straight from the buffers attacks and recovery
+        # mutate, with no per-check weight copies.
+        self.protector.store.fused().adopt(dict(quantized_layers(model)))
         self.log = RuntimeLog()
         self._since_last_check = 0
 
@@ -179,8 +186,10 @@ class ProtectedInference:
         """One detection + recovery round (full or amortized)."""
         started = time.perf_counter()
         if self.scheduler is None:
-            summary = self.protector.scan_and_recover(self.model, policy=self.policy)
-            detection, recovery = summary.detection, summary.recovery
+            # scan_fused gathers straight from the adopted plane (same
+            # report as the per-layer scan, none of its weight copies).
+            detection = self.protector.scan_fused(self.model)
+            recovery = self.protector.recover(self.model, detection, policy=self.policy)
             elapsed = time.perf_counter() - started
             observe = getattr(self.cost_model, "observe", None)
             if observe is not None:

@@ -498,6 +498,63 @@ class ScanScheduler:
             for view in self._shard_views()
         ]
 
+    # -- persistence -------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable rotation state (counters, cursor-free).
+
+        Together with the planner's own ``state_dict`` this is everything a
+        restart needs to resume the rotation mid-flight: exposure backlog
+        (which drives fleet urgency), per-shard scan/flag history, and the
+        set of shards the current rotation still owes.  The flagged rows
+        accumulated toward the rotation-union report are included so a
+        resumed rotation's ``rotation_report`` stays the true union.
+        """
+        return {
+            "num_shards": int(self.num_shards),
+            "pass_index": int(self._pass_index),
+            "exposure": [int(value) for value in self._exposure],
+            "times_scanned": [int(value) for value in self._times_scanned],
+            "times_flagged": [int(value) for value in self._times_flagged],
+            "rotation_pending": sorted(int(index) for index in self._rotation_pending),
+            "rotation_rows": [
+                [int(row) for row in rows] for rows in self._rotation_rows
+            ],
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot produced by :meth:`state_dict`.
+
+        The snapshot must come from a scheduler with the same shard count —
+        counters indexed by shard are meaningless across a re-sharding.
+        """
+        saved_shards = int(state["num_shards"])
+        if saved_shards != self.num_shards:
+            raise ProtectionError(
+                f"persisted scheduler state has {saved_shards} shards, "
+                f"this scheduler has {self.num_shards}; refusing to restore "
+                "counters across a re-sharding"
+            )
+        self._pass_index = int(state["pass_index"])
+        self._exposure = np.asarray(state["exposure"], dtype=np.int64)
+        self._times_scanned = np.asarray(state["times_scanned"], dtype=np.int64)
+        self._times_flagged = np.asarray(state["times_flagged"], dtype=np.int64)
+        for name in ("_exposure", "_times_scanned", "_times_flagged"):
+            if getattr(self, name).shape != (self.num_shards,):
+                raise ProtectionError(
+                    f"persisted scheduler state field {name[1:]!r} has wrong length"
+                )
+        pending = {int(index) for index in state["rotation_pending"]}
+        if not pending <= set(range(self.num_shards)):
+            raise ProtectionError("persisted rotation_pending indices out of range")
+        # An empty pending set only ever exists transiently inside apply_scan;
+        # a persisted empty set means the snapshot was taken at rotation
+        # completion, where the next rotation owes everything again.
+        self._rotation_pending = pending if pending else set(range(self.num_shards))
+        self._rotation_rows = [
+            np.asarray(rows, dtype=np.int64) for rows in state["rotation_rows"]
+        ]
+        self._shard_views_cache = None
+
     def describe(self) -> Dict[str, object]:
         """Summary row used by the CLI and the service registry."""
         row: Dict[str, object] = {

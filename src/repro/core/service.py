@@ -94,7 +94,10 @@ class ProtectionService:
 
     ``workers`` is forwarded to the underlying engine's batch-group thread
     pool (only fleets mixing group sizes or signature widths produce more
-    than one kernel bucket per tick).
+    than one kernel bucket per tick), and ``max_padding_waste`` to its
+    width-disparity guard for bucketed padded stacking (``None`` disables
+    sub-splitting).  For SLA telemetry, attach a
+    :class:`~repro.telemetry.monitor.FleetTelemetry` to ``service.engine``.
     """
 
     def __init__(
@@ -105,6 +108,7 @@ class ProtectionService:
         shards_per_pass: int = 1,
         budget_s: Optional[float] = None,
         workers: int = 1,
+        max_padding_waste: Optional[float] = 0.5,
     ) -> None:
         #: The fleet engine doing the actual work.  Exposed so callers can
         #: opt into engine-level features (event bus, automatic reprotect via
@@ -116,6 +120,7 @@ class ProtectionService:
             shards_per_pass=shards_per_pass,
             budget_s=budget_s,
             workers=workers,
+            max_padding_waste=max_padding_waste,
             recovery_policy=RecoveryPolicy.ZERO,
             # The façade preserves PR 1–2 semantics: recovery happens on
             # request, re-signing only via an explicit reprotect() call.

@@ -774,6 +774,54 @@ class FusedSignatures:
 RowsArg = Union[np.ndarray, Sequence[np.ndarray]]
 
 
+def split_by_padding_waste(
+    sizes: Sequence[int], max_waste: float
+) -> List[List[int]]:
+    """Partition slice sizes so no padded stack wastes more than ``max_waste``.
+
+    Bucketed padded stacking pads every model's row count to the bucket
+    maximum, so a bucket mixing one huge slice with several tiny ones does
+    almost all of its gather/einsum work on zero-signed padding.  This
+    helper is the **width-disparity guard**: given the per-slice row counts
+    of one kernel bucket, it returns index groups (into ``sizes``) such
+    that every slice in a group satisfies
+
+        size >= (1 - max_waste) * max(sizes in group)
+
+    i.e. no slice's padded column is more than ``max_waste`` padding.  That
+    per-column bound implies the group's aggregate padding-waste ratio
+    ``1 - sum(sizes) / (width * len(group))`` stays at or below
+    ``max_waste`` too (it is the mean of the per-column wastes).  Groups
+    are cut over the sizes in descending order, so similarly sized slices
+    stay coalesced (keeping the dispatch-amortization win) and a dwarfing
+    slice is split off alone rather than dragging one near-threshold small
+    slice along with it.
+
+    ``max_waste`` must lie in ``[0, 1)``; ``0`` coalesces only exactly
+    equal sizes, values near ``1`` effectively disable the guard.  Every
+    input index appears in exactly one returned group, and a single-slice
+    group is always acceptable (its waste is zero by definition).
+    """
+    if not 0 <= max_waste < 1:
+        raise ProtectionError(f"max_waste must be in [0, 1), got {max_waste}")
+    order = sorted(range(len(sizes)), key=lambda index: -int(sizes[index]))
+    groups: List[List[int]] = []
+    current: List[int] = []
+    width = 0
+    for index in order:
+        size = int(sizes[index])
+        if not current:
+            current, width = [index], size
+        elif size >= (1.0 - max_waste) * width:
+            current.append(index)
+        else:
+            groups.append(current)
+            current, width = [index], size
+    if current:
+        groups.append(current)
+    return groups
+
+
 def batched_mismatched_rows(
     views: Sequence[FusedSignatures],
     layer_maps: Sequence[Mapping[str, Module]],

@@ -23,6 +23,7 @@ from repro.experiments.common import (
 )
 from repro.experiments import (
     ablation,
+    campaign,
     characterization,
     detection,
     exposure,
@@ -40,6 +41,7 @@ __all__ = [
     "generate_pbfa_profiles",
     "default_rounds",
     "ablation",
+    "campaign",
     "characterization",
     "detection",
     "exposure",

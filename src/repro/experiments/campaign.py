@@ -1,0 +1,289 @@
+"""Attack-campaign driver: scripted adversaries vs a live engine-managed fleet.
+
+Not a paper artifact — this is the operational study behind the telemetry
+subsystem (:mod:`repro.telemetry`).  The paper's claim is run-time
+*detection and recovery*; every prior harness in this repo measured either
+accuracy (Tables I–III) or throughput (scan scheduler / fleet / kernel
+studies).  This driver measures the claim itself as an SLA: it runs
+scenario-diverse scripted adversaries (:mod:`repro.attacks.scripted` —
+random flips, PBFA, knowledgeable evasions; burst and trickle cadences)
+against a fleet served by a :class:`~repro.core.fleet.VerificationEngine`
+with the full detect → recover → reprotect lifecycle enabled, and reports
+per-model detection-latency percentiles (p50/p95/p99 in both serving
+ticks and wall-clock), recovery and reprotect times, and stacking/budget
+economics, all collected by an attached
+:class:`~repro.telemetry.monitor.FleetTelemetry`.
+
+``results/campaign_sla.json`` is the committed artifact
+(``benchmarks/test_bench_campaign_sla.py`` regenerates it;
+``scripts/check_perf_regression.py --kind campaign`` gates CI on every
+scenario reporting finite p99 detection latency with no missed
+injection), and ``repro-radar sla-report`` prints the same rows on
+demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.attacks.scripted import (
+    AttackCadence,
+    LowBitAdversary,
+    PairedFlipAdversary,
+    PbfaAdversary,
+    RandomFlipAdversary,
+    ScriptedAdversary,
+)
+from repro.core.config import RadarConfig
+from repro.core.fleet import VerificationEngine
+from repro.core.recovery import RecoveryPolicy
+from repro.data.synthetic import make_tiny_dataset
+from repro.errors import ConfigurationError
+from repro.models.small import MLP
+from repro.quant.layers import quantize_model
+from repro.telemetry.monitor import FleetTelemetry
+
+#: Adversary kinds :func:`build_adversary` understands.
+ADVERSARY_KINDS = ("random", "pbfa", "paired", "low-bit")
+
+
+@dataclass(frozen=True)
+class CampaignScenario:
+    """One scripted engagement: an adversary kind, a cadence, a defense.
+
+    ``signature_bits`` is per scenario because the knowledgeable low-bit
+    attacker is exactly the case where the paper prescribes 3-bit
+    signatures (Section VIII) — the campaign should measure the defense
+    the paper would actually deploy against each threat.
+    """
+
+    name: str
+    kind: str
+    cadence: AttackCadence
+    num_flips: int = 4
+    group_size: int = 16
+    signature_bits: int = 2
+    victim: str = "model-0"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ADVERSARY_KINDS:
+            raise ConfigurationError(
+                f"unknown adversary kind {self.kind!r}; expected one of "
+                f"{ADVERSARY_KINDS}"
+            )
+        if self.num_flips < 1:
+            raise ConfigurationError(f"num_flips must be >= 1, got {self.num_flips}")
+
+    @property
+    def cadence_label(self) -> str:
+        cadence = self.cadence
+        if cadence.salvos == 1:
+            return f"burst@{cadence.start_tick}"
+        return (
+            f"trickle@{cadence.start_tick}"
+            f"+{cadence.interval}x{cadence.salvos}"
+        )
+
+
+def default_scenarios() -> Tuple[CampaignScenario, ...]:
+    """The committed campaign: every adversary kind, burst *and* trickle."""
+    return (
+        CampaignScenario(
+            name="random-burst", kind="random", cadence=AttackCadence.burst(2),
+            num_flips=6,
+        ),
+        CampaignScenario(
+            name="random-trickle", kind="random",
+            cadence=AttackCadence.trickle(start_tick=1, interval=3, salvos=3),
+            num_flips=2,
+        ),
+        CampaignScenario(
+            name="pbfa-burst", kind="pbfa", cadence=AttackCadence.burst(2),
+            num_flips=3,
+        ),
+        CampaignScenario(
+            name="paired-knowledgeable", kind="paired",
+            cadence=AttackCadence.burst(1), num_flips=2,
+        ),
+        CampaignScenario(
+            name="lowbit-trickle", kind="low-bit",
+            cadence=AttackCadence.trickle(start_tick=1, interval=2, salvos=2),
+            num_flips=3, signature_bits=3,
+        ),
+    )
+
+
+def build_adversary(
+    scenario: CampaignScenario,
+    images: np.ndarray,
+    labels: np.ndarray,
+    seed: int,
+) -> ScriptedAdversary:
+    """The scripted adversary a scenario mounts (fresh per run)."""
+    if scenario.kind == "random":
+        return RandomFlipAdversary(
+            scenario.cadence, num_flips=scenario.num_flips, seed=seed
+        )
+    if scenario.kind == "pbfa":
+        return PbfaAdversary(
+            scenario.cadence, images, labels, num_flips=scenario.num_flips, seed=seed
+        )
+    if scenario.kind == "paired":
+        return PairedFlipAdversary(
+            scenario.cadence,
+            images,
+            labels,
+            num_flips=scenario.num_flips,
+            assumed_group_size=scenario.group_size,
+            seed=seed,
+        )
+    return LowBitAdversary(
+        scenario.cadence, images, labels, num_flips=scenario.num_flips, seed=seed
+    )
+
+
+def _build_fleet(
+    scenario: CampaignScenario,
+    num_models: int,
+    num_shards: int,
+    budget_s: Optional[float],
+    workers: int,
+    seed: int,
+    input_dim: int,
+) -> VerificationEngine:
+    """A fresh engine-managed fleet with the full lifecycle enabled."""
+    config = RadarConfig(
+        group_size=scenario.group_size, signature_bits=scenario.signature_bits
+    )
+    engine = VerificationEngine(
+        config,
+        num_shards=num_shards,
+        budget_s=budget_s,
+        workers=workers,
+        recovery_policy=RecoveryPolicy.RELOAD,
+        auto_reprotect=True,
+    )
+    for index in range(num_models):
+        model = MLP(
+            input_dim=input_dim,
+            num_classes=4,
+            hidden_dims=(48, 24),
+            seed=seed + index,
+        )
+        quantize_model(model)
+        engine.register(f"model-{index}", model, keep_golden_weights=True)
+    return engine
+
+
+def run_scenario(
+    scenario: CampaignScenario,
+    images: np.ndarray,
+    labels: np.ndarray,
+    num_models: int = 3,
+    num_shards: int = 4,
+    budget_s: Optional[float] = None,
+    workers: int = 1,
+    extra_passes: int = 2,
+    seed: int = 0,
+) -> Tuple[List[Dict], FleetTelemetry]:
+    """Run one scenario to completion and return its SLA rows.
+
+    The serving window covers the cadence's last salvo plus one full
+    rotation (the engine's worst-case detection lag) plus ``extra_passes``
+    of margin, so every injection has had the scan coverage needed to be
+    caught — a missed injection in the output is a real detector miss, not
+    a truncated window.
+    """
+    engine = _build_fleet(
+        scenario, num_models, num_shards, budget_s, workers, seed, images[0].size
+    )
+    telemetry = FleetTelemetry().attach(engine)
+    adversary = build_adversary(scenario, images, labels, seed=seed)
+    victim = engine.get(scenario.victim)
+    lag = victim.scheduler.worst_case_lag_passes
+    passes = scenario.cadence.last_tick + 1 + lag + extra_passes
+    try:
+        for tick in range(passes):
+            profile = adversary.maybe_attack(victim.model, tick, victim.name)
+            if profile is not None:
+                telemetry.note_injection(victim.name, flips=len(profile))
+            engine.tick()
+    finally:
+        engine.close()
+    rows: List[Dict] = []
+    for report in telemetry.sla_report():
+        if report["injections"] == 0:
+            continue  # bystander models carry no latency SLA
+        row: Dict = {
+            "case": f"{scenario.name}:{report['model']}",
+            "scenario": scenario.name,
+            "model": report["model"],
+            "kind": scenario.kind,
+            "cadence": scenario.cadence_label,
+            "signature_bits": scenario.signature_bits,
+            "group_size": scenario.group_size,
+            "num_models": num_models,
+            "num_shards": num_shards,
+            "passes": passes,
+            "salvos": adversary.salvos_fired,
+            "missed": report["pending"],
+        }
+        row.update(
+            {
+                key: report[key]
+                for key in report
+                if key.endswith("_detection_ticks")
+                or key.endswith("_detection_ms")
+                or key in ("injections", "detections")
+            }
+        )
+        row["mean_recovery_ms"] = report["mean_recovery_ms"]
+        row["mean_reprotect_ms"] = report["mean_reprotect_ms"]
+        row["mean_stacking_fill"] = report["mean_stacking_fill"]
+        if budget_s is not None:
+            row["mean_budget_utilization"] = report["mean_budget_utilization"]
+        rows.append(row)
+    telemetry.detach()
+    return rows, telemetry
+
+
+def run_campaign(
+    scenarios: Optional[Sequence[CampaignScenario]] = None,
+    num_models: int = 3,
+    num_shards: int = 4,
+    budget_s: Optional[float] = None,
+    workers: int = 1,
+    extra_passes: int = 2,
+    seed: int = 0,
+) -> List[Dict]:
+    """Rows of the campaign SLA study (→ ``results/campaign_sla.json``).
+
+    Each scenario runs against its own freshly built fleet (scenarios must
+    not contaminate each other's calibration or flip-rate memory); the
+    attack batch for the gradient-driven adversaries is one shared
+    deterministic synthetic dataset.
+    """
+    scenarios = tuple(scenarios) if scenarios is not None else default_scenarios()
+    if not scenarios:
+        raise ConfigurationError("run_campaign needs at least one scenario")
+    train, _ = make_tiny_dataset(
+        num_classes=4, image_size=8, train_size=96, test_size=32, seed=seed + 17
+    )
+    rows: List[Dict] = []
+    for scenario in scenarios:
+        scenario_rows, _ = run_scenario(
+            scenario,
+            train.images,
+            train.labels,
+            num_models=num_models,
+            num_shards=num_shards,
+            budget_s=budget_s,
+            workers=workers,
+            extra_passes=extra_passes,
+            seed=seed,
+        )
+        rows.extend(scenario_rows)
+    return rows

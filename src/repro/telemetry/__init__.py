@@ -1,0 +1,48 @@
+"""Telemetry, SLA and persistence subsystem for the fleet engine.
+
+Three layers, each usable alone:
+
+* :mod:`repro.telemetry.metrics` — bounded metric primitives (counters,
+  gauges, ring-buffer histograms with p50/p95/p99 nearest-rank estimation)
+  behind a labelled :class:`~repro.telemetry.metrics.MetricRegistry`;
+* :mod:`repro.telemetry.monitor` — :class:`~repro.telemetry.monitor.FleetTelemetry`,
+  which subscribes to a :class:`~repro.core.fleet.VerificationEngine`'s
+  event bus and tick outcomes and tracks, per model, detection latency
+  (corruption injection → FLAGGED), recovery and reprotect time,
+  scan-budget utilisation and bucketed-stacking efficiency;
+* :mod:`repro.telemetry.store` — :class:`~repro.telemetry.store.StateStore`,
+  JSON persistence of everything a service *learns* (measured cost-model
+  EWMAs, planner flip rates, scheduler rotation counters, lifecycle
+  states) so a restart resumes warm instead of re-calibrating.
+
+The scenario-diverse attack-campaign driver feeding this subsystem lives
+in :mod:`repro.experiments.campaign`; the CLI surface is
+``repro-radar sla-report`` plus ``--state-dir`` on the protection
+subcommands.
+"""
+
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    RingHistogram,
+)
+from repro.telemetry.monitor import FleetTelemetry
+from repro.telemetry.store import (
+    StateStore,
+    cost_model_state,
+    engine_state_dict,
+    restore_engine_state,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "RingHistogram",
+    "MetricRegistry",
+    "FleetTelemetry",
+    "StateStore",
+    "cost_model_state",
+    "engine_state_dict",
+    "restore_engine_state",
+]

@@ -1,0 +1,184 @@
+"""Tests for :mod:`repro.attacks.scripted` and :mod:`repro.experiments.campaign`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks import (
+    AttackCadence,
+    PbfaAdversary,
+    RandomFlipAdversary,
+)
+from repro.data.synthetic import make_tiny_dataset
+from repro.errors import AttackError, ConfigurationError
+from repro.experiments.campaign import (
+    CampaignScenario,
+    build_adversary,
+    default_scenarios,
+    run_campaign,
+    run_scenario,
+)
+from repro.models.small import MLP
+from repro.quant.layers import quantize_model, quantized_layers
+
+
+@pytest.fixture(scope="module")
+def attack_batch():
+    train, _ = make_tiny_dataset(
+        num_classes=4, image_size=8, train_size=64, test_size=16, seed=3
+    )
+    return train.images, train.labels
+
+
+def _quantized_mlp(seed=0, input_dim=192):
+    model = MLP(input_dim=input_dim, num_classes=4, hidden_dims=(32, 16), seed=seed)
+    quantize_model(model)
+    return model
+
+
+class TestAttackCadence:
+    def test_burst_fires_once(self):
+        cadence = AttackCadence.burst(3)
+        assert [tick for tick in range(8) if cadence.fires_at(tick)] == [3]
+        assert cadence.last_tick == 3
+
+    def test_trickle_fires_on_interval(self):
+        cadence = AttackCadence.trickle(start_tick=1, interval=3, salvos=3)
+        assert [tick for tick in range(12) if cadence.fires_at(tick)] == [1, 4, 7]
+        assert cadence.last_tick == 7
+
+    def test_validation(self):
+        with pytest.raises(AttackError):
+            AttackCadence(start_tick=-1)
+        with pytest.raises(AttackError):
+            AttackCadence(interval=0)
+        with pytest.raises(AttackError):
+            AttackCadence(salvos=0)
+
+
+class TestScriptedAdversaries:
+    def test_random_adversary_fires_per_cadence(self):
+        model = _quantized_mlp()
+        adversary = RandomFlipAdversary(
+            AttackCadence.trickle(start_tick=0, interval=2, salvos=2), num_flips=3
+        )
+        profiles = []
+        for tick in range(6):
+            profile = adversary.maybe_attack(model, tick, "m")
+            if profile is not None:
+                profiles.append((tick, profile))
+        assert [tick for tick, _ in profiles] == [0, 2]
+        assert adversary.salvos_fired == 2
+        assert all(len(profile) == 3 for _, profile in profiles)
+
+    def test_salvo_seeds_differ_across_trickle_rounds(self):
+        model = _quantized_mlp()
+        adversary = RandomFlipAdversary(
+            AttackCadence.trickle(start_tick=0, interval=1, salvos=2), num_flips=2
+        )
+        first = adversary.maybe_attack(model, 0, "m")
+        second = adversary.maybe_attack(model, 1, "m")
+        flips = lambda profile: {
+            (flip.layer_name, flip.flat_index) for flip in profile
+        }
+        assert flips(first) != flips(second)
+
+    def test_pbfa_adversary_mounts_msb_flips(self, attack_batch):
+        images, labels = attack_batch
+        model = _quantized_mlp(input_dim=images[0].size)
+        adversary = PbfaAdversary(
+            AttackCadence.burst(0), images, labels, num_flips=2
+        )
+        profile = adversary.maybe_attack(model, 0, "m")
+        assert len(profile) == 2
+
+    def test_data_driven_adversary_requires_batch(self):
+        with pytest.raises(AttackError):
+            PbfaAdversary(
+                AttackCadence.burst(0), np.empty((0, 4)), np.empty((0,), dtype=np.int64)
+            )
+
+
+class TestCampaignScenarios:
+    def test_defaults_are_scenario_diverse(self):
+        scenarios = default_scenarios()
+        assert len(scenarios) >= 3
+        kinds = {scenario.kind for scenario in scenarios}
+        assert {"random", "pbfa"} <= kinds
+        cadences = {scenario.cadence.salvos > 1 for scenario in scenarios}
+        assert cadences == {True, False}  # both burst and trickle present
+        # The low-bit scenario deploys the paper's 3-bit defense.
+        lowbit = [s for s in scenarios if s.kind == "low-bit"]
+        assert lowbit and all(s.signature_bits == 3 for s in lowbit)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CampaignScenario(name="x", kind="nope", cadence=AttackCadence.burst(0))
+
+    def test_build_adversary_covers_every_kind(self, attack_batch):
+        images, labels = attack_batch
+        for scenario in default_scenarios():
+            adversary = build_adversary(scenario, images, labels, seed=0)
+            assert adversary.kind == scenario.kind
+
+
+class TestRunScenario:
+    def test_burst_scenario_detects_with_finite_latency(self, attack_batch):
+        images, labels = attack_batch
+        scenario = CampaignScenario(
+            name="unit-burst", kind="random", cadence=AttackCadence.burst(1),
+            num_flips=5,
+        )
+        rows, telemetry = run_scenario(scenario, images, labels, seed=0)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["model"] == "model-0"
+        assert row["missed"] == 0
+        assert row["injections"] == 1
+        assert np.isfinite(row["p99_detection_ticks"])
+        assert np.isfinite(row["p99_detection_ms"])
+        assert row["p99_detection_ticks"] >= 1
+        # Telemetry was detached from the (closed) engine.
+        assert telemetry.engine is None
+
+    def test_window_covers_trickle_plus_rotation(self, attack_batch):
+        images, labels = attack_batch
+        scenario = CampaignScenario(
+            name="unit-trickle", kind="random",
+            cadence=AttackCadence.trickle(start_tick=1, interval=2, salvos=3),
+            num_flips=2,
+        )
+        rows, _ = run_scenario(scenario, images, labels, num_shards=4, seed=1)
+        row = rows[0]
+        assert row["salvos"] == 3
+        assert row["injections"] == 3
+        assert row["missed"] == 0
+        # last salvo at tick 5, +1, + rotation lag (4) + margin (2)
+        assert row["passes"] == 5 + 1 + 4 + 2
+
+    def test_budgeted_scenario_reports_utilization(self, attack_batch):
+        images, labels = attack_batch
+        scenario = CampaignScenario(
+            name="unit-budget", kind="random", cadence=AttackCadence.burst(1),
+            num_flips=4,
+        )
+        # A generous budget that stays feasible after measured calibration.
+        rows, _ = run_scenario(scenario, images, labels, budget_s=0.5, seed=2)
+        assert "mean_budget_utilization" in rows[0]
+
+
+class TestRunCampaign:
+    def test_default_campaign_meets_the_sla_gate(self):
+        rows = run_campaign(seed=0)
+        assert len(rows) == len(default_scenarios())
+        for row in rows:
+            assert row["missed"] == 0, row["case"]
+            assert np.isfinite(row["p99_detection_ticks"]), row["case"]
+            assert np.isfinite(row["p99_detection_ms"]), row["case"]
+            assert np.isfinite(row["mean_reprotect_ms"]), row["case"]
+            assert 0 < row["mean_stacking_fill"] <= 1
+
+    def test_empty_scenarios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_campaign(scenarios=())

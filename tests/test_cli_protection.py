@@ -259,3 +259,128 @@ class TestBudgetFlags:
             by_tick.setdefault(row["pass"], 0.0)
             by_tick[row["pass"]] += row["budget_share_ms"]
         assert all(total <= 0.03 + 1e-9 for total in by_tick.values())
+
+
+class TestStateDirPersistence:
+    def test_protect_seeds_and_scan_resumes_calibration(self, tiny_setup, tmp_path, capsys):
+        state_dir = tmp_path / "state"
+        code = main(
+            [
+                "protect",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--state-dir", str(state_dir),
+            ]
+        )
+        assert code == 0
+        assert "calibration state" in capsys.readouterr().out
+        assert (state_dir / "calibration.json").exists()
+
+        # First scan starts from the seeded prior and persists observations.
+        code = main(
+            [
+                "scan",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--num-shards", "3",
+                "--state-dir", str(state_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "calibration persisted" in out
+
+        # Second scan resumes warm: observed passes are already on record.
+        code = main(
+            [
+                "scan",
+                "--setup", tiny_setup,
+                "--group-size", "16",
+                "--num-shards", "3",
+                "--state-dir", str(state_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resumed calibration" in out
+        assert "observed passes" in out
+
+    def test_scan_all_state_dir_persists_measured_pricing(self, tiny_setup, tmp_path, capsys):
+        state_dir = tmp_path / "fleet"
+        args = [
+            "scan", "--all",
+            "--setup", tiny_setup,
+            "--group-size", "16",
+            "--num-shards", "4",
+            "--passes", "4",
+            "--state-dir", str(state_dir),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cold start" in out
+        state = json.loads((state_dir / "engine_state.json").read_text())
+        saved = state["models"][tiny_setup]["cost_model"]
+        assert saved["type"] == "measured"
+        assert saved["observations"] >= 4
+        # Restart resumes the calibrated pricing.
+        assert main(args) == 0
+        assert "calibrated pricing" in capsys.readouterr().out
+
+    def test_serve_demo_restart_resumes_warm(self, tmp_path, capsys):
+        state_dir = tmp_path / "fleet-state"
+        args = [
+            "serve-demo",
+            "--models", "2",
+            "--passes", "6",
+            "--num-shards", "4",
+            "--state-dir", str(state_dir),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "cold start" in out
+        assert "engine state persisted" in out
+        assert (state_dir / "engine_state.json").exists()
+
+        # The "restarted" service resumes with its calibrated cost models:
+        # no cold-start re-calibration from the analytic prior.
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resumed warm" in out
+        assert "calibrated pricing" in out
+
+        state = json.loads((state_dir / "engine_state.json").read_text())
+        for saved in state["models"].values():
+            assert saved["cost_model"]["type"] == "measured"
+            # Two runs of 6 passes each have been folded into the EWMA.
+            assert saved["cost_model"]["observations"] >= 12
+
+
+class TestSlaReportCommand:
+    def test_sla_report_prints_percentiles(self, tmp_path, capsys):
+        output = tmp_path / "sla.json"
+        code = main(
+            [
+                "sla-report",
+                "--scenario", "random-burst",
+                "--scenario", "random-trickle",
+                "--scenario", "pbfa-burst",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "p50_detection_ticks" in out
+        assert "p99_detection_ms" in out
+        assert "all injections detected" in out
+        rows = json.loads(output.read_text())["rows"]
+        assert {row["scenario"] for row in rows} == {
+            "random-burst", "random-trickle", "pbfa-burst"
+        }
+        for row in rows:
+            assert row["missed"] == 0
+            assert row["p99_detection_ticks"] == row["p99_detection_ticks"]  # finite
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        code = main(["sla-report", "--scenario", "no-such-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err

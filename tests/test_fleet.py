@@ -169,8 +169,15 @@ class TestBatchedEquivalence:
         assert all(outcome.batch_size == 4 for outcome in outcomes.values())
 
     def test_heterogeneous_fleet_shares_one_bucketed_batch(self):
-        """Mixed architectures coalesce via padded stacking (same kernel key)."""
-        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        """Mixed architectures coalesce via padded stacking (same kernel key).
+
+        With the width-disparity guard disabled, even a LeNet slice that
+        dwarfs the MLP slices rides the one stacked pass (the PR-4
+        no-sequential-fallback guarantee in its pure form).
+        """
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, max_padding_waste=None
+        )
         engine.register("mlp-a", _small_model(1))
         engine.register("mlp-b", _small_model(2))
         lenet = LeNet5(num_classes=4, seed=3)
@@ -178,6 +185,25 @@ class TestBatchedEquivalence:
         engine.register("lenet", lenet)
         outcomes = engine.tick()
         assert all(outcome.batch_size == 3 for outcome in outcomes.values())
+
+    def test_width_disparity_guard_splits_dwarfing_slice(self):
+        """Default guard: a slice that dwarfs its bucket runs separately.
+
+        The LeNet slice here is ~60x the MLP slices, so padding the MLPs to
+        its width would waste > 50 % of the stacked work; the guard
+        sub-splits the bucket while keeping the comparable MLPs coalesced.
+        """
+        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        engine.register("mlp-a", _small_model(1))
+        engine.register("mlp-b", _small_model(2))
+        lenet = LeNet5(num_classes=4, seed=3)
+        quantize_model(lenet)
+        engine.register("lenet", lenet)
+        outcomes = engine.tick()
+        assert outcomes["lenet"].batch_size == 1
+        assert outcomes["mlp-a"].batch_size == 2
+        assert outcomes["mlp-b"].batch_size == 2
+        assert outcomes["mlp-a"].batch_width == outcomes["mlp-a"].scan.groups_checked
 
     def test_mixed_group_sizes_split_kernel_buckets(self):
         """Different group sizes cannot share a stacked gather width."""

@@ -150,3 +150,50 @@ class TestFullPipeline:
             protector.scan_and_recover(model)
             accuracies.append(evaluate_accuracy(model, test_set))
         assert all(accuracy >= clean_accuracy - 0.4 for accuracy in accuracies)
+
+
+class TestRuntimeAdoption:
+    """ProtectedInference adopts its model into the fused kernel plane."""
+
+    def test_wrapper_adopts_model_and_preserves_outputs(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        model.eval()
+        logits_before = model(test_set.images[:16])
+        runtime = ProtectedInference(model, RadarConfig(group_size=16))
+        fused = runtime.protector.store.fused()
+        assert fused.adopted
+        # Every quantized layer's buffer is now a view of the weight plane.
+        for _, layer in quantized_layers(model):
+            assert layer.qweight.base is not None
+        outcome = runtime(test_set.images[:16])
+        np.testing.assert_array_equal(outcome.logits, logits_before)
+        assert not outcome.attack_detected
+
+    def test_full_mode_inline_check_detects_on_the_plane(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        runtime = ProtectedInference(model, RadarConfig(group_size=16))
+        # Mutate a plane-backed buffer in place, as an attack would.
+        _, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        flat[11] = np.int8(int(flat[11]) ^ -128)
+        outcome = runtime(test_set.images[:8])
+        assert outcome.attack_detected
+        assert outcome.recovered_weights > 0
+
+    def test_amortized_mode_shares_the_adopted_plane(self, trained_tiny):
+        model, _, test_set, _ = trained_tiny
+        runtime = ProtectedInference(
+            model, RadarConfig(group_size=16), num_shards=4
+        )
+        assert runtime.scheduler is not None
+        # The scheduler's fused view is the adopted one - slices scan the
+        # same plane the attacks mutate, with no per-check weight copies.
+        assert runtime.scheduler.fused is runtime.protector.store.fused()
+        assert runtime.scheduler.fused.adopted
+        _, layer = quantized_layers(model)[0]
+        flat = layer.qweight.reshape(-1)
+        flat[3] = np.int8(int(flat[3]) ^ -128)
+        detected = False
+        for _ in range(runtime.scheduler.worst_case_lag_passes):
+            detected = detected or runtime(test_set.images[:8]).attack_detected
+        assert detected

@@ -30,6 +30,7 @@ from repro.core import (
     ScanScratch,
     VerificationEngine,
     batched_mismatched_rows,
+    split_by_padding_waste,
 )
 from repro.errors import ProtectionError
 from repro.models.small import MLP, LeNet5
@@ -376,8 +377,15 @@ class TestBucketedStacking:
 
 class TestHeterogeneousEngine:
     def test_mixed_architecture_fleet_coalesces_and_detects(self):
-        """>= 4 models of mixed structure run as ONE stacked bucketed pass."""
-        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        """>= 4 models of mixed structure run as ONE stacked bucketed pass.
+
+        ``max_padding_waste=None`` disables the width-disparity guard so
+        the assertion pins the pure PR-4 coalescing guarantee; the default
+        guard's sub-splitting behaviour is covered separately.
+        """
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, max_padding_waste=None
+        )
         engine.register("mlp-a", self._mlp(0, (16,)))
         engine.register("mlp-b", self._mlp(1, (16,)))
         engine.register("wide", self._mlp(2, (24, 12)))
@@ -476,3 +484,107 @@ class TestRowRangeLookup:
             running = end
         with pytest.raises(ProtectionError, match="not protected"):
             fused.row_range("ghost")
+
+
+class TestWidthDisparityGuard:
+    """The bucketed-stacking width-disparity guard (PR-4 follow-up)."""
+
+    def test_equal_sizes_stay_coalesced(self):
+        assert split_by_padding_waste([10, 10, 10], 0.0) == [[0, 1, 2]]
+
+    def test_dwarfing_slice_is_split_off_alone(self):
+        # 1000 dwarfs the rest; the small slices stay together.
+        groups = split_by_padding_waste([4, 1000, 5, 3], 0.5)
+        assert [sorted(group) for group in groups] == [[1], [0, 2, 3]]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ProtectionError):
+            split_by_padding_waste([1, 2], 1.0)
+        with pytest.raises(ProtectionError):
+            split_by_padding_waste([1, 2], -0.1)
+
+    def test_empty_input(self):
+        assert split_by_padding_waste([], 0.5) == []
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        sizes=st.lists(st.integers(min_value=0, max_value=5000), min_size=1, max_size=24),
+        max_waste=st.floats(min_value=0.0, max_value=0.95),
+    )
+    def test_partition_properties(self, sizes, max_waste):
+        groups = split_by_padding_waste(sizes, max_waste)
+        # Exact partition: every index exactly once.
+        flat = sorted(index for group in groups for index in group)
+        assert flat == list(range(len(sizes)))
+        for group in groups:
+            width = max(sizes[index] for index in group)
+            if width == 0:
+                continue  # all-empty group costs nothing
+            # The per-column bound the guard enforces...
+            assert all(
+                sizes[index] >= (1.0 - max_waste) * width for index in group
+            )
+            # ...implies the aggregate padding-waste bound (with float slack).
+            total = sum(sizes[index] for index in group)
+            waste = 1.0 - total / (width * len(group))
+            assert waste <= max_waste + 1e-9
+
+    def test_extreme_mix_matches_sequential_results(self):
+        """Satellite acceptance: guarded engine == sequential, extreme mixes.
+
+        A fleet mixing tiny MLPs with a LeNet whose slice is ~60x wider
+        exercises the sub-splitting path; every model's flagged groups must
+        equal what its own sequential ``scheduler.step`` finds.
+        """
+        def build(register_into):
+            # Two same-shape MLPs (equal slice widths -> they coalesce) plus
+            # a third with a slightly wider head (distinct structure key but
+            # a comparable slice) and the dwarfing LeNet.
+            for index, hidden in enumerate(((16,), (16,), (20,))):
+                model = MLP(
+                    input_dim=24, num_classes=4, hidden_dims=hidden, seed=index
+                )
+                quantize_model(model)
+                register_into.register(f"mlp-{index}", model)
+            lenet = LeNet5(num_classes=4, seed=9)
+            quantize_model(lenet)
+            register_into.register("lenet", lenet)
+
+        guarded = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, max_padding_waste=0.5
+        )
+        sequential = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, max_padding_waste=0.5
+        )
+        build(guarded)
+        build(sequential)
+        # Corrupt two models (the dwarf and a small one) in both fleets.
+        for engine in (guarded, sequential):
+            _flip(engine.get("lenet").model, 0, 31)
+            _flip(engine.get("mlp-0").model, 0, 3)
+
+        lag = max(
+            guarded.get(name).scheduler.worst_case_lag_passes
+            for name in guarded.names()
+        )
+        detected = set()
+        for _ in range(lag):
+            outcomes = guarded.tick(recovery_policy=RecoveryPolicy.NONE)
+            # The dwarfing LeNet ran alone; the small models stayed stacked.
+            assert outcomes["lenet"].batch_size == 1
+            assert outcomes["mlp-0"].batch_size >= 2
+            for name, outcome in outcomes.items():
+                managed = sequential.get(name)
+                expected = managed.scheduler.step(managed.model, reference=True)
+                assert outcome.scan.shard_indices == expected.shard_indices
+                for layer, groups in expected.report.flagged_groups.items():
+                    np.testing.assert_array_equal(
+                        outcome.scan.report.flagged_groups[layer], groups
+                    )
+                if outcome.attack_detected:
+                    detected.add(name)
+        assert detected == {"lenet", "mlp-0"}
+
+    def test_engine_rejects_invalid_guard_threshold(self):
+        with pytest.raises(ProtectionError, match="max_padding_waste"):
+            VerificationEngine(RadarConfig(group_size=8), max_padding_waste=1.5)

@@ -1,0 +1,272 @@
+"""Tests for :mod:`repro.telemetry.metrics` and :mod:`repro.telemetry.monitor`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import RandomBitFlipAttack, RandomFlipConfig
+from repro.core import (
+    MeasuredScanCostModel,
+    RadarConfig,
+    RecoveryPolicy,
+    VerificationEngine,
+)
+from repro.errors import ProtectionError
+from repro.models.small import MLP
+from repro.quant.layers import quantize_model
+from repro.telemetry import FleetTelemetry, MetricRegistry
+from repro.telemetry.metrics import Counter, Gauge, RingHistogram
+
+
+def _fleet(num_models=3, budget_s=None, measured=False, **engine_kwargs):
+    config = RadarConfig(group_size=16)
+    engine_kwargs.setdefault("recovery_policy", RecoveryPolicy.RELOAD)
+    engine_kwargs.setdefault("auto_reprotect", True)
+    engine = VerificationEngine(
+        config,
+        num_shards=4,
+        budget_s=budget_s,
+        **engine_kwargs,
+    )
+    for index in range(num_models):
+        model = MLP(input_dim=64, num_classes=4, hidden_dims=(48, 24), seed=index)
+        quantize_model(model)
+        engine.register(
+            f"model-{index}",
+            model,
+            keep_golden_weights=True,
+            cost_model=(
+                MeasuredScanCostModel.from_radar_config(config) if measured else None
+            ),
+        )
+    return engine
+
+
+def _attack(engine, name, num_flips=5, seed=0):
+    RandomBitFlipAttack(
+        RandomFlipConfig(num_flips=num_flips, msb_only=True, seed=seed)
+    ).run(engine.get(name).model, name)
+
+
+class TestCounterAndGauge:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ProtectionError):
+            Counter().inc(-1)
+
+    def test_gauge_last_value_wins(self):
+        gauge = Gauge()
+        assert np.isnan(gauge.value)
+        gauge.set(3.0)
+        gauge.set(1.5)
+        assert gauge.value == 1.5
+
+
+class TestRingHistogram:
+    def test_empty_percentiles_are_nan(self):
+        histogram = RingHistogram(capacity=8)
+        assert np.isnan(histogram.percentile(99))
+        assert len(histogram) == 0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ProtectionError):
+            RingHistogram(capacity=0)
+        histogram = RingHistogram(capacity=4)
+        histogram.observe(1.0)
+        with pytest.raises(ProtectionError):
+            histogram.percentile(0)
+        with pytest.raises(ProtectionError):
+            histogram.percentile(101)
+
+    def test_ring_retains_only_latest_window(self):
+        histogram = RingHistogram(capacity=4)
+        for value in range(10):
+            histogram.observe(float(value))
+        assert histogram.count == 10
+        assert len(histogram) == 4
+        assert sorted(histogram.window().tolist()) == [6.0, 7.0, 8.0, 9.0]
+        # Percentiles reflect the retained window, not the full history.
+        assert histogram.percentile(50) == 7.0
+        assert histogram.percentile(100) == 9.0
+
+    def test_summary_shape(self):
+        histogram = RingHistogram(capacity=16)
+        for value in (1.0, 2.0, 3.0):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == pytest.approx(2.0)
+        assert {"p50", "p95", "p99"} <= set(summary)
+
+    # Satellite acceptance: the estimator matches exact nearest-rank
+    # quantiles (NumPy's inverted_cdf) on random samples within capacity.
+    @settings(max_examples=60, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+            ),
+            min_size=1,
+            max_size=128,
+        ),
+        q=st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_percentile_matches_exact_nearest_rank(self, samples, q):
+        histogram = RingHistogram(capacity=128)
+        for value in samples:
+            histogram.observe(value)
+        expected = float(
+            np.percentile(np.asarray(samples), q, method="inverted_cdf")
+        )
+        assert histogram.percentile(q) == expected
+
+
+class TestMetricRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        registry = MetricRegistry()
+        a = registry.counter("events", model="a")
+        b = registry.counter("events", model="b")
+        assert a is not b
+        assert registry.counter("events", model="a") is a
+        assert registry.histogram("lat", model="a") is registry.histogram(
+            "lat", model="a"
+        )
+
+    def test_label_values_enumerates_models(self):
+        registry = MetricRegistry()
+        registry.counter("events", model="a")
+        registry.counter("events", model="b", event="detection")
+        registry.counter("other", model="c")
+        assert registry.label_values("events", "model") == ["a", "b"]
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        registry = MetricRegistry()
+        registry.counter("ticks").inc(3)
+        registry.gauge("price", model="a").set(1e-6)
+        registry.histogram("lat", model="a").observe(0.5)
+        snapshot = registry.snapshot()
+        payload = json.dumps(snapshot)
+        assert "ticks" in payload
+        assert snapshot["counters"][0]["value"] == 3
+        assert snapshot["histograms"][0]["count"] == 1
+
+
+class TestFleetTelemetryWiring:
+    def test_attach_registers_bus_and_tick_hook(self):
+        engine = _fleet()
+        telemetry = FleetTelemetry().attach(engine)
+        assert engine.telemetry is telemetry
+        with pytest.raises(ProtectionError):
+            telemetry.attach(engine)  # already attached
+        with pytest.raises(ProtectionError):
+            FleetTelemetry().attach(engine)  # engine already observed
+        telemetry.detach()
+        assert engine.telemetry is None
+        telemetry.detach()  # idempotent
+
+    def test_note_injection_requires_attachment_and_registration(self):
+        telemetry = FleetTelemetry()
+        with pytest.raises(ProtectionError):
+            telemetry.note_injection("model-0")
+        engine = _fleet()
+        telemetry.attach(engine)
+        with pytest.raises(ProtectionError):
+            telemetry.note_injection("no-such-model")
+
+    def test_detection_latency_measured_in_ticks_and_seconds(self):
+        engine = _fleet()
+        telemetry = FleetTelemetry().attach(engine)
+        engine.tick()  # tick 1: clean
+        _attack(engine, "model-0")
+        telemetry.note_injection("model-0", flips=5)
+        detected_after = None
+        for extra in range(8):
+            outcome = engine.tick()["model-0"]
+            if outcome.attack_detected:
+                detected_after = extra + 1
+                break
+        assert detected_after is not None
+        assert telemetry.pending_injections("model-0") == 0
+        ticks = telemetry.registry.histogram("detection_latency_ticks", model="model-0")
+        assert ticks.count == 1
+        assert ticks.percentile(50) == float(detected_after)
+        seconds = telemetry.registry.histogram("detection_latency_s", model="model-0")
+        assert seconds.count == 1
+        assert seconds.percentile(50) > 0
+
+    def test_recovery_and_reprotect_spans_recorded(self):
+        engine = _fleet()
+        telemetry = FleetTelemetry().attach(engine)
+        _attack(engine, "model-1", seed=3)
+        telemetry.note_injection("model-1")
+        for _ in range(4):
+            engine.tick()
+        recovery = telemetry.registry.histogram("recovery_s", model="model-1")
+        reprotect = telemetry.registry.histogram("reprotect_s", model="model-1")
+        assert recovery.count >= 1
+        assert reprotect.count == 1
+        # The detection->reprotect span contains the recovery wall-clock.
+        assert reprotect.percentile(100) >= recovery.percentile(100) >= 0
+
+    def test_tick_economics_budget_and_stacking(self):
+        engine = _fleet(measured=True)
+        telemetry = FleetTelemetry().attach(engine)
+        for _ in range(3):
+            # The measured models calibrate to the real host after every
+            # tick, so a fixed prior-priced budget would go infeasible;
+            # re-price the fleet-funding budget from the current calibration.
+            budget = sum(
+                engine.get(name).scheduler.planned_slice_cost_s()
+                for name in engine.names()
+            ) + engine.get("model-0").cost_model.pass_cost_s(1)
+            engine.tick(budget_s=budget)
+        assert telemetry.registry.counter("ticks_total").value == 3
+        for name in engine.names():
+            fill = telemetry.registry.histogram("stacking_fill", model=name)
+            assert fill.count == 3
+            assert 0 < fill.percentile(100) <= 1.0
+            utilization = telemetry.registry.histogram(
+                "budget_utilization", model=name
+            )
+            assert utilization.count == 3
+            price = telemetry.registry.gauge("seconds_per_group", model=name)
+            assert price.value > 0
+
+    def test_sla_report_rows_per_model(self):
+        engine = _fleet()
+        telemetry = FleetTelemetry().attach(engine)
+        _attack(engine, "model-0")
+        telemetry.note_injection("model-0")
+        for _ in range(5):
+            engine.tick()
+        rows = {row["model"]: row for row in telemetry.sla_report()}
+        assert set(rows) == set(engine.names())
+        victim = rows["model-0"]
+        assert victim["injections"] == 1
+        assert victim["detections"] == 1
+        assert victim["pending"] == 0
+        assert np.isfinite(victim["p99_detection_ticks"])
+        assert np.isfinite(victim["p99_detection_ms"])
+        bystander = rows["model-1"]
+        assert bystander["injections"] == 0
+        assert np.isnan(bystander["p99_detection_ticks"])
+
+    def test_snapshot_reports_pending_injections(self):
+        engine = _fleet(auto_reprotect=False, recovery_policy=RecoveryPolicy.NONE)
+        telemetry = FleetTelemetry().attach(engine)
+        telemetry.note_injection("model-2")  # nothing was actually flipped
+        snapshot = telemetry.snapshot()
+        assert snapshot["pending_injections"] == {"model-2": 1}
+        assert "metrics" in snapshot
