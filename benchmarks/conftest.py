@@ -38,12 +38,21 @@ def bench_models():
     return models
 
 
-def emit(title: str, rows, columns=None, filename: str = None) -> None:
-    """Print a table and persist it under ``results/``."""
+def emit(
+    title: str, rows, columns=None, filename: str = None, deterministic: bool = False
+) -> None:
+    """Print a table and persist it under ``results/``.
+
+    ``deterministic=True`` is for artifacts that must be byte-identical
+    across reruns (the campaign JSONs): rows should already be projected
+    onto machine-independent fields, and serialization is fixed too.
+    """
     text = reporting.render_table(rows, columns=columns, title=title)
     print("\n" + text)
     if filename:
-        reporting.save_results(rows, RESULTS_DIR / filename)
+        reporting.save_results(
+            rows, RESULTS_DIR / filename, deterministic=deterministic
+        )
 
 
 @pytest.fixture(scope="session")

@@ -21,17 +21,25 @@ import math
 import pytest
 
 from benchmarks.conftest import emit
-from repro.experiments.campaign import default_scenarios, run_campaign
+from repro.experiments.campaign import (
+    default_scenarios,
+    deterministic_rows,
+    run_campaign,
+)
 
 
 @pytest.mark.benchmark(group="campaign-sla")
 def test_campaign_reports_finite_detection_sla(benchmark):
     rows = run_campaign(seed=0)
+    # The committed artifact keeps only machine-independent fields (tick
+    # latencies, counts, structure) so reruns are byte-identical; the live
+    # rows keep wall-clock for the assertions below and the printed table.
     emit(
         "Attack-campaign SLA — per-scenario detection latency percentiles "
-        "(ticks and wall-clock) under the engine lifecycle",
-        rows,
+        "(serving ticks) under the engine lifecycle",
+        deterministic_rows(rows),
         filename="campaign_sla.json",
+        deterministic=True,
     )
 
     scenarios = {scenario.name for scenario in default_scenarios()}

@@ -28,13 +28,24 @@ Three benchmark kinds are understood (``--kind``):
   absolute floor on *every* row — the acceptance bar that the kernel stays
   >= 2x on both full scans and scheduler slices.
 * ``campaign`` — ``results/campaign_sla.json`` from
-  ``benchmarks/test_bench_campaign_sla.py``: rows keyed by ``case``
-  (``scenario:model``).  Milliseconds vary across hosts, so this gate is a
-  *validity* gate rather than a ratio gate: every scenario must report a
-  **finite** p99 detection latency (ticks and milliseconds) with **zero**
-  missed injections, and the scenario set must match the committed
-  baseline — a scenario silently disappearing or going undetected is the
-  regression.
+  ``benchmarks/test_bench_campaign_sla.py`` **and**
+  ``results/campaign_matrix.json`` from
+  ``benchmarks/test_bench_campaign_matrix.py``: rows keyed by ``case``.
+  Milliseconds vary across hosts (committed campaign artifacts strip them
+  entirely so reruns are byte-identical), so this gate is a *validity*
+  gate rather than a ratio gate: every case must report a **finite** p99
+  detection latency in ticks with **zero** missed injections, and the
+  case set must match the committed baseline — a case silently
+  disappearing or going undetected is the regression.  Rows that declare
+  a ``p99_bound_ticks`` (the matrix cells of unbudgeted defenses) must
+  additionally stay **at or under** that bound.  When the rows carry the
+  matrix's ``adversary``/``defense`` axes, the gate also pins the
+  adaptive-threat margins themselves: per cadence, the rotation tracker
+  must beat the blind random attacker against the fixed rotation (mean
+  detection latency strictly higher — the exploit is alive) **and**
+  saturate the fixed rotation's worst-case bound (p99 == bound), while
+  under the jittered planner its p99 must sit strictly *inside* the
+  declared bound (the defense restores slack the fixed rotation forfeits).
 
 Exit status: 0 when no regression, 1 on regression or malformed input.
 """
@@ -90,8 +101,17 @@ GATES: Dict[str, GateSpec] = {
     ),
 }
 
-#: Per-row SLA checks of the campaign gate: these must be finite numbers.
-CAMPAIGN_FINITE_METRICS = ("p99_detection_ticks", "p99_detection_ms")
+#: Per-row SLA checks of the campaign gate: always-required finite metrics
+#: (tick-space latency is deterministic and survives in committed
+#: artifacts) and optional ones (wall-clock is checked only when a live
+#: run kept it — committed artifacts strip milliseconds for determinism).
+CAMPAIGN_FINITE_METRICS = ("p99_detection_ticks",)
+CAMPAIGN_OPTIONAL_FINITE_METRICS = ("p99_detection_ms",)
+
+#: Matrix-axis fields that must additionally match structurally when the
+#: campaign rows carry them (the matrix artifact does, the scenario
+#: artifact does not).
+CAMPAIGN_MATRIX_STRUCTURAL = ("adversary", "defense", "policy", "budget_ms", "passes")
 
 #: Rows at or above this fleet size count toward ``--min-speedup``.
 FLEET_SIZE_FLOOR = 4
@@ -101,6 +121,107 @@ def load_rows(path: Path, key_field: str) -> dict:
     payload = json.loads(path.read_text())
     rows = payload["rows"] if isinstance(payload, dict) else payload
     return {row[key_field]: row for row in rows}
+
+
+def check_campaign_row(key: str, fresh_row: dict, failures: list) -> None:
+    """Per-row validity of one campaign/matrix case."""
+    for metric in CAMPAIGN_FINITE_METRICS:
+        value = fresh_row.get(metric)
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            failures.append(
+                f"case={key}: {metric} is {value!r} "
+                "(detection never happened or the window was truncated)"
+            )
+    for metric in CAMPAIGN_OPTIONAL_FINITE_METRICS:
+        if metric not in fresh_row:
+            continue
+        value = fresh_row[metric]
+        if not isinstance(value, (int, float)) or not math.isfinite(value):
+            failures.append(f"case={key}: {metric} is {value!r}")
+    missed = fresh_row.get("missed", 0)
+    if missed:
+        failures.append(
+            f"case={key}: {missed} injected attack(s) were never detected"
+        )
+    bound = fresh_row.get("p99_bound_ticks")
+    p99 = fresh_row.get("p99_detection_ticks")
+    if (
+        isinstance(bound, (int, float))
+        and math.isfinite(bound)
+        and isinstance(p99, (int, float))
+        and p99 > bound
+    ):
+        failures.append(
+            f"case={key}: p99 detection latency {p99} ticks exceeds the "
+            f"scheduler's declared worst-case bound of {bound} ticks"
+        )
+    print(
+        f"case={key}: p99 {p99} ticks"
+        + (f" (bound {bound})" if bound is not None else "")
+        + f", missed {missed}"
+    )
+
+
+def check_matrix_margins(fresh: dict, failures: list) -> None:
+    """Cross-cell adaptive-threat margins (matrix artifacts only).
+
+    Pins the PR's two headline claims per cadence that has the cells:
+    the rotation tracker *degrades* the fixed rotation (strictly worse
+    mean latency than a schedule-blind random attacker, p99 saturating
+    the worst-case bound), and the jittered planner *restores* slack
+    (tracker p99 strictly inside the jittered bound, a strictly smaller
+    fraction of it than under the fixed rotation).
+    """
+    cells = {}
+    for row in fresh.values():
+        if row.get("defense") is None:
+            continue
+        cells[(row.get("adversary"), row["cadence"], row["defense"])] = row
+    if not cells:
+        return
+    cadences = sorted({cadence for (_, cadence, _) in cells})
+    for cadence in cadences:
+        random_fixed = cells.get(("random", cadence, "fixed-rr"))
+        tracker_fixed = cells.get(("rotation", cadence, "fixed-rr"))
+        tracker_jittered = cells.get(("rotation", cadence, "jittered"))
+        if tracker_fixed and random_fixed:
+            tracker_mean = tracker_fixed["mean_detection_ticks"]
+            random_mean = random_fixed["mean_detection_ticks"]
+            if not tracker_mean > random_mean:
+                failures.append(
+                    f"cadence={cadence}: rotation tracker no longer degrades the "
+                    f"fixed rotation (tracker mean {tracker_mean} ticks vs random "
+                    f"{random_mean} ticks) — the adaptive exploit went stale"
+                )
+            else:
+                print(
+                    f"cadence={cadence}: exploit margin "
+                    f"{tracker_mean / random_mean:.2f}x (tracker {tracker_mean} "
+                    f"vs random {random_mean} mean ticks on fixed-rr)"
+                )
+        if tracker_fixed:
+            bound = tracker_fixed.get("p99_bound_ticks")
+            p99 = tracker_fixed["p99_detection_ticks"]
+            if bound and p99 < bound:
+                failures.append(
+                    f"cadence={cadence}: tracker p99 {p99} no longer saturates "
+                    f"the fixed rotation's bound {bound} — the committed margin "
+                    "is measuring a weaker attacker than it claims"
+                )
+        if tracker_jittered:
+            bound = tracker_jittered.get("p99_bound_ticks")
+            p99 = tracker_jittered["p99_detection_ticks"]
+            if bound and not p99 < bound:
+                failures.append(
+                    f"cadence={cadence}: tracker p99 {p99} reached the jittered "
+                    f"bound {bound} — the randomized defense no longer restores "
+                    "slack against the adaptive attacker"
+                )
+            elif bound:
+                print(
+                    f"cadence={cadence}: jittered defense holds "
+                    f"(tracker p99 {p99} < bound {bound})"
+                )
 
 
 def main(argv=None) -> int:
@@ -154,25 +275,13 @@ def main(argv=None) -> int:
                     f"(baseline {base_row[metric]:.2f}x, floor {floor:.2f}x)"
                 )
         if args.kind == "campaign":
-            for metric in CAMPAIGN_FINITE_METRICS:
-                value = fresh_row.get(metric)
-                if not isinstance(value, (int, float)) or not math.isfinite(value):
+            for metric in CAMPAIGN_MATRIX_STRUCTURAL:
+                if metric in base_row and base_row[metric] != fresh_row.get(metric):
                     failures.append(
-                        f"{spec.key_field}={key}: {metric} is {value!r} "
-                        "(detection never happened or the window was truncated)"
+                        f"{spec.key_field}={key}: {metric} changed "
+                        f"{base_row[metric]} -> {fresh_row.get(metric)}"
                     )
-            missed = fresh_row.get("missed", 0)
-            if missed:
-                failures.append(
-                    f"{spec.key_field}={key}: {missed} injected attack(s) "
-                    "were never detected"
-                )
-            print(
-                f"{spec.key_field}={key}: "
-                f"p99 {fresh_row.get('p99_detection_ticks')} ticks / "
-                f"{fresh_row.get('p99_detection_ms')} ms, "
-                f"missed {missed}"
-            )
+            check_campaign_row(key, fresh_row, failures)
             continue
         print(
             f"{spec.key_field}={key}: "
@@ -181,6 +290,9 @@ def main(argv=None) -> int:
                 for metric in spec.ratio_metrics
             )
         )
+
+    if args.kind == "campaign":
+        check_matrix_margins(fresh, failures)
 
     if args.min_speedup is not None:
         if args.kind == "fleet":

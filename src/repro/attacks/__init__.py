@@ -8,6 +8,10 @@
 * :mod:`repro.attacks.knowledgeable` — attackers that know a checksum
   defense is present (paired-flip evasion, MSB-avoiding attacks), used in
   Section VIII of the paper.
+* :mod:`repro.attacks.adaptive` — schedule-aware adversaries that observe
+  the scan rotation and fire into the maximum-staleness window (rotation
+  tracking, budget-starvation timing, and the oracle upper bound), the
+  threat model the jittered planner defends against.
 """
 
 from repro.attacks.profiles import (
@@ -40,6 +44,13 @@ from repro.attacks.scripted import (
     RandomFlipAdversary,
     ScriptedAdversary,
 )
+from repro.attacks.adaptive import (
+    AdaptiveAdversary,
+    BudgetAwareAttacker,
+    OracleAttacker,
+    RotationTracker,
+    flips_into_shard,
+)
 
 __all__ = [
     "BitFlip",
@@ -67,4 +78,9 @@ __all__ = [
     "PbfaAdversary",
     "PairedFlipAdversary",
     "LowBitAdversary",
+    "AdaptiveAdversary",
+    "RotationTracker",
+    "BudgetAwareAttacker",
+    "OracleAttacker",
+    "flips_into_shard",
 ]

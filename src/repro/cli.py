@@ -178,7 +178,7 @@ def _add_protection_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scan-policy",
         default="round_robin",
-        choices=("round_robin", "priority_exposure", "full"),
+        choices=("round_robin", "priority_exposure", "jittered", "full"),
         help="shard-selection policy of the amortized scheduler",
     )
     parser.add_argument(
@@ -680,6 +680,8 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
 def _cmd_sla_report(args: argparse.Namespace) -> int:
     from repro.experiments.campaign import default_scenarios, run_campaign
 
+    if args.matrix:
+        return _cmd_sla_matrix(args)
     scenarios = list(default_scenarios())
     if args.scenario:
         known = {scenario.name: scenario for scenario in scenarios}
@@ -714,6 +716,53 @@ def _cmd_sla_report(args: argparse.Namespace) -> int:
             f"{max(row['p99_detection_ticks'] for row in rows):.0f} ticks / "
             f"{max(row['p99_detection_ms'] for row in rows):.3f} ms"
         )
+    return 0
+
+
+def _cmd_sla_matrix(args: argparse.Namespace) -> int:
+    """``sla-report --matrix``: the adversary × cadence × defense matrix."""
+    from repro.experiments.campaign import (
+        full_matrix,
+        matrix_summary,
+        run_matrix,
+        smoke_matrix,
+    )
+
+    cells = full_matrix() if args.full else smoke_matrix()
+    rows = run_matrix(cells, num_models=args.models, seed=args.seed)
+    subset = "full" if args.full else "smoke"
+    _emit(
+        rows,
+        f"Campaign matrix ({subset}, {len(cells)} cells) — detection-latency "
+        "percentiles per adversary × cadence × defense",
+        args.output,
+    )
+    summary = matrix_summary(rows)
+    if summary:
+        print(
+            reporting.render_table(
+                summary,
+                title="Adaptive-gap summary (tracker p99 as a fraction of each "
+                "defense's worst-case bound; 1.0 = attacker owns the bound)",
+            )
+        )
+    missed = sum(row["missed"] for row in rows)
+    unbounded = [
+        row["case"]
+        for row in rows
+        if row["p99_bound_ticks"] is not None
+        and row["p99_detection_ticks"] > row["p99_bound_ticks"]
+    ]
+    if missed or unbounded:
+        if missed:
+            print(f"WARNING: {missed} injection(s) were never detected")
+        for case in unbounded:
+            print(f"WARNING: {case} exceeded its declared worst-case bound")
+        return 1
+    print(
+        f"all {len(cells)} cells detected every injection within their "
+        "declared bounds"
+    )
     return 0
 
 
@@ -807,7 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--scan-policy",
         default="round_robin",
-        choices=("round_robin", "priority_exposure", "full"),
+        choices=("round_robin", "priority_exposure", "jittered", "full"),
     )
     serve_parser.add_argument("--shards-per-pass", type=_positive_int, default=1)
     serve_parser.add_argument("--passes", type=_positive_int, default=8, help="serving ticks to simulate")
@@ -847,6 +896,17 @@ def build_parser() -> argparse.ArgumentParser:
     sla_parser.add_argument(
         "--scenario", action="append", default=None,
         help="run only this scenario (repeatable; default: all scenarios)",
+    )
+    sla_parser.add_argument(
+        "--matrix", action="store_true",
+        help="run the adversary × cadence × defense configuration matrix "
+        "instead of the scripted scenarios (adaptive attackers vs fixed "
+        "and jittered rotations)",
+    )
+    sla_parser.add_argument(
+        "--full", action="store_true",
+        help="with --matrix: run the exhaustive offline sweep instead of "
+        "the deterministic CI smoke subset",
     )
     sla_parser.add_argument(
         "--models", type=_positive_int, default=3, help="models in each scenario's fleet"

@@ -54,6 +54,7 @@ from repro.core.cost import (
 )
 from repro.core.planner import (
     FullScanPlanner,
+    JitteredPlanner,
     PriorityExposurePlanner,
     RoundRobinPlanner,
     ShardView,
@@ -100,6 +101,7 @@ __all__ = [
     "FullScanPlanner",
     "RoundRobinPlanner",
     "PriorityExposurePlanner",
+    "JitteredPlanner",
     "GroupLayout",
     "SecretKey",
     "compute_group_sums",

@@ -30,12 +30,31 @@ sooner) but can never invert a strict exposure ordering.  The scheduler's
 round-robin rotation bound (``worst_case_lag_passes``) therefore survives
 flip-rate tuning; ``tests/test_planner.py`` property-tests this under
 injected flips.
+
+Predictability vs. the bound
+----------------------------
+A *strictly sliding* starvation bound of ``B = ceil(n / slice)`` passes
+forces a cyclic schedule: once every shard's next scan has a hard deadline
+exactly ``B`` passes after its last one, the only order satisfying all
+deadlines is a repeat of the previous rotation.  A schedule-aware attacker
+(:mod:`repro.attacks.adaptive`) exploits exactly that determinism — it
+observes which shards each pass scanned and fires into the shard whose
+next scan is furthest away, turning the *bound* into the *guaranteed*
+detection latency.  :class:`JitteredPlanner` trades the sliding bound for
+a rotation-aligned one: every *epoch* of ``B`` passes covers all shards in
+a fresh seeded random permutation, so consecutive scans of one shard are
+at most ``2B - 1`` passes apart (late in one epoch, early in the next is
+the best an attacker can rely on; the worst case is early then late).
+Planners declare that relaxation via :attr:`rotation_lag_multiplier`,
+which the scheduler folds into ``worst_case_lag_passes``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, NamedTuple, Sequence
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import ProtectionError
 
@@ -68,6 +87,13 @@ class VerificationPlanner(ABC):
     #: :meth:`order` a static view tuple instead of refreshing every view
     #: each pass — a measurable saving on the fleet engine's tick path.
     uses_shard_state: bool = True
+
+    #: Factor the scheduler multiplies into ``worst_case_lag_passes``.
+    #: Cyclic planners guarantee a scan within one rotation (1); planners
+    #: that randomize the order inside rotation-aligned epochs
+    #: (:class:`JitteredPlanner`) guarantee it within two (2) — the price
+    #: of being unpredictable to a schedule-aware attacker.
+    rotation_lag_multiplier: int = 1
 
     @abstractmethod
     def order(self, shards: Sequence[ShardView]) -> List[int]:
@@ -208,6 +234,217 @@ class PriorityExposurePlanner(VerificationPlanner):
         }
 
     def load_state_dict(self, state: Mapping[str, object]) -> None:
+        rates = state.get("flip_rate", {})
+        self._flip_rate = {
+            int(index): float(rate) for index, rate in dict(rates).items()
+        }
+
+
+class JitteredPlanner(VerificationPlanner):
+    """Seeded-random epoch permutations: unpredictable yet starvation-free.
+
+    Defense counter-move to the schedule-aware adversaries of
+    :mod:`repro.attacks.adaptive`.  The deterministic rotations of
+    :class:`RoundRobinPlanner` (and, under no flips, of
+    :class:`PriorityExposurePlanner`) let an attacker who merely *observes*
+    which shards each pass scanned predict the next scan of every shard and
+    fire into the maximum-staleness window — achieving the worst-case
+    detection latency on every salvo.
+
+    This planner instead partitions time into **epochs** of one rotation
+    each: at the start of every epoch it draws a fresh permutation of all
+    shards from ``default_rng([seed, epoch])`` and serves the epoch from it.
+    Every epoch covers every shard (the rotation-aligned starvation bound),
+    but *where* in the next epoch a given shard lands is uniform — an
+    attacker targeting the just-scanned shard now waits a uniformly random
+    fraction of a rotation, the same expectation a blind random attacker
+    gets.  The worst-case gap between two scans of one shard is ``2B - 1``
+    passes (scanned first in one epoch, last in the next), declared via
+    ``rotation_lag_multiplier = 2``.
+
+    Epoch-boundary passes may straddle two epochs; the straddling slice is
+    drawn from the *next* epoch's permutation (skipping shards still owed by
+    the current one), and the shards it consumes are excluded from the next
+    epoch via ``carryover`` — both epochs still cover every shard.
+
+    Like :class:`PriorityExposurePlanner` the planner keeps a per-shard
+    flip-rate EWMA; ``hot_bias > 0`` turns the uniform draw into an
+    Efraimidis–Spirakis weighted shuffle that *front-loads* flip-prone
+    shards within each epoch.  The bias reshapes each epoch's permutation
+    but never removes a shard from it, so the bound is unaffected.  The
+    EWMA (and the RNG seed) survive :meth:`reset`; only the epoch position
+    clears — and the epoch counter *advances*, so a rebuilt rotation never
+    replays an already-observed permutation.
+
+    :meth:`tune` closes the loop with
+    :meth:`repro.telemetry.monitor.FleetTelemetry.tune_jitter`: observed
+    detection-latency pressure (p99 ticks against the declared bound) moves
+    ``hot_bias``, biasing future epochs toward the shards attacks actually
+    land in.
+    """
+
+    uses_shard_state = False  # epoch permutations ignore per-pass exposure
+    rotation_lag_multiplier = 2
+
+    #: Ceiling :meth:`tune` may push ``hot_bias`` to.
+    MAX_HOT_BIAS = 4.0
+
+    def __init__(self, seed: int = 0, hot_bias: float = 0.0, ewma_alpha: float = 0.5) -> None:
+        if hot_bias < 0:
+            raise ProtectionError(f"hot_bias must be >= 0, got {hot_bias}")
+        if not 0 < ewma_alpha <= 1:
+            raise ProtectionError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.seed = int(seed)
+        self.hot_bias = float(hot_bias)
+        self.ewma_alpha = float(ewma_alpha)
+        self._flip_rate: Dict[int, float] = {}
+        self._epoch = 0
+        #: Shards the current epoch still owes (``None`` = epoch not started;
+        #: materialized lazily by :meth:`order`, which is the first caller
+        #: that knows the shard count).
+        self._remaining: Optional[List[int]] = None
+        #: Shards a boundary-straddling pass already consumed out of the
+        #: *next* epoch; excluded when that epoch materializes.
+        self._carryover: List[int] = []
+
+    # -- randomized ordering ----------------------------------------------------
+    def flip_rate(self, shard_index: int) -> float:
+        """Current EWMA flip rate of one shard (0 until it flags something)."""
+        return self._flip_rate.get(shard_index, 0.0)
+
+    def _keys(self, epoch: int, count: int) -> np.ndarray:
+        """Efraimidis–Spirakis shuffle keys for one epoch (descending order).
+
+        With all weights 1 (no flips observed, or ``hot_bias == 0``) the
+        keys are i.i.d. uniform draws and sorting them yields a uniform
+        permutation; a weight ``w > 1`` pushes a shard's key toward 1,
+        front-loading it in expectation without ever excluding anyone.
+        """
+        draws = np.random.default_rng([self.seed, epoch]).random(count)
+        if self.hot_bias > 0 and self._flip_rate:
+            weights = np.ones(count)
+            for index, rate in self._flip_rate.items():
+                if 0 <= index < count:
+                    weights[index] += self.hot_bias * rate / (1.0 + rate)
+            return draws ** (1.0 / weights)
+        return draws
+
+    def _epoch_order(self, epoch: int, count: int) -> List[int]:
+        keys = self._keys(epoch, count)
+        return sorted(range(count), key=lambda index: (-keys[index], index))
+
+    def order(self, shards: Sequence[ShardView]) -> List[int]:
+        count = len(shards)
+        if self._remaining is None:
+            # Lazy epoch materialization — idempotent (repeated calls see the
+            # same remaining list until a commit), so planning stays replayable.
+            self._remaining = [
+                index
+                for index in self._epoch_order(self._epoch, count)
+                if index not in self._carryover
+            ]
+            self._carryover = []
+        remaining = [index for index in self._remaining if index < count]
+        owed = set(remaining)
+        preview = [
+            index
+            for index in self._epoch_order(self._epoch + 1, count)
+            if index not in owed
+        ]
+        return remaining + preview
+
+    def committed(
+        self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
+    ) -> None:
+        for index in shard_indices:
+            observed = 1.0 if flagged_counts.get(index, 0) > 0 else 0.0
+            rate = self._flip_rate.get(index, 0.0)
+            self._flip_rate[index] = rate + self.ewma_alpha * (observed - rate)
+        if not shard_indices:
+            return
+        if self._remaining is None:
+            # Commit before any order() (never the scheduler's sequence, but
+            # reachable through direct planner use): charge the fresh epoch.
+            self._carryover.extend(int(index) for index in shard_indices)
+            return
+        overflow: List[int] = []
+        for index in shard_indices:
+            if index in self._remaining:
+                self._remaining.remove(index)
+            else:
+                overflow.append(int(index))
+        if not self._remaining:
+            self._epoch += 1
+            self._remaining = None
+            self._carryover = overflow
+
+    def reset(self) -> None:
+        # Positional state only — flip rates and the seed survive.  The
+        # epoch counter advances past every permutation the old rotation may
+        # have revealed, so a reprotected model resumes unpredictable.
+        self._epoch += 1
+        self._remaining = None
+        self._carryover = []
+
+    # -- telemetry-driven tuning -------------------------------------------------
+    def tune(
+        self,
+        observed_p99_ticks: Optional[float] = None,
+        bound_ticks: Optional[float] = None,
+        hot_bias: Optional[float] = None,
+    ) -> float:
+        """Adjust ``hot_bias`` and return the new value.
+
+        Either set ``hot_bias`` directly, or pass telemetry feedback: when
+        the observed p99 detection latency consumes more than half of the
+        declared bound the bias steps toward :data:`MAX_HOT_BIAS` (future
+        epochs front-load the flip-prone shards); when pressure relaxes the
+        bias decays back toward uniform.  Pure arithmetic — deterministic
+        for deterministic inputs.
+        """
+        if hot_bias is not None:
+            if hot_bias < 0:
+                raise ProtectionError(f"hot_bias must be >= 0, got {hot_bias}")
+            self.hot_bias = min(float(hot_bias), self.MAX_HOT_BIAS)
+            return self.hot_bias
+        if (
+            observed_p99_ticks is None
+            or bound_ticks is None
+            or not bound_ticks > 0
+            or not np.isfinite(observed_p99_ticks)
+        ):
+            return self.hot_bias
+        pressure = float(observed_p99_ticks) / float(bound_ticks)
+        target = self.MAX_HOT_BIAS * min(1.0, max(0.0, (pressure - 0.5) * 2.0))
+        self.hot_bias += 0.5 * (target - self.hot_bias)
+        return self.hot_bias
+
+    # -- persistence -------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "seed": int(self.seed),
+            "epoch": int(self._epoch),
+            "remaining": (
+                None
+                if self._remaining is None
+                else [int(index) for index in self._remaining]
+            ),
+            "carryover": [int(index) for index in self._carryover],
+            "hot_bias": float(self.hot_bias),
+            "flip_rate": {
+                str(index): float(rate) for index, rate in self._flip_rate.items()
+            },
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        self.seed = int(state.get("seed", self.seed))
+        self._epoch = int(state.get("epoch", 0))
+        remaining = state.get("remaining")
+        self._remaining = (
+            None if remaining is None else [int(index) for index in remaining]
+        )
+        self._carryover = [int(index) for index in state.get("carryover", [])]
+        self.hot_bias = float(state.get("hot_bias", 0.0))
         rates = state.get("flip_rate", {})
         self._flip_rate = {
             int(index): float(rate) for index, rate in dict(rates).items()

@@ -34,6 +34,11 @@ Three built-in policies decide which shards a pass scans:
   :class:`~repro.core.planner.PriorityExposurePlanner`).
 * ``FULL`` — every shard every pass (degenerates to a full scan; useful
   as a baseline and for the highest-assurance deployments).
+* ``JITTERED`` — seeded-random epoch permutations that deny a
+  schedule-aware attacker the deterministic rotation while still covering
+  every shard each epoch (see
+  :class:`~repro.core.planner.JitteredPlanner`; its bound is two rotations,
+  folded into ``worst_case_lag_passes`` via ``rotation_lag_multiplier``).
 
 The detection-lag tradeoff is explicit: a flip landing in the worst-placed
 shard is caught after at most one rotation (``worst_case_lag_passes``),
@@ -55,6 +60,7 @@ from repro.core.cost import AnalyticScanCostModel, ScanCostModel, plan_rotation
 from repro.core.detector import DetectionReport, report_from_fused_rows
 from repro.core.planner import (
     FullScanPlanner,
+    JitteredPlanner,
     PriorityExposurePlanner,
     RoundRobinPlanner,
     ShardView,
@@ -71,6 +77,7 @@ class ScanPolicy(str, Enum):
     ROUND_ROBIN = "round_robin"
     PRIORITY_EXPOSURE = "priority_exposure"
     FULL = "full"
+    JITTERED = "jittered"
 
 
 def planner_for_policy(policy: ScanPolicy) -> VerificationPlanner:
@@ -80,6 +87,8 @@ def planner_for_policy(policy: ScanPolicy) -> VerificationPlanner:
         return FullScanPlanner()
     if policy is ScanPolicy.PRIORITY_EXPOSURE:
         return PriorityExposurePlanner()
+    if policy is ScanPolicy.JITTERED:
+        return JitteredPlanner()
     return RoundRobinPlanner()
 
 
@@ -255,12 +264,19 @@ class ScanScheduler:
 
     @property
     def worst_case_lag_passes(self) -> int:
-        """Passes until any flip is guaranteed scanned (one full rotation).
+        """Passes until any flip is guaranteed scanned.
+
+        One full rotation for cyclic planners; planners that randomize the
+        order inside rotation-aligned epochs declare a
+        ``rotation_lag_multiplier`` (2 for
+        :class:`~repro.core.planner.JitteredPlanner` — a shard scanned early
+        in one epoch may land late in the next), which scales the bound.
 
         A budget narrows the slice even for the FULL policy, so its lag bound
         only collapses to one pass when every shard actually fits the budget.
         """
-        return -(-self.num_shards // self._effective_slice(self.budget_s))
+        rotation = -(-self.num_shards // self._effective_slice(self.budget_s))
+        return rotation * getattr(self._planner, "rotation_lag_multiplier", 1)
 
     def _slots(self) -> int:
         return self.num_shards if self._planner.scan_everything else self.shards_per_pass

@@ -60,15 +60,37 @@ def compare_with_paper(measured: float, paper: float, label: str) -> Dict:
     }
 
 
-def save_results(rows: Sequence[Dict], path: Path, metadata: Optional[Dict] = None) -> None:
-    """Persist experiment rows (plus optional metadata) as JSON."""
+def save_results(
+    rows: Sequence[Dict],
+    path: Path,
+    metadata: Optional[Dict] = None,
+    deterministic: bool = False,
+) -> None:
+    """Persist experiment rows (plus optional metadata) as JSON.
+
+    ``deterministic=True`` fixes the serialization completely — sorted
+    keys and floats rounded to 9 decimals — so rerunning an unchanged
+    experiment rewrites the file byte-identically.  Campaign artifacts
+    use it (together with stripping wall-clock fields, see
+    :func:`repro.experiments.campaign.deterministic_rows`) to keep
+    ``results/`` diffs meaningful: a changed byte means a changed
+    measurement, never serialization noise.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    if deterministic:
+        rows = [
+            {
+                key: round(value, 9) if isinstance(value, float) else value
+                for key, value in row.items()
+            }
+            for row in rows
+        ]
     payload = {"rows": list(rows)}
     if metadata:
         payload["metadata"] = metadata
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=1, default=str)
+        json.dump(payload, handle, indent=1, default=str, sort_keys=deterministic)
 
 
 def load_results(path: Path) -> List[Dict]:

@@ -188,6 +188,35 @@ class FleetTelemetry:
                 if price is not None:
                     self.registry.gauge("seconds_per_group", model=name).set(price)
 
+    # -- defense feedback ---------------------------------------------------------
+    def tune_jitter(self) -> Dict[str, float]:
+        """Feed observed detection latency back into jittered planners.
+
+        For every managed model whose planner exposes ``tune`` (the
+        :class:`~repro.core.planner.JitteredPlanner`), pass the model's
+        observed p99 detection latency in ticks together with its
+        scheduler's declared worst-case bound; the planner raises or
+        decays its hot-shard bias accordingly.  Returns the resulting
+        bias per tuned model (empty when nothing is tunable or no
+        latency has been observed yet).
+        """
+        engine = self._require_engine()
+        biases: Dict[str, float] = {}
+        for name in engine.names():
+            managed = engine.get(name)
+            tune = getattr(managed.scheduler.planner, "tune", None)
+            if tune is None:
+                continue
+            ticks = self.registry.histogram("detection_latency_ticks", model=name)
+            p99 = ticks.percentiles().get("p99")
+            if p99 is None or p99 != p99:  # no matched detections yet
+                continue
+            biases[name] = tune(
+                observed_p99_ticks=float(p99),
+                bound_ticks=float(managed.scheduler.worst_case_lag_passes),
+            )
+        return biases
+
     # -- reporting ---------------------------------------------------------------
     def models(self) -> List[str]:
         """Models with any recorded activity (attached engine's first)."""
@@ -223,6 +252,7 @@ class FleetTelemetry:
             seconds = self.registry.histogram("detection_latency_s", model=name)
             for label, value in ticks.percentiles().items():
                 row[f"{label}_detection_ticks"] = value
+            row["mean_detection_ticks"] = ticks.summary()["mean"]
             for label, value in seconds.percentiles().items():
                 row[f"{label}_detection_ms"] = value * 1e3
             row["mean_recovery_ms"] = (

@@ -13,12 +13,22 @@ from repro.attacks import (
 from repro.data.synthetic import make_tiny_dataset
 from repro.errors import AttackError, ConfigurationError
 from repro.experiments.campaign import (
+    ADVERSARY_KINDS,
     CampaignScenario,
+    DefenseConfig,
+    MatrixCell,
     build_adversary,
+    default_defenses,
     default_scenarios,
+    deterministic_rows,
+    full_matrix,
+    matrix_summary,
     run_campaign,
+    run_matrix,
     run_scenario,
+    smoke_matrix,
 )
+from repro.experiments.reporting import save_results
 from repro.models.small import MLP
 from repro.quant.layers import quantize_model, quantized_layers
 
@@ -182,3 +192,122 @@ class TestRunCampaign:
     def test_empty_scenarios_rejected(self):
         with pytest.raises(ConfigurationError):
             run_campaign(scenarios=())
+
+
+class TestMatrixConfiguration:
+    def test_smoke_matrix_is_fixed_and_story_complete(self):
+        cells = smoke_matrix()
+        ids = [cell.case_id for cell in cells]
+        assert len(ids) == len(set(ids)), "cell ids must be unique"
+        # The committed artifact needs the comparison cells the gate pins.
+        assert "random|trickle@3+6x4|fixed-rr" in ids
+        assert "rotation|trickle@3+6x4|fixed-rr" in ids
+        assert "rotation|trickle@3+6x4|jittered" in ids
+        assert any(cell.defense.budget_ms is not None for cell in cells)
+        assert any(cell.adversary == "oracle" for cell in cells)
+
+    def test_full_matrix_is_exhaustive(self):
+        cells = full_matrix()
+        kinds = {cell.adversary for cell in cells}
+        assert kinds == set(ADVERSARY_KINDS)
+        defenses = {cell.defense.name for cell in cells}
+        assert {"fixed-rr", "jittered", "jittered-tuned", "jittered-dense"} <= defenses
+        cadences = {cell.cadence.salvos > 1 for cell in cells}
+        assert cadences == {True, False}
+
+    def test_defense_validation(self):
+        with pytest.raises(ConfigurationError):
+            DefenseConfig(name="")
+        with pytest.raises(ConfigurationError):
+            DefenseConfig(name="x", tuned=True)  # tuning needs jitter
+        with pytest.raises(ConfigurationError):
+            MatrixCell(
+                adversary="nope",
+                cadence=AttackCadence.burst(0),
+                defense=default_defenses()[0],
+            )
+
+    def test_duplicate_cells_rejected(self, attack_batch):
+        cell = smoke_matrix()[0]
+        with pytest.raises(ConfigurationError):
+            run_matrix([cell, cell])
+
+    def test_build_adversary_covers_adaptive_kinds(self, attack_batch):
+        images, labels = attack_batch
+        for kind in ("rotation", "budget", "oracle"):
+            cell = MatrixCell(
+                adversary=kind,
+                cadence=AttackCadence.burst(2),
+                defense=default_defenses()[0],
+            )
+            adversary = build_adversary(cell, images, labels, seed=0)
+            assert adversary.kind == kind
+
+
+class TestMatrixRows:
+    def test_matrix_rows_carry_gate_fields_and_bounds(self, attack_batch):
+        images, labels = attack_batch
+        cells = smoke_matrix()[:4]
+        rows = run_matrix(cells, seed=0)
+        assert len(rows) == len(cells)
+        for row in rows:
+            for field in (
+                "case", "scenario", "model", "kind", "adversary", "defense",
+                "cadence", "signature_bits", "num_models", "num_shards",
+                "policy", "passes", "mean_detection_ticks", "p99_bound_ticks",
+            ):
+                assert field in row, f"{row['case']}: missing {field}"
+            assert row["missed"] == 0
+            bound = row["p99_bound_ticks"]
+            if bound is not None:
+                assert row["p99_detection_ticks"] <= bound
+
+    def test_matrix_summary_reports_the_adaptive_gap(self):
+        rows = run_matrix(smoke_matrix(), seed=0)
+        summary = matrix_summary(rows)
+        trickle = [s for s in summary if s["cadence"] == "trickle@3+6x4"]
+        assert trickle
+        entry = trickle[0]
+        assert entry["exploit_mean_ratio"] > 1
+        assert entry["tracker_bound_saturation_fixed"] == 1.0
+        assert (
+            entry["tracker_bound_saturation_jittered"]
+            < entry["tracker_bound_saturation_fixed"]
+        )
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_matrix([])
+
+
+class TestDeterministicArtifacts:
+    def test_deterministic_rows_strip_wall_clock_fields(self):
+        rows = deterministic_rows(
+            [
+                {
+                    "case": "x",
+                    "p99_detection_ticks": 4.0,
+                    "p99_detection_ms": 1.23,
+                    "mean_budget_utilization": 0.5,
+                    "budget_ms": 0.02,
+                    "mean_stacking_fill": 1 / 3,
+                }
+            ]
+        )
+        (row,) = rows
+        assert "p99_detection_ms" not in row
+        assert "mean_budget_utilization" not in row
+        assert row["budget_ms"] == 0.02  # configuration survives
+        assert row["mean_stacking_fill"] == round(1 / 3, 9)
+
+    def test_matrix_artifact_is_byte_identical_across_reruns(
+        self, attack_batch, tmp_path
+    ):
+        cells = smoke_matrix()[:3]
+        paths = []
+        for attempt in range(2):
+            rows = deterministic_rows(run_matrix(cells, seed=0))
+            path = tmp_path / f"matrix_{attempt}.json"
+            save_results(rows, path, deterministic=True)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()

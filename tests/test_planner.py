@@ -16,6 +16,7 @@ from hypothesis import strategies as st
 
 from repro.core import (
     FullScanPlanner,
+    JitteredPlanner,
     ModelProtector,
     PriorityExposurePlanner,
     RadarConfig,
@@ -186,3 +187,146 @@ class TestPriorityExposureUnderFlips:
             exposures = [e + 1 for e in exposures]
             exposures[chosen] = 0
             assert max(exposures) <= num_shards
+
+
+def _drive_jittered(planner, num_shards, shards_per_pass, passes):
+    """Simulate a scheduler driving ``planner``: scan the top slice each
+    pass; return per-shard first/last scan passes and all inter-scan gaps."""
+    views = _views([0] * num_shards)
+    first, last, gaps = {}, {}, []
+    for tick in range(passes):
+        picks = planner.order(views)[:shards_per_pass]
+        planner.committed(picks, {shard: 0 for shard in picks})
+        for shard in picks:
+            first.setdefault(shard, tick)
+            if shard in last:
+                gaps.append(tick - last[shard])
+            last[shard] = tick
+    return first, gaps
+
+
+class TestJitteredPlanner:
+    """The randomized-rotation defense: unpredictable, yet provably bounded."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        num_shards=st.integers(min_value=1, max_value=10),
+        shards_per_pass=st.integers(min_value=1, max_value=3),
+    )
+    def test_starvation_bound_holds_for_any_seed(
+        self, seed, num_shards, shards_per_pass
+    ):
+        """For ANY RNG seed, every shard is scanned within the planner's
+        declared bound — ``rotation_lag_multiplier`` rotations — both at
+        first coverage and between consecutive scans, forever after."""
+        shards_per_pass = min(shards_per_pass, num_shards)
+        rotation = -(-num_shards // shards_per_pass)
+        bound = JitteredPlanner.rotation_lag_multiplier * rotation
+        planner = JitteredPlanner(seed=seed)
+        first, gaps = _drive_jittered(
+            planner, num_shards, shards_per_pass, passes=6 * bound
+        )
+        assert set(first) == set(range(num_shards)), "a shard was never scanned"
+        assert max(first.values()) <= bound - 1
+        if gaps:
+            assert max(gaps) <= bound
+
+    def test_schedule_is_seed_dependent_but_reproducible(self):
+        orders = set()
+        for seed in range(8):
+            planner = JitteredPlanner(seed=seed)
+            order = tuple(planner.order(_views([0] * 6))[:6])
+            assert tuple(sorted(order)) == tuple(range(6))
+            orders.add(order)
+            again = tuple(JitteredPlanner(seed=seed).order(_views([0] * 6))[:6])
+            assert order == again, "same seed must replay the same schedule"
+        assert len(orders) > 1, "the rotation must actually vary across seeds"
+
+    def test_flip_rate_ewma_survives_reset(self):
+        planner = JitteredPlanner(seed=3, hot_bias=2.0, ewma_alpha=0.5)
+        planner.order(_views([0] * 4))
+        planner.committed([0, 1, 2, 3], {0: 3, 1: 0, 2: 0, 3: 0})
+        hot = planner.flip_rate(0)
+        assert hot > 0
+        epoch_before = planner.state_dict()["epoch"]
+        planner.reset()
+        assert planner.flip_rate(0) == hot, "reset must keep learned flip rates"
+        assert planner.state_dict()["epoch"] > epoch_before, (
+            "reset must advance the epoch so an observed permutation never replays"
+        )
+
+    def test_hot_bias_front_loads_flip_prone_shards_within_the_bound(self):
+        """With a strong learned bias the hot shard moves toward the front of
+        each epoch, while the any-seed bound property above still holds."""
+        positions_biased, positions_uniform = [], []
+        for seed in range(12):
+            for positions, bias in (
+                (positions_biased, 4.0),
+                (positions_uniform, 0.0),
+            ):
+                planner = JitteredPlanner(seed=seed, hot_bias=bias)
+                planner.order(_views([0] * 6))
+                planner.committed(list(range(6)), {0: 4})
+                positions.append(planner.order(_views([0] * 6)).index(0))
+        assert sum(positions_biased) < sum(positions_uniform)
+
+    def test_tune_raises_bias_under_pressure_and_decays_it_when_safe(self):
+        planner = JitteredPlanner(seed=0)
+        raised = planner.tune(observed_p99_ticks=8.0, bound_ticks=8.0)
+        assert raised > 0
+        relaxed = planner.tune(observed_p99_ticks=1.0, bound_ticks=8.0)
+        assert relaxed < raised
+        assert planner.tune(hot_bias=99.0) == JitteredPlanner.MAX_HOT_BIAS
+        with pytest.raises(ProtectionError):
+            planner.tune(hot_bias=-1.0)
+
+    def test_validation(self):
+        with pytest.raises(ProtectionError):
+            JitteredPlanner(hot_bias=-0.5)
+        with pytest.raises(ProtectionError):
+            JitteredPlanner(ewma_alpha=0.0)
+
+    def test_state_round_trip_resumes_identical_schedule(self):
+        views = _views([0] * 5)
+        planner = JitteredPlanner(seed=9, hot_bias=1.0)
+        picks = planner.order(views)[:2]
+        planner.committed(picks, {shard: 1 for shard in picks})
+        resumed = JitteredPlanner()
+        resumed.load_state_dict(planner.state_dict())
+        for _ in range(12):
+            expected = planner.order(views)[:2]
+            assert resumed.order(views)[:2] == expected
+            planner.committed(expected, {shard: 0 for shard in expected})
+            resumed.committed(expected, {shard: 0 for shard in expected})
+        assert resumed.state_dict() == planner.state_dict()
+
+    def test_scheduler_declares_doubled_lag_and_respects_it(self, protected):
+        model, protector = protected
+        scheduler = protector.scheduler(
+            num_shards=5, policy=ScanPolicy.JITTERED, shards_per_pass=2
+        )
+        fixed = protector.scheduler(
+            num_shards=5, policy=ScanPolicy.ROUND_ROBIN, shards_per_pass=2
+        )
+        bound = scheduler.worst_case_lag_passes
+        assert bound == 2 * fixed.worst_case_lag_passes
+        for _ in range(4 * bound):
+            scheduler.step(model)
+            assert scheduler.max_exposure_passes <= bound
+
+    def test_jittered_scheduler_still_detects_flips(self, protected):
+        model, protector = protected
+        scheduler = protector.scheduler(num_shards=5, policy=ScanPolicy.JITTERED)
+        undo = _flip_weight_in_shard(model, protector, scheduler, 2)
+        try:
+            detected_at = None
+            for tick in range(scheduler.worst_case_lag_passes):
+                if scheduler.step(model).attack_detected:
+                    detected_at = tick
+                    break
+            assert detected_at is not None, (
+                "a flip must be caught within the declared worst-case lag"
+            )
+        finally:
+            undo()

@@ -101,6 +101,24 @@ class TestCoreStateDicts:
         twin.load_state_dict(json.loads(json.dumps(planner.state_dict())))
         assert twin.flip_rate(0) == planner.flip_rate(0)
 
+    def test_jittered_planner_round_trip_resumes_mid_epoch(self):
+        from repro.core.planner import JitteredPlanner
+
+        planner = JitteredPlanner(seed=13, hot_bias=1.5)
+        views = [None] * 6  # JitteredPlanner only reads len()
+        picks = planner.order(views)[:2]
+        planner.committed(picks, {picks[0]: 2})
+        # JSON round trip (as the StateStore performs) mid-epoch.
+        twin = JitteredPlanner()
+        twin.load_state_dict(json.loads(json.dumps(planner.state_dict())))
+        assert twin.flip_rate(picks[0]) == planner.flip_rate(picks[0])
+        for _ in range(10):
+            expected = planner.order(views)[:2]
+            assert twin.order(views)[:2] == expected
+            planner.committed(expected, {})
+            twin.committed(expected, {})
+        assert twin.state_dict() == planner.state_dict()
+
     def test_scheduler_state_rejects_resharding(self):
         engine = _build_engine(num_models=1)
         scheduler = engine.get("model-0").scheduler
@@ -155,6 +173,40 @@ class TestEngineStateRoundTrip:
             saved.min_feasible_budget_s() for saved in map(engine.get, engine.names())
         ) * len(engine) * 2
         assert twin.allocate_budget(budget) == engine.allocate_budget(budget)
+
+    def test_jittered_engine_round_trip_resumes_identical_rotation(self, tmp_path):
+        """A restored jittered engine replans the exact same randomized
+        rotation — the defense's unpredictability must not leak determinism
+        across restarts, nor desync from its persisted epoch."""
+        engine = _build_engine(policy=ScanPolicy.JITTERED)
+        self._calibrate(engine)
+        store = StateStore(tmp_path)
+        store.save_engine(engine)
+
+        twin = _build_engine(policy=ScanPolicy.JITTERED)
+        for name in twin.names():
+            # A cold twin would draw a different rotation; restore must
+            # overwrite it (seed included), not merely happen to match.
+            twin.get(name).scheduler.planner.seed = 999
+        report = store.restore_engine(twin)
+        assert report["restored"] == engine.names()
+        assert not report["partial"]
+        for name in engine.names():
+            saved = engine.get(name).scheduler
+            restored = twin.get(name).scheduler
+            assert restored.plan() == saved.plan()
+            assert (
+                restored.planner.state_dict() == saved.planner.state_dict()
+            )
+        # The resumed twins stay in lockstep across further ticks.
+        for _ in range(6):
+            engine.tick()
+            twin.tick()
+            for name in engine.names():
+                assert (
+                    twin.get(name).scheduler.plan()
+                    == engine.get(name).scheduler.plan()
+                )
 
     def test_restore_into_empty_dir_reports_cold_start(self, tmp_path):
         engine = _build_engine(num_models=1)
