@@ -104,6 +104,39 @@ def _announce_restore(engine, restore: Optional[Dict]) -> None:
         print(f"  persisted model {name!r} is not registered; skipped")
 
 
+def _resolve_parallelism(args: argparse.Namespace) -> Optional[Dict[str, int]]:
+    """Validated ``{"workers": W, "processes": P}`` for engine commands.
+
+    Returns ``None`` (caller exits 2) when ``--workers`` and ``--processes``
+    are both raised — the engine refuses that combination too, but the CLI
+    catches it before any model is loaded.  When ``--processes`` is raised
+    on a platform without ``multiprocessing.shared_memory``, degrades to
+    the same count of worker *threads* with a warning instead of failing.
+    """
+    workers = getattr(args, "workers", 1)
+    processes = getattr(args, "processes", 1)
+    if workers > 1 and processes > 1:
+        print(
+            "error: --workers and --processes are mutually exclusive; pick "
+            "thread-pooled scanning (--workers N) or process-pooled "
+            "scanning over shared-memory planes (--processes N)",
+            file=sys.stderr,
+        )
+        return None
+    if processes > 1:
+        from repro.core import shared_memory_available
+
+        if not shared_memory_available():
+            print(
+                "warning: multiprocessing.shared_memory is unavailable on "
+                f"this platform; degrading --processes {processes} to "
+                f"{processes} worker threads",
+                file=sys.stderr,
+            )
+            workers, processes = processes, 1
+    return {"workers": workers, "processes": processes}
+
+
 def _default_group_sizes(setup: str) -> Sequence[int]:
     if "resnet18" in setup:
         return (64, 128, 256, 512, 1024)
@@ -393,6 +426,9 @@ def _cmd_scan_all(args: argparse.Namespace) -> int:
     from repro.experiments.common import ExperimentContext
     from repro.models.zoo import ModelZoo, available_setups
 
+    parallelism = _resolve_parallelism(args)
+    if parallelism is None:
+        return 2
     zoo = ModelZoo()
     setups = [args.setup] + [
         setup
@@ -404,6 +440,7 @@ def _cmd_scan_all(args: argparse.Namespace) -> int:
         policy=ScanPolicy(args.scan_policy),
         shards_per_pass=args.shards_per_pass,
         budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
+        **parallelism,
     )
     contexts = {}
     for setup in setups:
@@ -484,6 +521,7 @@ def _cmd_scan_all(args: argparse.Namespace) -> int:
                 f"attack on {args.setup} injected before pass {args.inject_at_pass + 1}, "
                 f"detected, recovered and re-signed at pass {detected_at}"
             )
+    engine.close()
     return 0
 
 
@@ -580,6 +618,9 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     from repro.models.small import MLP
     from repro.quant.layers import quantize_model
 
+    parallelism = _resolve_parallelism(args)
+    if parallelism is None:
+        return 2
     config = RadarConfig(
         group_size=args.group_size if args.group_size is not None else 16,
         signature_bits=args.signature_bits,
@@ -590,9 +631,9 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         policy=ScanPolicy(args.scan_policy),
         shards_per_pass=args.shards_per_pass,
         budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
-        workers=args.workers,
         recovery_policy=RecoveryPolicy.RELOAD,
         auto_reprotect=True,
+        **parallelism,
     )
     for index in range(args.models):
         model = MLP(
@@ -674,6 +715,92 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     if state_store is not None:
         print(f"engine state persisted to {state_store.save_engine(engine)}")
     engine.close()
+    return 0
+
+
+def _cmd_infer_demo(args: argparse.Namespace) -> int:
+    """``infer-demo``: budgeted protected inference with persistent calibration.
+
+    A small in-process MLP is wrapped in
+    :class:`~repro.core.runtime.ProtectedInference` under a per-batch
+    latency budget, fed random batches, and its *learned* state — the
+    measured cost model's EWMA price and the auto-tuned check cadence —
+    round-trips through ``--state-dir``: a second run resumes calibrated
+    instead of re-learning from the analytic prior.
+    """
+    import numpy as np
+
+    from repro.core import ProtectedInference, RadarConfig, RecoveryPolicy
+
+    from repro.models.small import MLP
+    from repro.quant.layers import quantize_model
+
+    config = RadarConfig(
+        group_size=args.group_size if args.group_size is not None else 16,
+        signature_bits=args.signature_bits,
+    )
+    model = MLP(input_dim=64, num_classes=4, hidden_dims=(48, 24), seed=args.seed)
+    quantize_model(model)
+    runtime = ProtectedInference(
+        model,
+        config=config,
+        policy=RecoveryPolicy.ZERO,
+        budget_s=args.budget_ms / 1e3,
+    )
+    state_store = None
+    warm = False
+    if args.state_dir is not None:
+        from repro.telemetry.store import StateStore
+
+        state_store = StateStore(args.state_dir)
+        warm = state_store.restore_runtime(
+            "infer-demo", runtime, radar_config=runtime.protector.config
+        )
+    observations = getattr(runtime.cost_model, "observations", 0)
+    price = getattr(runtime.cost_model, "seconds_per_group", float("nan"))
+    if warm:
+        print(
+            f"resumed calibration: {price * 1e6:.4g} us/group after "
+            f"{observations} observed checks; cadence re-derived to every "
+            f"{runtime.check_every} batch(es)"
+        )
+    else:
+        print(
+            "cold start (analytic calibration prior); checking every "
+            f"{runtime.check_every} batch(es)"
+        )
+    rng = np.random.default_rng(args.seed)
+    for _ in range(args.batches):
+        runtime(rng.normal(size=(args.batch_size, 64)))
+    observations = getattr(runtime.cost_model, "observations", 0)
+    price = getattr(runtime.cost_model, "seconds_per_group", float("nan"))
+    rows = [
+        {
+            "batches": runtime.log.batches,
+            "checks": runtime.log.checks,
+            "check_every": runtime.check_every,
+            "detections": runtime.log.detections,
+            "check_ms_total": round(runtime.log.check_seconds * 1e3, 4),
+            "calibrated_us_per_group": round(price * 1e6, 4),
+            "observations": observations,
+            "warm_start": warm,
+        }
+    ]
+    _emit(
+        rows,
+        f"Protected inference ({args.batches} batches, "
+        f"{args.budget_ms:g} ms/batch budget)",
+        args.output,
+    )
+    if state_store is not None:
+        path = state_store.save_runtime(
+            "infer-demo", runtime, radar_config=runtime.protector.config
+        )
+        print(
+            f"runtime calibration persisted to {path}: "
+            f"{price * 1e6:.4g} us/group ({observations} total observations, "
+            f"cadence {runtime.check_every})"
+        )
     return 0
 
 
@@ -843,6 +970,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan every cached model-zoo setup (plus --setup) as one fleet "
         "through the verification engine",
     )
+    scan_parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="with --all: worker threads for the engine's batched passes "
+        "(mutually exclusive with --processes)",
+    )
+    scan_parser.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="with --all: scan worker processes attached read-only to "
+        "shared-memory weight planes (mutually exclusive with --workers)",
+    )
     scan_parser.set_defaults(handler=_cmd_scan)
 
     serve_parser = subparsers.add_parser(
@@ -872,7 +1009,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--workers", type=_positive_int, default=1,
-        help="worker threads for the engine's batched verification passes",
+        help="worker threads for the engine's batched verification passes "
+        "(mutually exclusive with --processes)",
+    )
+    serve_parser.add_argument(
+        "--processes", type=_positive_int, default=1,
+        help="scan worker processes attached read-only to shared-memory "
+        "weight planes (mutually exclusive with --workers; falls back to "
+        "threads where shared memory is unavailable)",
     )
     serve_parser.add_argument(
         "--events", action="store_true",
@@ -887,6 +1031,31 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--output", type=Path, default=None)
     serve_parser.set_defaults(handler=_cmd_serve_demo)
+
+    infer_parser = subparsers.add_parser(
+        "infer-demo",
+        help="budgeted protected inference on a small in-process model, "
+        "with measured-cost calibration persisted via --state-dir",
+    )
+    infer_parser.add_argument("--group-size", type=_group_size_arg, default=None)
+    infer_parser.add_argument("--signature-bits", type=int, default=2, choices=(1, 2, 3))
+    infer_parser.add_argument(
+        "--batches", type=_positive_int, default=32, help="inference batches to run"
+    )
+    infer_parser.add_argument("--batch-size", type=_positive_int, default=8)
+    infer_parser.add_argument(
+        "--budget-ms", type=_positive_float, default=0.2,
+        help="amortized per-batch checking budget; the check cadence "
+        "auto-tunes to it from the calibrated measured cost model",
+    )
+    infer_parser.add_argument(
+        "--state-dir", type=Path, default=None,
+        help="persist and resume the runtime's measured calibration and "
+        "check cadence across runs",
+    )
+    infer_parser.add_argument("--seed", type=int, default=0)
+    infer_parser.add_argument("--output", type=Path, default=None)
+    infer_parser.set_defaults(handler=_cmd_infer_demo)
 
     sla_parser = subparsers.add_parser(
         "sla-report",

@@ -64,16 +64,33 @@ from repro.core.interleave import GroupLayout
 from repro.core.masking import SecretKey
 from repro.core.checksum import compute_group_sums, signature_from_sums
 from repro.core.signature import (
+    AttachedModelPlane,
     FusedSignatures,
     LayerSignatures,
     ScanScratch,
+    SharedPlaneSpec,
+    SharedSegmentSpec,
     SignatureStore,
     batched_mismatched_rows,
+    shared_memory_available,
     split_by_padding_waste,
+    stacked_mismatched_rows,
 )
 from repro.core.detector import DetectionReport, RadarDetector, count_detected_flips
+from repro.core.procpool import (
+    ProcessScanPool,
+    ScanTask,
+    ScanTaskItem,
+    ScanTaskResult,
+)
 from repro.core.recovery import RecoveryPolicy, RecoveryReport, recover_model
-from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler, ShardInfo
+from repro.core.scheduler import (
+    ScanPassResult,
+    ScanPolicy,
+    ScanScheduler,
+    ShardInfo,
+    SliceDescriptor,
+)
 from repro.core.protector import ModelProtector, ProtectionSummary
 from repro.core.runtime import InferenceOutcome, ProtectedInference
 from repro.core.fleet import (
@@ -111,7 +128,16 @@ __all__ = [
     "FusedSignatures",
     "ScanScratch",
     "batched_mismatched_rows",
+    "stacked_mismatched_rows",
     "split_by_padding_waste",
+    "shared_memory_available",
+    "SharedSegmentSpec",
+    "SharedPlaneSpec",
+    "AttachedModelPlane",
+    "ProcessScanPool",
+    "ScanTask",
+    "ScanTaskItem",
+    "ScanTaskResult",
     "RadarDetector",
     "DetectionReport",
     "count_detected_flips",
@@ -122,6 +148,7 @@ __all__ = [
     "ScanPassResult",
     "ScanScheduler",
     "ShardInfo",
+    "SliceDescriptor",
     "ModelProtector",
     "ProtectionSummary",
     "ProtectedInference",

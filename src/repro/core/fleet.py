@@ -31,6 +31,19 @@ work queue of scan slices drawn from all registered models:
   (``workers > 1``); the stacked NumPy kernels release the GIL, and all
   scheduler bookkeeping (and each bucket's scratch) stays confined to one
   batch, so no engine state is shared across threads.
+* **Process pool** — thread-pooled scanning is still GIL-bound between the
+  kernels, so ``processes > 1`` instead publishes every model's plane (plus
+  gather-index, sign and golden matrices) into
+  ``multiprocessing.shared_memory`` segments
+  (:meth:`~repro.core.signature.FusedSignatures.share`) and runs the
+  bucketed stacked passes in worker processes
+  (:class:`~repro.core.procpool.ProcessScanPool`).  Workers attach
+  read-only and ship back only mismatched-row indices; the coordinator
+  keeps lifecycle, recovery, re-sign, telemetry and every plane mutation.
+  A re-sign republishes the model's segments under a bumped generation
+  counter and unlinks the old ones, so stale workers re-attach by (new)
+  name on their next task.  ``workers`` and ``processes`` are mutually
+  exclusive.
 * **Lifecycle state machine** — each model carries a
   :class:`ProtectionState`::
 
@@ -58,6 +71,7 @@ engine, preserving the PR 1–2 API (detect-only ``step``, caller-driven
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
@@ -70,12 +84,15 @@ import numpy as np
 from repro.core.config import RadarConfig
 from repro.core.cost import AnalyticScanCostModel, ScanCostModel
 from repro.core.detector import DetectionReport
+from repro.core.procpool import ProcessScanPool, ScanTask, ScanTaskItem
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport
 from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
 from repro.core.signature import (
     ScanScratch,
+    SharedPlaneSpec,
     batched_mismatched_rows,
+    shared_memory_available,
     split_by_padding_waste,
 )
 from repro.errors import ProtectionError
@@ -183,6 +200,14 @@ class ManagedModel:
     #: re-walk the module tree every tick (layer objects are stable; their
     #: ``qweight`` buffers are mutated in place by attacks and recovery).
     layer_map: Dict[str, Module] = field(default_factory=dict)
+    #: Shared-memory publication of this model's kernel arrays (process
+    #: mode only; ``None`` until first published).  The spec always points
+    #: at the *current* generation's segments.
+    plane_spec: Optional[SharedPlaneSpec] = None
+    #: Monotonic publish counter — bumped on every (re)publish, so workers
+    #: detect a re-signed plane and re-attach (see
+    #: :class:`~repro.core.signature.SharedPlaneSpec`).
+    plane_generation: int = 0
     #: ``(scheduler, price, floor)`` memo for :meth:`min_feasible_budget_s` —
     #: the floor only changes when the scheduler is rebuilt or a measured
     #: cost model recalibrates, but feasibility is re-checked on every
@@ -245,6 +270,10 @@ class EngineTickOutcome:
     #: ratio ``scan.groups_checked / batch_width`` is the stacking fill —
     #: what telemetry tracks as bucketed-stacking efficiency.
     batch_width: int = 0
+    #: Which execution lane ran this model's kernel pass: a thread name
+    #: (``MainThread`` / pool thread) or ``process-N`` in process mode.
+    #: ``None`` when the slice was empty and no kernel ran.
+    worker: Optional[str] = None
 
     @property
     def attack_detected(self) -> bool:
@@ -268,6 +297,7 @@ class _PlannedSlice:
     measured_s: float = 0.0
     batch_size: int = 1
     batch_width: int = 0
+    worker: Optional[str] = None
 
 
 class VerificationEngine:
@@ -287,6 +317,18 @@ class VerificationEngine:
     ``workers > 1`` runs independent batch groups on a thread pool (useful
     for heterogeneous fleets whose models cannot share a stacked pass);
     bookkeeping and event delivery always stay on the calling thread.
+
+    ``processes > 1`` instead publishes each model's kernel arrays into
+    shared memory and scans disjoint kernel-key buckets in worker
+    processes (:class:`~repro.core.procpool.ProcessScanPool`), sidestepping
+    the GIL entirely.  Workers are read-only; every plane mutation
+    (recovery, re-sign) stays on the coordinator, which republishes the
+    affected model's segments under a bumped generation counter so stale
+    workers re-attach.  ``workers`` and ``processes`` are mutually
+    exclusive, and process mode requires ``multiprocessing.shared_memory``
+    (check :func:`~repro.core.signature.shared_memory_available` and fall
+    back to threads when it is missing).  Engines that published planes or
+    started pools should be closed (or used as a context manager).
     """
 
     def __init__(
@@ -297,6 +339,7 @@ class VerificationEngine:
         shards_per_pass: int = 1,
         budget_s: Optional[float] = None,
         workers: int = 1,
+        processes: int = 1,
         recovery_policy: RecoveryPolicy = RecoveryPolicy.ZERO,
         auto_reprotect: bool = True,
         event_history: int = 256,
@@ -315,6 +358,19 @@ class VerificationEngine:
             raise ProtectionError(f"budget_s must be positive, got {budget_s}")
         if workers < 1:
             raise ProtectionError(f"workers must be >= 1, got {workers}")
+        if processes < 1:
+            raise ProtectionError(f"processes must be >= 1, got {processes}")
+        if workers > 1 and processes > 1:
+            raise ProtectionError(
+                "workers and processes are mutually exclusive: pick "
+                "thread-pooled scanning (workers > 1) or process-pooled "
+                "scanning (processes > 1), not both"
+            )
+        if processes > 1 and not shared_memory_available():
+            raise ProtectionError(
+                "processes > 1 requires multiprocessing.shared_memory, which "
+                "is unavailable on this platform; use workers (threads) instead"
+            )
         if max_padding_waste is not None and not 0 <= max_padding_waste < 1:
             raise ProtectionError(
                 f"max_padding_waste must be in [0, 1) or None, got {max_padding_waste}"
@@ -325,6 +381,7 @@ class VerificationEngine:
         self.shards_per_pass = shards_per_pass
         self.budget_s = budget_s
         self.workers = workers
+        self.processes = processes
         self.recovery_policy = RecoveryPolicy(recovery_policy)
         self.auto_reprotect = auto_reprotect
         #: Width-disparity guard for bucketed padded stacking: kernel
@@ -341,6 +398,7 @@ class VerificationEngine:
         self._models: Dict[str, ManagedModel] = {}
         self._tick_index = 0
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._proc_pool: Optional[ProcessScanPool] = None
         # Per-bucket kernel workspaces, reused across ticks.  A bucket is
         # one batch per tick and batches never share a ScanScratch, so the
         # worker pool can run buckets concurrently without contention.
@@ -402,7 +460,14 @@ class VerificationEngine:
     def unregister(self, name: str) -> ManagedModel:
         if name not in self._models:
             raise ProtectionError(f"Model {name!r} is not registered")
-        return self._models.pop(name)
+        managed = self._models.pop(name)
+        if managed.scheduler.fused.shared_spec is not None:
+            # Keep the model usable after it leaves the engine: copy the
+            # kernel arrays back to process-private memory and rebind any
+            # adopted layers before the segments are unlinked.
+            managed.scheduler.fused.unshare()
+            managed.plane_spec = None
+        return managed
 
     def get(self, name: str) -> ManagedModel:
         if name not in self._models:
@@ -439,6 +504,12 @@ class VerificationEngine:
         return managed
 
     def _resign(self, managed: ManagedModel) -> None:
+        # If the plane was published to shared memory, the re-sign must
+        # *republish*: hold onto the old fused view so its segments can be
+        # released only after the successor has copied the plane out and
+        # taken over the adopted layers.
+        previous = managed.scheduler.fused
+        shared_before = previous.shared_spec is not None
         managed.protector.protect(
             managed.model, keep_golden_weights=managed.keep_golden_weights
         )
@@ -451,6 +522,18 @@ class VerificationEngine:
             **managed.scheduler_options,
         )
         managed.refresh_layer_map()
+        if shared_before:
+            # Generation bump + fresh segment names: in-flight workers still
+            # hold valid (unlinked) mappings of the old generation, and the
+            # next task they receive carries the new spec, so they re-attach
+            # by the new names.  Publish first (the new fused alias-adopted
+            # the old shared plane, so the copy source must stay alive),
+            # then drop the old view's segments.
+            managed.plane_generation += 1
+            managed.plane_spec = managed.scheduler.fused.share(
+                managed.name, managed.plane_generation
+            )
+            previous.release_shared()
 
     # -- budget allocation --------------------------------------------------------
     def allocate_budget(self, budget_s: float) -> Dict[str, float]:
@@ -599,7 +682,9 @@ class VerificationEngine:
             for sub_index, part in enumerate(parts):
                 scratch = self._scratch.setdefault((key, sub_index), ScanScratch())
                 groups.append(([batch[index] for index in part], scratch))
-        if self.workers > 1 and len(groups) > 1:
+        if self.processes > 1 and groups:
+            self._execute_processes([batch for batch, _ in groups])
+        elif self.workers > 1 and len(groups) > 1:
             started = time.perf_counter()
             pool = self._ensure_pool()
             list(pool.map(lambda item: self._run_batch(*item), groups))
@@ -622,6 +707,82 @@ class VerificationEngine:
             for batch, scratch in groups:
                 self._run_batch(batch, scratch)
 
+    def _execute_processes(self, batches: List[List[_PlannedSlice]]) -> None:
+        """Run the planned batches on the process pool.
+
+        Buckets are the natural work unit, but a fleet of identical models
+        coalesces into *one* bucket — so oversized batches are halved until
+        there is at least one task per worker (sub-batches of a bucket stay
+        kernel-compatible by construction).  Workers see only plain data:
+        shared-segment specs plus contiguous row ranges.
+        """
+        batches = self._split_for_processes(batches)
+        tasks: List[ScanTask] = []
+        for task_id, batch in enumerate(batches):
+            items: List[ScanTaskItem] = []
+            descriptors = []
+            for planned in batch:
+                spec = self._ensure_shared(planned.managed)
+                descriptor = planned.managed.scheduler.slice_descriptor(
+                    planned.shard_indices
+                )
+                descriptors.append(descriptor)
+                items.append(
+                    ScanTaskItem(planned.managed.name, spec, descriptor.row_ranges)
+                )
+            first = batch[0].managed.scheduler.fused.structure_key()
+            homogeneous = all(
+                planned.managed.scheduler.fused.structure_key() == first
+                for planned in batch[1:]
+            ) and all(
+                descriptor.row_ranges == descriptors[0].row_ranges
+                for descriptor in descriptors[1:]
+            )
+            tasks.append(ScanTask(task_id, tuple(items), homogeneous))
+        started = time.perf_counter()
+        results = self._ensure_proc_pool().run(tasks)
+        elapsed = time.perf_counter() - started
+        # Same aggregate-apportioning rule as the thread path: concurrent
+        # tasks overlap, so bill each model its batch-width share of the
+        # total wall-clock rather than a double-counted per-task span.
+        total_work = sum(
+            max(planned.rows.size for planned in batch) * len(batch)
+            for batch in batches
+        )
+        for task_id, batch in enumerate(batches):
+            result = results[task_id]
+            width = max(planned.rows.size for planned in batch)
+            for planned, flagged_rows in zip(batch, result.flagged):
+                planned.flagged_rows = flagged_rows
+                planned.measured_s = elapsed * width / max(total_work, 1)
+                planned.batch_size = len(batch)
+                planned.batch_width = width
+                planned.worker = f"process-{result.worker}"
+
+    def _split_for_processes(
+        self, batches: List[List[_PlannedSlice]]
+    ) -> List[List[_PlannedSlice]]:
+        """Halve the largest batch until task count >= processes (or stuck)."""
+        batches = [list(batch) for batch in batches]
+        while len(batches) < self.processes:
+            index = max(range(len(batches)), key=lambda i: len(batches[i]))
+            largest = batches[index]
+            if len(largest) < 2:
+                break
+            middle = len(largest) // 2
+            batches[index : index + 1] = [largest[:middle], largest[middle:]]
+        return batches
+
+    def _ensure_shared(self, managed: ManagedModel) -> SharedPlaneSpec:
+        """Lazily publish (and cache) a model's shared-memory plane spec."""
+        fused = managed.scheduler.fused
+        spec = fused.shared_spec
+        if spec is None:
+            managed.plane_generation += 1
+            spec = fused.share(managed.name, managed.plane_generation)
+        managed.plane_spec = spec
+        return spec
+
     def _run_batch(self, batch: List[_PlannedSlice], scratch: ScanScratch) -> None:
         started = time.perf_counter()
         # Singletons go through the same kernel: a one-model "stack" costs the
@@ -636,8 +797,10 @@ class VerificationEngine:
         elapsed = time.perf_counter() - started
         share = elapsed / len(batch)
         width = max(planned.rows.size for planned in batch)
+        worker = threading.current_thread().name
         for planned, flagged_rows in zip(batch, flagged):
             planned.flagged_rows = flagged_rows
+            planned.worker = worker
             # Every model's column in the padded stack is gathered and
             # reduced at the full bucket width, so each model really costs
             # an equal share of the pass — billing by own row count would
@@ -742,6 +905,7 @@ class VerificationEngine:
             budget_s=planned.share,
             batch_size=planned.batch_size,
             batch_width=planned.batch_width,
+            worker=planned.worker,
         )
 
     # -- fleet queries ------------------------------------------------------------
@@ -769,11 +933,25 @@ class VerificationEngine:
 
     # -- plumbing -----------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker pool down (idempotent; the engine stays usable,
-        a later threaded tick lazily recreates the pool)."""
+        """Tear down both pools and every published shared-memory plane.
+
+        Idempotent, and the engine stays usable: pools are lazily recreated
+        on the next pooled tick, and process mode republishes planes (at a
+        bumped generation) on the next process tick.  Models keep their
+        weights — :meth:`FusedSignatures.unshare` copies each published
+        plane back to process-private memory and rebinds the adopted layers
+        before unlinking the segments.
+        """
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._proc_pool is not None:
+            self._proc_pool.close()
+            self._proc_pool = None
+        for managed in self._models.values():
+            if managed.scheduler.fused.shared_spec is not None:
+                managed.scheduler.fused.unshare()
+                managed.plane_spec = None
 
     def __enter__(self) -> "VerificationEngine":
         return self
@@ -787,6 +965,11 @@ class VerificationEngine:
                 max_workers=self.workers, thread_name_prefix="repro-fleet"
             )
         return self._pool
+
+    def _ensure_proc_pool(self) -> ProcessScanPool:
+        if self._proc_pool is None:
+            self._proc_pool = ProcessScanPool(self.processes)
+        return self._proc_pool
 
     def _emit(self, event_type: FleetEventType, model: str, detail: Dict) -> None:
         self.bus.emit(

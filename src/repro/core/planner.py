@@ -97,7 +97,12 @@ class VerificationPlanner(ABC):
 
     @abstractmethod
     def order(self, shards: Sequence[ShardView]) -> List[int]:
-        """All shard indices, most scan-worthy first.  Must not mutate state."""
+        """All shard indices, most scan-worthy first.  Must not mutate state.
+
+        The returned indices are built-in ``int``s — plans flow into
+        serializable slice descriptors (pickled to scan worker processes,
+        persisted as JSON), so no NumPy scalars may leak out of a planner.
+        """
 
     def committed(
         self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
@@ -221,6 +226,9 @@ class PriorityExposurePlanner(VerificationPlanner):
         self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
     ) -> None:
         for index in shard_indices:
+            # Callers may hand numpy index arrays; normalize to built-in int
+            # keys so the EWMA dict stays plain data (JSON/pickle friendly).
+            index = int(index)
             observed = 1.0 if flagged_counts.get(index, 0) > 0 else 0.0
             rate = self._flip_rate.get(index, 0.0)
             self._flip_rate[index] = rate + self.ewma_alpha * (observed - rate)
@@ -357,6 +365,7 @@ class JitteredPlanner(VerificationPlanner):
         self, shard_indices: Sequence[int], flagged_counts: Mapping[int, int]
     ) -> None:
         for index in shard_indices:
+            index = int(index)  # keep the EWMA dict keyed by built-in ints
             observed = 1.0 if flagged_counts.get(index, 0) > 0 else 0.0
             rate = self._flip_rate.get(index, 0.0)
             self._flip_rate[index] = rate + self.ewma_alpha * (observed - rate)

@@ -1,0 +1,254 @@
+"""Process-pool scan execution over shared-memory weight planes.
+
+The thread-pooled fleet engine is GIL-bound: its per-bucket kernel passes
+are NumPy-heavy but short, so a 16-model fleet never uses much more than
+one core of scan CPU regardless of ``workers``.  This module is the other
+half of the PR that lifts that ceiling — :class:`ProcessScanPool` runs the
+bucketed stacked kernel in **worker processes** that attach read-only to
+the planes the coordinator published via
+:meth:`~repro.core.signature.FusedSignatures.share`.
+
+Division of labour (deliberately asymmetric):
+
+* the **coordinator** (the engine process) owns model lifecycle, recovery,
+  re-sign, telemetry, plane mutation and publication.  It ships workers
+  nothing but plain data: a :class:`ScanTask` holds per-model
+  :class:`~repro.core.signature.SharedPlaneSpec` descriptors and
+  ``(start, stop)`` row ranges (scheduler shards are contiguous by
+  construction, so a slice is a handful of ranges, not a row array);
+* a **worker** attaches each model's segments once, caches the attachment
+  keyed by model name, and re-attaches when a task carries a newer
+  ``generation`` (the republish protocol: a re-sign unlinks the old
+  segments and publishes fresh names, so a stale cache entry cannot even
+  be read accidentally — the old name is gone).  Workers send back only
+  the mismatched-row indices; weights never cross the queue in either
+  direction.
+
+The pool prefers the ``fork`` start method (cheap, inherits the imported
+modules) and falls back to the platform default elsewhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.signature import (
+    AttachedModelPlane,
+    ScanScratch,
+    SharedPlaneSpec,
+    stacked_mismatched_rows,
+)
+from repro.errors import ProtectionError
+
+
+class ScanTaskItem(NamedTuple):
+    """One model's share of a task: where to attach and which rows to scan."""
+
+    model: str
+    spec: SharedPlaneSpec
+    row_ranges: Tuple[Tuple[int, int], ...]
+
+
+class ScanTask(NamedTuple):
+    """One work unit: a kernel-key bucket (or a split of one).
+
+    ``homogeneous`` is the coordinator's structure-key knowledge travelling
+    with the task — workers cannot cheaply recompute it (see
+    :func:`~repro.core.signature.stacked_mismatched_rows`).
+    """
+
+    task_id: int
+    items: Tuple[ScanTaskItem, ...]
+    homogeneous: bool
+
+
+class ScanTaskResult(NamedTuple):
+    """What comes back: flagged rows per task item, or one error string."""
+
+    task_id: int
+    worker: int
+    flagged: Optional[List[np.ndarray]]
+    error: Optional[str]
+
+
+def materialize_rows(row_ranges: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Expand ``(start, stop)`` ranges back into the global row array."""
+    if not row_ranges:
+        return np.empty(0, dtype=np.int64)
+    if len(row_ranges) == 1:
+        start, stop = row_ranges[0]
+        return np.arange(start, stop, dtype=np.int64)
+    return np.concatenate(
+        [np.arange(start, stop, dtype=np.int64) for start, stop in row_ranges]
+    )
+
+
+def _run_task(
+    task: ScanTask,
+    attachments: Dict[str, AttachedModelPlane],
+    scratch: ScanScratch,
+) -> List[np.ndarray]:
+    planes: List[np.ndarray] = []
+    indices: List[np.ndarray] = []
+    signs: List[np.ndarray] = []
+    goldens: List[np.ndarray] = []
+    rows: List[np.ndarray] = []
+    for item in task.items:
+        attachment = attachments.get(item.model)
+        if (
+            attachment is not None
+            and attachment.generation != item.spec.generation
+        ):
+            # Stale generation: the coordinator re-signed and republished.
+            attachment.close()
+            attachment = None
+        if attachment is None:
+            attachment = AttachedModelPlane(item.spec)
+            attachments[item.model] = attachment
+        planes.append(attachment.plane)
+        indices.append(attachment.indices)
+        signs.append(attachment.signs)
+        goldens.append(attachment.golden)
+        rows.append(materialize_rows(item.row_ranges))
+    spec = task.items[0].spec
+    return stacked_mismatched_rows(
+        planes,
+        indices,
+        signs,
+        goldens,
+        rows,
+        group_size=spec.group_size,
+        signature_bits=spec.signature_bits,
+        scratch=scratch,
+        homogeneous=task.homogeneous,
+    )
+
+
+def _worker_main(worker_index: int, tasks, results) -> None:
+    """Worker loop: attach-cached bucket scans until the ``None`` sentinel."""
+    attachments: Dict[str, AttachedModelPlane] = {}
+    scratch = ScanScratch()
+    try:
+        while True:
+            task = tasks.get()
+            if task is None:
+                return
+            try:
+                flagged = _run_task(task, attachments, scratch)
+            except Exception as error:  # ship the failure, keep serving
+                results.put(
+                    ScanTaskResult(
+                        task.task_id,
+                        worker_index,
+                        None,
+                        f"{type(error).__name__}: {error}",
+                    )
+                )
+            else:
+                results.put(
+                    ScanTaskResult(task.task_id, worker_index, flagged, None)
+                )
+    finally:
+        for attachment in attachments.values():
+            attachment.close()
+
+
+class ProcessScanPool:
+    """A fixed set of scan worker processes fed over a task queue.
+
+    Workers are started eagerly (fork is cheap; spawn pays its import cost
+    once here rather than on the first tick) and live until :meth:`close`.
+    :meth:`run` is synchronous by design — the engine's tick is the unit
+    of coordination, and lifecycle decisions need every bucket's verdict.
+    """
+
+    def __init__(self, processes: int, timeout_s: float = 120.0) -> None:
+        if processes < 1:
+            raise ProtectionError(f"processes must be >= 1, got {processes}")
+        self.timeout_s = float(timeout_s)
+        method = (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        self._context = multiprocessing.get_context(method)
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._workers = [
+            self._context.Process(
+                target=_worker_main,
+                args=(index, self._tasks, self._results),
+                daemon=True,
+                name=f"repro-scan-{index}",
+            )
+            for index in range(processes)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def run(self, tasks: Sequence[ScanTask]) -> Dict[int, ScanTaskResult]:
+        """Execute every task and return results keyed by ``task_id``."""
+        if self._closed:
+            raise ProtectionError("ProcessScanPool is closed")
+        for task in tasks:
+            self._tasks.put(task)
+        collected: Dict[int, ScanTaskResult] = {}
+        deadline = time.monotonic() + self.timeout_s
+        while len(collected) < len(tasks):
+            try:
+                result = self._results.get(timeout=0.1)
+            except queue_module.Empty:
+                if any(not worker.is_alive() for worker in self._workers):
+                    raise ProtectionError(
+                        "a scan worker process exited unexpectedly"
+                    )
+                if time.monotonic() > deadline:
+                    raise ProtectionError(
+                        f"scan workers did not finish within {self.timeout_s:.0f}s"
+                    )
+                continue
+            if result.error is not None:
+                raise ProtectionError(f"scan worker failed: {result.error}")
+            collected[result.task_id] = result
+        return collected
+
+    def close(self, join_timeout_s: float = 5.0) -> None:
+        """Stop the workers and release the queues (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                break
+        for worker in self._workers:
+            worker.join(timeout=join_timeout_s)
+            if worker.is_alive():  # pragma: no cover - wedged worker
+                worker.terminate()
+                worker.join(timeout=1.0)
+        for pipe in (self._tasks, self._results):
+            pipe.close()
+            # The feeder threads may still hold buffered sentinels; never
+            # block interpreter shutdown on them.
+            pipe.cancel_join_thread()
+        self._workers = []
+
+    def __enter__(self) -> "ProcessScanPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - belt and braces
+        try:
+            self.close(join_timeout_s=0.5)
+        except Exception:
+            pass

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -242,6 +242,48 @@ class ProtectedInference:
         )
 
     __call__ = forward
+
+    # -- calibration persistence -------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable calibration snapshot.
+
+        What a restart must keep is exactly what this runtime *learned*:
+        the measured cost model's EWMA price (when the cost model is
+        measurable) and the cadence it settled on.  Everything else —
+        signatures, scheduler structure — is rebuilt from the model and
+        config at construction time.
+        """
+        state: Dict[str, object] = {
+            "auto_cadence": bool(self.auto_cadence),
+            "check_every": int(self.check_every),
+            "budget_s": self.budget_s,
+        }
+        snapshot = getattr(self.cost_model, "state_dict", None)
+        if snapshot is not None:
+            state["cost_model"] = snapshot()
+        return state
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this runtime.
+
+        The cost-model calibration is loaded first; in auto-cadence mode
+        the cadence is then *re-derived* from the restored price (not
+        copied verbatim), so a snapshot taken under a different budget
+        still yields a consistent cadence for this runtime's budget.
+        """
+        persisted = state.get("cost_model")
+        loader = getattr(self.cost_model, "load_state_dict", None)
+        if persisted is not None and loader is not None:
+            loader(persisted)
+        if self.auto_cadence:
+            self._retune_cadence()
+        else:
+            check_every = int(state.get("check_every", self.check_every))
+            if check_every < 1:
+                raise ProtectionError(
+                    f"persisted check_every must be >= 1, got {check_every}"
+                )
+            self.check_every = check_every
 
     def storage_overhead_kb(self) -> float:
         """Secure-storage footprint of the signatures."""

@@ -52,7 +52,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -122,6 +122,38 @@ class ScanPassResult:
         if self.budget_s is None or self.planned_cost_s is None:
             return True
         return self.planned_cost_s <= self.budget_s
+
+
+class SliceDescriptor(NamedTuple):
+    """A planned slice as plain data: shard indices plus their row ranges.
+
+    The serializable form of :meth:`ScanScheduler.slice_rows` — what the
+    fleet engine ships to scan worker processes instead of materialized row
+    arrays.  Shards are contiguous ``arange`` blocks by construction
+    (``np.array_split`` of ``arange``), so a slice is exactly one
+    ``(start, stop)`` range per planned shard, in plan order; expanding the
+    ranges back (:meth:`rows`) reproduces ``slice_rows`` bit for bit.
+    Everything here is built-in ints, so the descriptor pickles tiny and
+    round-trips through JSON unchanged.
+    """
+
+    shard_indices: Tuple[int, ...]
+    row_ranges: Tuple[Tuple[int, int], ...]
+
+    @property
+    def num_rows(self) -> int:
+        return sum(stop - start for start, stop in self.row_ranges)
+
+    def rows(self) -> np.ndarray:
+        """Materialize the global row array (identical to ``slice_rows``)."""
+        if not self.row_ranges:
+            return np.empty(0, dtype=np.int64)
+        if len(self.row_ranges) == 1:
+            start, stop = self.row_ranges[0]
+            return np.arange(start, stop, dtype=np.int64)
+        return np.concatenate(
+            [np.arange(start, stop, dtype=np.int64) for start, stop in self.row_ranges]
+        )
 
 
 @dataclass
@@ -368,6 +400,28 @@ class ScanScheduler:
         if not shard_indices:
             return np.empty(0, dtype=np.int64)
         return np.concatenate([self._shards[index] for index in shard_indices])
+
+    def slice_descriptor(self, shard_indices: List[int]) -> SliceDescriptor:
+        """The plain-data form of a planned slice (see :class:`SliceDescriptor`).
+
+        Shards hold contiguous ascending rows by construction, so each
+        planned shard contributes one ``(start, stop)`` range; a shard left
+        empty by the data-dependent clamp contributes nothing.
+        """
+        ranges: List[Tuple[int, int]] = []
+        indices: List[int] = []
+        for index in shard_indices:
+            if not 0 <= index < self.num_shards:
+                raise ProtectionError(
+                    f"shard_index {index} out of range ({self.num_shards})"
+                )
+            indices.append(int(index))
+            shard = self._shards[index]
+            if shard.size:
+                ranges.append((int(shard[0]), int(shard[-1]) + 1))
+        return SliceDescriptor(
+            shard_indices=tuple(indices), row_ranges=tuple(ranges)
+        )
 
     # -- scanning ---------------------------------------------------------------
     def step(

@@ -18,10 +18,27 @@ engine-adopted models) no weight copies at all.
 
 from __future__ import annotations
 
+import itertools
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import shared_memory
+except ImportError:  # pragma: no cover - e.g. WASM / stripped builds
+    shared_memory = None  # type: ignore[assignment]
 
 from repro.core.checksum import (
     accumulator_dtype,
@@ -190,6 +207,143 @@ class ScanScratch:
         return buffer[:size].reshape(shape)
 
 
+#: Memoized result of :func:`shared_memory_available` (None = not probed yet).
+_SHM_AVAILABLE: Optional[bool] = None
+
+#: Monotonic counter folded into segment names so repeated publishes (and
+#: generation bumps) of one process never collide.
+_SEGMENT_COUNTER = itertools.count()
+
+
+def shared_memory_available() -> bool:
+    """Whether ``multiprocessing.shared_memory`` actually works here.
+
+    Probes by creating (and immediately destroying) a one-byte segment the
+    first time it is called: importability alone is not enough — sandboxed
+    platforms may expose the module but refuse ``shm_open``.
+    """
+    global _SHM_AVAILABLE
+    if _SHM_AVAILABLE is None:
+        if shared_memory is None:
+            _SHM_AVAILABLE = False
+        else:
+            try:
+                probe = shared_memory.SharedMemory(create=True, size=1)
+            except (OSError, ValueError):  # pragma: no cover - platform-specific
+                _SHM_AVAILABLE = False
+            else:
+                probe.close()
+                try:
+                    probe.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+                _SHM_AVAILABLE = True
+    return _SHM_AVAILABLE
+
+
+def _segment_name(suffix: str) -> str:
+    """A collision-free shm segment name, short enough for every platform.
+
+    macOS caps POSIX shm names at 31 characters, so the name packs the pid
+    and a process-wide counter in hex rather than anything descriptive.
+    """
+    return f"radar{os.getpid():x}x{next(_SEGMENT_COUNTER):x}{suffix}"
+
+
+class SharedSegmentSpec(NamedTuple):
+    """Plain-data handle to one shm segment: everything attach needs."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+class SharedPlaneSpec(NamedTuple):
+    """Picklable descriptor of one model's published scan-kernel arrays.
+
+    This is what the coordinator ships to worker processes: segment names
+    (which embed nothing model-specific — the ``model``/``generation``
+    fields carry identity), array geometry, and the two kernel parameters
+    (``group_size``, ``signature_bits``) a worker needs to rebuild the
+    accumulator dtype and binarization without importing any model code.
+    The ``generation`` counter implements the republish protocol: a re-sign
+    bumps it, workers compare it against their cached attachment and
+    re-attach by (new) segment name when stale.
+    """
+
+    model: str
+    generation: int
+    group_size: int
+    signature_bits: int
+    total_groups: int
+    total_weights: int
+    plane: SharedSegmentSpec
+    indices: SharedSegmentSpec
+    signs: SharedSegmentSpec
+    golden: SharedSegmentSpec
+
+
+class AttachedModelPlane:
+    """A worker-side, read-only attachment to one published model plane.
+
+    Maps the four segments named by a :class:`SharedPlaneSpec` and exposes
+    them as non-writeable NumPy arrays.  Workers never write the plane —
+    mutation (attack injection, recovery, re-adoption) is coordinator
+    business, and marking the views read-only turns an accidental write
+    into a loud ``ValueError`` instead of silent cross-process corruption.
+
+    Resource-tracker note: Python 3.11's ``SharedMemory`` registers
+    *attachments* with the resource tracker as if they were owned segments
+    (``track=False`` arrives only in 3.13).  Pool workers are children of
+    the coordinator and share its tracker process (both fork and spawn
+    inherit the tracker fd), where registration is a set — the attach-side
+    register is an idempotent re-add of the coordinator's own entry, and
+    the coordinator's ``unlink`` clears it exactly once.  Attachments must
+    therefore *not* unregister themselves: doing so would steal the
+    coordinator's registration and make its later unlink warn.  This class
+    is correspondingly only safe to use from processes sharing the
+    publisher's resource tracker (the pool's workers, or the publishing
+    process itself).
+    """
+
+    def __init__(self, spec: SharedPlaneSpec) -> None:
+        if shared_memory is None:  # pragma: no cover - import-gated platforms
+            raise ProtectionError("multiprocessing.shared_memory is unavailable")
+        self.spec = spec
+        self._segments: List["shared_memory.SharedMemory"] = []
+        try:
+            self.plane = self._attach(spec.plane)
+            self.indices = self._attach(spec.indices)
+            self.signs = self._attach(spec.signs)
+            self.golden = self._attach(spec.golden)
+        except BaseException:
+            self.close()
+            raise
+
+    def _attach(self, segment_spec: SharedSegmentSpec) -> np.ndarray:
+        segment = shared_memory.SharedMemory(name=segment_spec.name)
+        self._segments.append(segment)
+        array: np.ndarray = np.ndarray(
+            segment_spec.shape, dtype=np.dtype(segment_spec.dtype), buffer=segment.buf
+        )
+        array.flags.writeable = False
+        return array
+
+    @property
+    def generation(self) -> int:
+        return self.spec.generation
+
+    def close(self) -> None:
+        """Drop the array views and unmap the segments (never unlinks)."""
+        self.plane = self.indices = self.signs = self.golden = None
+        segments, self._segments = self._segments, []
+        for segment in segments:
+            try:
+                segment.close()
+            except (BufferError, ValueError):  # pragma: no cover - stray view
+                pass
+
+
 class FusedSignatures:
     """Zero-copy scan kernel: vectorized recomputation across all layers.
 
@@ -295,6 +449,15 @@ class FusedSignatures:
         # Scans of a *foreign* model while adopted must not write into the
         # adopted model's plane; they get their own lazily allocated one.
         self._foreign_plane: Optional[np.ndarray] = None
+        # Shared-memory publication state (see share/unshare): the live
+        # SharedMemory handles keyed like the spec fields, and the plain-data
+        # spec workers attach from.
+        self._shared_segments: Optional[Dict[str, object]] = None
+        self._shared_spec: Optional[SharedPlaneSpec] = None
+        #: Weight bytes copied into a plane (adoption, stale re-adoption,
+        #: un-adopted per-pass refresh).  The zero-copy acceptance evidence:
+        #: in adopted steady state this counter does not move across scans.
+        self.plane_copy_bytes = 0
 
     def _ensure_kernel(self) -> None:
         """Build the global kernel arrays on first kernel use (idempotent).
@@ -450,8 +613,11 @@ class FusedSignatures:
                 or qweight.size != self._num_weights[position]
             ):
                 return None
+            # Walk to the owning ndarray.  Stop as soon as the next base is
+            # not an ndarray: a shm-backed plane's base is the segment's
+            # memoryview, and the plane array itself is the owner we want.
             base = qweight
-            while base.base is not None:
+            while isinstance(base.base, np.ndarray):
                 base = base.base
             if base is qweight:
                 return None
@@ -490,6 +656,7 @@ class FusedSignatures:
         start, end = self._weight_offsets[position], self._weight_offsets[position + 1]
         segment = self._plane[start:end]
         segment[:] = flat
+        self.plane_copy_bytes += int(flat.size)
         layer.qweight = segment.reshape(layer.qweight.shape)
         self._plane_layers[position] = layer
         self._plane_sources[position] = layer.qweight
@@ -544,7 +711,158 @@ class FusedSignatures:
             flat = self._layer_flat(layer_map, position)
             start = self._weight_offsets[position]
             plane[start : start + flat.size] = flat
+            self.plane_copy_bytes += int(flat.size)
         return plane
+
+    # -- shared-memory publication ---------------------------------------------
+    @property
+    def shared_spec(self) -> Optional[SharedPlaneSpec]:
+        """The spec workers attach from, or ``None`` while unpublished."""
+        return self._shared_spec
+
+    def share(self, model: str, generation: int) -> SharedPlaneSpec:
+        """Publish the kernel arrays into ``multiprocessing.shared_memory``.
+
+        Allocates one named segment per kernel array (weight plane, gather
+        indices, sign mask, golden signatures), copies the current contents
+        in, and rebinds this view — including every adopted layer's
+        ``qweight`` — onto the segment-backed arrays.  From then on the
+        coordinator's in-place mutations (attack injection, recovery) land
+        directly in shared memory and are visible to attached workers with
+        no further copies; scans stay zero-copy exactly as before, just on
+        a different backing allocation.
+
+        ``generation`` is recorded in the returned spec; the caller owns
+        the counter and bumps it when a re-sign republishes (segment names
+        are fresh each publish, so a stale worker attaching by old name
+        fails fast rather than reading a re-signed plane).
+        """
+        if not shared_memory_available():
+            raise ProtectionError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        if self._shared_segments is not None:
+            return self._shared_spec
+        self._ensure_kernel()
+        arrays = {
+            "plane": self._plane,
+            "indices": self._kernel_indices,
+            "signs": self._kernel_signs,
+            "golden": self.golden,
+        }
+        segments: Dict[str, object] = {}
+        shared_arrays: Dict[str, np.ndarray] = {}
+        specs: Dict[str, SharedSegmentSpec] = {}
+        try:
+            for key, array in arrays.items():
+                segment = shared_memory.SharedMemory(
+                    create=True, size=max(1, array.nbytes), name=_segment_name(key[0])
+                )
+                segments[key] = segment
+                shared = np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)
+                shared[...] = array
+                shared_arrays[key] = shared
+                specs[key] = SharedSegmentSpec(
+                    name=segment.name, shape=tuple(array.shape), dtype=array.dtype.str
+                )
+        except (OSError, ValueError) as error:
+            for key in list(shared_arrays):
+                del shared_arrays[key]
+            for segment in segments.values():
+                try:
+                    segment.close()
+                    segment.unlink()
+                except (OSError, FileNotFoundError):  # pragma: no cover
+                    pass
+            raise ProtectionError(
+                f"could not publish shared-memory plane: {error}"
+            ) from error
+        self._plane = shared_arrays["plane"]
+        self._kernel_indices = shared_arrays["indices"]
+        self._kernel_signs = shared_arrays["signs"]
+        self.golden = shared_arrays["golden"]
+        if self._adopted:
+            self._rebind_layers()
+        self._shared_segments = segments
+        self._shared_spec = SharedPlaneSpec(
+            model=model,
+            generation=int(generation),
+            group_size=int(self.config.group_size),
+            signature_bits=int(self.config.signature_bits),
+            total_groups=self.total_groups,
+            total_weights=self.total_weights,
+            plane=specs["plane"],
+            indices=specs["indices"],
+            signs=specs["signs"],
+            golden=specs["golden"],
+        )
+        return self._shared_spec
+
+    def _rebind_layers(self) -> None:
+        """Point every adopted layer's ``qweight`` at the current plane."""
+        for position, layer in enumerate(self._plane_layers):
+            if layer is None:
+                continue
+            start = self._weight_offsets[position]
+            end = self._weight_offsets[position + 1]
+            segment = self._plane[start:end]
+            layer.qweight = segment.reshape(layer.qweight.shape)
+            self._plane_sources[position] = layer.qweight
+
+    def unshare(self) -> None:
+        """Move the kernel arrays back to private memory, destroy the segments.
+
+        The graceful-teardown path (engine ``close``): plane contents are
+        preserved — adopted layers are rebound onto a fresh heap plane so
+        the model stays fully usable — and only then are the segments
+        unmapped and unlinked.  Idempotent.
+        """
+        if self._shared_segments is None:
+            return
+        self._plane = np.array(self._plane)
+        self._kernel_indices = np.array(self._kernel_indices)
+        self._kernel_signs = np.array(self._kernel_signs)
+        self.golden = np.array(self.golden)
+        if self._adopted:
+            self._rebind_layers()
+        self._destroy_segments()
+
+    def release_shared(self) -> None:
+        """Destroy the segments without preserving the plane (discard path).
+
+        For a view being replaced after a re-sign: the successor view has
+        already re-homed the layers' weights onto its own plane, so this
+        view just drops its segment-backed arrays (golden is copied out —
+        reports may still reference it) and unlinks.  The kernel arrays
+        rebuild lazily if the view is ever scanned again.
+        """
+        if self._shared_segments is None:
+            return
+        self.golden = np.array(self.golden)
+        self._plane = None
+        self._kernel_indices = None
+        self._kernel_signs = None
+        self._adopted = False
+        self._plane_layers = [None] * len(self.layer_names)
+        self._plane_sources = [None] * len(self.layer_names)
+        self._foreign_plane = None
+        self._destroy_segments()
+
+    def _destroy_segments(self) -> None:
+        segments, self._shared_segments = self._shared_segments, None
+        self._shared_spec = None
+        for segment in segments.values():
+            # Unlink before close: unlinking works with live mappings, and
+            # doing it first guarantees the name is gone even if a stray
+            # external view makes close() raise.
+            try:
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+            try:
+                segment.close()
+            except (BufferError, ValueError):  # pragma: no cover - stray view
+                pass
 
     # -- the kernel ------------------------------------------------------------
     def _validated_rows(self, rows: Optional[np.ndarray]) -> Optional[np.ndarray]:
@@ -966,6 +1284,102 @@ def batched_mismatched_rows(
             flagged.append(np.empty(0, dtype=np.int64))
             continue
         mismatched = current[index, :size] != view.golden[model_rows]
+        flagged.append(model_rows[mismatched])
+    return flagged
+
+
+def stacked_mismatched_rows(
+    planes: Sequence[np.ndarray],
+    indices_list: Sequence[np.ndarray],
+    signs_list: Sequence[np.ndarray],
+    goldens: Sequence[np.ndarray],
+    rows_list: Sequence[np.ndarray],
+    group_size: int,
+    signature_bits: int,
+    scratch: Optional[ScanScratch] = None,
+    homogeneous: bool = False,
+) -> List[np.ndarray]:
+    """:func:`batched_mismatched_rows` over plain arrays instead of views.
+
+    The worker-process half of the scan kernel: a process attached to
+    published :class:`SharedPlaneSpec` segments has no ``Module`` objects
+    and no :class:`FusedSignatures` — just each model's weight plane,
+    slot-major gather-index and sign matrices, and golden signatures.  This
+    runs the exact same padded-stacking arithmetic (int8 gather with
+    ``mode="clip"``, narrow-accumulation einsum, in-order binarize and
+    golden compare), so its flagged rows are bit-identical to the
+    coordinator's in-process path for the same inputs.
+
+    ``homogeneous=True`` is a coordinator-supplied promise that every model
+    shares one structure key *and* one row slice (the engine knows; the
+    worker cannot cheaply verify), enabling the shared index/sign broadcast
+    fast path.  The flag changes dispatch cost only — integer sums are
+    exact, so both paths produce identical results.
+    """
+    num_models = len(planes)
+    if not (
+        num_models == len(indices_list) == len(signs_list) == len(goldens) == len(rows_list)
+    ):
+        raise ProtectionError("stacked_mismatched_rows arguments disagree on model count")
+    if num_models == 0:
+        return []
+    rows_list = [np.asarray(rows, dtype=np.int64) for rows in rows_list]
+    for rows, golden in zip(rows_list, goldens):
+        if rows.size and not (0 <= rows.min() and rows.max() < golden.size):
+            raise ProtectionError(f"global rows out of range ({golden.size} groups)")
+    sizes = [int(rows.size) for rows in rows_list]
+    width = max(sizes)
+    if width == 0:
+        return [np.empty(0, dtype=np.int64) for _ in planes]
+    scratch = scratch if scratch is not None else ScanScratch()
+    accum = accumulator_dtype(group_size)
+    stacked = scratch.take("stacked", (num_models, group_size, width), np.int8)
+    sums = scratch.take("stacked-sums", (num_models, width), accum)
+    if homogeneous:
+        rows0 = rows_list[0]
+        start = int(rows0[0])
+        if int(rows0[-1]) - start + 1 == width and np.all(np.diff(rows0) == 1):
+            block = slice(start, start + width)
+            indices = indices_list[0][:, block]
+            signs = signs_list[0][:, block]
+        else:
+            indices = scratch.take(
+                "row-indices", (group_size, width), indices_list[0].dtype
+            )
+            np.take(indices_list[0], rows0, axis=1, out=indices)
+            signs = scratch.take("row-signs", (group_size, width), np.int8)
+            np.take(signs_list[0], rows0, axis=1, out=signs)
+        for index, plane in enumerate(planes):
+            np.take(plane, indices, out=stacked[index], mode="clip")
+        np.einsum("kgr,gr->kr", stacked, signs, dtype=accum, out=sums)
+    else:
+        signs = scratch.take("stacked-signs", (num_models, group_size, width), np.int8)
+        padded_rows = scratch.take("padded-rows", (width,), np.int64)
+        for index in range(num_models):
+            size = sizes[index]
+            if size == 0:
+                signs[index].fill(0)
+                continue
+            padded_rows[:size] = rows_list[index]
+            padded_rows[size:] = 0
+            indices = scratch.take(
+                "bucket-indices", (group_size, width), indices_list[index].dtype
+            )
+            np.take(indices_list[index], padded_rows, axis=1, out=indices)
+            np.take(signs_list[index], padded_rows, axis=1, out=signs[index])
+            if size < width:
+                signs[index, :, size:] = 0
+            np.take(planes[index], indices, out=stacked[index], mode="clip")
+        np.einsum("kgr,kgr->kr", stacked, signs, dtype=accum, out=sums)
+    current = signature_from_sums(sums, signature_bits)
+    flagged: List[np.ndarray] = []
+    for index in range(num_models):
+        size = sizes[index]
+        if size == 0:
+            flagged.append(np.empty(0, dtype=np.int64))
+            continue
+        model_rows = rows_list[index]
+        mismatched = current[index, :size] != goldens[index][model_rows]
         flagged.append(model_rows[mismatched])
     return flagged
 

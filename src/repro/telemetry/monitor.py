@@ -181,6 +181,19 @@ class FleetTelemetry:
                 self.registry.histogram("budget_utilization", model=name).observe(
                     outcome.measured_s / outcome.budget_s
                 )
+            if outcome.worker is not None:
+                # Per-worker tick economics: which execution lane (thread
+                # name or ``process-N``) carried this model's kernel pass,
+                # how long it held it, and how many groups it verified.
+                # ``worker_report`` rolls these into the load-balance view
+                # for the process pool.
+                self.registry.counter(
+                    "worker_groups_total", worker=outcome.worker
+                ).inc(outcome.scan.groups_checked)
+                if outcome.measured_s is not None:
+                    self.registry.histogram(
+                        "worker_scan_s", worker=outcome.worker
+                    ).observe(outcome.measured_s)
             if engine is not None and name in engine:
                 price = getattr(
                     engine.get(name).cost_model, "seconds_per_group", None
@@ -270,6 +283,37 @@ class FleetTelemetry:
                 "stacking_fill", model=name
             ).summary()["mean"]
             rows.append(row)
+        return rows
+
+    def worker_report(self) -> List[Dict]:
+        """One row per execution lane (thread or scan process).
+
+        ``groups_share`` is the lane's fraction of all verified groups — on
+        a well-balanced process pool the shares are near-uniform, which is
+        what the multi-process scaling experiment checks.
+        """
+        workers = self.registry.label_values("worker_groups_total", "worker")
+        totals = {
+            worker: self.registry.counter(
+                "worker_groups_total", worker=worker
+            ).value
+            for worker in workers
+        }
+        fleet_total = sum(totals.values())
+        rows: List[Dict] = []
+        for worker in sorted(totals):
+            scan = self.registry.histogram("worker_scan_s", worker=worker)
+            rows.append(
+                {
+                    "worker": worker,
+                    "groups_total": totals[worker],
+                    "groups_share": (
+                        totals[worker] / fleet_total if fleet_total else 0.0
+                    ),
+                    "mean_scan_ms": scan.summary()["mean"] * 1e3,
+                    "passes": scan.summary()["count"],
+                }
+            )
         return rows
 
     def snapshot(self) -> Dict:

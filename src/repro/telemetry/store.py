@@ -48,6 +48,7 @@ STATE_VERSION = 1
 
 ENGINE_STATE_FILENAME = "engine_state.json"
 CALIBRATION_FILENAME = "calibration.json"
+RUNTIME_STATE_FILENAME = "runtime_state.json"
 
 
 def pricing_fingerprint(radar_config: RadarConfig) -> Dict[str, object]:
@@ -211,6 +212,10 @@ class StateStore:
     def calibration_path(self) -> Path:
         return self.state_dir / CALIBRATION_FILENAME
 
+    @property
+    def runtime_path(self) -> Path:
+        return self.state_dir / RUNTIME_STATE_FILENAME
+
     # -- engine snapshots --------------------------------------------------------
     def save_engine(self, engine: VerificationEngine) -> Path:
         """Snapshot the engine's learned state (atomic)."""
@@ -274,6 +279,67 @@ class StateStore:
 
     def load_calibration(self, name: str) -> Optional[Dict[str, object]]:
         return self._load_calibrations().get(name)
+
+    # -- protected-inference runtimes ---------------------------------------------
+    def _load_runtimes(self) -> Dict[str, Dict]:
+        if not self.runtime_path.exists():
+            return {}
+        payload = json.loads(self.runtime_path.read_text(encoding="utf-8"))
+        if int(payload.get("version", -1)) != STATE_VERSION:
+            raise ProtectionError(
+                f"runtime state has version {payload.get('version')!r}, "
+                f"expected {STATE_VERSION}"
+            )
+        return dict(payload.get("entries", {}))
+
+    def save_runtime(
+        self,
+        name: str,
+        runtime: object,
+        radar_config: Optional[RadarConfig] = None,
+    ) -> Path:
+        """Persist one :class:`~repro.core.runtime.ProtectedInference` snapshot.
+
+        Same shape as :meth:`save_calibration` — a named entry in a
+        read-modify-write JSON table, fingerprint-stamped so a later
+        :meth:`restore_runtime` under a different grouping refuses it.
+        """
+        entries = self._load_runtimes()
+        entry: Dict[str, object] = dict(runtime.state_dict())
+        if radar_config is not None:
+            entry["config"] = pricing_fingerprint(radar_config)
+        entries[name] = entry
+        _atomic_write_json(
+            self.runtime_path,
+            {"version": STATE_VERSION, "kind": "runtime", "entries": entries},
+        )
+        return self.runtime_path
+
+    def restore_runtime(
+        self,
+        name: str,
+        runtime: object,
+        radar_config: Optional[RadarConfig] = None,
+    ) -> bool:
+        """Warm-start ``runtime`` from the persisted entry, if compatible.
+
+        Returns ``True`` when a snapshot was applied; ``False`` for a cold
+        start (no entry, or a pricing-fingerprint mismatch — calibration
+        learned under another grouping would misprice this runtime's
+        cadence until the EWMA reconverged).
+        """
+        saved = self._load_runtimes().get(name)
+        if saved is None:
+            return False
+        fingerprint = saved.get("config")
+        if (
+            fingerprint is not None
+            and radar_config is not None
+            and fingerprint != pricing_fingerprint(radar_config)
+        ):
+            return False
+        runtime.load_state_dict(saved)
+        return True
 
     def measured_cost_model(
         self, name: str, radar_config: RadarConfig, alpha: float = 0.2

@@ -155,7 +155,7 @@ class TestCli:
         choices = set(actions["command"].choices)
         assert choices == {
             "list-setups", "overhead", "storage", "missrate", "characterize", "detect", "recover",
-            "protect", "scan", "serve-demo", "sla-report",
+            "protect", "scan", "serve-demo", "infer-demo", "sla-report",
         }
 
     def test_missrate_command_writes_output(self, tmp_path, capsys):

@@ -1,0 +1,495 @@
+"""Tests for the fleet engine's multi-process scanning mode (PR 7).
+
+Covers the shared-memory publish/attach protocol (:mod:`repro.core.signature`),
+the process pool plumbing (:mod:`repro.core.procpool`), the engine's process
+execution lane (:mod:`repro.core.fleet`), worker telemetry, the
+:class:`~repro.core.runtime.ProtectedInference` calibration round-trip, and
+the CLI surface (``--processes`` / ``--workers`` validation, ``infer-demo``).
+
+The load-bearing property: ``processes=N`` is an *execution lane*, not an
+approximation — every tick's scan results must be bit-identical to the
+sequential in-process engine and to the retained PR-3 ``reference=True``
+oracle, for any fleet composition and any process count.
+"""
+
+from __future__ import annotations
+
+import json
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AttachedModelPlane,
+    FleetEventType,
+    ProtectedInference,
+    ProtectionState,
+    RadarConfig,
+    RecoveryPolicy,
+    VerificationEngine,
+    shared_memory_available,
+)
+from repro.core.procpool import materialize_rows
+from repro.errors import ProtectionError
+from repro.models.small import MLP
+from repro.quant.layers import quantize_model, quantized_layers
+from repro.telemetry.monitor import FleetTelemetry
+from repro.telemetry.store import StateStore
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory is unavailable on this platform",
+)
+
+#: (hidden_dims, input_dim) choices for heterogeneous fleets.  The first
+#: quantized layer of the smallest is 48 * 16 = 768 weights, so flip
+#: indices below that bound are valid for every structure.
+STRUCTURES = (
+    ((24,), 48),
+    ((32, 16), 64),
+    ((16,), 48),
+)
+
+
+def _small_model(seed: int, hidden=(24,), input_dim=48) -> MLP:
+    model = MLP(input_dim=input_dim, num_classes=4, hidden_dims=hidden, seed=seed)
+    quantize_model(model)
+    return model
+
+
+def _flip_weight(model, layer_index: int = 0, weight_index: int = 0) -> None:
+    name, layer = quantized_layers(model)[layer_index]
+    flat = layer.qweight.reshape(-1)
+    flat[weight_index] = np.int8(int(flat[weight_index]) ^ -128)
+
+
+def _assert_flags_equal(observed, expected) -> None:
+    empty = np.empty(0, dtype=np.int64)
+    for layer in set(observed) | set(expected):
+        np.testing.assert_array_equal(
+            observed.get(layer, empty), expected.get(layer, empty)
+        )
+
+
+def _build_mirrored_engines(structures, processes, **kwargs):
+    """A process-pooled engine and its sequential twin (same models)."""
+    config = RadarConfig(group_size=8)
+    pooled = VerificationEngine(
+        config, num_shards=4, processes=processes, **kwargs
+    )
+    sequential = VerificationEngine(config, num_shards=4, **kwargs)
+    for engine in (pooled, sequential):
+        for index, structure in enumerate(structures):
+            hidden, input_dim = STRUCTURES[structure]
+            engine.register(
+                f"m{index}", _small_model(100 + index, hidden, input_dim)
+            )
+    return pooled, sequential
+
+
+class TestProcessOracleEquivalence:
+    """Satellite 3: process-pooled scans equal the sequential reference oracle."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        structures=st.lists(
+            st.integers(min_value=0, max_value=len(STRUCTURES) - 1),
+            min_size=2,
+            max_size=4,
+        ),
+        flips=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),
+                st.integers(min_value=0, max_value=255),
+            ),
+            max_size=3,
+            unique=True,
+        ),
+        processes=st.integers(min_value=2, max_value=3),
+    )
+    def test_process_ticks_match_sequential_and_reference_oracle(
+        self, structures, flips, processes
+    ):
+        pooled, sequential = _build_mirrored_engines(structures, processes)
+        try:
+            for engine in (pooled, sequential):
+                for model_index, weight_index in flips:
+                    name = f"m{model_index % len(structures)}"
+                    _flip_weight(engine.get(name).model, 0, weight_index)
+            lag = max(
+                pooled.get(name).scheduler.worst_case_lag_passes
+                for name in pooled.names()
+            )
+            for _ in range(lag):
+                outcomes = pooled.tick(recovery_policy=RecoveryPolicy.NONE)
+                expected = sequential.tick(recovery_policy=RecoveryPolicy.NONE)
+                for name in sequential.names():
+                    ours, theirs = outcomes[name], expected[name]
+                    # Identical plan, identical verdict, identical lifecycle.
+                    assert ours.scan.shard_indices == theirs.scan.shard_indices
+                    assert ours.scan.groups_checked == theirs.scan.groups_checked
+                    assert ours.state is theirs.state
+                    assert ours.transitions == theirs.transitions
+                    _assert_flags_equal(
+                        ours.scan.report.flagged_groups,
+                        theirs.scan.report.flagged_groups,
+                    )
+                    # And bit-identical to the retained PR-3 per-layer path
+                    # (the reference=True oracle) over the scanned rows.
+                    managed = pooled.get(name)
+                    fused = managed.scheduler.fused
+                    rows = managed.scheduler.slice_rows(
+                        list(ours.scan.shard_indices)
+                    )
+                    oracle = fused.rows_to_layer_groups(
+                        fused.mismatched_rows(managed.model, rows, reference=True)
+                    )
+                    _assert_flags_equal(ours.scan.report.flagged_groups, oracle)
+            # Same events, in the same order, for the same models.
+            assert [
+                (event.type, event.model) for event in pooled.bus.events()
+            ] == [
+                (event.type, event.model) for event in sequential.bus.events()
+            ]
+        finally:
+            pooled.close()
+            sequential.close()
+
+    def test_lifecycle_parity_under_processes(self):
+        """A flip drives the identical detect→recover→reprotect cycle."""
+        pooled, sequential = _build_mirrored_engines([0, 1, 0], processes=2)
+        try:
+            for engine in (pooled, sequential):
+                _flip_weight(engine.get("m1").model, 0, 9)
+            lag = pooled.get("m1").scheduler.worst_case_lag_passes
+            for _ in range(lag):
+                outcomes = pooled.tick()
+                expected = sequential.tick()
+                for name in sequential.names():
+                    assert outcomes[name].transitions == expected[name].transitions
+                    assert outcomes[name].state is expected[name].state
+            assert pooled.state_of("m1") is ProtectionState.PROTECTED
+            assert [
+                (event.type, event.model) for event in pooled.bus.events()
+            ] == [
+                (event.type, event.model) for event in sequential.bus.events()
+            ]
+            # The re-signed fleet verifies clean under continued process ticks.
+            for _ in range(lag):
+                outcomes = pooled.tick()
+                assert not any(
+                    outcome.attack_detected for outcome in outcomes.values()
+                )
+        finally:
+            pooled.close()
+            sequential.close()
+
+
+class TestGenerationProtocol:
+    """Re-sign republishes at a bumped generation and unlinks the old names."""
+
+    def test_resign_bumps_generation_and_unlinks_old_segments(self):
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, processes=2
+        )
+        try:
+            for index in range(3):
+                engine.register(f"m{index}", _small_model(index))
+            engine.tick()  # publishes every model's plane at generation 1
+            managed = engine.get("m1")
+            old_spec = managed.plane_spec
+            assert old_spec is not None
+            assert old_spec.generation == 1
+            _flip_weight(managed.model, 0, 5)
+            for _ in range(managed.scheduler.worst_case_lag_passes):
+                if engine.tick()["m1"].reprotected:
+                    break
+            assert engine.state_of("m1") is ProtectionState.PROTECTED
+            new_spec = engine.get("m1").plane_spec
+            assert new_spec is not None
+            assert new_spec.generation == old_spec.generation + 1
+            assert new_spec.plane.name != old_spec.plane.name
+            # The old names are gone: a stale worker that lost its cached
+            # attachment cannot accidentally re-attach the dead generation.
+            for segment in (
+                old_spec.plane, old_spec.indices, old_spec.signs, old_spec.golden
+            ):
+                with pytest.raises(FileNotFoundError):
+                    shared_memory.SharedMemory(name=segment.name)
+            with pytest.raises(FileNotFoundError):
+                AttachedModelPlane(old_spec)
+            # The new generation attaches read-only and carries its stamp.
+            attachment = AttachedModelPlane(new_spec)
+            try:
+                assert attachment.generation == new_spec.generation
+                for array in (
+                    attachment.plane,
+                    attachment.indices,
+                    attachment.signs,
+                    attachment.golden,
+                ):
+                    assert not array.flags.writeable
+            finally:
+                attachment.close()
+            # And continued process ticks over the republished plane are clean.
+            for _ in range(engine.get("m1").scheduler.worst_case_lag_passes):
+                outcomes = engine.tick()
+                assert not any(
+                    outcome.attack_detected for outcome in outcomes.values()
+                )
+        finally:
+            engine.close()
+
+
+class TestResourceHygiene:
+    """Satellite 2: close() tears everything down and the engine stays usable."""
+
+    def test_close_unlinks_segments_and_keeps_models_scannable(self):
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, processes=2
+        )
+        for index in range(2):
+            engine.register(f"m{index}", _small_model(index))
+        engine.tick(recovery_policy=RecoveryPolicy.NONE)
+        specs = {name: engine.get(name).plane_spec for name in engine.names()}
+        assert all(spec is not None for spec in specs.values())
+        engine.close()
+        for spec in specs.values():
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=spec.plane.name)
+        assert all(engine.get(name).plane_spec is None for name in engine.names())
+        # unshare() copied each plane back to private memory: the models are
+        # fully scannable in-process after the teardown.
+        for name in engine.names():
+            managed = engine.get(name)
+            assert not managed.protector.scan_fused(managed.model).attack_detected
+        engine.close()  # idempotent
+        # The engine resumes: the next process tick republishes at a bumped
+        # generation with a fresh pool.
+        outcomes = engine.tick(recovery_policy=RecoveryPolicy.NONE)
+        try:
+            assert set(outcomes) == set(engine.names())
+            assert all(
+                engine.get(name).plane_spec.generation == 2
+                for name in engine.names()
+            )
+        finally:
+            engine.close()
+
+    def test_context_manager_closes_on_exit(self):
+        with VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, processes=2
+        ) as engine:
+            engine.register("m", _small_model(1))
+            engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            spec = engine.get("m").plane_spec
+            assert spec is not None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=spec.plane.name)
+
+    def test_unregister_unshares_the_plane(self):
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, processes=2
+        )
+        try:
+            engine.register("keep", _small_model(1))
+            engine.register("drop", _small_model(2))
+            engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            spec = engine.get("drop").plane_spec
+            engine.unregister("drop")
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=spec.plane.name)
+        finally:
+            engine.close()
+
+    def test_inline_mode_never_publishes_shared_memory(self):
+        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        try:
+            for index in range(2):
+                engine.register(f"m{index}", _small_model(index))
+            engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            for name in engine.names():
+                managed = engine.get(name)
+                assert managed.plane_spec is None
+                assert managed.scheduler.fused.shared_spec is None
+        finally:
+            engine.close()
+
+
+class TestValidation:
+    """Satellite 6 (engine side): the two pools are mutually exclusive."""
+
+    def test_workers_and_processes_mutually_exclusive(self):
+        with pytest.raises(ProtectionError, match="mutually exclusive"):
+            VerificationEngine(RadarConfig(group_size=8), workers=2, processes=2)
+
+    def test_processes_must_be_positive(self):
+        with pytest.raises(ProtectionError, match="processes must be >= 1"):
+            VerificationEngine(RadarConfig(group_size=8), processes=0)
+
+
+class TestSliceDescriptors:
+    """Row ranges round-trip exactly through the task wire format."""
+
+    def test_slice_descriptor_round_trips_rows(self):
+        engine = VerificationEngine(RadarConfig(group_size=8), num_shards=4)
+        engine.register("m", _small_model(1, hidden=(32, 16), input_dim=64))
+        scheduler = engine.get("m").scheduler
+        for indices in ([0], [2], [1, 2], list(range(scheduler.num_shards))):
+            descriptor = scheduler.slice_descriptor(indices)
+            expected = scheduler.slice_rows(indices)
+            np.testing.assert_array_equal(descriptor.rows(), expected)
+            np.testing.assert_array_equal(
+                materialize_rows(descriptor.row_ranges), expected
+            )
+            assert descriptor.num_rows == expected.size
+        assert materialize_rows(()).size == 0
+
+
+class TestWorkerTelemetry:
+    def test_process_lanes_labelled_in_outcomes_and_report(self):
+        telemetry = FleetTelemetry()
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, processes=2
+        )
+        telemetry.attach(engine)
+        try:
+            for index in range(4):
+                engine.register(f"m{index}", _small_model(index))
+            for _ in range(2):
+                outcomes = engine.tick(recovery_policy=RecoveryPolicy.NONE)
+                assert all(
+                    outcome.worker is not None
+                    and outcome.worker.startswith("process-")
+                    for outcome in outcomes.values()
+                )
+            rows = telemetry.worker_report()
+            assert rows
+            assert all(row["worker"].startswith("process-") for row in rows)
+            assert sum(row["groups_share"] for row in rows) == pytest.approx(1.0)
+            assert all(row["passes"] > 0 for row in rows)
+        finally:
+            telemetry.detach()
+            engine.close()
+
+    def test_thread_lanes_labelled_with_pool_thread_names(self):
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, workers=2
+        )
+        try:
+            # Two structures → two kernel buckets → the thread pool runs them.
+            engine.register("a", _small_model(1))
+            engine.register("b", _small_model(2, hidden=(32, 16), input_dim=64))
+            outcomes = engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            assert all(
+                outcome.worker is not None and "repro-fleet" in outcome.worker
+                for outcome in outcomes.values()
+            )
+        finally:
+            engine.close()
+
+
+class TestRuntimePersistence:
+    """Satellite 1: ProtectedInference calibration survives a restart."""
+
+    def _runtime(self, seed: int = 0, group_size: int = 16) -> ProtectedInference:
+        model = MLP(input_dim=64, num_classes=4, hidden_dims=(48, 24), seed=seed)
+        quantize_model(model)
+        return ProtectedInference(
+            model, config=RadarConfig(group_size=group_size), budget_s=2e-4
+        )
+
+    def _calibrate(self, runtime: ProtectedInference, checks: int = 4) -> None:
+        rng = np.random.default_rng(7)
+        for _ in range(checks * runtime.check_every):
+            runtime(rng.normal(size=(4, 64)))
+        assert runtime.cost_model.observations > 0
+
+    def test_state_roundtrip_restores_price_and_rederives_cadence(self):
+        runtime = self._runtime()
+        self._calibrate(runtime)
+        state = json.loads(json.dumps(runtime.state_dict()))  # JSON-safe
+        fresh = self._runtime(seed=1)
+        fresh.load_state_dict(state)
+        assert fresh.cost_model.seconds_per_group == pytest.approx(
+            runtime.cost_model.seconds_per_group
+        )
+        assert fresh.cost_model.observations == runtime.cost_model.observations
+        # Same budget + same restored price → the auto-cadence re-derives to
+        # the same value (re-derived, not copied: see load_state_dict).
+        assert fresh.check_every == runtime.check_every
+
+    def test_state_store_roundtrip_and_fingerprint_guard(self, tmp_path):
+        store = StateStore(tmp_path)
+        runtime = self._runtime()
+        self._calibrate(runtime)
+        store.save_runtime(
+            "demo", runtime, radar_config=runtime.protector.config
+        )
+        fresh = self._runtime(seed=1)
+        assert store.restore_runtime(
+            "demo", fresh, radar_config=fresh.protector.config
+        )
+        assert fresh.cost_model.seconds_per_group == pytest.approx(
+            runtime.cost_model.seconds_per_group
+        )
+        # A snapshot learned under another grouping is refused (cold start).
+        other = self._runtime(seed=2, group_size=8)
+        assert not store.restore_runtime(
+            "demo", other, radar_config=other.protector.config
+        )
+        # So is a name that was never persisted.
+        assert not store.restore_runtime(
+            "ghost", fresh, radar_config=fresh.protector.config
+        )
+
+
+class TestProcessCLI:
+    """Satellite 6 (CLI side) and the infer-demo state round-trip."""
+
+    def test_workers_and_processes_flags_are_mutually_exclusive(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve-demo", "--workers", "2", "--processes", "2", "--passes", "1"]
+        )
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_serve_demo_runs_with_processes(self, capsys, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "serve.json"
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--passes", "5",
+                "--processes", "2",
+                "--num-flips", "2",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        rows = json.loads(output.read_text())["rows"]
+        assert rows
+        capsys.readouterr()
+
+    def test_infer_demo_state_roundtrip(self, capsys, tmp_path):
+        from repro.cli import main
+
+        state_dir = tmp_path / "state"
+        args = [
+            "infer-demo",
+            "--batches", "8",
+            "--batch-size", "4",
+            "--state-dir", str(state_dir),
+        ]
+        assert main(args) == 0
+        assert "cold start" in capsys.readouterr().out
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "resumed calibration" in out
