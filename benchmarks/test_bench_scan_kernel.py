@@ -6,7 +6,10 @@ out of a global weight plane + one narrow-accumulation einsum, adopted
 models scanned with zero weight copies).  It measures verified-groups/s
 against the retained ``reference=True`` per-layer path — on a full scan
 and on a scheduler shard slice — and asserts the acceptance bar: the
-kernel is at least 2× the reference path on both.
+kernel is at least 4× the reference path on a structured full scan and 5×
+on the sliced scan.  Timing takes the best of ``ATTEMPTS`` full study
+reruns per mode (the same defensive posture ``fleet_processes`` uses):
+one noisy block on a loaded CI host should not fail the floor.
 ``results/scan_kernel.json`` is the committed baseline the CI perf gate
 (``scripts/check_perf_regression.py --kind kernel``) compares fresh runs
 against.
@@ -25,9 +28,31 @@ from repro.models.small import MLP
 from repro.quant.layers import quantize_model, quantized_layers
 
 
+#: Floors asserted per mode when the plane is structured (the ResNet-20
+#: workload always is); an unstructured plane would ride the general
+#: gather and only owes the pre-structure 2x bar.
+STRUCTURED_FLOORS = {"full": 4.0, "slice": 5.0}
+UNSTRUCTURED_FLOOR = 2.0
+#: Best-of-N study attempts, mirroring test_bench_fleet_throughput: each
+#: attempt already interleaves reference/kernel blocks, so a handful of
+#: attempts suffices to shake off scheduler noise.
+ATTEMPTS = 3
+
+
+def _best_rows() -> list:
+    """Best-speedup row per mode across ``ATTEMPTS`` study runs."""
+    best = {}
+    for _ in range(ATTEMPTS):
+        for row in scan_kernel_throughput():
+            incumbent = best.get(row["mode"])
+            if incumbent is None or row["speedup"] > incumbent["speedup"]:
+                best[row["mode"]] = row
+    return [best[mode] for mode in ("full", "slice")]
+
+
 @pytest.mark.benchmark(group="scan-kernel")
 def test_kernel_beats_reference_path(benchmark):
-    rows = scan_kernel_throughput()
+    rows = _best_rows()
     emit(
         "Scan kernel — fused gather plane + narrow accumulation vs the "
         "PR-3 per-layer path (verified groups/s; full scan and one "
@@ -44,13 +69,18 @@ def test_kernel_beats_reference_path(benchmark):
     fused.adopt(dict(quantized_layers(model)))
     benchmark.pedantic(lambda: fused.mismatched_rows(model), rounds=5, iterations=3)
 
-    # The acceptance bar: >= 2x verified-groups/s over the PR-3 path on BOTH
-    # the stop-the-world full scan and the amortized scheduler slice.
+    # The acceptance bar: on a structured plane the block-slice gather owes
+    # >= 4x verified-groups/s full-scan and >= 5x on the scheduler slice;
+    # an unstructured plane keeps the original 2x kernel-vs-reference bar.
     by_mode = {row["mode"]: row for row in rows}
     assert set(by_mode) == {"full", "slice"}
     for mode, row in by_mode.items():
-        assert row["speedup"] >= 2.0, (
-            f"kernel only reached {row['speedup']:.2f}x on the {mode} scan"
+        floor = (
+            STRUCTURED_FLOORS[mode] if row["structured"] else UNSTRUCTURED_FLOOR
+        )
+        assert row["speedup"] >= floor, (
+            f"kernel only reached {row['speedup']:.2f}x on the {mode} scan "
+            f"(floor {floor}x, structured={row['structured']})"
         )
 
 

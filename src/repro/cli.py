@@ -652,12 +652,19 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 else None
             ),
         )
+    from repro.telemetry.monitor import FleetTelemetry
+
+    telemetry = FleetTelemetry().attach(engine)
     state_store = None
     if args.state_dir is not None:
         from repro.telemetry.store import StateStore
 
         state_store = StateStore(args.state_dir)
         _announce_restore(engine, state_store.restore_engine(engine))
+        if state_store.restore_telemetry(telemetry):
+            # Histogram windows merge (persisted samples first), so the
+            # SLA percentiles below span restarts of this demo.
+            print(f"telemetry metrics restored from {state_store.telemetry_path}")
     print(reporting.render_table(engine.describe(), title="Fleet engine registry"))
 
     victim = engine.get("model-0")
@@ -668,6 +675,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             RandomBitFlipAttack(
                 RandomFlipConfig(num_flips=args.num_flips, msb_only=True, seed=args.seed)
             ).run(victim.model, victim.name)
+            telemetry.note_injection(victim.name, flips=args.num_flips)
         outcomes = engine.tick()
         for name, outcome in outcomes.items():
             if outcome.attack_detected and detected_at is None:
@@ -714,6 +722,18 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         )
     if state_store is not None:
         print(f"engine state persisted to {state_store.save_engine(engine)}")
+        print(f"telemetry metrics persisted to {state_store.save_telemetry(telemetry)}")
+        ticks = telemetry.registry.histogram(
+            "detection_latency_ticks", model=victim.name
+        )
+        if len(ticks):
+            quantiles = ", ".join(
+                f"{label}={value:g}" for label, value in ticks.percentiles().items()
+            )
+            print(
+                f"detection latency over {len(ticks)} persisted detection(s) "
+                f"(ticks, spans restarts): {quantiles}"
+            )
     engine.close()
     return 0
 

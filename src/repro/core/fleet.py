@@ -91,6 +91,7 @@ from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
 from repro.core.signature import (
     ScanScratch,
     SharedPlaneSpec,
+    StackedVerifier,
     batched_mismatched_rows,
     shared_memory_available,
     split_by_padding_waste,
@@ -251,9 +252,12 @@ class ManagedModel:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class EngineTickOutcome:
-    """What one engine tick did to one managed model."""
+    """What one engine tick did to one managed model.
+
+    ``slots=True``: one per model per tick; see :class:`_PlannedSlice`.
+    """
 
     name: str
     scan: ScanPassResult
@@ -285,9 +289,13 @@ class EngineTickOutcome:
         return self.scan.measured_s
 
 
-@dataclass
+@dataclass(slots=True)
 class _PlannedSlice:
-    """Internal work item: one model's affordable slice for this tick."""
+    """Internal work item: one model's affordable slice for this tick.
+
+    ``slots=True``: one of these is created and field-swept per model per
+    engine tick, where ``__dict__`` allocation is measurable overhead.
+    """
 
     managed: ManagedModel
     share: Optional[float]
@@ -403,6 +411,14 @@ class VerificationEngine:
         # one batch per tick and batches never share a ScanScratch, so the
         # worker pool can run buckets concurrently without contention.
         self._scratch: Dict[Tuple, ScanScratch] = {}
+        # Precompiled stacked passes per (kernel key, sub-bucket): rebuilt
+        # whenever the bucket's membership changes (checked by fused-view
+        # identity each tick — a re-sign replaces the view object).
+        self._verifiers: Dict[Tuple, StackedVerifier] = {}
+        # Feasibility-check memo (see _require_feasible): bumped by
+        # register/unregister and by re-signs, which replace a scheduler.
+        self._models_version = 0
+        self._feasible_for: Optional[Tuple[float, int]] = None
 
     # -- registry ---------------------------------------------------------------
     def register(
@@ -455,12 +471,14 @@ class VerificationEngine:
         if self.budget_s is not None:
             self._require_feasible(self.budget_s, {name: managed})
         self._models[name] = managed
+        self._models_version += 1
         return managed
 
     def unregister(self, name: str) -> ManagedModel:
         if name not in self._models:
             raise ProtectionError(f"Model {name!r} is not registered")
         managed = self._models.pop(name)
+        self._models_version += 1
         if managed.scheduler.fused.shared_spec is not None:
             # Keep the model usable after it leaves the engine: copy the
             # kernel arrays back to process-private memory and rebind any
@@ -515,6 +533,7 @@ class VerificationEngine:
         )
         planner = managed.scheduler.planner
         planner.reset()
+        self._models_version += 1
         managed.scheduler = ScanScheduler(
             managed.protector.store,
             cost_model=managed.cost_model,
@@ -655,7 +674,13 @@ class VerificationEngine:
         identical models at the same rotation position share one broadcast
         index matrix inside the pass; everything else rides along via padded
         stacking, so even a fully heterogeneous fleet coalesces into one
-        batch per bucket instead of one pass per model.
+        batch per bucket instead of one pass per model.  Inside a bucket the
+        stacked pass is cache-blocked over slot-major tiles and each model's
+        contiguous slice gathers through its plane's rotated-arange
+        structure when one was detected at fuse time (see
+        :func:`~repro.core.signature._stacked_sums`) — per-model metadata
+        rides the :class:`FusedSignatures` views here and the published
+        :class:`SharedPlaneSpec` on the process path.
         """
         batches: Dict[Tuple, List[_PlannedSlice]] = {}
         for planned in slices:
@@ -681,9 +706,11 @@ class VerificationEngine:
                 parts = [list(range(len(batch)))]
             for sub_index, part in enumerate(parts):
                 scratch = self._scratch.setdefault((key, sub_index), ScanScratch())
-                groups.append(([batch[index] for index in part], scratch))
+                sub_batch = [batch[index] for index in part]
+                verifier = self._bucket_verifier((key, sub_index), sub_batch)
+                groups.append((sub_batch, scratch, verifier))
         if self.processes > 1 and groups:
-            self._execute_processes([batch for batch, _ in groups])
+            self._execute_processes([batch for batch, _, _ in groups])
         elif self.workers > 1 and len(groups) > 1:
             started = time.perf_counter()
             pool = self._ensure_pool()
@@ -697,15 +724,15 @@ class VerificationEngine:
             # rule _run_batch applies on the single-threaded path.
             total_work = sum(
                 max(planned.rows.size for planned in batch) * len(batch)
-                for batch, _ in groups
+                for batch, _, _ in groups
             )
-            for batch, _ in groups:
+            for batch, _, _ in groups:
                 width = max(planned.rows.size for planned in batch)
                 for planned in batch:
                     planned.measured_s = elapsed * width / max(total_work, 1)
         else:
-            for batch, scratch in groups:
-                self._run_batch(batch, scratch)
+            for batch, scratch, verifier in groups:
+                self._run_batch(batch, scratch, verifier)
 
     def _execute_processes(self, batches: List[List[_PlannedSlice]]) -> None:
         """Run the planned batches on the process pool.
@@ -783,17 +810,57 @@ class VerificationEngine:
         managed.plane_spec = spec
         return spec
 
-    def _run_batch(self, batch: List[_PlannedSlice], scratch: ScanScratch) -> None:
+    def _bucket_verifier(
+        self, cache_key: Tuple, batch: List[_PlannedSlice]
+    ) -> StackedVerifier:
+        """The precompiled stacked pass for one sub-bucket, rebuilt on change.
+
+        Bucket membership is stable tick to tick (same models, same
+        registration order), so the identity sweep below almost always hits;
+        a re-sign replaces a model's fused view object and a
+        ``refresh_layer_map`` rebinds its layer map, either of which misses
+        and recompiles.
+        """
+        verifier = self._verifiers.get(cache_key)
+        if verifier is not None and len(verifier.views) == len(batch):
+            for planned, view, layer_map in zip(
+                batch, verifier.views, verifier.layer_maps
+            ):
+                if (
+                    planned.managed.scheduler.fused is not view
+                    or planned.managed.layer_map is not layer_map
+                ):
+                    break
+            else:
+                return verifier
+        verifier = StackedVerifier(
+            [planned.managed.scheduler.fused for planned in batch],
+            [planned.managed.layer_map for planned in batch],
+        )
+        self._verifiers[cache_key] = verifier
+        return verifier
+
+    def _run_batch(
+        self,
+        batch: List[_PlannedSlice],
+        scratch: ScanScratch,
+        verifier: Optional[StackedVerifier] = None,
+    ) -> None:
         started = time.perf_counter()
         # Singletons go through the same kernel: a one-model "stack" costs the
         # same as the direct path but reuses the cached layer maps instead of
         # re-walking the module tree every tick.
-        flagged = batched_mismatched_rows(
-            [planned.managed.scheduler.fused for planned in batch],
-            [planned.managed.layer_map for planned in batch],
-            [planned.rows for planned in batch],
-            scratch=scratch,
-        )
+        if verifier is not None:
+            flagged = verifier.verify(
+                [planned.rows for planned in batch], scratch
+            )
+        else:
+            flagged = batched_mismatched_rows(
+                [planned.managed.scheduler.fused for planned in batch],
+                [planned.managed.layer_map for planned in batch],
+                [planned.rows for planned in batch],
+                scratch=scratch,
+            )
         elapsed = time.perf_counter() - started
         share = elapsed / len(batch)
         width = max(planned.rows.size for planned in batch)
@@ -825,7 +892,10 @@ class VerificationEngine:
             managed.state = state
             transitions.append(state)
 
-        if scan.attack_detected:
+        # planned.flagged_rows is exactly what scan.report was built from,
+        # so this size test IS scan.attack_detected — minus the per-layer
+        # group-count walk the report property performs.
+        if planned.flagged_rows.size:
             move(ProtectionState.FLAGGED)
             self._emit(
                 FleetEventType.DETECTION,
@@ -983,7 +1053,16 @@ class VerificationEngine:
     ) -> None:
         """A tick budget a model's largest shard can never fit inside would
         silently disable that model's protection forever (every allocation
-        would grant it nothing); fail fast instead."""
+        would grant it nothing); fail fast instead.
+
+        The verdict only changes when the registry or a model's scheduler
+        does (both bump ``_models_version``) or the budget does, so a
+        passing check is memoized on ``(budget, version)`` — this runs
+        every tick of every budgeted fleet.
+        """
+        cache_key = (budget_s, self._models_version)
+        if cache_key == self._feasible_for:
+            return
         needs = {
             name: managed.min_feasible_budget_s() for name, managed in models.items()
         }
@@ -998,6 +1077,7 @@ class VerificationEngine:
                 f"scan slice of: {detail}; raise the budget or register the "
                 "model with more shards"
             )
+        self._feasible_for = cache_key
 
     def _require_models(self) -> None:
         if not self._models:

@@ -19,7 +19,7 @@ back to real weights during recovery.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -148,6 +148,38 @@ class GroupLayout:
         for group_index in group_indices:
             mask[self.members_of(int(group_index))] = True
         return mask
+
+    def slot_shifts(self) -> Optional[np.ndarray]:
+        """Per-slot rotations of the rotated-arange gather structure, if any.
+
+        For a t-interleaved layout, group ``g``'s member at slot ``r`` sits
+        at original index ``r * N + (g + s_r) % N`` with ``N = num_groups``
+        and ``s_r = (r * t) % N`` — i.e. slot ``r``'s gather column over all
+        groups is the contiguous block ``[r * N, (r + 1) * N)`` rotated left
+        by ``s_r``.  That is what lets the scan kernel replace the fancy
+        gather with block slice copies (:class:`~repro.core.signature.PlaneStructure`).
+
+        Returns the ``(group_size,)`` int64 shift vector, or ``None`` for
+        layouts the detector deliberately does not claim and the kernel
+        serves through the general gather instead: contiguous layouts (slot
+        columns are stride-``G`` sequences, not rotations), single-group
+        layouts (one group per slot row — nothing a block copy would
+        batch), and zero-rotation interleaves (``t % N == 0``: every shift
+        collapses to 0 — the detector is deliberately conservative and only
+        claims proper rotations, so degenerate edge cases ride the
+        always-correct general gather instead of a special branch).
+        Offsets *not coprime*
+        with ``N`` are still proper rotations (``s_r`` just cycles through
+        ``gcd(t, N)``-step values) and are claimed — real layer sizes are
+        routinely divisible by the paper's ``t = 3``.
+        """
+        if not self.use_interleave or self.num_groups == 1:
+            return None
+        if self.interleave_offset % self.num_groups == 0:
+            return None
+        return (
+            np.arange(self.group_size, dtype=np.int64) * self.interleave_offset
+        ) % self.num_groups
 
     def describe(self) -> Dict[str, int]:
         """Small summary used by reports and tests."""

@@ -98,6 +98,7 @@ def _run_task(
     signs: List[np.ndarray] = []
     goldens: List[np.ndarray] = []
     rows: List[np.ndarray] = []
+    structures: List[Optional[object]] = []
     for item in task.items:
         attachment = attachments.get(item.model)
         if (
@@ -115,6 +116,7 @@ def _run_task(
         signs.append(attachment.signs)
         goldens.append(attachment.golden)
         rows.append(materialize_rows(item.row_ranges))
+        structures.append(attachment.structure)
     spec = task.items[0].spec
     return stacked_mismatched_rows(
         planes,
@@ -126,6 +128,7 @@ def _run_task(
         signature_bits=spec.signature_bits,
         scratch=scratch,
         homogeneous=task.homogeneous,
+        structures=structures,
     )
 
 

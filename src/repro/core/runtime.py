@@ -288,3 +288,15 @@ class ProtectedInference:
     def storage_overhead_kb(self) -> float:
         """Secure-storage footprint of the signatures."""
         return self.protector.storage_overhead_kb()
+
+    @property
+    def structured(self) -> bool:
+        """Whether inline checks gather on the block-slice fast path.
+
+        True when fuse-time detection proved every protected layer's
+        rotated-arange structure (:class:`~repro.core.signature.PlaneStructure`);
+        False means at least one layer's checks ride the general gather.
+        Either way results are bit-identical — this only reports which
+        engine serves the per-batch check cost.
+        """
+        return bool(self.protector.store.fused().structured)

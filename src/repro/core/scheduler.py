@@ -92,9 +92,14 @@ def planner_for_policy(policy: ScanPolicy) -> VerificationPlanner:
     return RoundRobinPlanner()
 
 
-@dataclass
+@dataclass(slots=True)
 class ScanPassResult:
-    """What one amortized pass scanned and found."""
+    """What one amortized pass scanned and found.
+
+    ``slots=True``: one of these is built per model per pass on both the
+    sequential and engine paths; skipping the ``__dict__`` allocation is
+    a measurable share of a budgeted pass's fixed cost.
+    """
 
     pass_index: int
     shard_indices: List[int]
@@ -218,6 +223,14 @@ class ScanScheduler:
             rows.astype(np.int64)
             for rows in np.array_split(np.arange(self.fused.total_groups), self.num_shards)
         ]
+        # Plain-int mirrors of each shard's size and row range: planning,
+        # pricing and flag attribution consult these once per model per
+        # tick, where NumPy scalar extraction is pure dispatch overhead.
+        self._shard_sizes: List[int] = [int(shard.size) for shard in self._shards]
+        self._shard_bounds: List[Tuple[int, int]] = [
+            (int(shard[0]), int(shard[-1])) if shard.size else (0, -1)
+            for shard in self._shards
+        ]
         if budget_s is not None:
             largest = max(shard.size for shard in self._shards)
             cost = self._require_cost_model().pass_cost_s(int(largest))
@@ -227,9 +240,21 @@ class ScanScheduler:
                     f"({largest} groups, priced {cost * 1e3:.6g} ms); raise the budget, "
                     "increase num_shards, or use ScanScheduler.from_budget"
                 )
+        # Exposure is stored lazily: a shard's effective backlog is
+        # ``_exposure[i] + _exposure_base``.  Every pass bumps the scalar
+        # base once instead of incrementing the whole array (a NumPy
+        # dispatch per model per tick on the fleet path); scanning a shard
+        # writes ``-base`` so its effective exposure returns to zero.
         self._exposure = np.zeros(self.num_shards, dtype=np.int64)
+        self._exposure_base = 0
         self._times_scanned = np.zeros(self.num_shards, dtype=np.int64)
         self._times_flagged = np.zeros(self.num_shards, dtype=np.int64)
+        # Scalar mirrors of ``_exposure.sum()`` / ``_times_flagged.sum()``,
+        # kept in lock-step by apply_scan: fleet urgency ranking reads both
+        # once per model per tick, and a NumPy reduction per read is pure
+        # dispatch overhead next to two int adds.
+        self._exposure_sum = 0
+        self._flagged_sum = 0
         self._pass_index = 0
         self._rotation_pending = set(range(self.num_shards))
         self._rotation_rows: List[np.ndarray] = []
@@ -333,7 +358,7 @@ class ScanScheduler:
                 ShardView(
                     index=index,
                     num_groups=int(self._shards[index].size),
-                    exposure_passes=int(self._exposure[index]),
+                    exposure_passes=int(self._exposure[index]) + self._exposure_base,
                     times_scanned=int(self._times_scanned[index]),
                     times_flagged=int(self._times_flagged[index]),
                 )
@@ -363,7 +388,7 @@ class ScanScheduler:
         affordable: List[int] = []
         groups = 0
         for index in selection:
-            candidate = groups + int(self._shards[index].size)
+            candidate = groups + self._shard_sizes[index]
             if cost_model.pass_cost_s(candidate) > budget:
                 break
             affordable.append(index)
@@ -386,7 +411,8 @@ class ScanScheduler:
         plans each model's slice once per tick and prices, executes and
         commits that same plan.
         """
-        groups = sum(int(self._shards[index].size) for index in shard_indices)
+        sizes = self._shard_sizes
+        groups = sum(sizes[index] for index in shard_indices)
         return self._require_cost_model().pass_cost_s(groups)
 
     def shard_rows(self, shard_index: int) -> np.ndarray:
@@ -396,9 +422,18 @@ class ScanScheduler:
         return self._shards[shard_index].copy()
 
     def slice_rows(self, shard_indices: List[int]) -> np.ndarray:
-        """Concatenated global rows of a planned slice, in scan order."""
+        """Concatenated global rows of a planned slice, in scan order.
+
+        Single-shard slices (the steady state of a budgeted rotation)
+        return the shard array itself rather than a copy — callers treat
+        planned rows as read-only, and the stable identity lets the fleet
+        engine's batched verifier recognize repeated rotation positions
+        without re-comparing row contents every tick.
+        """
         if not shard_indices:
             return np.empty(0, dtype=np.int64)
+        if len(shard_indices) == 1:
+            return self._shards[shard_indices[0]]
         return np.concatenate([self._shards[index] for index in shard_indices])
 
     def slice_descriptor(self, shard_indices: List[int]) -> SliceDescriptor:
@@ -476,38 +511,42 @@ class ScanScheduler:
         has one, so measured pricing calibrates no matter who executed the
         verification.
         """
-        groups_checked = int(
-            sum(int(self._shards[index].size) for index in shard_indices)
-        )
+        sizes = self._shard_sizes
+        groups_checked = sum(sizes[index] for index in shard_indices)
         planned_cost = None
         if self.cost_model is not None:
             planned_cost = self.cost_model.pass_cost_s(groups_checked)
-            observe = getattr(self.cost_model, "observe", None)
-            if observe is not None and measured_s is not None:
-                observe(groups_checked, measured_s)
+            if measured_s is not None:
+                observe = getattr(self.cost_model, "observe", None)
+                if observe is not None:
+                    observe(groups_checked, measured_s)
 
         self._pass_index += 1
-        self._exposure += 1
+        self._exposure_base += 1
+        base = self._exposure_base
+        self._exposure_sum += self.num_shards
         self._shard_views_cache = None
         clean = flagged_rows.size == 0
         flagged_counts: Dict[int, int] = {}
         for index in shard_indices:
-            self._exposure[index] = 0
+            self._exposure_sum -= int(self._exposure[index]) + base
+            self._exposure[index] = -base
             self._times_scanned[index] += 1
             if clean:
                 flagged_counts[index] = 0
                 continue
             # Shards are contiguous row ranges, so a range test attributes flags.
-            low, high = self._shards[index][0], self._shards[index][-1]
+            low, high = self._shard_bounds[index]
             count = int(np.count_nonzero((flagged_rows >= low) & (flagged_rows <= high)))
             flagged_counts[index] = count
             if count:
                 self._times_flagged[index] += 1
+                self._flagged_sum += 1
         self._planner.committed(shard_indices, flagged_counts)
 
         report = report_from_fused_rows(self.fused, flagged_rows)
         self._rotation_rows.append(flagged_rows)
-        self._rotation_pending -= set(shard_indices)
+        self._rotation_pending.difference_update(shard_indices)
         rotation_complete = not self._rotation_pending
         rotation_report = None
         if rotation_complete:
@@ -544,17 +583,17 @@ class ScanScheduler:
     @property
     def max_exposure_passes(self) -> int:
         """Largest number of passes any shard has currently gone unscanned."""
-        return int(self._exposure.max())
+        return int(self._exposure.max()) + self._exposure_base
 
     @property
     def mean_exposure_passes(self) -> float:
         """Mean shard exposure — the backlog term of fleet urgency ranking."""
-        return float(self._exposure.sum()) / self.num_shards
+        return self._exposure_sum / self.num_shards
 
     @property
     def total_flagged_passes(self) -> int:
         """Sum over shards of how many passes flagged each (flip history)."""
-        return int(self._times_flagged.sum())
+        return self._flagged_sum
 
     def shard_info(self) -> List[ShardInfo]:
         return [
@@ -582,7 +621,7 @@ class ScanScheduler:
         return {
             "num_shards": int(self.num_shards),
             "pass_index": int(self._pass_index),
-            "exposure": [int(value) for value in self._exposure],
+            "exposure": [int(value) + self._exposure_base for value in self._exposure],
             "times_scanned": [int(value) for value in self._times_scanned],
             "times_flagged": [int(value) for value in self._times_flagged],
             "rotation_pending": sorted(int(index) for index in self._rotation_pending),
@@ -606,8 +645,11 @@ class ScanScheduler:
             )
         self._pass_index = int(state["pass_index"])
         self._exposure = np.asarray(state["exposure"], dtype=np.int64)
+        self._exposure_base = 0
         self._times_scanned = np.asarray(state["times_scanned"], dtype=np.int64)
         self._times_flagged = np.asarray(state["times_flagged"], dtype=np.int64)
+        self._exposure_sum = int(self._exposure.sum())  # base is 0 right after a restore
+        self._flagged_sum = int(self._times_flagged.sum())
         for name in ("_exposure", "_times_scanned", "_times_flagged"):
             if getattr(self, name).shape != (self.num_shards,):
                 raise ProtectionError(
@@ -634,6 +676,10 @@ class ScanScheduler:
             "policy": self.policy.value,
             "worst_case_lag_passes": self.worst_case_lag_passes,
             "passes": self.passes,
+            # Whether every layer's gather runs on the block-slice fast
+            # path (fuse-time rotated-arange detection); shard slices of an
+            # unstructured plane fall back to the general gather.
+            "structured": bool(self.fused.structured),
         }
         if self.budget_s is not None:
             row["budget_ms"] = round(self.budget_s * 1e3, 6)

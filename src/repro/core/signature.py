@@ -18,7 +18,9 @@ engine-adopted models) no weight copies at all.
 
 from __future__ import annotations
 
+import bisect
 import itertools
+import math
 import os
 from dataclasses import dataclass
 from typing import (
@@ -199,13 +201,242 @@ class ScanScratch:
     def take(self, name: str, shape: Tuple[int, ...], dtype) -> np.ndarray:
         """A C-contiguous ``shape``-d view of the named buffer (grown if needed)."""
         dtype = np.dtype(dtype)
-        size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        # math.prod, not np.prod: this runs a few times per scan and the
+        # ufunc dispatch on a tiny shape tuple costs more than the whole
+        # buffer lookup.
+        size = math.prod(shape) if shape else 1
         buffer = self._buffers.get((name, dtype))
         if buffer is None or buffer.size < size:
             buffer = np.empty(max(size, 1), dtype=dtype)
             self._buffers[(name, dtype)] = buffer
         return buffer[:size].reshape(shape)
 
+
+#: Cache-blocking budget for the stacked kernel: the per-tile gathered
+#: stack and sign stack (2 int8 bytes per model per slot per column) are
+#: sized to stay resident in a typical per-core L2 slice while the einsum
+#: that immediately consumes them re-reads every byte.
+STACKED_TILE_BYTES = 1 << 20
+
+#: Tiles never shrink below this many columns — past that point the extra
+#: per-tile NumPy dispatch costs more than the cache locality buys.
+MIN_STACKED_TILE_COLUMNS = 256
+
+#: Crossover between the block-slice gather and the general fancy gather,
+#: in columns per covered layer.  Measured on the ResNet-20 G=8 plane: the
+#: general ``np.take`` costs ~1.1 ns per gathered element but streams the
+#: int64 index matrix (8 bytes per element vs 1 weight byte), while the
+#: block path costs ~2 slice copies per slot row per layer regardless of
+#: width — they break even when a range covers roughly this many columns
+#: per layer it touches.
+STRUCTURED_MIN_COLUMNS_PER_LAYER = 512
+
+
+def _stacked_tile_width(num_models: int, group_size: int, width: int) -> int:
+    """Columns per cache-blocked stacked tile (the whole width if it fits)."""
+    per_column = 2 * num_models * group_size
+    tile = STACKED_TILE_BYTES // max(per_column, 1)
+    if tile < MIN_STACKED_TILE_COLUMNS:
+        tile = MIN_STACKED_TILE_COLUMNS
+    return int(tile) if tile < width else int(width)
+
+
+class PlaneStructureSpec(NamedTuple):
+    """Plain-data rotated-arange structure of one published plane.
+
+    The picklable half of :class:`PlaneStructure`, carried inside a
+    :class:`SharedPlaneSpec` so worker processes run the block-slice gather
+    without re-deriving (or trusting) anything: per-layer global row
+    bounds, plane offsets, and the per-slot rotation shifts (``None`` for
+    layers the fuse-time detector demoted to the general gather).
+    """
+
+    row_starts: Tuple[int, ...]
+    weight_offsets: Tuple[int, ...]
+    shifts: Tuple[Optional[Tuple[int, ...]], ...]
+
+
+class PlaneStructure:
+    """Executable rotated-arange structure of one fused weight plane.
+
+    Built at fuse time by :class:`FusedSignatures` after *numerically
+    verifying* each layer's analytic
+    :meth:`~repro.core.interleave.GroupLayout.slot_shifts` hint against the
+    layer's actual index matrix (see :func:`_verified_slot_shifts`), and
+    shipped to scan workers as a :class:`PlaneStructureSpec`.
+
+    :meth:`gather_block` replaces the kernel's fancy ``np.take`` gather for
+    any contiguous global-row range: on a structured layer, slot row ``r``
+    of the slot-major gather matrix reads the plane block
+    ``[base + r*N, base + (r+1)*N)`` rotated left by ``s_r``, so a
+    contiguous range of ``L`` groups moves as at most two contiguous slice
+    copies per slot row instead of ``L`` random accesses per slot row.
+    Copies are clamped to the layer's real weights; the skipped positions
+    are exactly the padded slots, whose sign mask is 0, so whatever scratch
+    garbage they leave behind is multiplied away by the einsum —
+    bit-identical to the general gather by construction, with no
+    out-of-bounds read possible.  Unstructured layers inside the range fall
+    back to the general ``np.take`` on their column sub-block.
+    """
+
+    def __init__(self, row_starts, weight_offsets, shifts) -> None:
+        self.row_starts: List[int] = [int(value) for value in row_starts]
+        self.weight_offsets: List[int] = [int(value) for value in weight_offsets]
+        self.shifts: List[Optional[List[int]]] = [
+            None if layer is None else [int(value) for value in layer]
+            for layer in shifts
+        ]
+        self.structured_layers = sum(
+            1 for layer in self.shifts if layer is not None
+        )
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.shifts)
+
+    @property
+    def any_structured(self) -> bool:
+        """Whether :meth:`gather_block` beats the general gather at all."""
+        return self.structured_layers > 0
+
+    @property
+    def fully_structured(self) -> bool:
+        """Whether every layer's gather runs on the block-slice path."""
+        return self.structured_layers == self.num_layers
+
+    def spec(self) -> PlaneStructureSpec:
+        """Plain-tuple form for shared-memory publication (picklable)."""
+        return PlaneStructureSpec(
+            row_starts=tuple(self.row_starts),
+            weight_offsets=tuple(self.weight_offsets),
+            shifts=tuple(
+                None if layer is None else tuple(layer) for layer in self.shifts
+            ),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: PlaneStructureSpec) -> "PlaneStructure":
+        return cls(spec.row_starts, spec.weight_offsets, spec.shifts)
+
+    def gather_block(
+        self,
+        plane: np.ndarray,
+        kernel_indices: np.ndarray,
+        out: np.ndarray,
+        start: int,
+        stop: int,
+    ) -> None:
+        """Fill ``out[:, :stop - start]`` with the gathered plane values of
+        global rows ``[start, stop)`` (the slot-major kernel layout).
+
+        Narrow ranges are served by one general ``np.take`` instead: block
+        copies cost a fixed ~2 slice assignments per slot row per covered
+        layer, while the fancy gather scales with the column count (plus
+        int64 index-matrix traffic, which is what makes it lose on wide
+        ranges), so below ``STRUCTURED_MIN_COLUMNS_PER_LAYER`` columns per
+        covered layer the general gather is the faster engine.  Both fill
+        ``out`` with identical bytes.
+        """
+        row_starts = self.row_starts
+        first_layer = bisect.bisect_right(row_starts, start) - 1
+        if first_layer < 0:
+            first_layer = 0
+        covered = bisect.bisect_left(row_starts, stop, lo=first_layer + 1) - first_layer
+        if stop - start < covered * STRUCTURED_MIN_COLUMNS_PER_LAYER:
+            np.take(plane, kernel_indices[:, start:stop], out=out, mode="clip")
+            return
+        for position in range(max(first_layer, 0), self.num_layers):
+            col0 = row_starts[position]
+            if col0 >= stop:
+                break
+            col1 = row_starts[position + 1]
+            lo = start if start > col0 else col0
+            hi = stop if stop < col1 else col1
+            if hi <= lo:
+                continue
+            dest0 = lo - start
+            shifts = self.shifts[position]
+            if shifts is None:
+                np.take(
+                    plane,
+                    kernel_indices[:, lo:hi],
+                    out=out[:, dest0 : dest0 + (hi - lo)],
+                    mode="clip",
+                )
+                continue
+            base = self.weight_offsets[position]
+            limit = self.weight_offsets[position + 1]
+            n = col1 - col0
+            g0 = lo - col0
+            span = hi - lo
+            for r, shift in enumerate(shifts):
+                row_base = base + r * n
+                s = g0 + shift
+                if s >= n:
+                    s -= n
+                dest = out[r]
+                first = n - s
+                if first > span:
+                    first = span
+                src0 = row_base + s
+                src1 = src0 + first
+                if src1 > limit:
+                    src1 = limit
+                if src1 > src0:
+                    dest[dest0 : dest0 + src1 - src0] = plane[src0:src1]
+                remainder = span - first
+                if remainder > 0:
+                    src1 = row_base + remainder
+                    if src1 > limit:
+                        src1 = limit
+                    if src1 > row_base:
+                        wrap = dest0 + first
+                        dest[wrap : wrap + src1 - row_base] = plane[row_base:src1]
+
+
+def _verified_slot_shifts(
+    layout: GroupLayout, indices: np.ndarray, sign_mask: np.ndarray
+) -> Optional[np.ndarray]:
+    """The layout's rotated-arange shifts, proven against its index matrix.
+
+    The analytic :meth:`~repro.core.interleave.GroupLayout.slot_shifts`
+    hint is re-derived from layout *parameters*; the kernel must not trust
+    it blindly — a foreign or subclassed layout could change the assignment
+    while keeping the flags.  This verifies, entry by entry over the
+    non-padded slots, that the layer's actual ``(num_groups, group_size)``
+    index matrix equals ``r * N + (g + s_r) % N``; any disagreement demotes
+    the layer to the general gather (returns ``None``).
+    """
+    hint = layout.slot_shifts()
+    if hint is None:
+        return None
+    num_groups, group_size = indices.shape
+    g = np.arange(num_groups, dtype=np.int64)[:, None]
+    r = np.arange(group_size, dtype=np.int64)[None, :]
+    expected = r * num_groups + (g + hint[None, :]) % num_groups
+    valid = sign_mask != 0
+    if not np.array_equal(indices[valid], expected[valid]):
+        return None
+    return hint
+
+
+def _contiguous_start(rows: np.ndarray, size: int) -> Optional[int]:
+    """``rows[0]`` when ``rows`` is a contiguous ascending range, else None."""
+    if size == 0:
+        return None
+    start = int(rows[0])
+    if int(rows[size - 1]) - start + 1 != size:
+        return None
+    if size > 1 and not bool(np.all(np.diff(rows) == 1)):
+        return None
+    return start
+
+
+#: Shared zero-length flagged-rows array for clean passes.  Write-locked so
+#: an accidental in-place mutation of a shared result raises instead of
+#: silently corrupting every aliasing holder.
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+_EMPTY_ROWS.setflags(write=False)
 
 #: Memoized result of :func:`shared_memory_available` (None = not probed yet).
 _SHM_AVAILABLE: Optional[bool] = None
@@ -269,6 +500,11 @@ class SharedPlaneSpec(NamedTuple):
     The ``generation`` counter implements the republish protocol: a re-sign
     bumps it, workers compare it against their cached attachment and
     re-attach by (new) segment name when stale.
+
+    ``structure`` carries the fuse-time rotated-arange detection verdict
+    (:class:`PlaneStructureSpec`) so workers run the block-slice gather on
+    exactly the layers the coordinator proved structured, without
+    re-deriving — or being able to disagree with — the classification.
     """
 
     model: str
@@ -281,6 +517,7 @@ class SharedPlaneSpec(NamedTuple):
     indices: SharedSegmentSpec
     signs: SharedSegmentSpec
     golden: SharedSegmentSpec
+    structure: Optional[PlaneStructureSpec] = None
 
 
 class AttachedModelPlane:
@@ -311,6 +548,11 @@ class AttachedModelPlane:
             raise ProtectionError("multiprocessing.shared_memory is unavailable")
         self.spec = spec
         self._segments: List["shared_memory.SharedMemory"] = []
+        #: Rebuilt once per attachment (not per scan) so every task over
+        #: this plane reuses the executable structure metadata.
+        self.structure = (
+            None if spec.structure is None else PlaneStructure.from_spec(spec.structure)
+        )
         try:
             self.plane = self._attach(spec.plane)
             self.indices = self._attach(spec.indices)
@@ -426,6 +668,10 @@ class FusedSignatures:
             name: np.empty(0, dtype=np.int64) for name in self.layer_names
         }
         self._structure_key: Optional[Tuple] = None
+        self._kernel_key: Tuple[int, int] = (
+            self.config.group_size,
+            self.config.signature_bits,
+        )
 
         # -- fused kernel state (built lazily by _ensure_kernel: streaming-
         # only callers use the per-layer arrays and never pay for the global
@@ -434,6 +680,19 @@ class FusedSignatures:
         offsets[1:] = np.cumsum(self._num_weights)
         self._weight_offsets = offsets
         self.total_weights = int(offsets[-1])
+        # Rotated-arange structure, detected (and proven) once at fuse
+        # time: layers whose verified shifts are None fall back to the
+        # general gather inside gather_block.
+        self._structure = PlaneStructure(
+            row_starts,
+            offsets,
+            [
+                _verified_slot_shifts(
+                    entry.layout, self._indices[position], self._sign_masks[position]
+                )
+                for position, entry in enumerate(entries)
+            ],
+        )
         self._accum_dtype = accumulator_dtype(group_size)
         self._scratch = ScanScratch()
         self._kernel_indices: Optional[np.ndarray] = None
@@ -449,6 +708,11 @@ class FusedSignatures:
         # Scans of a *foreign* model while adopted must not write into the
         # adopted model's plane; they get their own lazily allocated one.
         self._foreign_plane: Optional[np.ndarray] = None
+        # {name: layer} of the last scanned model, keyed by model identity
+        # (see _layer_map): the module-tree walk is pure dispatch overhead
+        # on the steady-state scan path.
+        self._cached_layer_model: Optional[Module] = None
+        self._cached_layer_map: Optional[Dict[str, Module]] = None
         # Shared-memory publication state (see share/unshare): the live
         # SharedMemory handles keyed like the spec fields, and the plain-data
         # spec workers attach from.
@@ -496,6 +760,16 @@ class FusedSignatures:
         """Whether a model's weight buffers currently live inside the plane."""
         return self._adopted
 
+    @property
+    def structure(self) -> PlaneStructure:
+        """The fuse-time rotated-arange detection verdict for this plane."""
+        return self._structure
+
+    @property
+    def structured(self) -> bool:
+        """True when every layer's gather runs on the block-slice path."""
+        return self._structure.fully_structured
+
     def structure_key(self) -> Tuple:
         """Hashable fingerprint of everything that determines this view's
         gather indices, sign masks and row numbering.
@@ -533,7 +807,7 @@ class FusedSignatures:
         or masking keys differ (heterogeneous fleets); see
         :func:`batched_mismatched_rows`.
         """
-        return (self.config.group_size, self.config.signature_bits)
+        return self._kernel_key
 
     # -- row bookkeeping -------------------------------------------------------
     def row_range(self, layer_name: str) -> Tuple[int, int]:
@@ -593,6 +867,10 @@ class FusedSignatures:
             for position, name in enumerate(self.layer_names):
                 self._adopt_layer(position, layer_map[name])
         self._adopted = True
+        # A re-adoption replaces the plane registry, so a memoized map from
+        # the previously adopted model must not keep taking the fast sweep.
+        self._cached_layer_model = None
+        self._cached_layer_map = None
 
     def _plane_alias(self, layer_map: Mapping[str, Module]) -> Optional[np.ndarray]:
         """An existing buffer the layers' weights already form a plane in.
@@ -684,18 +962,27 @@ class FusedSignatures:
         if self._adopted:
             stale: List[int] = []
             foreign = False
-            for position, name in enumerate(self.layer_names):
-                if name not in layer_map:
-                    raise ProtectionError(
-                        f"Protected layer {name!r} missing from model"
-                    )
-                layer = layer_map[name]
-                if layer is self._plane_layers[position]:
+            if layer_map is self._cached_layer_map:
+                # The memoized map's layers were proven identical to the
+                # plane registry when cached (_layer_map), so only buffer
+                # staleness can change between scans — skip the name
+                # lookups and identity sweep.
+                for position, layer in enumerate(self._plane_layers):
                     if layer.qweight is not self._plane_sources[position]:
                         stale.append(position)
-                else:
-                    foreign = True
-                    break
+            else:
+                for position, name in enumerate(self.layer_names):
+                    if name not in layer_map:
+                        raise ProtectionError(
+                            f"Protected layer {name!r} missing from model"
+                        )
+                    layer = layer_map[name]
+                    if layer is self._plane_layers[position]:
+                        if layer.qweight is not self._plane_sources[position]:
+                            stale.append(position)
+                    else:
+                        foreign = True
+                        break
             if not foreign:
                 for position in stale:
                     self._adopt_layer(
@@ -795,6 +1082,7 @@ class FusedSignatures:
             indices=specs["indices"],
             signs=specs["signs"],
             golden=specs["golden"],
+            structure=self._structure.spec(),
         )
         return self._shared_spec
 
@@ -846,6 +1134,8 @@ class FusedSignatures:
         self._plane_layers = [None] * len(self.layer_names)
         self._plane_sources = [None] * len(self.layer_names)
         self._foreign_plane = None
+        self._cached_layer_model = None
+        self._cached_layer_map = None
         self._destroy_segments()
 
     def _destroy_segments(self) -> None:
@@ -873,13 +1163,42 @@ class FusedSignatures:
             raise ProtectionError(f"global rows out of range ({self.total_groups} groups)")
         return rows
 
+    def _contiguous_rows_start(self, rows: np.ndarray, count: int) -> Optional[int]:
+        """``rows[0]`` if ``rows`` is a contiguous ascending in-range run.
+
+        One comparison against the prebuilt arange proves contiguity *and*
+        bounds at once (an out-of-range run compares against a shorter or
+        wrapped slice and fails), so contiguous callers skip the min/max
+        validation passes entirely.  Requires the kernel to be built.
+        """
+        start = int(rows[0])
+        if start < 0 or int(rows[count - 1]) - start + 1 != count:
+            return None
+        if not np.array_equal(rows, self._row_arange[start : start + count]):
+            return None
+        return start
+
     def _kernel_sums(
         self,
         layer_map: Mapping[str, Module],
         rows: Optional[np.ndarray],
         scratch: Optional[ScanScratch] = None,
+        contiguous_start: Union[str, None, int] = "auto",
     ) -> np.ndarray:
         """Masked checksums for validated ``rows`` (``None`` = all groups).
+
+        Full scans and contiguous row ranges over a structured plane (the
+        shapes every scheduler shard slice has) gather with block slice
+        copies (:meth:`PlaneStructure.gather_block`); arbitrary row sets —
+        and planes whose layers all failed fuse-time structure detection —
+        take the general fancy-indexing gather.  The einsum and binarize
+        are shared, and integer sums are exact, so the path choice can
+        never change a verdict.
+
+        ``contiguous_start`` is the memoized result of
+        :meth:`_contiguous_rows_start` when the caller already computed it
+        (``"auto"`` re-derives it here; the parameter only avoids a second
+        pass over ``rows`` on the hottest path).
 
         Returns a view into scratch storage — callers either consume it
         immediately (binarize/compare) or copy it out (:meth:`group_sums`).
@@ -889,19 +1208,33 @@ class FusedSignatures:
         scratch = scratch if scratch is not None else self._scratch
         group_size = self.config.group_size
         if rows is None:
-            indices = self._kernel_indices
-            signs = self._kernel_signs
             count = self.total_groups
+            start: Optional[int] = 0
         else:
             count = int(rows.size)
             if count == 0:
                 return np.empty(0, dtype=self._accum_dtype)
-            indices, signs = self._row_block(rows, count, scratch)
-        gathered = scratch.take("gathered", (group_size, count), np.int8)
-        # mode="clip" skips per-element bounds checking; every index was
-        # validated at build time (and row slices just above), so clipping
-        # can never trigger.
-        np.take(plane, indices, out=gathered, mode="clip")
+            if contiguous_start == "auto":
+                start = self._contiguous_rows_start(rows, count)
+            else:
+                start = contiguous_start
+        if start is not None and self._structure.any_structured:
+            gathered = scratch.take("gathered", (group_size, count), np.int8)
+            self._structure.gather_block(
+                plane, self._kernel_indices, gathered, start, start + count
+            )
+            signs = self._kernel_signs[:, start : start + count]
+        else:
+            if rows is None:
+                indices = self._kernel_indices
+                signs = self._kernel_signs
+            else:
+                indices, signs = self._row_block(rows, count, scratch)
+            gathered = scratch.take("gathered", (group_size, count), np.int8)
+            # mode="clip" skips per-element bounds checking; every index was
+            # validated at build time (and row slices just above), so
+            # clipping can never trigger.
+            np.take(plane, indices, out=gathered, mode="clip")
         sums = scratch.take("sums", (count,), self._accum_dtype)
         np.einsum("gr,gr->r", gathered, signs, dtype=self._accum_dtype, out=sums)
         return sums
@@ -931,6 +1264,31 @@ class FusedSignatures:
         np.take(self._kernel_signs, rows, axis=1, out=signs)
         return indices, signs
 
+    def _layer_map(self, model: Module) -> Dict[str, Module]:
+        """``{name: quantized layer}`` for ``model``, memoized for adoption.
+
+        Walking the module tree dominated small sliced scans (~80 µs of a
+        ~200 µs pass on ResNet-20), and the steady state scans the same
+        model object every tick.  Only the *adopted* model is memoized: its
+        layers are already pinned by the plane registry, so the memo adds
+        no lifetime (transient foreign models stay collectable), and buffer
+        staleness is still caught per scan — :meth:`_prepare_plane`
+        compares every layer's ``qweight`` against the registry.  A model
+        whose layer *attributes* are rebound to brand-new layer objects
+        must be re-adopted, the same contract the fleet engine's
+        ``ManagedModel.layer_map`` cache already imposes.
+        """
+        if model is self._cached_layer_model:
+            return self._cached_layer_map
+        layer_map = dict(quantized_layers(model))
+        if self._adopted and all(
+            layer_map.get(name) is layer
+            for name, layer in zip(self.layer_names, self._plane_layers)
+        ):
+            self._cached_layer_model = model
+            self._cached_layer_map = layer_map
+        return layer_map
+
     # -- recomputation ---------------------------------------------------------
     def group_sums(
         self,
@@ -944,7 +1302,7 @@ class FusedSignatures:
         promotion, per-layer gathers, ``searchsorted`` routing) — the
         bit-exactness oracle and benchmark baseline for the kernel.
         """
-        layer_map = dict(quantized_layers(model))
+        layer_map = self._layer_map(model)
         rows = self._validated_rows(rows)
         if reference:
             return self._reference_sums(layer_map, rows)
@@ -982,7 +1340,7 @@ class FusedSignatures:
             return signature_from_sums(
                 self.group_sums(model, rows, reference=True), self.config.signature_bits
             )
-        layer_map = dict(quantized_layers(model))
+        layer_map = self._layer_map(model)
         rows = self._validated_rows(rows)
         sums = self._kernel_sums(layer_map, rows)
         return signature_from_sums(sums, self.config.signature_bits)
@@ -1000,9 +1358,19 @@ class FusedSignatures:
                 return np.nonzero(current != self.golden)[0].astype(np.int64)
             rows = np.asarray(rows, dtype=np.int64)
             return rows[current != self.golden[rows]]
-        layer_map = dict(quantized_layers(model))
-        rows = self._validated_rows(rows)
-        sums = self._kernel_sums(layer_map, rows)
+        layer_map = self._layer_map(model)
+        start: Union[str, None, int] = "auto"
+        if rows is not None:
+            rows = np.asarray(rows, dtype=np.int64)
+            if rows.size:
+                # Contiguity first: one arange comparison both validates the
+                # bounds and unlocks the block gather + golden-view compare,
+                # so the scheduler-slice hot path never pays min/max.
+                self._ensure_kernel()
+                start = self._contiguous_rows_start(rows, rows.size)
+            if start is None or rows.size == 0:
+                rows = self._validated_rows(rows)
+        sums = self._kernel_sums(layer_map, rows, contiguous_start=start)
         # The sums live in scratch and are consumed right here, so binarize
         # them in place instead of allocating signature_from_sums's
         # intermediates on the hottest path.
@@ -1011,6 +1379,8 @@ class FusedSignatures:
         np.bitwise_and(sums, mask, out=sums)
         if rows is None:
             return np.nonzero(sums != self.golden)[0].astype(np.int64)
+        if isinstance(start, int):
+            return rows[sums != self.golden[start : start + rows.size]]
         return rows[sums != self.golden[rows]]
 
     def layer_stream_signatures(
@@ -1122,6 +1492,9 @@ def split_by_padding_waste(
     """
     if not 0 <= max_waste < 1:
         raise ProtectionError(f"max_waste must be in [0, 1), got {max_waste}")
+    if sizes and len(set(sizes)) <= 1:
+        # Equal sizes (the homogeneous fleet steady state) can never split.
+        return [list(range(len(sizes)))]
     order = sorted(range(len(sizes)), key=lambda index: -int(sizes[index]))
     groups: List[List[int]] = []
     current: List[int] = []
@@ -1138,6 +1511,159 @@ def split_by_padding_waste(
     if current:
         groups.append(current)
     return groups
+
+
+def _stacked_sums(
+    planes: Sequence[np.ndarray],
+    indices_list: Sequence[np.ndarray],
+    signs_list: Sequence[np.ndarray],
+    rows_list: Sequence[np.ndarray],
+    sizes: Sequence[int],
+    width: int,
+    group_size: int,
+    accum: np.dtype,
+    scratch: ScanScratch,
+    homogeneous: bool,
+    structures: Sequence[Optional[PlaneStructure]],
+) -> np.ndarray:
+    """The stacked gather + einsum shared by coordinator and workers.
+
+    One arithmetic core behind both :func:`batched_mismatched_rows` (the
+    in-process engine path) and :func:`stacked_mismatched_rows` (the
+    shared-memory worker path), so the two can never drift bit-wise.
+
+    The width axis is processed in cache-blocked tiles
+    (:func:`_stacked_tile_width`): the per-tile gathered stack and sign
+    stack stay L2-resident while the einsum that immediately consumes them
+    re-reads every byte, instead of streaming a whole padded bucket through
+    cache twice.  Within each tile, a model whose rows are one contiguous
+    run routes through :meth:`PlaneStructure.gather_block` when its plane
+    has verified rotated-arange structure, serves plain index/sign *views*
+    when contiguous but unstructured, and falls back to the general padded
+    ``np.take`` for arbitrary row sets — all three produce identical int8
+    gathers, so the integer sums are exact regardless of path.
+
+    Returns the ``(num_models, width)`` sums view into ``scratch``.
+    """
+    num_models = len(planes)
+    tile = _stacked_tile_width(num_models, group_size, width)
+    sums = scratch.take("stacked-sums", (num_models, width), accum)
+    if homogeneous:
+        rows0 = rows_list[0]
+        start0 = _contiguous_start(rows0, width)
+        indices0 = indices_list[0]
+        signs0 = signs_list[0]
+        for w0 in range(0, width, tile):
+            w1 = w0 + tile
+            if w1 > width:
+                w1 = width
+            span = w1 - w0
+            stacked = scratch.take("stacked", (num_models, group_size, span), np.int8)
+            if start0 is not None:
+                lo = start0 + w0
+                hi = start0 + w1
+                signs = signs0[:, lo:hi]
+                if span < STRUCTURED_MIN_COLUMNS_PER_LAYER:
+                    # Narrow tiles (the budgeted fleet's per-tick slices)
+                    # can never clear gather_block's per-layer column
+                    # threshold — skip the per-model chooser and serve one
+                    # shared index view to plain takes, the pre-blocking
+                    # shape of this loop.
+                    block = indices0[:, lo:hi]
+                    for index in range(num_models):
+                        # ndarray.take skips the np.take wrapper dispatch;
+                        # at fleet scale the wrapper alone is a visible
+                        # share of a narrow pass.
+                        planes[index].take(block, out=stacked[index], mode="clip")
+                else:
+                    block = indices0[:, lo:hi]
+                    for index in range(num_models):
+                        structure = structures[index]
+                        if structure is not None and structure.any_structured:
+                            structure.gather_block(
+                                planes[index],
+                                indices_list[index],
+                                stacked[index],
+                                lo,
+                                hi,
+                            )
+                        else:
+                            planes[index].take(
+                                block, out=stacked[index], mode="clip"
+                            )
+            else:
+                block = rows0[w0:w1]
+                indices = scratch.take("row-indices", (group_size, span), indices0.dtype)
+                np.take(indices0, block, axis=1, out=indices)
+                signs = scratch.take("row-signs", (group_size, span), np.int8)
+                np.take(signs0, block, axis=1, out=signs)
+                for index in range(num_models):
+                    planes[index].take(indices, out=stacked[index], mode="clip")
+            np.einsum(
+                "kgr,gr->kr", stacked, signs, dtype=accum, out=sums[:, w0:w1]
+            )
+        return sums
+    starts = [
+        _contiguous_start(rows_list[index], sizes[index]) for index in range(num_models)
+    ]
+    for w0 in range(0, width, tile):
+        w1 = w0 + tile
+        if w1 > width:
+            w1 = width
+        span = w1 - w0
+        stacked = scratch.take("stacked", (num_models, group_size, span), np.int8)
+        signs = scratch.take("stacked-signs", (num_models, group_size, span), np.int8)
+        for index in range(num_models):
+            # A model shorter than the bucket width contributes garbage
+            # columns past ``valid``; zeroed signs null them exactly, so no
+            # padded gather is ever performed (the legacy path padded the
+            # row list with row 0 and gathered it anyway).
+            valid = sizes[index] - w0
+            if valid <= 0:
+                signs[index].fill(0)
+                continue
+            if valid > span:
+                valid = span
+            start = starts[index]
+            if start is not None:
+                lo = start + w0
+                hi = lo + valid
+                # Same narrow-span bypass as the homogeneous loop: below the
+                # per-layer column threshold the chooser always falls back.
+                structure = (
+                    structures[index]
+                    if valid >= STRUCTURED_MIN_COLUMNS_PER_LAYER
+                    else None
+                )
+                if structure is not None and structure.any_structured:
+                    structure.gather_block(
+                        planes[index],
+                        indices_list[index],
+                        stacked[index][:, :valid],
+                        lo,
+                        hi,
+                    )
+                else:
+                    planes[index].take(
+                        indices_list[index][:, lo:hi],
+                        out=stacked[index][:, :valid],
+                        mode="clip",
+                    )
+                np.copyto(signs[index][:, :valid], signs_list[index][:, lo:hi])
+            else:
+                block = rows_list[index][w0 : w0 + valid]
+                indices = scratch.take(
+                    "bucket-indices", (group_size, valid), indices_list[index].dtype
+                )
+                np.take(indices_list[index], block, axis=1, out=indices)
+                np.take(signs_list[index], block, axis=1, out=signs[index][:, :valid])
+                np.take(
+                    planes[index], indices, out=stacked[index][:, :valid], mode="clip"
+                )
+            if valid < span:
+                signs[index][:, valid:] = 0
+        np.einsum("kgr,kgr->kr", stacked, signs, dtype=accum, out=sums[:, w0:w1])
+    return sums
 
 
 def batched_mismatched_rows(
@@ -1232,49 +1758,35 @@ def batched_mismatched_rows(
     accum = reference._accum_dtype
     signature_bits = reference.config.signature_bits
 
+    reference_key = reference.structure_key()
+    rows0 = rows_list[0]
+    size0 = sizes[0]
     homogeneous = all(
-        view.structure_key() == reference.structure_key() for view in views
+        view.structure_key() == reference_key for view in views
     ) and all(
-        size == sizes[0] and np.array_equal(item, rows_list[0])
+        item is rows0 or (size == size0 and np.array_equal(item, rows0))
         for size, item in zip(sizes, rows_list)
     )
 
-    stacked = scratch.take("stacked", (num_models, group_size, width), np.int8)
-    sums = scratch.take("stacked-sums", (num_models, width), accum)
-    if homogeneous:
-        rows0 = rows_list[0]
-        indices, signs = reference._row_block(rows0, width, scratch)
-        for index, (view, layer_map) in enumerate(zip(views, layer_maps)):
-            plane = view._prepare_plane(layer_map, rows0)
-            np.take(plane, indices, out=stacked[index], mode="clip")
-        np.einsum("kgr,gr->kr", stacked, signs, dtype=accum, out=sums)
-    else:
-        signs = scratch.take(
-            "stacked-signs", (num_models, group_size, width), np.int8
+    planes = [
+        view._prepare_plane(layer_map, model_rows) if size else view._plane
+        for view, layer_map, model_rows, size in zip(
+            views, layer_maps, rows_list, sizes
         )
-        padded_rows = scratch.take("padded-rows", (width,), np.int64)
-        for index, (view, layer_map, model_rows) in enumerate(
-            zip(views, layer_maps, rows_list)
-        ):
-            size = sizes[index]
-            if size == 0:
-                signs[index].fill(0)
-                continue
-            plane = view._prepare_plane(layer_map, model_rows)
-            # Pad the row list (any valid row does — 0) so every take lands
-            # in a contiguous full-width workspace; the padded columns' sign
-            # is then zeroed, which zeroes their accumulated sum exactly.
-            padded_rows[:size] = model_rows
-            padded_rows[size:] = 0
-            indices = scratch.take(
-                "bucket-indices", (group_size, width), view._kernel_indices.dtype
-            )
-            np.take(view._kernel_indices, padded_rows, axis=1, out=indices)
-            np.take(view._kernel_signs, padded_rows, axis=1, out=signs[index])
-            if size < width:
-                signs[index, :, size:] = 0
-            np.take(plane, indices, out=stacked[index], mode="clip")
-        np.einsum("kgr,kgr->kr", stacked, signs, dtype=accum, out=sums)
+    ]
+    sums = _stacked_sums(
+        planes,
+        [view._kernel_indices for view in views],
+        [view._kernel_signs for view in views],
+        rows_list,
+        sizes,
+        width,
+        group_size,
+        accum,
+        scratch,
+        homogeneous,
+        [view._structure for view in views],
+    )
 
     current = signature_from_sums(sums, signature_bits)
     flagged: List[np.ndarray] = []
@@ -1288,6 +1800,177 @@ def batched_mismatched_rows(
     return flagged
 
 
+class StackedVerifier:
+    """A precompiled :func:`batched_mismatched_rows` over a fixed bucket.
+
+    The fleet engine re-verifies the *same* set of views with the same
+    layer maps every tick; only the row slices change.  The general entry
+    point re-derives everything per call — kernel-key validation,
+    per-model metadata lists, homogeneity detection, and a per-model
+    golden gather/compare tail — which at fleet scale costs more Python
+    dispatch than the stacked kernel itself.  This class hoists all of it
+    to construction time:
+
+    * kernel keys are validated and the per-view index/sign/structure
+      lists are built once;
+    * when every view shares a structure key, the goldens are prestacked
+      into one ``(num_models, total_groups)`` matrix, so a homogeneous
+      contiguous slice compares against a *view* of it — the clean-tick
+      tail collapses to one vectorized compare + ``any`` instead of a
+      per-model gather/compare/nonzero loop.
+
+    :meth:`verify` re-checks per call only what can actually change
+    between ticks — each view's ``golden`` binding (``share``/``unshare``
+    rebind it in place) — and routes anything irregular (padded widths,
+    non-identical rows, rebound goldens) to the general function, so the
+    flagged rows are bit-identical to it by construction.  Callers are
+    responsible for rebuilding the verifier when bucket *membership*
+    changes (a re-sign replaces the fused view object, which the engine
+    detects by identity).
+    """
+
+    def __init__(
+        self,
+        views: Sequence["FusedSignatures"],
+        layer_maps: Sequence[Mapping[str, Module]],
+    ) -> None:
+        if not views:
+            raise ProtectionError("StackedVerifier needs at least one view")
+        if len(views) != len(layer_maps):
+            raise ProtectionError(
+                f"got {len(views)} views but {len(layer_maps)} layer maps"
+            )
+        kernel_key = views[0].kernel_key()
+        for view in views[1:]:
+            if view.kernel_key() != kernel_key:
+                raise ProtectionError(
+                    "bucketed stacking needs matching (group_size, "
+                    "signature_bits) kernel keys"
+                )
+        for view in views:
+            view._ensure_kernel()
+        self.views = list(views)
+        self.layer_maps = list(layer_maps)
+        reference = views[0]
+        self._reference = reference
+        self._group_size = reference.config.group_size
+        self._signature_bits = reference.config.signature_bits
+        self._accum = reference._accum_dtype
+        self._indices = [view._kernel_indices for view in views]
+        self._signs = [view._kernel_signs for view in views]
+        self._structures = [view._structure for view in views]
+        key = reference.structure_key()
+        self._uniform = all(view.structure_key() == key for view in views)
+        self._goldens = [view.golden for view in views]
+        self._golden_matrix = (
+            np.stack(self._goldens) if self._uniform else None
+        )
+        #: Identity-keyed memo of already-proven row tuples.  Schedulers
+        #: hand out their (immutable) shard arrays by reference, so a
+        #: rotation revisits the same id tuple every ``num_shards`` ticks;
+        #: the value keeps strong references to the keyed arrays, which
+        #: pins their ids for the life of the entry.
+        self._rows_memo: Dict[Tuple[int, ...], Tuple[Tuple[np.ndarray, ...], np.ndarray, Optional[int]]] = {}
+
+    def _intact(self) -> bool:
+        """Whether every view's kernel arrays still match the prebuilt ones."""
+        for index, view in enumerate(self.views):
+            if (
+                view.golden is not self._goldens[index]
+                or view._kernel_indices is not self._indices[index]
+                or view._kernel_signs is not self._signs[index]
+            ):
+                return False
+        return True
+
+    def verify(
+        self, rows_list: Sequence[np.ndarray], scratch: Optional[ScanScratch] = None
+    ) -> List[np.ndarray]:
+        """Flagged-row arrays for one tick's per-model row slices.
+
+        Bit-identical to ``batched_mismatched_rows(views, layer_maps,
+        rows_list, scratch)``; the precompiled fast path only engages for
+        the steady fleet state (uniform bucket, every model scanning the
+        same in-range slice, kernel arrays unchanged since construction).
+        """
+        views = self.views
+        num_models = len(views)
+        rows0 = rows_list[0]
+        width = rows0.size
+        if self._uniform and width and self._intact():
+            memo_key = tuple(map(id, rows_list))
+            memo = self._rows_memo.get(memo_key)
+            if memo is not None:
+                _, validated, start = memo
+                return self._verify_homogeneous(validated, width, scratch, start)
+            distinct = []
+            identical = True
+            for item in rows_list:
+                if item is rows0:
+                    continue
+                if item.size != width:
+                    identical = False
+                    break
+                distinct.append(item)
+            if identical and distinct:
+                # One stacked compare instead of a per-model array_equal
+                # loop: the steady state is "every model scans the same
+                # slice", so this almost always confirms.
+                identical = bool((np.vstack(distinct) == rows0).all())
+            if identical:
+                validated = self._reference._validated_rows(
+                    np.asarray(rows0, dtype=np.int64)
+                )
+                start = _contiguous_start(validated, width)
+                if len(self._rows_memo) >= 256:
+                    self._rows_memo.clear()
+                self._rows_memo[memo_key] = (tuple(rows_list), validated, start)
+                return self._verify_homogeneous(validated, width, scratch, start)
+        return batched_mismatched_rows(
+            views, self.layer_maps, list(rows_list), scratch=scratch
+        )
+
+    def _verify_homogeneous(
+        self,
+        rows0: np.ndarray,
+        width: int,
+        scratch: Optional[ScanScratch],
+        start: Optional[int],
+    ) -> List[np.ndarray]:
+        scratch = scratch if scratch is not None else ScanScratch()
+        views = self.views
+        num_models = len(views)
+        planes = [
+            view._prepare_plane(layer_map, rows0)
+            for view, layer_map in zip(views, self.layer_maps)
+        ]
+        sums = _stacked_sums(
+            planes,
+            self._indices,
+            self._signs,
+            [rows0] * num_models,
+            [width] * num_models,
+            width,
+            self._group_size,
+            self._accum,
+            scratch,
+            True,
+            self._structures,
+        )
+        current = signature_from_sums(sums, self._signature_bits)
+        if start is not None:
+            golden_block = self._golden_matrix[:, start : start + width]
+        else:
+            golden_block = self._golden_matrix[:, rows0]
+        mismatch = current != golden_block
+        if not mismatch.any():
+            # One immutable empty shared by all models: flagged rows are
+            # treated as read-only downstream, and the write-lock makes a
+            # violation fail loudly instead of corrupting a neighbor.
+            return [_EMPTY_ROWS] * num_models
+        return [rows0[mismatch[index]] for index in range(num_models)]
+
+
 def stacked_mismatched_rows(
     planes: Sequence[np.ndarray],
     indices_list: Sequence[np.ndarray],
@@ -1298,6 +1981,7 @@ def stacked_mismatched_rows(
     signature_bits: int,
     scratch: Optional[ScanScratch] = None,
     homogeneous: bool = False,
+    structures: Optional[Sequence[Optional[object]]] = None,
 ) -> List[np.ndarray]:
     """:func:`batched_mismatched_rows` over plain arrays instead of views.
 
@@ -1305,16 +1989,20 @@ def stacked_mismatched_rows(
     published :class:`SharedPlaneSpec` segments has no ``Module`` objects
     and no :class:`FusedSignatures` — just each model's weight plane,
     slot-major gather-index and sign matrices, and golden signatures.  This
-    runs the exact same padded-stacking arithmetic (int8 gather with
-    ``mode="clip"``, narrow-accumulation einsum, in-order binarize and
-    golden compare), so its flagged rows are bit-identical to the
-    coordinator's in-process path for the same inputs.
+    runs the exact same arithmetic through :func:`_stacked_sums`
+    (cache-blocked int8 gather, narrow-accumulation einsum, in-order
+    binarize and golden compare), so its flagged rows are bit-identical to
+    the coordinator's in-process path for the same inputs.
 
     ``homogeneous=True`` is a coordinator-supplied promise that every model
     shares one structure key *and* one row slice (the engine knows; the
     worker cannot cheaply verify), enabling the shared index/sign broadcast
-    fast path.  The flag changes dispatch cost only — integer sums are
-    exact, so both paths produce identical results.
+    fast path.  ``structures`` optionally carries each model's published
+    rotated-arange structure — a :class:`PlaneStructure`, a picklable
+    :class:`PlaneStructureSpec`, or ``None`` — so workers run the
+    block-slice gather without re-deriving (or guessing) anything.  Both
+    flags change dispatch cost only — integer sums are exact, so every path
+    produces identical results.
     """
     num_models = len(planes)
     if not (
@@ -1323,6 +2011,19 @@ def stacked_mismatched_rows(
         raise ProtectionError("stacked_mismatched_rows arguments disagree on model count")
     if num_models == 0:
         return []
+    if structures is None:
+        structure_list: List[Optional[PlaneStructure]] = [None] * num_models
+    else:
+        if len(structures) != num_models:
+            raise ProtectionError(
+                f"got {num_models} planes but {len(structures)} structures"
+            )
+        structure_list = [
+            PlaneStructure.from_spec(item)
+            if isinstance(item, PlaneStructureSpec)
+            else item
+            for item in structures
+        ]
     rows_list = [np.asarray(rows, dtype=np.int64) for rows in rows_list]
     for rows, golden in zip(rows_list, goldens):
         if rows.size and not (0 <= rows.min() and rows.max() < golden.size):
@@ -1333,44 +2034,19 @@ def stacked_mismatched_rows(
         return [np.empty(0, dtype=np.int64) for _ in planes]
     scratch = scratch if scratch is not None else ScanScratch()
     accum = accumulator_dtype(group_size)
-    stacked = scratch.take("stacked", (num_models, group_size, width), np.int8)
-    sums = scratch.take("stacked-sums", (num_models, width), accum)
-    if homogeneous:
-        rows0 = rows_list[0]
-        start = int(rows0[0])
-        if int(rows0[-1]) - start + 1 == width and np.all(np.diff(rows0) == 1):
-            block = slice(start, start + width)
-            indices = indices_list[0][:, block]
-            signs = signs_list[0][:, block]
-        else:
-            indices = scratch.take(
-                "row-indices", (group_size, width), indices_list[0].dtype
-            )
-            np.take(indices_list[0], rows0, axis=1, out=indices)
-            signs = scratch.take("row-signs", (group_size, width), np.int8)
-            np.take(signs_list[0], rows0, axis=1, out=signs)
-        for index, plane in enumerate(planes):
-            np.take(plane, indices, out=stacked[index], mode="clip")
-        np.einsum("kgr,gr->kr", stacked, signs, dtype=accum, out=sums)
-    else:
-        signs = scratch.take("stacked-signs", (num_models, group_size, width), np.int8)
-        padded_rows = scratch.take("padded-rows", (width,), np.int64)
-        for index in range(num_models):
-            size = sizes[index]
-            if size == 0:
-                signs[index].fill(0)
-                continue
-            padded_rows[:size] = rows_list[index]
-            padded_rows[size:] = 0
-            indices = scratch.take(
-                "bucket-indices", (group_size, width), indices_list[index].dtype
-            )
-            np.take(indices_list[index], padded_rows, axis=1, out=indices)
-            np.take(signs_list[index], padded_rows, axis=1, out=signs[index])
-            if size < width:
-                signs[index, :, size:] = 0
-            np.take(planes[index], indices, out=stacked[index], mode="clip")
-        np.einsum("kgr,kgr->kr", stacked, signs, dtype=accum, out=sums)
+    sums = _stacked_sums(
+        planes,
+        indices_list,
+        signs_list,
+        rows_list,
+        sizes,
+        width,
+        group_size,
+        accum,
+        scratch,
+        homogeneous,
+        structure_list,
+    )
     current = signature_from_sums(sums, signature_bits)
     flagged: List[np.ndarray] = []
     for index in range(num_models):

@@ -14,8 +14,8 @@ MLPs at the *same* per-tick budget (each model funded for exactly its
 slice, allocated in urgency order by both paths) and reports
 verified-groups-per-second.  ``results/fleet_throughput.json`` is the
 committed baseline; ``benchmarks/test_bench_fleet_throughput.py`` asserts
-the acceptance bar (batched ≥ 1.5× sequential at ≥ 4 models) and
-``scripts/check_perf_regression.py --kind fleet`` gates CI on it.
+the acceptance bar (batched ≥ 2× sequential at the best ≥ 4-model fleet)
+and ``scripts/check_perf_regression.py --kind fleet`` gates CI on it.
 """
 
 from __future__ import annotations
@@ -34,11 +34,12 @@ from repro.core.signature import shared_memory_available
 from repro.models.small import MLP
 from repro.quant.layers import quantize_model, quantized_layers
 
-# The 16-model row exists because the zero-copy kernel sped the *sequential*
-# baseline up too (every ScanScheduler.step now runs the kernel), so the
-# batched win is mostly dispatch amortization — which a larger fleet shows
-# best.  The CI floor (--min-speedup 1.5) is held by the best >= 4-model row.
-DEFAULT_MODEL_COUNTS = (2, 4, 8, 16)
+# The 16- and 32-model rows exist because the zero-copy kernel sped the
+# *sequential* baseline up too (every ScanScheduler.step now runs the
+# kernel), so the batched win is mostly dispatch amortization — which a
+# larger fleet shows best.  The CI floor (--min-speedup 2.0) is held by the
+# best >= 4-model row.
+DEFAULT_MODEL_COUNTS = (2, 4, 8, 16, 32)
 #: Process counts of the multi-process scaling sweep; 1 is the inline
 #: (no-pool, no-shm) baseline every speedup is measured against.
 DEFAULT_PROCESS_COUNTS = (1, 2, 4)

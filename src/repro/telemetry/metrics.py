@@ -107,6 +107,51 @@ class RingHistogram:
         """Copy of the retained samples (unordered)."""
         return self._samples[: len(self)].copy()
 
+    def ordered_window(self) -> np.ndarray:
+        """Copy of the retained samples, oldest observation first.
+
+        Once the ring has wrapped, the oldest sample sits at the cursor
+        (the next slot to be overwritten), so the chronological window is
+        the ring unrolled at the cursor.
+        """
+        size = len(self)
+        if self.count <= self.capacity:
+            return self._samples[:size].copy()
+        return np.concatenate(
+            (self._samples[self._cursor :], self._samples[: self._cursor])
+        )
+
+    # -- persistence --------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot: total count plus the ordered window."""
+        return {
+            "capacity": int(self.capacity),
+            "count": int(self.count),
+            "samples": [float(value) for value in self.ordered_window()],
+        }
+
+    def load_state_dict(self, state: Mapping[str, object]) -> None:
+        """Merge a persisted window *before* the current one.
+
+        Restart semantics for sliding-window SLOs: the persisted samples
+        are chronologically older than anything observed since the process
+        came back, so the merged window is ``persisted + current``,
+        truncated to the most recent ``capacity`` samples.  The persisted
+        capacity need not match — a snapshot from a differently sized
+        histogram merges fine, it just cannot contribute more than this
+        ring retains.  ``count`` keeps the lifetime total when the merged
+        window is full; when it is not, the total is clamped to the window
+        size so the ring invariant (``len == min(count, capacity)``)
+        survives snapshots whose windows were themselves truncated.
+        """
+        persisted = [float(value) for value in state.get("samples", ())]
+        total = int(state.get("count", len(persisted))) + self.count
+        merged = persisted + list(self.ordered_window())
+        retained = merged[-self.capacity :]
+        self._samples[: len(retained)] = retained
+        self._cursor = len(retained) % self.capacity
+        self.count = total if len(retained) == self.capacity else len(retained)
+
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile of the retained window (NaN when empty)."""
         if not 0 < q <= 100:
@@ -212,3 +257,52 @@ class MetricRegistry:
             "gauges": rows(self._gauges, lambda m: {"value": m.value}),
             "histograms": rows(self._histograms, lambda m: m.summary()),
         }
+
+    # -- persistence --------------------------------------------------------------
+    def state_dict(self) -> Dict[str, List[Dict]]:
+        """Like :meth:`snapshot`, but histograms keep their raw windows.
+
+        A summary cannot be merged (percentiles of percentiles are
+        meaningless); the persisted form carries each histogram's ordered
+        sample window so a restore can rebuild the true recent
+        distribution.
+        """
+
+        def rows(metrics: Dict, value_of) -> List[Dict]:
+            return [
+                {"name": name, "labels": dict(labels), **value_of(metric)}
+                for (name, labels), metric in sorted(metrics.items())
+            ]
+
+        return {
+            "counters": rows(self._counters, lambda m: {"value": m.value}),
+            "gauges": rows(self._gauges, lambda m: {"value": m.value}),
+            "histograms": rows(self._histograms, lambda m: m.state_dict()),
+        }
+
+    def load_state_dict(self, state: Mapping[str, Iterable[Mapping]]) -> None:
+        """Merge a persisted :meth:`state_dict` into the live registry.
+
+        Merge semantics per primitive, chosen so restoring *after* the
+        service has already observed a few events is still correct:
+
+        * counters **add** (both runs' events happened);
+        * gauges keep the **current** reading unless none exists yet (a
+          live instantaneous value beats a pre-restart one; persisted NaN
+          — a gauge that was never set — is skipped entirely);
+        * histograms **window-merge** (persisted samples precede current
+          ones, :meth:`RingHistogram.load_state_dict`).
+        """
+        for row in state.get("counters", ()):
+            self.counter(row["name"], **row.get("labels", {})).inc(
+                int(row.get("value", 0))
+            )
+        for row in state.get("gauges", ()):
+            value = float(row.get("value", float("nan")))
+            if value != value:  # persisted gauge was never set
+                continue
+            gauge = self.gauge(row["name"], **row.get("labels", {}))
+            if gauge.value != gauge.value:  # only fill a still-unset gauge
+                gauge.set(value)
+        for row in state.get("histograms", ()):
+            self.histogram(row["name"], **row.get("labels", {})).load_state_dict(row)

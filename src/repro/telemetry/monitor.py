@@ -31,7 +31,7 @@ CLI and ``results/campaign_sla.json`` print.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.fleet import (
     EngineTickOutcome,
@@ -326,6 +326,29 @@ class FleetTelemetry:
                 if pending
             },
         }
+
+    # -- persistence ---------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """JSON-serializable metric state for restart-spanning SLA reports.
+
+        Only the registry is persisted.  Pending injections are *not*:
+        their clocks are ``perf_counter`` stamps that do not survive the
+        process, and an injection the old process never detected will be
+        swept by the restarted engine's first full rotation without the
+        ground truth needed to time it honestly.
+        """
+        return {"metrics": self.registry.state_dict()}
+
+    def load_state_dict(self, state: Mapping) -> None:
+        """Merge persisted metrics into this monitor's registry.
+
+        Delegates to :meth:`MetricRegistry.load_state_dict` — counters add,
+        gauges keep live readings, histogram windows merge with the
+        persisted samples ordered before the current ones — so
+        :meth:`sla_report` percentiles span the restart instead of
+        starting from an empty window.
+        """
+        self.registry.load_state_dict(state.get("metrics", {}))
 
     def _require_engine(self) -> VerificationEngine:
         if self._engine is None:

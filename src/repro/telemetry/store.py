@@ -15,7 +15,11 @@ mutable, *learned* state as JSON under a ``--state-dir``:
   scheduler rotation counters, plus the engine tick index;
 * **per-setup calibration** (``calibration.json``) — the measured
   seconds-per-group of single-model CLI commands (``protect`` seeds it
-  with the analytic prior, ``scan`` folds observed passes back in).
+  with the analytic prior, ``scan`` folds observed passes back in);
+* **telemetry metrics** (``telemetry.json``) — the fleet monitor's metric
+  registry, including each :class:`~repro.telemetry.metrics.RingHistogram`'s
+  ordered sample window, so ``sla-report`` percentiles keep their recent
+  distribution across restarts instead of restarting from an empty ring.
 
 What is deliberately *not* persisted: golden signatures, weight planes and
 shard partitions.  Those derive from the model weights and the
@@ -49,6 +53,7 @@ STATE_VERSION = 1
 ENGINE_STATE_FILENAME = "engine_state.json"
 CALIBRATION_FILENAME = "calibration.json"
 RUNTIME_STATE_FILENAME = "runtime_state.json"
+TELEMETRY_FILENAME = "telemetry.json"
 
 
 def pricing_fingerprint(radar_config: RadarConfig) -> Dict[str, object]:
@@ -216,6 +221,10 @@ class StateStore:
     def runtime_path(self) -> Path:
         return self.state_dir / RUNTIME_STATE_FILENAME
 
+    @property
+    def telemetry_path(self) -> Path:
+        return self.state_dir / TELEMETRY_FILENAME
+
     # -- engine snapshots --------------------------------------------------------
     def save_engine(self, engine: VerificationEngine) -> Path:
         """Snapshot the engine's learned state (atomic)."""
@@ -339,6 +348,44 @@ class StateStore:
         ):
             return False
         runtime.load_state_dict(saved)
+        return True
+
+    # -- telemetry metrics ---------------------------------------------------------
+    def save_telemetry(self, telemetry: object) -> Path:
+        """Snapshot a :class:`~repro.telemetry.monitor.FleetTelemetry` (atomic).
+
+        Persists the metric registry's raw state — counters, gauges and
+        each histogram's ordered sample window — so SLA percentiles keep
+        their recent distribution across a restart instead of restarting
+        from an empty ring.
+        """
+        _atomic_write_json(
+            self.telemetry_path,
+            {
+                "version": STATE_VERSION,
+                "kind": "telemetry",
+                **telemetry.state_dict(),
+            },
+        )
+        return self.telemetry_path
+
+    def restore_telemetry(self, telemetry: object) -> bool:
+        """Merge the persisted metric windows into ``telemetry``, if any.
+
+        Returns ``True`` when a snapshot was merged (counters add,
+        histogram windows prepend — see
+        :meth:`~repro.telemetry.metrics.MetricRegistry.load_state_dict`),
+        ``False`` on a cold start with no telemetry file.
+        """
+        if not self.telemetry_path.exists():
+            return False
+        payload = json.loads(self.telemetry_path.read_text(encoding="utf-8"))
+        if int(payload.get("version", -1)) != STATE_VERSION:
+            raise ProtectionError(
+                f"telemetry state has version {payload.get('version')!r}, "
+                f"expected {STATE_VERSION}"
+            )
+        telemetry.load_state_dict(payload)
         return True
 
     def measured_cost_model(

@@ -211,3 +211,72 @@ class TestPropertyBased:
         )
         values = np.arange(1, num_weights + 1, dtype=np.int64)
         assert layout.gather(values).sum() == values.sum()
+
+
+class TestSlotShiftDetection:
+    """Fuse-time rotated-arange detection (:meth:`GroupLayout.slot_shifts`)."""
+
+    def test_non_interleaved_is_never_structured(self):
+        layout = GroupLayout(num_weights=128, group_size=8, use_interleave=False)
+        assert layout.slot_shifts() is None
+
+    def test_zero_offset_is_never_structured(self):
+        # t = 0 interleaves (column = group id, no rotation) gather each
+        # slot as a plain contiguous block; the analytic hint would be all
+        # zeros, which the detector declines — the general gather already
+        # serves an unrotated block at full speed.
+        layout = GroupLayout(
+            num_weights=128, group_size=8, use_interleave=True, interleave_offset=0
+        )
+        assert layout.slot_shifts() is None
+
+    def test_single_group_is_never_structured(self):
+        layout = GroupLayout(num_weights=12, group_size=16, use_interleave=True)
+        assert layout.num_groups == 1
+        assert layout.slot_shifts() is None
+
+    def test_offset_multiple_of_num_groups_is_zero_rotation(self):
+        # 64 weights / group size 8 -> 8 groups; t = 16 rotates by
+        # 16 mod 8 = 0 per row, i.e. not at all.
+        layout = GroupLayout(
+            num_weights=64, group_size=8, use_interleave=True, interleave_offset=16
+        )
+        assert layout.slot_shifts() is None
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        num_weights=st.integers(min_value=8, max_value=2048),
+        group_size=st.integers(min_value=2, max_value=64),
+        offset=st.integers(min_value=0, max_value=17),
+    )
+    def test_claimed_shifts_reproduce_the_index_matrix(
+        self, num_weights, group_size, offset
+    ):
+        """Any claimed shift vector must be *provably* the layer's layout.
+
+        This includes offsets that share a factor with ``num_groups``
+        (t = 3 with 21 groups, say): coprimality changes which groups the
+        rotation cycles through, but each slot row is still a contiguous
+        block rotated by ``(r * t) mod N`` — exactly what the block-slice
+        gather needs — so such layouts are claimed, not declined.
+        """
+        layout = GroupLayout(
+            num_weights=num_weights,
+            group_size=group_size,
+            use_interleave=True,
+            interleave_offset=offset,
+        )
+        shifts = layout.slot_shifts()
+        if layout.num_groups == 1 or offset % layout.num_groups == 0:
+            assert shifts is None
+            return
+        assert shifts is not None
+        assert shifts.shape == (group_size,)
+        n = layout.num_groups
+        expected = (
+            np.arange(group_size, dtype=np.int64)[:, None] * n
+            + (np.arange(n, dtype=np.int64)[None, :] + shifts[:, None]) % n
+        ).T
+        matrix = layout.groups
+        valid = matrix != PAD_INDEX
+        np.testing.assert_array_equal(matrix[valid], expected[valid])

@@ -588,3 +588,132 @@ class TestWidthDisparityGuard:
     def test_engine_rejects_invalid_guard_threshold(self):
         with pytest.raises(ProtectionError, match="max_padding_waste"):
             VerificationEngine(RadarConfig(group_size=8), max_padding_waste=1.5)
+
+
+class TestStructureDetectionEdgeCases:
+    """Fuse-time structure detection must never cost correctness.
+
+    Every edge the detector can meet — zero-rotation offsets, offsets
+    sharing a factor with ``num_groups``, single-group layers, layouts
+    whose index matrix is foreign to the analytic hint — must either be
+    served by the block-slice gather or fall back to the general gather,
+    and in both cases return exactly what the retained ``reference=True``
+    per-layer oracle returns.
+    """
+
+    def _assert_bit_identical(self, fused, model, seed=0):
+        rng = new_rng(("structure-edge", seed))
+        for _, layer in quantized_layers(model):
+            flat = layer.qweight.reshape(-1)
+            index = int(rng.integers(flat.size))
+            flat[index] = np.int8(int(flat[index]) ^ -128)
+        total = fused.total_groups
+        for rows in (
+            None,
+            np.empty(0, dtype=np.int64),
+            np.arange(total, dtype=np.int64),
+            np.arange(total // 3, 2 * total // 3, dtype=np.int64),
+            rng.choice(total, size=max(total // 3, 1), replace=False),
+        ):
+            np.testing.assert_array_equal(
+                fused.mismatched_rows(model, rows),
+                fused.mismatched_rows(model, rows, reference=True),
+            )
+            np.testing.assert_array_equal(
+                fused.group_sums(model, rows),
+                fused.group_sums(model, rows, reference=True),
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_offset_falls_back_and_stays_bit_identical(self, seed):
+        model, protector = _protected_mlp(seed=seed, interleave_offset=0)
+        fused = protector.store.fused()
+        assert not fused.structured
+        assert not fused.structure.any_structured
+        self._assert_bit_identical(fused, model, seed)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        offset=st.sampled_from([2, 3, 4, 6]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_non_coprime_offsets_stay_bit_identical(self, seed, offset):
+        # hidden (16,) at group size 8: layer group counts land on small
+        # even values, so these offsets routinely share a factor with (or
+        # even divide) num_groups.  Such rotations cycle through fewer
+        # groups but each slot row is still a contiguous rotated block —
+        # the detector claims them and the block gather must stay exact.
+        model, protector = _protected_mlp(
+            seed=seed, group_size=8, hidden=(16, 8), interleave_offset=offset
+        )
+        fused = protector.store.fused()
+        claimed = [
+            entry.layout.slot_shifts() is not None for entry in protector.store
+        ]
+        assert any(claimed)  # the edge case is actually exercised
+        self._assert_bit_identical(fused, model, seed)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_single_group_layers_fall_back(self, seed):
+        # Every layer of this tiny MLP fits inside one group: no rotation
+        # exists to exploit, the plane must stay unstructured.
+        model, protector = _protected_mlp(
+            seed=seed, group_size=64, hidden=(6,), input_dim=8, num_classes=3
+        )
+        assert all(
+            entry.layout.num_groups == 1 for entry in protector.store
+        )
+        fused = protector.store.fused()
+        assert not fused.structured
+        self._assert_bit_identical(fused, model, seed)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_foreign_layout_is_rejected_by_verification(self, seed):
+        # A layout subclass whose *actual* index matrix uses a different
+        # rotation than its inherited analytic hint claims: fuse-time
+        # verification must catch the lie numerically and route the layer
+        # to the general gather (a wrongly believed hint would gather the
+        # wrong weights — silently, on the clean path).
+        from repro.core.checksum import compute_signatures
+        from repro.core.interleave import GroupLayout
+        from repro.core.signature import LayerSignatures
+
+        class LyingLayout(GroupLayout):
+            def _build_group_assignment(self):
+                indices = np.arange(self.padded_size, dtype=np.int64)
+                rows = indices // self.num_groups
+                columns = indices % self.num_groups
+                return (columns - rows * (self.interleave_offset + 1)) % self.num_groups
+
+        model, protector = _protected_mlp(seed=seed, group_size=8, hidden=(16,))
+        store = protector.store
+        layer_map = dict(quantized_layers(model))
+        for name in store.layer_names():
+            entry = store.layer(name)
+            foreign = LyingLayout(
+                num_weights=entry.layout.num_weights,
+                group_size=entry.layout.group_size,
+                use_interleave=True,
+                interleave_offset=entry.layout.interleave_offset,
+            )
+            store._layers[name] = LayerSignatures(
+                layer_name=name,
+                layout=foreign,
+                key=entry.key,
+                golden=compute_signatures(
+                    layer_map[name].qweight.reshape(-1),
+                    foreign,
+                    entry.key,
+                    store.config.signature_bits,
+                ),
+            )
+        store._fused = None
+        fused = store.fused()
+        # The inherited hint (offset t) mismatches the actual matrix
+        # (offset t+1), so no layer may be claimed as structured.
+        assert not fused.structured
+        assert not fused.structure.any_structured
+        self._assert_bit_identical(fused, model, seed)

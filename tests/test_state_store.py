@@ -358,3 +358,84 @@ class TestCalibrationEntries:
         store.calibration_path.write_text(json.dumps({"version": 99, "entries": {}}))
         with pytest.raises(ProtectionError, match="version"):
             store.load_calibration("a")
+
+
+class TestTelemetryStore:
+    def _telemetry_with_detection(self, engine):
+        from repro.telemetry import FleetTelemetry
+
+        telemetry = FleetTelemetry().attach(engine)
+        RandomBitFlipAttack(
+            RandomFlipConfig(num_flips=5, msb_only=True, seed=3)
+        ).run(engine.get("model-0").model, "model-0")
+        telemetry.note_injection("model-0")
+        for _ in range(5):
+            engine.tick()
+        return telemetry
+
+    def test_cold_start_returns_false(self, tmp_path):
+        from repro.telemetry import FleetTelemetry
+
+        store = StateStore(tmp_path)
+        assert store.restore_telemetry(FleetTelemetry()) is False
+
+    def test_sla_percentiles_survive_restart(self, tmp_path):
+        from repro.telemetry import FleetTelemetry
+
+        store = StateStore(tmp_path)
+        engine = _build_engine()
+        telemetry = self._telemetry_with_detection(engine)
+        before = {row["model"]: row for row in telemetry.sla_report()}
+        assert np.isfinite(before["model-0"]["p99_detection_ticks"])
+        store.save_telemetry(telemetry)
+        telemetry.detach()
+        engine.close()
+
+        # A fresh process: new engine, new monitor, empty registry.
+        restarted = _build_engine()
+        reborn = FleetTelemetry().attach(restarted)
+        assert store.restore_telemetry(reborn) is True
+        after = {row["model"]: row for row in reborn.sla_report()}
+        assert after["model-0"]["p99_detection_ticks"] == (
+            before["model-0"]["p99_detection_ticks"]
+        )
+        assert after["model-0"]["injections"] == before["model-0"]["injections"]
+        restarted.close()
+
+    def test_restore_merges_windows_across_runs(self, tmp_path):
+        from repro.telemetry import FleetTelemetry
+
+        store = StateStore(tmp_path)
+        first = FleetTelemetry()
+        for value in (1.0, 2.0):
+            first.registry.histogram("detection_latency_ticks", model="m").observe(
+                value
+            )
+        store.save_telemetry(first)
+
+        second = FleetTelemetry()
+        second.registry.histogram("detection_latency_ticks", model="m").observe(9.0)
+        assert store.restore_telemetry(second) is True
+        merged = second.registry.histogram("detection_latency_ticks", model="m")
+        # Persisted samples precede this run's: the window spans both runs.
+        assert merged.ordered_window().tolist() == [1.0, 2.0, 9.0]
+
+    def test_telemetry_file_is_atomic_json_with_version(self, tmp_path):
+        from repro.telemetry import FleetTelemetry
+
+        store = StateStore(tmp_path)
+        telemetry = FleetTelemetry()
+        telemetry.registry.counter("ticks_total").inc(4)
+        path = store.save_telemetry(telemetry)
+        payload = json.loads(path.read_text())
+        assert payload["version"] == STATE_VERSION
+        assert payload["kind"] == "telemetry"
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_telemetry_version_mismatch_is_fatal(self, tmp_path):
+        from repro.telemetry import FleetTelemetry
+
+        store = StateStore(tmp_path)
+        store.telemetry_path.write_text(json.dumps({"version": 99, "metrics": {}}))
+        with pytest.raises(ProtectionError, match="version"):
+            store.restore_telemetry(FleetTelemetry())

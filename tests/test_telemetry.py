@@ -270,3 +270,130 @@ class TestFleetTelemetryWiring:
         snapshot = telemetry.snapshot()
         assert snapshot["pending_injections"] == {"model-2": 1}
         assert "metrics" in snapshot
+
+
+class TestMetricPersistence:
+    def test_histogram_state_dict_orders_samples_oldest_first(self):
+        histogram = RingHistogram(capacity=4)
+        for value in range(6):
+            histogram.observe(float(value))
+        state = histogram.state_dict()
+        assert state["capacity"] == 4
+        assert state["count"] == 6
+        assert state["samples"] == [2.0, 3.0, 4.0, 5.0]
+
+    def test_histogram_merge_prepends_persisted_window(self):
+        old = RingHistogram(capacity=8)
+        for value in (1.0, 2.0, 3.0):
+            old.observe(value)
+        fresh = RingHistogram(capacity=8)
+        fresh.observe(10.0)
+        fresh.load_state_dict(old.state_dict())
+        assert fresh.count == 4
+        assert fresh.ordered_window().tolist() == [1.0, 2.0, 3.0, 10.0]
+        # New observations keep overwriting the oldest merged samples.
+        for value in (11.0, 12.0, 13.0, 14.0):
+            fresh.observe(value)
+        assert fresh.count == 8
+        assert fresh.ordered_window().tolist() == [
+            1.0, 2.0, 3.0, 10.0, 11.0, 12.0, 13.0, 14.0,
+        ]
+        fresh.observe(15.0)
+        assert fresh.ordered_window()[0] == 2.0
+
+    def test_histogram_merge_truncates_to_most_recent_capacity(self):
+        old = RingHistogram(capacity=8)
+        for value in range(8):
+            old.observe(float(value))
+        fresh = RingHistogram(capacity=8)
+        for value in (100.0, 101.0):
+            fresh.observe(value)
+        fresh.load_state_dict(old.state_dict())
+        # 10 merged samples, capacity 8: the 2 oldest persisted fall off.
+        assert len(fresh) == 8
+        assert fresh.ordered_window().tolist() == [
+            2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 100.0, 101.0,
+        ]
+        assert fresh.count == 10  # lifetime total survives a full window
+
+    def test_histogram_merge_from_smaller_capacity_snapshot(self):
+        old = RingHistogram(capacity=2)
+        for value in range(5):
+            old.observe(float(value))
+        fresh = RingHistogram(capacity=8)
+        fresh.load_state_dict(old.state_dict())
+        # Only the 2 retained samples travel; the ring invariant
+        # (len == min(count, capacity)) forces count down to match.
+        assert fresh.ordered_window().tolist() == [3.0, 4.0]
+        assert fresh.count == 2
+        assert fresh.percentile(50) == 3.0
+
+    def test_histogram_round_trip_percentiles_are_identical(self):
+        rng = np.random.default_rng(5)
+        original = RingHistogram(capacity=64)
+        for value in rng.normal(size=200):
+            original.observe(float(value))
+        restored = RingHistogram(capacity=64)
+        restored.load_state_dict(original.state_dict())
+        assert restored.percentiles() == original.percentiles()
+        assert restored.count == original.count
+
+    def test_registry_round_trip_merges_every_primitive(self):
+        old = MetricRegistry(histogram_capacity=16)
+        old.counter("events_total", model="a").inc(3)
+        old.gauge("price", model="a").set(2.5)
+        old.gauge("never_set", model="a")
+        for value in (1.0, 2.0):
+            old.histogram("latency", model="a").observe(value)
+        state = old.state_dict()
+
+        live = MetricRegistry(histogram_capacity=16)
+        live.counter("events_total", model="a").inc(2)
+        live.gauge("price", model="a").set(9.0)
+        live.histogram("latency", model="a").observe(3.0)
+        live.load_state_dict(state)
+        # Counters add, the live gauge wins, histogram windows merge.
+        assert live.counter("events_total", model="a").value == 5
+        assert live.gauge("price", model="a").value == 9.0
+        assert live.histogram("latency", model="a").ordered_window().tolist() == [
+            1.0, 2.0, 3.0,
+        ]
+        # A gauge with no live reading takes the persisted one; one that
+        # was never set anywhere stays NaN.
+        cold = MetricRegistry(histogram_capacity=16)
+        cold.load_state_dict(state)
+        assert cold.gauge("price", model="a").value == 2.5
+        assert np.isnan(cold.gauge("never_set", model="a").value)
+
+    def test_registry_state_dict_is_json_round_trippable(self):
+        import json
+
+        registry = MetricRegistry(histogram_capacity=8)
+        registry.counter("c", model="a").inc()
+        registry.histogram("h", model="a").observe(0.5)
+        payload = json.loads(json.dumps(registry.state_dict()))
+        twin = MetricRegistry(histogram_capacity=8)
+        twin.load_state_dict(payload)
+        assert twin.counter("c", model="a").value == 1
+        assert twin.histogram("h", model="a").ordered_window().tolist() == [0.5]
+
+    def test_monitor_state_dict_round_trips_sla_percentiles(self):
+        engine = _fleet()
+        telemetry = FleetTelemetry().attach(engine)
+        _attack(engine, "model-0")
+        telemetry.note_injection("model-0")
+        for _ in range(5):
+            engine.tick()
+        state = telemetry.state_dict()
+        telemetry.detach()
+        engine.close()
+
+        restarted = _fleet()
+        reborn = FleetTelemetry().attach(restarted)
+        reborn.load_state_dict(state)
+        rows = {row["model"]: row for row in reborn.sla_report()}
+        assert rows["model-0"]["injections"] == 1
+        assert np.isfinite(rows["model-0"]["p99_detection_ticks"])
+        # Pending injections deliberately do not survive the restart.
+        assert reborn.pending_injections("model-0") == 0
+        restarted.close()
