@@ -1,0 +1,78 @@
+"""EXP-CHAOS — fault-tolerance acceptance of the supervised scan pool.
+
+Not a paper artifact: this is the robustness acceptance study behind the
+self-healing process pool (:mod:`repro.core.procpool`).  Each committed
+scenario replays the same attack timeline through a chaos fleet — whose
+worker processes execute under a seeded deterministic
+:class:`~repro.core.procpool.FaultPlan` (kills, delays, dropped and
+malformed results, poison tasks) — and an inline single-process oracle,
+and asserts the acceptance bar: every tick's verdicts **bit-identical**
+to the oracle, the injected attack detected with nothing missed, every
+planned fault actually injected, and the pool self-healed without the
+engine degrading.  ``results/fleet_chaos.json`` is the committed
+artifact; ``scripts/check_perf_regression.py --kind campaign`` gates CI
+on a fresh run of it.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.core.signature import shared_memory_available
+from repro.experiments.fleet import DEFAULT_CHAOS_SCENARIOS, fleet_chaos_campaign
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(),
+    reason="multiprocessing.shared_memory unavailable on this platform",
+)
+
+
+@pytest.mark.benchmark(group="fleet-chaos")
+def test_chaos_campaign_is_fault_transparent(benchmark):
+    rows = fleet_chaos_campaign(seed=0)
+    # Every field is a deterministic function of the seeded fault plans
+    # (counts and structure, no wall-clock), so reruns are byte-identical.
+    emit(
+        "Fleet chaos campaign — verdict parity and pool self-healing under "
+        "seeded fault injection",
+        rows,
+        filename="fleet_chaos.json",
+        deterministic=True,
+    )
+
+    assert {row["scenario"] for row in rows} == {
+        f"chaos-{name}" for name, _ in DEFAULT_CHAOS_SCENARIOS
+    }
+    assert len(rows) >= 4, "the committed chaos campaign must stay scenario-diverse"
+    for row in rows:
+        case = row["case"]
+        assert row["oracle_match"], f"{case}: verdicts diverged from the oracle"
+        assert row["missed"] == 0, f"{case}: the injected attack went undetected"
+        assert row["pool_recovered"], f"{case}: the pool did not self-heal"
+        assert row["faults_planned"] >= 1, f"{case}: scenario planned no faults"
+        assert row["faults_injected"] == row["faults_planned"], (
+            f"{case}: {row['faults_injected']} of {row['faults_planned']} "
+            "planned faults actually fired"
+        )
+        assert math.isfinite(row["p99_detection_ticks"]), (
+            f"{case}: detection latency is not finite"
+        )
+        assert row["degraded_ticks"] == 0, (
+            f"{case}: supervision let the engine degrade"
+        )
+    # The poison scenario must exercise coordinator quarantine — the path
+    # that keeps verdicts flowing when a task kills every worker it meets.
+    poison = next(row for row in rows if row["scenario"] == "chaos-poison-task")
+    assert poison["tasks_quarantined"] >= 1
+
+    # Register one scenario with pytest-benchmark for trend tracking.
+    benchmark.pedantic(
+        lambda: fleet_chaos_campaign(
+            scenarios=[DEFAULT_CHAOS_SCENARIOS[0]], ticks=4, seed=1
+        ),
+        rounds=3,
+        iterations=1,
+    )

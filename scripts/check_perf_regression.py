@@ -45,9 +45,10 @@ Three benchmark kinds are understood (``--kind``):
   ``weight_bytes_copied_per_tick`` (scans gather from the shm-backed
   plane; weights never cross the result queue).
 * ``campaign`` — ``results/campaign_sla.json`` from
-  ``benchmarks/test_bench_campaign_sla.py`` **and**
-  ``results/campaign_matrix.json`` from
-  ``benchmarks/test_bench_campaign_matrix.py``: rows keyed by ``case``.
+  ``benchmarks/test_bench_campaign_sla.py``, ``results/campaign_matrix.json``
+  from ``benchmarks/test_bench_campaign_matrix.py`` **and**
+  ``results/fleet_chaos.json`` from
+  ``benchmarks/test_bench_fleet_chaos.py``: rows keyed by ``case``.
   Milliseconds vary across hosts (committed campaign artifacts strip them
   entirely so reruns are byte-identical), so this gate is a *validity*
   gate rather than a ratio gate: every case must report a **finite** p99
@@ -55,7 +56,11 @@ Three benchmark kinds are understood (``--kind``):
   case set must match the committed baseline — a case silently
   disappearing or going undetected is the regression.  Rows that declare
   a ``p99_bound_ticks`` (the matrix cells of unbudgeted defenses) must
-  additionally stay **at or under** that bound.  When the rows carry the
+  additionally stay **at or under** that bound.  Chaos rows (those that
+  declare ``faults_planned``) additionally owe fault transparency: every
+  planned fault injected, verdicts bit-identical to the sequential
+  oracle (``oracle_match``) and a self-healed pool (``pool_recovered``)
+  with zero missed injections under chaos.  When the rows carry the
   matrix's ``adversary``/``defense`` axes, the gate also pins the
   adaptive-threat margins themselves: per cadence, the rotation tracker
   must beat the blind random attacker against the fixed rotation (mean
@@ -132,8 +137,18 @@ CAMPAIGN_OPTIONAL_FINITE_METRICS = ("p99_detection_ms",)
 
 #: Matrix-axis fields that must additionally match structurally when the
 #: campaign rows carry them (the matrix artifact does, the scenario
-#: artifact does not).
-CAMPAIGN_MATRIX_STRUCTURAL = ("adversary", "defense", "policy", "budget_ms", "passes")
+#: artifact does not; the chaos artifact carries the seed/scale fields).
+CAMPAIGN_MATRIX_STRUCTURAL = (
+    "adversary",
+    "defense",
+    "policy",
+    "budget_ms",
+    "passes",
+    "seed",
+    "ticks",
+    "processes",
+    "faults_planned",
+)
 
 #: Rows at or above this fleet size count toward ``--min-speedup``.
 FLEET_SIZE_FLOOR = 4
@@ -170,6 +185,33 @@ def check_campaign_row(key: str, fresh_row: dict, failures: list) -> None:
         failures.append(
             f"case={key}: {missed} injected attack(s) were never detected"
         )
+    # Chaos-campaign rows (``results/fleet_chaos.json``) additionally claim
+    # fault transparency: every planned fault injected (the supervision
+    # path was actually exercised, not silently skipped), verdicts
+    # bit-identical to the inline oracle, and the pool self-healed.
+    if "faults_planned" in fresh_row:
+        planned = fresh_row.get("faults_planned")
+        injected = fresh_row.get("faults_injected")
+        if not isinstance(planned, int) or planned < 1:
+            failures.append(
+                f"case={key}: chaos scenario planned {planned!r} faults "
+                "(a chaos case must inject at least one)"
+            )
+        elif injected != planned:
+            failures.append(
+                f"case={key}: only {injected!r} of {planned} planned faults "
+                "fired (the fault plan no longer covers the run's tasks)"
+            )
+        if not fresh_row.get("oracle_match"):
+            failures.append(
+                f"case={key}: verdicts diverged from the sequential oracle "
+                "under fault injection"
+            )
+        if not fresh_row.get("pool_recovered"):
+            failures.append(
+                f"case={key}: the scan pool did not self-heal "
+                "(engine finished degraded or poolless)"
+            )
     bound = fresh_row.get("p99_bound_ticks")
     p99 = fresh_row.get("p99_detection_ticks")
     if (

@@ -625,6 +625,32 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         group_size=args.group_size if args.group_size is not None else 16,
         signature_bits=args.signature_bits,
     )
+    fault_plan = None
+    if args.chaos_seed is not None:
+        if parallelism.get("processes", 1) > 1:
+            from repro.core import FaultPlan
+
+            # One scan task per process per tick (the engine splits each
+            # tick's batch across the pool), so this covers the full run.
+            fault_plan = FaultPlan.seeded(
+                args.chaos_seed,
+                num_tasks=args.passes * parallelism["processes"],
+                kill_rate=0.15,
+                delay_rate=0.15,
+                drop_rate=0.1,
+                max_delay_s=0.01,
+            )
+            print(
+                f"chaos: seeded fault plan ({len(fault_plan)} injections over "
+                f"{args.passes * parallelism['processes']} scan tasks, "
+                f"seed={args.chaos_seed})"
+            )
+        else:
+            print(
+                "warning: --chaos-seed only injects faults into the process "
+                "scan pool; ignored without --processes > 1",
+                file=sys.stderr,
+            )
     engine = VerificationEngine(
         config,
         num_shards=args.num_shards,
@@ -633,6 +659,7 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         budget_s=args.budget_ms / 1e3 if args.budget_ms is not None else None,
         recovery_policy=RecoveryPolicy.RELOAD,
         auto_reprotect=True,
+        fault_plan=fault_plan,
         **parallelism,
     )
     for index in range(args.models):
@@ -660,6 +687,16 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
         from repro.telemetry.store import StateStore
 
         state_store = StateStore(args.state_dir)
+        # Reap shared-memory segments leaked by a previous coordinator that
+        # died without unlinking them, then register this run's segments so
+        # the *next* restart can do the same for us.
+        reaped = state_store.reap_orphan_segments()
+        if reaped:
+            print(
+                f"reaped {len(reaped)} orphaned shared-memory segment(s) "
+                "left by a dead coordinator"
+            )
+        engine.segment_registry = state_store.segment_registry()
         _announce_restore(engine, state_store.restore_engine(engine))
         if state_store.restore_telemetry(telemetry):
             # Histogram windows merge (persisted samples first), so the
@@ -720,6 +757,23 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             f"(exposure window: {detected_at - args.attack_at_pass - 1} passes; "
             "re-signed by the engine)"
         )
+    if parallelism.get("processes", 1) > 1:
+        stats = engine.fault_stats()
+        interesting = {
+            key: value
+            for key, value in stats.items()
+            if key != "degraded" and value
+        }
+        if interesting or fault_plan is not None:
+            summary = ", ".join(
+                f"{key}={value}" for key, value in sorted(interesting.items())
+            )
+            print(f"scan pool resilience: {summary or 'no faults observed'}")
+        if stats.get("degraded"):
+            print(
+                "scan pool finished DEGRADED (in-process scanning); it will "
+                "re-probe the pool after a healthy window"
+            )
     if state_store is not None:
         print(f"engine state persisted to {state_store.save_engine(engine)}")
         print(f"telemetry metrics persisted to {state_store.save_telemetry(telemetry)}")
@@ -1046,7 +1100,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--state-dir", type=Path, default=None,
         help="persist and resume the engine's learned state (calibrated "
-        "cost models, planner flip rates, scheduler counters) across runs",
+        "cost models, planner flip rates, scheduler counters) across runs; "
+        "also reaps shared-memory segments orphaned by a dead coordinator",
+    )
+    serve_parser.add_argument(
+        "--chaos-seed", type=int, default=None,
+        help="seed a deterministic fault plan against the process scan pool "
+        "(worker kills, delays, dropped results); requires --processes > 1. "
+        "Verdicts stay bit-identical; the pool self-heals",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--output", type=Path, default=None)

@@ -78,6 +78,9 @@ from repro.core.signature import (
 )
 from repro.core.detector import DetectionReport, RadarDetector, count_detected_flips
 from repro.core.procpool import (
+    FaultInjection,
+    FaultKind,
+    FaultPlan,
     ProcessScanPool,
     ScanTask,
     ScanTaskItem,
@@ -94,6 +97,7 @@ from repro.core.scheduler import (
 from repro.core.protector import ModelProtector, ProtectionSummary
 from repro.core.runtime import InferenceOutcome, ProtectedInference
 from repro.core.fleet import (
+    FLEET_SCOPE,
     EngineTickOutcome,
     EventBus,
     FleetEvent,
@@ -138,6 +142,9 @@ __all__ = [
     "ScanTask",
     "ScanTaskItem",
     "ScanTaskResult",
+    "FaultKind",
+    "FaultInjection",
+    "FaultPlan",
     "RadarDetector",
     "DetectionReport",
     "count_detected_flips",
@@ -160,6 +167,7 @@ __all__ = [
     "ProtectionState",
     "FleetEvent",
     "FleetEventType",
+    "FLEET_SCOPE",
     "EventBus",
     "EngineTickOutcome",
     "StreamingVerifier",

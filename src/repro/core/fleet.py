@@ -84,7 +84,12 @@ import numpy as np
 from repro.core.config import RadarConfig
 from repro.core.cost import AnalyticScanCostModel, ScanCostModel
 from repro.core.detector import DetectionReport
-from repro.core.procpool import ProcessScanPool, ScanTask, ScanTaskItem
+from repro.core.procpool import (
+    FaultPlan,
+    ProcessScanPool,
+    ScanTask,
+    ScanTaskItem,
+)
 from repro.core.protector import ModelProtector
 from repro.core.recovery import RecoveryPolicy, RecoveryReport
 from repro.core.scheduler import ScanPassResult, ScanPolicy, ScanScheduler
@@ -117,6 +122,17 @@ class FleetEventType(str, Enum):
     RECOVERY = "recovery"
     REPROTECT = "reprotect"
     BUDGET_EXHAUSTED = "budget_exhausted"
+    #: The process pool failed repeatedly; scans fell back to the
+    #: in-process path (emitted with the fleet-scope pseudo-model).
+    DEGRADED = "degraded"
+    #: A healthy degraded window elapsed; process scanning resumed.
+    RESTORED = "restored"
+
+
+#: Pseudo-model name fleet-scope events (DEGRADED/RESTORED) are emitted
+#: under — they describe the engine, not any one managed model.  Reports
+#: that enumerate models should filter it out.
+FLEET_SCOPE = "fleet"
 
 
 @dataclass(frozen=True)
@@ -352,6 +368,11 @@ class VerificationEngine:
         auto_reprotect: bool = True,
         event_history: int = 256,
         max_padding_waste: Optional[float] = 0.5,
+        fault_plan: Optional[FaultPlan] = None,
+        degrade_after: int = 2,
+        restore_after_ticks: int = 8,
+        pool_options: Optional[Dict] = None,
+        segment_registry: Optional[object] = None,
     ) -> None:
         if num_shards < 1:
             raise ProtectionError(f"num_shards must be >= 1, got {num_shards}")
@@ -383,6 +404,12 @@ class VerificationEngine:
             raise ProtectionError(
                 f"max_padding_waste must be in [0, 1) or None, got {max_padding_waste}"
             )
+        if degrade_after < 1:
+            raise ProtectionError(f"degrade_after must be >= 1, got {degrade_after}")
+        if restore_after_ticks < 1:
+            raise ProtectionError(
+                f"restore_after_ticks must be >= 1, got {restore_after_ticks}"
+            )
         self.default_config = default_config or RadarConfig()
         self.num_shards = num_shards
         self.policy = ScanPolicy(policy)
@@ -403,10 +430,34 @@ class VerificationEngine:
         #: lifecycle *events* travel over the bus, but budget utilisation
         #: and stacking efficiency live in tick outcomes, which never do.
         self.telemetry = None
+        #: Deterministic chaos schedule shipped to every scan worker (see
+        #: :class:`~repro.core.procpool.FaultPlan`); ``None`` in production.
+        self.fault_plan = fault_plan
+        #: Consecutive pool failures before the engine flips to DEGRADED
+        #: in-process scanning, and healthy degraded ticks before it
+        #: re-probes the pool (emitting RESTORED).
+        self.degrade_after = int(degrade_after)
+        self.restore_after_ticks = int(restore_after_ticks)
+        #: Extra :class:`~repro.core.procpool.ProcessScanPool` constructor
+        #: keywords (timeouts, retry bounds) — chaos tests tighten these.
+        self.pool_options = dict(pool_options) if pool_options else {}
+        #: Optional :class:`~repro.telemetry.store.SegmentRegistry`-shaped
+        #: ledger; published segment names are recorded through it so a
+        #: restart can reap what a crashed coordinator left behind.
+        self.segment_registry = segment_registry
         self._models: Dict[str, ManagedModel] = {}
         self._tick_index = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._proc_pool: Optional[ProcessScanPool] = None
+        # Degradation state machine: consecutive pool failures trip it,
+        # a healthy window of inline ticks restores it.  Totals survive
+        # pool teardown (stats from closed pools are absorbed here).
+        self._degraded = False
+        self._pool_failures_consecutive = 0
+        self._pool_failures_total = 0
+        self._degraded_ticks_total = 0
+        self._ticks_degraded_current = 0
+        self._absorbed_pool_stats: Dict[str, int] = {}
         # Per-bucket kernel workspaces, reused across ticks.  A bucket is
         # one batch per tick and batches never share a ScanScratch, so the
         # worker pool can run buckets concurrently without contention.
@@ -550,7 +601,9 @@ class VerificationEngine:
             # then drop the old view's segments.
             managed.plane_generation += 1
             managed.plane_spec = managed.scheduler.fused.share(
-                managed.name, managed.plane_generation
+                managed.name,
+                managed.plane_generation,
+                registrar=self.segment_registry,
             )
             previous.release_shared()
 
@@ -710,7 +763,7 @@ class VerificationEngine:
                 verifier = self._bucket_verifier((key, sub_index), sub_batch)
                 groups.append((sub_batch, scratch, verifier))
         if self.processes > 1 and groups:
-            self._execute_processes([batch for batch, _, _ in groups])
+            self._execute_processes(groups)
         elif self.workers > 1 and len(groups) > 1:
             started = time.perf_counter()
             pool = self._ensure_pool()
@@ -734,16 +787,44 @@ class VerificationEngine:
             for batch, scratch, verifier in groups:
                 self._run_batch(batch, scratch, verifier)
 
-    def _execute_processes(self, batches: List[List[_PlannedSlice]]) -> None:
-        """Run the planned batches on the process pool.
+    def _execute_processes(
+        self,
+        groups: List[Tuple[List[_PlannedSlice], ScanScratch, StackedVerifier]],
+    ) -> None:
+        """Run the planned groups on the process pool, degrading on failure.
 
         Buckets are the natural work unit, but a fleet of identical models
         coalesces into *one* bucket — so oversized batches are halved until
         there is at least one task per worker (sub-batches of a bucket stay
         kernel-compatible by construction).  Workers see only plain data:
         shared-segment specs plus contiguous row ranges.
+
+        The pool absorbs individual faults internally (respawn, retry,
+        quarantine); a :class:`ProtectionError` out of :meth:`run` means
+        the pool as a whole failed this tick.  The tick still completes —
+        the full groups run through the in-process path — and after
+        ``degrade_after`` consecutive failures the engine enters DEGRADED
+        mode: the pool is torn down and every process-mode tick runs
+        inline until ``restore_after_ticks`` healthy ticks have passed,
+        at which point a RESTORED event fires and the next tick re-probes
+        a fresh pool.
         """
-        batches = self._split_for_processes(batches)
+        if self._degraded:
+            self._ticks_degraded_current += 1
+            if self._ticks_degraded_current < self.restore_after_ticks:
+                self._degraded_ticks_total += 1
+                self._run_groups_inline(groups)
+                return
+            # Healthy window served out: restore and re-probe the pool
+            # with this very tick.
+            self._degraded = False
+            self._emit(
+                FleetEventType.RESTORED,
+                FLEET_SCOPE,
+                {"degraded_ticks": self._ticks_degraded_current},
+            )
+            self._ticks_degraded_current = 0
+        batches = self._split_for_processes([batch for batch, _, _ in groups])
         tasks: List[ScanTask] = []
         for task_id, batch in enumerate(batches):
             items: List[ScanTaskItem] = []
@@ -767,7 +848,13 @@ class VerificationEngine:
             )
             tasks.append(ScanTask(task_id, tuple(items), homogeneous))
         started = time.perf_counter()
-        results = self._ensure_proc_pool().run(tasks)
+        try:
+            results = self._ensure_proc_pool().run(tasks)
+        except ProtectionError as error:
+            self._note_pool_failure(error)
+            self._run_groups_inline(groups)
+            return
+        self._pool_failures_consecutive = 0
         elapsed = time.perf_counter() - started
         # Same aggregate-apportioning rule as the thread path: concurrent
         # tasks overlap, so bill each model its batch-width share of the
@@ -779,12 +866,49 @@ class VerificationEngine:
         for task_id, batch in enumerate(batches):
             result = results[task_id]
             width = max(planned.rows.size for planned in batch)
+            worker = (
+                f"process-{result.worker}"
+                if result.worker >= 0
+                else "coordinator-quarantine"
+            )
             for planned, flagged_rows in zip(batch, result.flagged):
                 planned.flagged_rows = flagged_rows
                 planned.measured_s = elapsed * width / max(total_work, 1)
                 planned.batch_size = len(batch)
                 planned.batch_width = width
-                planned.worker = f"process-{result.worker}"
+                planned.worker = worker
+
+    def _run_groups_inline(
+        self,
+        groups: List[Tuple[List[_PlannedSlice], ScanScratch, StackedVerifier]],
+    ) -> None:
+        """The in-process fallback: identical verdicts, no pool."""
+        for batch, scratch, verifier in groups:
+            self._run_batch(batch, scratch, verifier)
+
+    def _note_pool_failure(self, error: ProtectionError) -> None:
+        self._pool_failures_total += 1
+        self._pool_failures_consecutive += 1
+        # A failed pool may hold wedged workers; tear it down either way
+        # (stats are absorbed) — a fresh pool is lazily built on the next
+        # process-mode tick unless we just degraded.
+        self._discard_proc_pool()
+        if (
+            not self._degraded
+            and self._pool_failures_consecutive >= self.degrade_after
+        ):
+            self._degraded = True
+            self._ticks_degraded_current = 0
+            self._emit(
+                FleetEventType.DEGRADED,
+                FLEET_SCOPE,
+                {
+                    "consecutive_failures": self._pool_failures_consecutive,
+                    "error": str(error),
+                },
+            )
+        if self._degraded:
+            self._degraded_ticks_total += 1
 
     def _split_for_processes(
         self, batches: List[List[_PlannedSlice]]
@@ -806,7 +930,11 @@ class VerificationEngine:
         spec = fused.shared_spec
         if spec is None:
             managed.plane_generation += 1
-            spec = fused.share(managed.name, managed.plane_generation)
+            spec = fused.share(
+                managed.name,
+                managed.plane_generation,
+                registrar=self.segment_registry,
+            )
         managed.plane_spec = spec
         return spec
 
@@ -1015,9 +1143,7 @@ class VerificationEngine:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
-        if self._proc_pool is not None:
-            self._proc_pool.close()
-            self._proc_pool = None
+        self._discard_proc_pool()
         for managed in self._models.values():
             if managed.scheduler.fused.shared_spec is not None:
                 managed.scheduler.fused.unshare()
@@ -1038,8 +1164,53 @@ class VerificationEngine:
 
     def _ensure_proc_pool(self) -> ProcessScanPool:
         if self._proc_pool is None:
-            self._proc_pool = ProcessScanPool(self.processes)
+            self._proc_pool = ProcessScanPool(
+                self.processes, fault_plan=self.fault_plan, **self.pool_options
+            )
         return self._proc_pool
+
+    def _discard_proc_pool(self) -> None:
+        """Close the pool, folding its supervision counters into the
+        engine's running totals first (pools come and go; the fault
+        history should not)."""
+        if self._proc_pool is None:
+            return
+        for key, value in self._proc_pool.fault_stats().items():
+            self._absorbed_pool_stats[key] = (
+                self._absorbed_pool_stats.get(key, 0) + value
+            )
+        self._proc_pool.close()
+        self._proc_pool = None
+
+    # -- fault accounting ---------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether process scanning is currently degraded to in-process."""
+        return self._degraded
+
+    def fault_stats(self) -> Dict[str, object]:
+        """Lifetime supervision counters across every pool this engine ran.
+
+        Pool-level counters (``worker_restarts``, ``task_retries``,
+        ``tasks_quarantined``, ``stale_results_dropped``,
+        ``malformed_results``, ``worker_errors``, ``faults_injected``)
+        accumulate across pool instances; the engine adds its own
+        ``pool_failures`` / ``degraded_ticks`` totals and the live
+        ``degraded`` flag.  :meth:`FleetTelemetry.observe_tick` mirrors
+        these into metrics by delta.
+        """
+        stats: Dict[str, object] = dict(self._absorbed_pool_stats)
+        if self._proc_pool is not None:
+            for key, value in self._proc_pool.fault_stats().items():
+                stats[key] = int(stats.get(key, 0)) + value
+        stats.setdefault("worker_restarts", 0)
+        stats.setdefault("task_retries", 0)
+        stats.setdefault("tasks_quarantined", 0)
+        stats.setdefault("faults_injected", 0)
+        stats["pool_failures"] = self._pool_failures_total
+        stats["degraded_ticks"] = self._degraded_ticks_total
+        stats["degraded"] = self._degraded
+        return stats
 
     def _emit(self, event_type: FleetEventType, model: str, detail: Dict) -> None:
         self.bus.emit(

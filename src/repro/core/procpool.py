@@ -24,6 +24,25 @@ Division of labour (deliberately asymmetric):
   the mismatched-row indices; weights never cross the queue in either
   direction.
 
+The pool is **supervised**: the coordinator is the only scheduler.  Each
+worker owns a private task queue and is fed at most one outstanding task,
+so every in-flight task has a known lease (which worker, which attempt,
+when it expires).  A dead worker is respawned in place and its leased
+task retried; a task whose lease expires (a wedged or silently dropped
+result) is retried on another worker; a task that exhausts
+``max_task_retries`` is **quarantined** — executed inline by the
+coordinator through the same bit-identical sequential kernel
+(:func:`~repro.core.signature.stacked_mismatched_rows`), so a poison
+bucket degrades one tick instead of wedging the fleet.  Scan tasks are
+read-only and idempotent, which is what makes retry-with-duplicates safe:
+the first valid result per task wins and stragglers are discarded.
+
+Determinism under test comes from :class:`FaultPlan` — a seeded schedule
+of worker kills, task delays, dropped results and malformed wire payloads
+keyed by ``(task_id, attempt)``.  Task ids are monotonic across ``run``
+calls, so a plan addresses exactly one delivery of one task no matter how
+many ticks or retries happen around it.
+
 The pool prefers the ``fork`` start method (cheap, inherits the imported
 modules) and falls back to the platform default elsewhere.
 """
@@ -31,9 +50,13 @@ modules) and falls back to the platform default elsewhere.
 from __future__ import annotations
 
 import multiprocessing
+import os
 import queue as queue_module
+import random
 import time
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from collections import deque
+from enum import Enum
+from typing import Deque, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,21 +82,159 @@ class ScanTask(NamedTuple):
 
     ``homogeneous`` is the coordinator's structure-key knowledge travelling
     with the task — workers cannot cheaply recompute it (see
-    :func:`~repro.core.signature.stacked_mismatched_rows`).
+    :func:`~repro.core.signature.stacked_mismatched_rows`).  ``attempt``
+    counts deliveries of this task (0 = first); the supervisor bumps it on
+    every retry so a :class:`FaultPlan` can address one delivery exactly.
     """
 
     task_id: int
     items: Tuple[ScanTaskItem, ...]
     homogeneous: bool
+    attempt: int = 0
 
 
 class ScanTaskResult(NamedTuple):
-    """What comes back: flagged rows per task item, or one error string."""
+    """What comes back: flagged rows per task item, or one error string.
+
+    ``worker`` is the index of the worker lane that produced the result,
+    or ``-1`` when the coordinator executed the task inline (quarantine).
+    """
 
     task_id: int
     worker: int
     flagged: Optional[List[np.ndarray]]
     error: Optional[str]
+
+
+# -- deterministic fault injection ------------------------------------------------
+
+
+class FaultKind(str, Enum):
+    """What a :class:`FaultInjection` does to one task delivery."""
+
+    #: The worker exits hard (``os._exit``) on dequeue — a simulated
+    #: SIGKILL: no result, no cleanup, the queue feeder dies mid-flight.
+    KILL = "kill"
+    #: The worker sleeps ``delay_s`` before scanning, then replies
+    #: normally — exercises lease expiry and duplicate-result discard.
+    DELAY = "delay"
+    #: The worker consumes the task and never replies — a lost result.
+    DROP = "drop"
+    #: The worker replies with a corrupted wire payload (the flagged-row
+    #: list is truncated and type-poisoned) under the real task id.
+    MALFORM = "malform"
+
+
+class FaultInjection(NamedTuple):
+    """One planned fault: fires when task ``task_id`` is delivered the
+    ``attempt``-th time."""
+
+    task_id: int
+    kind: FaultKind
+    attempt: int = 0
+    delay_s: float = 0.0
+
+
+class FaultPlan:
+    """A deterministic schedule of faults keyed by ``(task_id, attempt)``.
+
+    Plans are immutable and picklable; the coordinator ships the whole plan
+    to every worker at spawn (respawned workers get the same plan), so a
+    fault fires wherever its task delivery lands.  Because the pool's task
+    ids are monotonic across ``run`` calls and the engine's task batching
+    is deterministic, the same plan against the same fleet produces the
+    same fault sequence on every run — which is what lets chaos tests
+    assert bit-identical verdicts.
+    """
+
+    def __init__(self, injections: Sequence[FaultInjection] = ()) -> None:
+        self._by_key: Dict[Tuple[int, int], FaultInjection] = {}
+        for injection in injections:
+            key = (int(injection.task_id), int(injection.attempt))
+            if key in self._by_key:
+                raise ProtectionError(
+                    f"duplicate fault injection for task {key[0]} attempt {key[1]}"
+                )
+            self._by_key[key] = injection
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        num_tasks: int,
+        kill_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        malform_rate: float = 0.0,
+        poison_rate: float = 0.0,
+        poison_kills: int = 3,
+        max_delay_s: float = 0.02,
+    ) -> "FaultPlan":
+        """A reproducible plan over task ids ``0 .. num_tasks - 1``.
+
+        Each task draws one fault band (rates must sum to <= 1; the
+        remainder is fault-free).  ``poison_rate`` tasks kill their worker
+        on ``poison_kills`` consecutive deliveries — sized above the pool's
+        ``max_task_retries``, that forces the inline-quarantine path.
+        ``random.Random`` keeps the draw platform-stable.
+        """
+        if num_tasks < 0:
+            raise ProtectionError(f"num_tasks must be >= 0, got {num_tasks}")
+        rates = (kill_rate, delay_rate, drop_rate, malform_rate, poison_rate)
+        if any(rate < 0 for rate in rates) or sum(rates) > 1:
+            raise ProtectionError(
+                f"fault rates must be non-negative and sum to <= 1, got {rates}"
+            )
+        if poison_kills < 1:
+            raise ProtectionError(f"poison_kills must be >= 1, got {poison_kills}")
+        rng = random.Random(seed)
+        injections: List[FaultInjection] = []
+        for task_id in range(num_tasks):
+            # One fixed-width draw pair per task keeps the stream aligned
+            # regardless of which band (if any) the task lands in.
+            roll = rng.random()
+            delay_s = rng.uniform(0.25 * max_delay_s, max_delay_s)
+            edge = kill_rate
+            if roll < edge:
+                injections.append(FaultInjection(task_id, FaultKind.KILL))
+                continue
+            edge += delay_rate
+            if roll < edge:
+                injections.append(
+                    FaultInjection(task_id, FaultKind.DELAY, delay_s=delay_s)
+                )
+                continue
+            edge += drop_rate
+            if roll < edge:
+                injections.append(FaultInjection(task_id, FaultKind.DROP))
+                continue
+            edge += malform_rate
+            if roll < edge:
+                injections.append(FaultInjection(task_id, FaultKind.MALFORM))
+                continue
+            edge += poison_rate
+            if roll < edge:
+                injections.extend(
+                    FaultInjection(task_id, FaultKind.KILL, attempt=attempt)
+                    for attempt in range(poison_kills)
+                )
+        return cls(injections)
+
+    def lookup(self, task_id: int, attempt: int) -> Optional[FaultInjection]:
+        return self._by_key.get((int(task_id), int(attempt)))
+
+    @property
+    def injections(self) -> List[FaultInjection]:
+        return [self._by_key[key] for key in sorted(self._by_key)]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __getstate__(self) -> Dict:
+        return {"by_key": self._by_key}
+
+    def __setstate__(self, state: Dict) -> None:
+        self._by_key = dict(state["by_key"])
 
 
 def materialize_rows(row_ranges: Sequence[Tuple[int, int]]) -> np.ndarray:
@@ -132,8 +293,13 @@ def _run_task(
     )
 
 
-def _worker_main(worker_index: int, tasks, results) -> None:
-    """Worker loop: attach-cached bucket scans until the ``None`` sentinel."""
+def _worker_main(worker_index: int, tasks, results, fault_plan=None) -> None:
+    """Worker loop: attach-cached bucket scans until the ``None`` sentinel.
+
+    ``fault_plan`` is the chaos hook: a planned fault for this exact
+    ``(task_id, attempt)`` delivery fires here, between dequeue and reply —
+    the only place a real crash, hang or lost message could happen.
+    """
     attachments: Dict[str, AttachedModelPlane] = {}
     scratch = ScanScratch()
     try:
@@ -141,6 +307,19 @@ def _worker_main(worker_index: int, tasks, results) -> None:
             task = tasks.get()
             if task is None:
                 return
+            fault = (
+                fault_plan.lookup(task.task_id, task.attempt)
+                if fault_plan is not None
+                else None
+            )
+            if fault is not None:
+                if fault.kind is FaultKind.KILL:
+                    # A real SIGKILL runs no handlers; mirror that exactly.
+                    os._exit(17)
+                if fault.delay_s > 0:
+                    time.sleep(fault.delay_s)
+                if fault.kind is FaultKind.DROP:
+                    continue
             try:
                 flagged = _run_task(task, attachments, scratch)
             except Exception as error:  # ship the failure, keep serving
@@ -152,92 +331,334 @@ def _worker_main(worker_index: int, tasks, results) -> None:
                         f"{type(error).__name__}: {error}",
                     )
                 )
-            else:
-                results.put(
-                    ScanTaskResult(task.task_id, worker_index, flagged, None)
-                )
+                continue
+            if fault is not None and fault.kind is FaultKind.MALFORM:
+                # Truncated and type-poisoned, but under the real task id —
+                # corruption the coordinator must attribute and retry.
+                flagged = list(flagged[:-1]) + ["corrupt-wire-payload"]
+            results.put(
+                ScanTaskResult(task.task_id, worker_index, flagged, None)
+            )
     finally:
         for attachment in attachments.values():
             attachment.close()
 
 
+class _Job:
+    """Coordinator-side lease record of one task inside one ``run``."""
+
+    __slots__ = ("task", "caller_id", "attempt", "worker", "lease_expires", "state")
+
+    def __init__(self, task: ScanTask, caller_id: int) -> None:
+        self.task = task
+        self.caller_id = caller_id
+        self.attempt = 0
+        self.worker: Optional[int] = None
+        self.lease_expires = 0.0
+        self.state = "pending"  # pending -> inflight -> done
+
+
+#: Result-queue poll interval; also the worker-death detection latency.
+_POLL_S = 0.02
+
+#: Keys of :attr:`ProcessScanPool.stats`, all starting at zero.
+_STAT_KEYS = (
+    "worker_restarts",
+    "task_retries",
+    "tasks_quarantined",
+    "stale_results_dropped",
+    "malformed_results",
+    "worker_errors",
+    "faults_injected",
+)
+
+
 class ProcessScanPool:
-    """A fixed set of scan worker processes fed over a task queue.
+    """A supervised, self-healing set of scan worker processes.
 
     Workers are started eagerly (fork is cheap; spawn pays its import cost
     once here rather than on the first tick) and live until :meth:`close`.
     :meth:`run` is synchronous by design — the engine's tick is the unit
     of coordination, and lifecycle decisions need every bucket's verdict.
+
+    Supervision policy (see the module docstring): per-worker task queues
+    with at most one outstanding lease each, liveness polling with in-place
+    respawn, bounded retries with linear backoff, inline quarantine after
+    ``max_task_retries``, and a per-``run`` deadline that scales with task
+    count (``timeout_s`` is per task, floored at ``min_timeout_s``).
     """
 
-    def __init__(self, processes: int, timeout_s: float = 120.0) -> None:
+    def __init__(
+        self,
+        processes: int,
+        timeout_s: float = 15.0,
+        min_timeout_s: float = 60.0,
+        max_task_retries: int = 2,
+        lease_timeout_s: float = 5.0,
+        retry_backoff_s: float = 0.01,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> None:
         if processes < 1:
             raise ProtectionError(f"processes must be >= 1, got {processes}")
+        if not timeout_s > 0:
+            raise ProtectionError(f"timeout_s must be positive, got {timeout_s}")
+        if not min_timeout_s > 0:
+            raise ProtectionError(
+                f"min_timeout_s must be positive, got {min_timeout_s}"
+            )
+        if max_task_retries < 0:
+            raise ProtectionError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        if not lease_timeout_s > 0:
+            raise ProtectionError(
+                f"lease_timeout_s must be positive, got {lease_timeout_s}"
+            )
+        if retry_backoff_s < 0:
+            raise ProtectionError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.timeout_s = float(timeout_s)
+        self.min_timeout_s = float(min_timeout_s)
+        self.max_task_retries = int(max_task_retries)
+        self.lease_timeout_s = float(lease_timeout_s)
+        self.retry_backoff_s = float(retry_backoff_s)
+        self.fault_plan = fault_plan
+        self.stats: Dict[str, int] = {key: 0 for key in _STAT_KEYS}
         method = (
             "fork" if "fork" in multiprocessing.get_all_start_methods() else None
         )
         self._context = multiprocessing.get_context(method)
-        self._tasks = self._context.Queue()
+        # One task queue per worker: the lease (which worker holds which
+        # task) is decided by the coordinator, not by whoever dequeues
+        # first — a shared queue cannot attribute a dead worker's loss.
+        self._task_queues = [self._context.Queue() for _ in range(processes)]
         self._results = self._context.Queue()
-        self._workers = [
-            self._context.Process(
-                target=_worker_main,
-                args=(index, self._tasks, self._results),
-                daemon=True,
-                name=f"repro-scan-{index}",
-            )
-            for index in range(processes)
-        ]
-        for worker in self._workers:
-            worker.start()
+        self._workers = [self._spawn(index) for index in range(processes)]
+        # Quarantine executes inline against the same published segments the
+        # workers read (publisher-side attachment is safe; see
+        # AttachedModelPlane) — same plain-array kernel, same verdicts.
+        self._inline_attachments: Dict[str, AttachedModelPlane] = {}
+        self._inline_scratch = ScanScratch()
+        self._next_task_id = 0
         self._closed = False
+
+    def _spawn(self, index: int):
+        worker = self._context.Process(
+            target=_worker_main,
+            args=(index, self._task_queues[index], self._results, self.fault_plan),
+            daemon=True,
+            name=f"repro-scan-{index}",
+        )
+        worker.start()
+        return worker
 
     def __len__(self) -> int:
         return len(self._workers)
 
+    def alive_workers(self) -> int:
+        """How many worker processes are currently alive."""
+        return sum(1 for worker in self._workers if worker.is_alive())
+
+    def fault_stats(self) -> Dict[str, int]:
+        """Snapshot of the supervision counters (copies; safe to mutate)."""
+        return dict(self.stats)
+
+    # -- supervision ------------------------------------------------------------
+    def _drain_stale_results(self) -> None:
+        # An aborted run may have left straggler results (or a crashed
+        # worker's partial flush) in the queue; monotonic task ids already
+        # make them unmatchable, draining keeps the queue bounded.
+        while True:
+            try:
+                self._results.get_nowait()
+            except queue_module.Empty:
+                return
+            self.stats["stale_results_dropped"] += 1
+
+    def _respawn(self, index: int) -> None:
+        self._workers[index].join(timeout=0)
+        self.stats["worker_restarts"] += 1
+        self._workers[index] = self._spawn(index)
+
     def run(self, tasks: Sequence[ScanTask]) -> Dict[int, ScanTaskResult]:
-        """Execute every task and return results keyed by ``task_id``."""
+        """Execute every task and return results keyed by the caller's ids.
+
+        Task ids are re-stamped with the pool's monotonic counter on the
+        wire (results are keyed back to the ids the caller passed), so a
+        straggler from a previous run can never be matched to a new task.
+        Raises :class:`ProtectionError` only when the scaled deadline
+        expires or a quarantined task fails even inline — every other
+        fault (worker death, wedged task, error result, malformed payload)
+        is absorbed by retry, respawn or quarantine.
+        """
         if self._closed:
             raise ProtectionError("ProcessScanPool is closed")
+        if not tasks:
+            return {}
+        self._drain_stale_results()
+        for index, worker in enumerate(self._workers):
+            if not worker.is_alive():  # died idle between runs
+                self._respawn(index)
+        jobs: Dict[int, _Job] = {}
+        pending: Deque[int] = deque()
         for task in tasks:
-            self._tasks.put(task)
+            internal = self._next_task_id
+            self._next_task_id += 1
+            jobs[internal] = _Job(task._replace(task_id=internal), task.task_id)
+            pending.append(internal)
+        effective_s = max(self.min_timeout_s, self.timeout_s * len(tasks))
+        deadline = time.monotonic() + effective_s
+        load = [0] * len(self._workers)
         collected: Dict[int, ScanTaskResult] = {}
-        deadline = time.monotonic() + self.timeout_s
+
+        def release(job: _Job) -> None:
+            if job.worker is not None:
+                load[job.worker] = max(0, load[job.worker] - 1)
+                job.worker = None
+
+        def finish(job: _Job, result: ScanTaskResult) -> None:
+            release(job)
+            job.state = "done"
+            collected[job.caller_id] = result
+
+        def quarantine(job: _Job, reason: str) -> None:
+            self.stats["tasks_quarantined"] += 1
+            task = job.task._replace(attempt=job.attempt)
+            try:
+                flagged = _run_task(
+                    task, self._inline_attachments, self._inline_scratch
+                )
+            except Exception as error:
+                raise ProtectionError(
+                    f"scan task {job.caller_id} failed even in coordinator "
+                    f"quarantine after {job.attempt} deliveries "
+                    f"(last fault: {reason}): {type(error).__name__}: {error}"
+                ) from error
+            finish(job, ScanTaskResult(job.caller_id, -1, flagged, None))
+
+        def retry(job: _Job, reason: str) -> None:
+            if job.state == "done":
+                return
+            release(job)
+            job.attempt += 1
+            if job.attempt > self.max_task_retries:
+                quarantine(job, reason)
+                return
+            self.stats["task_retries"] += 1
+            if self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s * job.attempt)
+            job.state = "pending"
+            pending.append(job.task.task_id)
+
+        def dispatch() -> None:
+            while pending:
+                target = next(
+                    (
+                        index
+                        for index, worker in enumerate(self._workers)
+                        if load[index] == 0 and worker.is_alive()
+                    ),
+                    None,
+                )
+                if target is None:
+                    return
+                internal = pending.popleft()
+                job = jobs[internal]
+                if job.state != "pending":
+                    continue
+                if (
+                    self.fault_plan is not None
+                    and self.fault_plan.lookup(internal, job.attempt) is not None
+                ):
+                    self.stats["faults_injected"] += 1
+                job.state = "inflight"
+                job.worker = target
+                job.lease_expires = time.monotonic() + self.lease_timeout_s
+                load[target] += 1
+                self._task_queues[target].put(
+                    job.task._replace(attempt=job.attempt)
+                )
+
+        dispatch()
         while len(collected) < len(tasks):
             try:
-                result = self._results.get(timeout=0.1)
+                payload = self._results.get(timeout=_POLL_S)
             except queue_module.Empty:
-                if any(not worker.is_alive() for worker in self._workers):
-                    raise ProtectionError(
-                        "a scan worker process exited unexpectedly"
-                    )
-                if time.monotonic() > deadline:
-                    raise ProtectionError(
-                        f"scan workers did not finish within {self.timeout_s:.0f}s"
-                    )
-                continue
-            if result.error is not None:
-                raise ProtectionError(f"scan worker failed: {result.error}")
-            collected[result.task_id] = result
+                payload = None
+            if payload is not None:
+                self._absorb_result(payload, jobs, finish, retry)
+            now = time.monotonic()
+            for index, worker in enumerate(self._workers):
+                if worker.is_alive():
+                    continue
+                self._respawn(index)
+                load[index] = 0
+                for job in list(jobs.values()):
+                    if job.state == "inflight" and job.worker == index:
+                        retry(job, "worker died")
+            for job in list(jobs.values()):
+                if job.state == "inflight" and now > job.lease_expires:
+                    retry(job, "lease expired")
+            if len(collected) < len(tasks) and time.monotonic() > deadline:
+                raise ProtectionError(
+                    f"scan pool deadline expired: {len(collected)} of "
+                    f"{len(tasks)} task(s) finished within {effective_s:.1f}s "
+                    f"({self.timeout_s:.1f}s per task, floor "
+                    f"{self.min_timeout_s:.1f}s)"
+                )
+            dispatch()
         return collected
 
+    def _absorb_result(self, payload, jobs, finish, retry) -> None:
+        """Validate one wire payload; first valid result per task wins."""
+        task_id = getattr(payload, "task_id", None)
+        job = jobs.get(task_id) if isinstance(task_id, int) else None
+        if job is None or job.state == "done":
+            # A straggler from a lease-expired duplicate or an aborted run.
+            self.stats["stale_results_dropped"] += 1
+            return
+        if not isinstance(payload, ScanTaskResult):
+            self.stats["malformed_results"] += 1
+            retry(job, "malformed wire payload")
+            return
+        if payload.error is not None:
+            self.stats["worker_errors"] += 1
+            retry(job, f"worker error: {payload.error}")
+            return
+        flagged = _validated_flagged(job.task, payload.flagged)
+        if flagged is None:
+            self.stats["malformed_results"] += 1
+            retry(job, "malformed flagged payload")
+            return
+        worker = payload.worker if isinstance(payload.worker, int) else -1
+        finish(job, ScanTaskResult(job.caller_id, worker, flagged, None))
+
     def close(self, join_timeout_s: float = 5.0) -> None:
-        """Stop the workers and release the queues (idempotent)."""
+        """Stop the workers and release the queues (idempotent).
+
+        Safe against crashed workers: the sentinel fan-out never blocks (a
+        dead worker's queue feeder cannot absorb a blocking ``put``), and
+        any worker that does not exit within ``join_timeout_s`` is
+        terminated unconditionally.
+        """
         if self._closed:
             return
         self._closed = True
-        for _ in self._workers:
+        for task_queue in self._task_queues:
             try:
-                self._tasks.put(None)
-            except (OSError, ValueError):  # pragma: no cover - queue torn down
-                break
+                task_queue.put_nowait(None)
+            except (OSError, ValueError, queue_module.Full):
+                pass  # dead feeder or torn-down queue; terminate() below
         for worker in self._workers:
             worker.join(timeout=join_timeout_s)
             if worker.is_alive():  # pragma: no cover - wedged worker
                 worker.terminate()
                 worker.join(timeout=1.0)
-        for pipe in (self._tasks, self._results):
+        for attachment in self._inline_attachments.values():
+            attachment.close()
+        self._inline_attachments = {}
+        for pipe in [*self._task_queues, self._results]:
             pipe.close()
             # The feeder threads may still hold buffered sentinels; never
             # block interpreter shutdown on them.
@@ -255,3 +676,21 @@ class ProcessScanPool:
             self.close(join_timeout_s=0.5)
         except Exception:
             pass
+
+
+def _validated_flagged(
+    task: ScanTask, flagged: object
+) -> Optional[List[np.ndarray]]:
+    """The flagged-row lists if they are structurally sound, else ``None``."""
+    if not isinstance(flagged, (list, tuple)) or len(flagged) != len(task.items):
+        return None
+    validated: List[np.ndarray] = []
+    for rows in flagged:
+        if (
+            not isinstance(rows, np.ndarray)
+            or rows.ndim != 1
+            or not np.issubdtype(rows.dtype, np.integer)
+        ):
+            return None
+        validated.append(rows)
+    return validated

@@ -718,6 +718,10 @@ class FusedSignatures:
         # spec workers attach from.
         self._shared_segments: Optional[Dict[str, object]] = None
         self._shared_spec: Optional[SharedPlaneSpec] = None
+        # Optional crash-hygiene ledger (duck-typed: record/discard) the
+        # publish/destroy paths notify, so a restarted coordinator can
+        # reap segments a killed predecessor never unlinked.
+        self._segment_registrar = None
         #: Weight bytes copied into a plane (adoption, stale re-adoption,
         #: un-adopted per-pass refresh).  The zero-copy acceptance evidence:
         #: in adopted steady state this counter does not move across scans.
@@ -1007,7 +1011,9 @@ class FusedSignatures:
         """The spec workers attach from, or ``None`` while unpublished."""
         return self._shared_spec
 
-    def share(self, model: str, generation: int) -> SharedPlaneSpec:
+    def share(
+        self, model: str, generation: int, registrar=None
+    ) -> SharedPlaneSpec:
         """Publish the kernel arrays into ``multiprocessing.shared_memory``.
 
         Allocates one named segment per kernel array (weight plane, gather
@@ -1084,6 +1090,17 @@ class FusedSignatures:
             golden=specs["golden"],
             structure=self._structure.spec(),
         )
+        # Record the published names *after* the segments exist: a crash
+        # between publish and record leaks at most this one generation,
+        # which the OS-level registry reap on the next restart cannot see —
+        # whereas recording first could reap live segments.
+        self._segment_registrar = registrar
+        if registrar is not None:
+            registrar.record(
+                model,
+                int(generation),
+                [spec.name for spec in specs.values()],
+            )
         return self._shared_spec
 
     def _rebind_layers(self) -> None:
@@ -1140,7 +1157,15 @@ class FusedSignatures:
 
     def _destroy_segments(self) -> None:
         segments, self._shared_segments = self._shared_segments, None
-        self._shared_spec = None
+        spec, self._shared_spec = self._shared_spec, None
+        registrar, self._segment_registrar = self._segment_registrar, None
+        if registrar is not None and spec is not None:
+            # Graceful teardown owns its segments; drop the ledger entry so
+            # a later reap never races a name the OS already recycled.  The
+            # generation guard matters on re-sign: the successor records its
+            # fresh names under the same model *before* this old view is
+            # destroyed, and that entry must survive.
+            registrar.discard(spec.model, generation=spec.generation)
         for segment in segments.values():
             # Unlink before close: unlinking works with live mappings, and
             # doing it first guarantees the name is gone even if a stray

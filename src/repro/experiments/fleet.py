@@ -55,10 +55,15 @@ def _build_engine(
     seed: int,
     policy: ScanPolicy = ScanPolicy.ROUND_ROBIN,
     processes: int = 1,
+    **engine_kwargs,
 ) -> VerificationEngine:
     """A fleet of structurally identical quantized MLPs (distinct weights)."""
     engine = VerificationEngine(
-        config, num_shards=num_shards, policy=policy, processes=processes
+        config,
+        num_shards=num_shards,
+        policy=policy,
+        processes=processes,
+        **engine_kwargs,
     )
     for index in range(num_models):
         model = MLP(
@@ -289,6 +294,210 @@ def fleet_process_scaling(
                 "shared_memory": bool(processes > 1 and shared_memory_available()),
                 "weight_bytes_copied_per_tick": float(copied_per_tick),
                 "oracle_match": bool(oracle_match),
+            }
+        )
+    return rows
+
+
+#: The chaos scenarios of :func:`fleet_chaos_campaign`: each is a named
+#: set of fault rates for :meth:`~repro.core.procpool.FaultPlan.seeded`.
+#: The poison scenario's ``poison_kills=3`` exceeds the pool's default
+#: ``max_task_retries=2``, so every poison task must reach coordinator
+#: quarantine to resolve — the hardest supervision path.
+DEFAULT_CHAOS_SCENARIOS: Tuple[Tuple[str, Dict[str, float]], ...] = (
+    ("kill-storm", {"kill_rate": 0.35}),
+    ("slow-lane", {"delay_rate": 0.5, "max_delay_s": 0.005}),
+    ("lossy-wire", {"drop_rate": 0.3, "malform_rate": 0.15}),
+    ("poison-task", {"poison_rate": 0.15, "poison_kills": 3}),
+    (
+        "mixed",
+        {
+            "kill_rate": 0.15,
+            "delay_rate": 0.2,
+            "drop_rate": 0.1,
+            "malform_rate": 0.1,
+            "max_delay_s": 0.005,
+        },
+    ),
+)
+
+#: Pool tuning for chaos runs: short leases and backoffs so dropped
+#: results redispatch quickly, with a per-task deadline comfortably above
+#: any injected delay.
+CHAOS_POOL_OPTIONS: Dict[str, float] = {
+    "timeout_s": 10.0,
+    "lease_timeout_s": 0.5,
+    "retry_backoff_s": 0.01,
+}
+
+
+def _flip_msb(engine: VerificationEngine, victim: str, flat_index: int) -> None:
+    """Flip one MSB in ``victim``'s first quantized layer, in place."""
+    managed = engine.get(victim)
+    _, layer = quantized_layers(managed.model)[0]
+    flat = layer.qweight.reshape(-1)
+    flat[flat_index] = np.int8(int(flat[flat_index]) ^ -128)
+
+
+def _flagged_by_model(outcomes) -> Dict[str, Dict[str, np.ndarray]]:
+    return {
+        name: dict(outcome.scan.report.flagged_groups)
+        for name, outcome in outcomes.items()
+    }
+
+
+def _verdicts_equal(
+    chaos: Dict[str, Dict[str, np.ndarray]],
+    oracle: Dict[str, Dict[str, np.ndarray]],
+) -> bool:
+    if set(chaos) != set(oracle):
+        return False
+    for model, expected in oracle.items():
+        observed = chaos[model]
+        if set(observed) != set(expected):
+            return False
+        if not all(
+            np.array_equal(observed[name], expected[name]) for name in expected
+        ):
+            return False
+    return True
+
+
+def fleet_chaos_campaign(
+    scenarios: Sequence[Tuple[str, Dict[str, float]]] = DEFAULT_CHAOS_SCENARIOS,
+    num_models: int = 4,
+    processes: int = 2,
+    ticks: int = 8,
+    attack_tick: int = 3,
+    group_size: int = 16,
+    hidden_dims: Tuple[int, ...] = (64, 32),
+    input_dim: int = 128,
+    seed: int = 0,
+) -> List[Dict]:
+    """Rows of the chaos campaign (→ ``results/fleet_chaos.json``).
+
+    The fault-tolerance acceptance artifact: each scenario runs the *same*
+    attack timeline through two mirrored fleets — a chaos engine whose
+    process pool executes under a seeded
+    :class:`~repro.core.procpool.FaultPlan` (worker kills, delays, dropped
+    and malformed results, poison tasks) and an inline single-process
+    oracle — and compares every tick's flagged groups bit-for-bit.  Fleet
+    ticks coalesce the homogeneous fleet into one batch that the engine
+    splits into exactly ``processes`` scan tasks, so a plan sized
+    ``ticks * processes`` covers the run precisely and the gate can assert
+    ``faults_injected == faults_planned`` (every planned fault actually
+    exercised the supervision path, none were silently skipped).
+
+    Row semantics beyond the standard campaign fields:
+
+    * ``oracle_match`` — all ticks' verdicts bit-identical to the oracle;
+    * ``pool_recovered`` — the pool self-healed (engine not DEGRADED and
+      the final tick still ran through worker processes);
+    * ``faults_planned`` / ``faults_injected`` — plan coverage (equal when
+      every planned fault fired at dispatch);
+    * ``worker_restarts`` / ``task_retries`` / ``tasks_quarantined`` —
+      the supervision work the faults forced, all deterministic functions
+      of the seeded plan.
+
+    ``scripts/check_perf_regression.py --kind campaign`` gates these rows:
+    zero missed detections, full injection coverage, oracle match and pool
+    recovery are hard failures.
+    """
+    from repro.core.procpool import FaultPlan
+
+    config = RadarConfig(group_size=group_size)
+    num_shards = 4
+    rows: List[Dict] = []
+    for index, (name, rates) in enumerate(scenarios):
+        plan = FaultPlan.seeded(
+            seed + 17 * index, num_tasks=ticks * processes, **rates
+        )
+        chaos = _build_engine(
+            num_models,
+            config,
+            num_shards,
+            hidden_dims,
+            input_dim,
+            seed,
+            policy=ScanPolicy.FULL,
+            processes=processes,
+            recovery_policy=RecoveryPolicy.ZERO,
+            auto_reprotect=True,
+            fault_plan=plan,
+            pool_options=dict(CHAOS_POOL_OPTIONS),
+        )
+        oracle = _build_engine(
+            num_models,
+            config,
+            num_shards,
+            hidden_dims,
+            input_dim,
+            seed,
+            policy=ScanPolicy.FULL,
+            processes=1,
+            recovery_policy=RecoveryPolicy.ZERO,
+            auto_reprotect=True,
+        )
+        victim = "model-0"
+        verdicts_match = True
+        detected_tick: Optional[int] = None
+        try:
+            for tick_index in range(ticks):
+                if tick_index == attack_tick:
+                    # Identical MSB flips into both mirrored victims.
+                    _flip_msb(chaos, victim, 3)
+                    _flip_msb(oracle, victim, 3)
+                chaos_outcomes = chaos.tick()
+                oracle_outcomes = oracle.tick()
+                if not _verdicts_equal(
+                    _flagged_by_model(chaos_outcomes),
+                    _flagged_by_model(oracle_outcomes),
+                ):
+                    verdicts_match = False
+                if (
+                    detected_tick is None
+                    and chaos_outcomes[victim].attack_detected
+                ):
+                    detected_tick = tick_index
+            stats = chaos.fault_stats()
+            pool_recovered = bool(
+                not chaos.degraded and chaos._proc_pool is not None
+            )
+        finally:
+            chaos.close()
+            oracle.close()
+        detections = int(detected_tick is not None)
+        latency = (
+            float(detected_tick - attack_tick + 1)
+            if detected_tick is not None
+            else float("nan")
+        )
+        rows.append(
+            {
+                "case": f"chaos-{name}:{victim}",
+                "scenario": f"chaos-{name}",
+                "model": victim,
+                "kind": "chaos",
+                "cadence": f"burst@{attack_tick}",
+                "group_size": int(group_size),
+                "signature_bits": int(config.signature_bits),
+                "num_models": int(num_models),
+                "num_shards": int(num_shards),
+                "seed": int(seed + 17 * index),
+                "ticks": int(ticks),
+                "processes": int(processes),
+                "injections": 1,
+                "detections": detections,
+                "missed": 1 - detections,
+                "p99_detection_ticks": latency,
+                "faults_planned": int(len(plan)),
+                "faults_injected": int(stats["faults_injected"]),
+                "worker_restarts": int(stats["worker_restarts"]),
+                "task_retries": int(stats["task_retries"]),
+                "tasks_quarantined": int(stats["tasks_quarantined"]),
+                "degraded_ticks": int(stats["degraded_ticks"]),
+                "oracle_match": bool(verdicts_match),
+                "pool_recovered": pool_recovered,
             }
         )
     return rows

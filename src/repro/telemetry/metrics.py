@@ -227,6 +227,14 @@ class MetricRegistry:
         """The histogram if it has been created (no creation side effect)."""
         return self._histograms.get((name, _labels_key(labels)))
 
+    def find_counter(self, name: str, **labels: object) -> Optional[Counter]:
+        """The counter if it has been created (no creation side effect)."""
+        return self._counters.get((name, _labels_key(labels)))
+
+    def find_gauge(self, name: str, **labels: object) -> Optional[Gauge]:
+        """The gauge if it has been created (no creation side effect)."""
+        return self._gauges.get((name, _labels_key(labels)))
+
     def label_values(self, name: str, label: str) -> List[str]:
         """Distinct values one label takes across all metrics named ``name``.
 

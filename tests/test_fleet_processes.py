@@ -24,6 +24,10 @@ from hypothesis import strategies as st
 
 from repro.core import (
     AttachedModelPlane,
+    FLEET_SCOPE,
+    FaultInjection,
+    FaultKind,
+    FaultPlan,
     FleetEventType,
     ProtectedInference,
     ProtectionState,
@@ -32,7 +36,12 @@ from repro.core import (
     VerificationEngine,
     shared_memory_available,
 )
-from repro.core.procpool import materialize_rows
+from repro.core.procpool import (
+    ProcessScanPool,
+    ScanTask,
+    ScanTaskItem,
+    materialize_rows,
+)
 from repro.errors import ProtectionError
 from repro.models.small import MLP
 from repro.quant.layers import quantize_model, quantized_layers
@@ -447,6 +456,483 @@ class TestRuntimePersistence:
         )
 
 
+#: Snappy supervision settings for fault tests: short leases so dropped
+#: results redispatch fast, small backoff, generous overall deadline.
+FAULT_POOL_OPTIONS = {
+    "timeout_s": 10.0,
+    "lease_timeout_s": 0.3,
+    "retry_backoff_s": 0.01,
+}
+
+
+def _full_scan_tasks(engine) -> list:
+    """One full-scan ScanTask per registered model, as the engine builds them."""
+    tasks = []
+    for task_id, name in enumerate(engine.names()):
+        managed = engine.get(name)
+        descriptor = managed.scheduler.slice_descriptor(
+            list(range(managed.scheduler.num_shards))
+        )
+        tasks.append(
+            ScanTask(
+                task_id,
+                (ScanTaskItem(name, managed.plane_spec, descriptor.row_ranges),),
+                True,
+            )
+        )
+    return tasks
+
+
+class TestSupervisedPool:
+    """Tentpole: the pool self-heals around dying, wedged and lying workers."""
+
+    def _published_engine(self, num_models: int = 2):
+        engine = VerificationEngine(
+            RadarConfig(group_size=8), num_shards=4, processes=2
+        )
+        for index in range(num_models):
+            engine.register(f"m{index}", _small_model(index))
+        engine.tick(recovery_policy=RecoveryPolicy.NONE)  # publish planes
+        return engine
+
+    def test_worker_crash_mid_tick_heals_and_matches_oracle(self):
+        # Kill faults on the first ticks' tasks: workers die mid-scan, the
+        # supervisor respawns them and retries the leased tasks — and every
+        # verdict still matches the fault-free sequential twin.
+        plan = FaultPlan(
+            [FaultInjection(task_id, FaultKind.KILL) for task_id in range(3)]
+        )
+        pooled, sequential = _build_mirrored_engines(
+            [0, 0, 1], processes=2
+        )
+        pooled.fault_plan = plan
+        pooled.pool_options = dict(FAULT_POOL_OPTIONS)
+        try:
+            for engine in (pooled, sequential):
+                _flip_weight(engine.get("m1").model, 0, 7)
+            for _ in range(4):
+                outcomes = pooled.tick(recovery_policy=RecoveryPolicy.NONE)
+                expected = sequential.tick(recovery_policy=RecoveryPolicy.NONE)
+                for name in sequential.names():
+                    _assert_flags_equal(
+                        outcomes[name].scan.report.flagged_groups,
+                        expected[name].scan.report.flagged_groups,
+                    )
+            stats = pooled.fault_stats()
+            assert stats["faults_injected"] == len(plan)
+            assert stats["worker_restarts"] >= 3
+            assert stats["task_retries"] >= 3
+            assert not pooled.degraded
+            assert pooled._proc_pool.alive_workers() == 2
+        finally:
+            pooled.close()
+            sequential.close()
+
+    def test_externally_killed_worker_is_respawned(self):
+        import os
+        import signal
+
+        engine = self._published_engine()
+        try:
+            reference = {
+                name: engine.get(name).protector.scan_fused(
+                    engine.get(name).model
+                ).flagged_groups
+                for name in engine.names()
+            }
+            pool = engine._proc_pool
+            assert pool is not None and pool.alive_workers() == 2
+            os.kill(pool._workers[0].pid, signal.SIGKILL)
+            pool._workers[0].join(timeout=5.0)
+            # The next tick detects the death, respawns in place, and the
+            # verdicts stay bit-identical to the in-process oracle.
+            outcomes = engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            for name in engine.names():
+                _assert_flags_equal(
+                    outcomes[name].scan.report.flagged_groups, reference[name]
+                )
+            assert pool.alive_workers() == 2
+            assert pool.fault_stats()["worker_restarts"] >= 1
+        finally:
+            engine.close()
+
+    def test_poison_task_is_quarantined_inline(self):
+        # A task that kills every worker it meets: after max_task_retries
+        # deliveries the coordinator runs it inline (worker == -1) through
+        # the identical kernel, so the verdict still lands.
+        plan = FaultPlan(
+            [FaultInjection(0, FaultKind.KILL, attempt) for attempt in range(5)]
+        )
+        engine = self._published_engine(num_models=1)
+        pool = ProcessScanPool(
+            2, max_task_retries=2, fault_plan=plan, **FAULT_POOL_OPTIONS
+        )
+        try:
+            managed = engine.get("m0")
+            reference = managed.protector.scan_fused(managed.model)
+            results = pool.run(_full_scan_tasks(engine))
+            assert set(results) == {0}
+            assert results[0].worker == -1  # coordinator quarantine
+            fused = managed.scheduler.fused
+            _assert_flags_equal(
+                fused.rows_to_layer_groups(results[0].flagged[0]),
+                reference.flagged_groups,
+            )
+            stats = pool.fault_stats()
+            assert stats["tasks_quarantined"] == 1
+            assert stats["worker_restarts"] == 3  # kills at attempts 0, 1, 2
+            assert stats["task_retries"] == 2
+        finally:
+            pool.close()
+            engine.close()
+
+    def test_deadline_scales_with_task_count_and_is_surfaced(self):
+        # Per-task timeout with a floor: one wedged task against a tiny
+        # scaled deadline must raise, and the error must name the
+        # effective deadline so operators can see what was enforced.
+        plan = FaultPlan([FaultInjection(0, FaultKind.DELAY, delay_s=2.0)])
+        engine = self._published_engine(num_models=1)
+        pool = ProcessScanPool(
+            2,
+            timeout_s=0.1,
+            min_timeout_s=0.2,
+            lease_timeout_s=30.0,  # lease never expires: only the deadline can
+            fault_plan=plan,
+        )
+        try:
+            with pytest.raises(ProtectionError, match="deadline expired") as info:
+                pool.run(_full_scan_tasks(engine))
+            message = str(info.value)
+            assert "per task, floor" in message
+            assert "0 of 1 task(s)" in message
+        finally:
+            pool.close()
+            engine.close()
+
+    def test_dropped_results_redispatch_and_stale_results_drain(self):
+        # A worker whose result never arrives (DROP) holds its lease until
+        # expiry, then the task redispatches; a *delayed* result that
+        # arrives after its retry already won is drained as stale.
+        plan = FaultPlan(
+            [
+                FaultInjection(0, FaultKind.DROP),
+                FaultInjection(1, FaultKind.DELAY, delay_s=1.0),
+            ]
+        )
+        engine = self._published_engine(num_models=1)
+        pool = ProcessScanPool(
+            2, lease_timeout_s=0.1, retry_backoff_s=0.01, fault_plan=plan
+        )
+        try:
+            managed = engine.get("m0")
+            reference = managed.protector.scan_fused(managed.model)
+            fused = managed.scheduler.fused
+            for _ in range(2):  # internal ids 0 then 1: DROP then DELAY
+                results = pool.run(_full_scan_tasks(engine))
+                _assert_flags_equal(
+                    fused.rows_to_layer_groups(results[0].flagged[0]),
+                    reference.flagged_groups,
+                )
+            assert pool.fault_stats()["task_retries"] >= 2
+            # Let the delayed duplicate land, then drain it on the next run.
+            import time
+
+            time.sleep(1.2)
+            results = pool.run(_full_scan_tasks(engine))
+            _assert_flags_equal(
+                fused.rows_to_layer_groups(results[0].flagged[0]),
+                reference.flagged_groups,
+            )
+            assert pool.fault_stats()["stale_results_dropped"] >= 1
+        finally:
+            pool.close()
+            engine.close()
+
+    def test_malformed_result_is_retried(self):
+        plan = FaultPlan([FaultInjection(0, FaultKind.MALFORM)])
+        engine = self._published_engine(num_models=1)
+        pool = ProcessScanPool(2, fault_plan=plan, **FAULT_POOL_OPTIONS)
+        try:
+            managed = engine.get("m0")
+            reference = managed.protector.scan_fused(managed.model)
+            results = pool.run(_full_scan_tasks(engine))
+            fused = managed.scheduler.fused
+            _assert_flags_equal(
+                fused.rows_to_layer_groups(results[0].flagged[0]),
+                reference.flagged_groups,
+            )
+            stats = pool.fault_stats()
+            assert stats["malformed_results"] == 1
+            assert stats["task_retries"] == 1
+        finally:
+            pool.close()
+            engine.close()
+
+    def test_close_after_worker_crash_is_clean(self):
+        import os
+        import signal
+
+        engine = self._published_engine(num_models=1)
+        pool = ProcessScanPool(2)
+        try:
+            pool.run(_full_scan_tasks(engine))
+            os.kill(pool._workers[1].pid, signal.SIGKILL)
+            pool._workers[1].join(timeout=5.0)
+        finally:
+            pool.close()  # must not raise against the dead worker's queue
+            engine.close()
+        assert pool.alive_workers() == 0
+        with pytest.raises(ProtectionError, match="closed"):
+            pool.run([])
+
+
+class TestDegradeRestore:
+    """Repeated pool failures degrade to inline scanning, then restore."""
+
+    def test_degrade_and_restore_roundtrip(self, monkeypatch):
+        calls = {"count": 0}
+        original = ProcessScanPool.run
+
+        def flaky(self, tasks):
+            calls["count"] += 1
+            if calls["count"] <= 2:
+                raise ProtectionError("synthetic pool failure")
+            return original(self, tasks)
+
+        monkeypatch.setattr(ProcessScanPool, "run", flaky)
+        pooled, sequential = _build_mirrored_engines([0, 1], processes=2)
+        pooled.degrade_after = 2
+        pooled.restore_after_ticks = 2
+        try:
+            for engine in (pooled, sequential):
+                _flip_weight(engine.get("m0").model, 0, 11)
+            # Ticks 1-2 fail the pool (inline fallback), tripping DEGRADED;
+            # tick 3 serves degraded; tick 4 completes the healthy window,
+            # fires RESTORED and re-probes a fresh pool successfully.
+            for _ in range(4):
+                outcomes = pooled.tick(recovery_policy=RecoveryPolicy.NONE)
+                expected = sequential.tick(recovery_policy=RecoveryPolicy.NONE)
+                for name in sequential.names():
+                    _assert_flags_equal(
+                        outcomes[name].scan.report.flagged_groups,
+                        expected[name].scan.report.flagged_groups,
+                    )
+            fleet_events = [
+                event for event in pooled.bus.events()
+                if event.model == FLEET_SCOPE
+            ]
+            assert [event.type for event in fleet_events] == [
+                FleetEventType.DEGRADED,
+                FleetEventType.RESTORED,
+            ]
+            degraded = fleet_events[0]
+            assert degraded.detail["consecutive_failures"] == 2
+            assert "synthetic pool failure" in degraded.detail["error"]
+            assert not pooled.degraded
+            stats = pooled.fault_stats()
+            assert stats["pool_failures"] == 2
+            assert stats["degraded_ticks"] == 2
+            assert stats["degraded"] is False
+            # The restored pool really ran: call 3 reached the original.
+            assert calls["count"] == 3
+        finally:
+            pooled.close()
+            sequential.close()
+
+    def test_degraded_engine_keeps_serving_detections(self, monkeypatch):
+        monkeypatch.setattr(
+            ProcessScanPool,
+            "run",
+            lambda self, tasks: (_ for _ in ()).throw(
+                ProtectionError("pool always fails")
+            ),
+        )
+        engine = VerificationEngine(
+            RadarConfig(group_size=8),
+            num_shards=4,
+            processes=2,
+            degrade_after=1,
+            restore_after_ticks=10_000,
+        )
+        try:
+            engine.register("m", _small_model(3))
+            engine.tick()
+            assert engine.degraded
+            _flip_weight(engine.get("m").model, 0, 5)
+            detected = False
+            for _ in range(engine.get("m").scheduler.worst_case_lag_passes):
+                outcomes = engine.tick()
+                detected = detected or outcomes["m"].attack_detected
+            assert detected  # degraded mode still detects and serves
+            assert engine.fault_stats()["degraded"] is True
+        finally:
+            engine.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ProtectionError, match="degrade_after"):
+            VerificationEngine(
+                RadarConfig(group_size=8), processes=2, degrade_after=0
+            )
+        with pytest.raises(ProtectionError, match="restore_after_ticks"):
+            VerificationEngine(
+                RadarConfig(group_size=8), processes=2, restore_after_ticks=0
+            )
+
+
+def _record_from_child(path, model, names) -> None:
+    from repro.telemetry.store import SegmentRegistry
+
+    SegmentRegistry(path).record(model, 1, names)
+
+
+def _die_holding_segments(path, model, size) -> None:
+    """A coordinator that publishes segments and dies without cleanup."""
+    import os
+
+    from repro.telemetry.store import SegmentRegistry
+
+    segments = [
+        shared_memory.SharedMemory(create=True, size=size) for _ in range(2)
+    ]
+    SegmentRegistry(path).record(
+        model, 1, [segment.name for segment in segments]
+    )
+    os._exit(1)  # simulated kill: no unlink, no ledger discard
+
+
+class TestSegmentReaper:
+    """Satellite: restart reaps shm segments leaked by a dead coordinator."""
+
+    def _untrack(self, *names) -> None:
+        # The parent's resource tracker learned these names via fork; after
+        # the reaper unlinks them, de-register to keep shutdown quiet.
+        from multiprocessing import resource_tracker
+
+        for name in names:
+            try:
+                resource_tracker.unregister("/" + name, "shared_memory")
+            except Exception:
+                pass
+
+    def test_reap_unlinks_only_dead_pid_entries_idempotently(self, tmp_path):
+        import multiprocessing
+
+        store = StateStore(tmp_path)
+        registry = store.segment_registry()
+        live = shared_memory.SharedMemory(create=True, size=32)
+        orphan = shared_memory.SharedMemory(create=True, size=32)
+        try:
+            registry.record("live-model", 1, [live.name])
+            # A child records the orphan (plus a name the OS already forgot)
+            # and exits: its pid is dead by the time the parent reaps.
+            child = multiprocessing.Process(
+                target=_record_from_child,
+                args=(store.segments_path, "dead-model", [orphan.name, "ghost"]),
+            )
+            child.start()
+            child.join()
+            assert child.exitcode == 0
+            reaped = store.reap_orphan_segments()
+            assert reaped == [orphan.name]  # ghost dropped silently
+            self._untrack(orphan.name)
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=orphan.name)
+            # The live entry survived, and the reap is idempotent.
+            assert set(registry.entries()) == {"live-model"}
+            shared_memory.SharedMemory(name=live.name).close()
+            assert store.reap_orphan_segments() == []
+        finally:
+            live.close()
+            try:
+                live.unlink()
+            except FileNotFoundError:
+                pass
+
+    def test_restart_reaps_after_simulated_coordinator_kill(self, tmp_path):
+        import multiprocessing
+
+        store = StateStore(tmp_path)
+        child = multiprocessing.Process(
+            target=_die_holding_segments,
+            args=(store.segments_path, "killed", 64),
+        )
+        child.start()
+        child.join()
+        assert child.exitcode == 1
+        entry = store.segment_registry().entries()["killed"]
+        assert entry["pid"] == child.pid
+        names = entry["segments"]
+        reaped = store.reap_orphan_segments()
+        assert sorted(reaped) == sorted(names)
+        self._untrack(*names)
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        assert store.segment_registry().entries() == {}
+        assert store.reap_orphan_segments() == []
+
+    def test_engine_records_and_discards_through_the_registry(self, tmp_path):
+        store = StateStore(tmp_path)
+        engine = VerificationEngine(
+            RadarConfig(group_size=8),
+            num_shards=4,
+            processes=2,
+            segment_registry=store.segment_registry(),
+        )
+        try:
+            engine.register("m", _small_model(1))
+            engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            entries = store.segment_registry().entries()
+            assert set(entries) == {"m"}
+            assert entries["m"]["generation"] == 1
+            assert len(entries["m"]["segments"]) == 4
+            # Re-sign bumps the recorded generation, not just the segments.
+            _flip_weight(engine.get("m").model, 0, 5)
+            for _ in range(engine.get("m").scheduler.worst_case_lag_passes):
+                if engine.tick()["m"].reprotected:
+                    break
+            entries = store.segment_registry().entries()
+            assert entries["m"]["generation"] == 2
+        finally:
+            engine.close()
+        # Graceful close discarded everything: nothing left to reap.
+        assert store.segment_registry().entries() == {}
+        assert store.reap_orphan_segments() == []
+
+
+class TestFaultTelemetry:
+    """Fault counters mirror into FleetTelemetry under the fleet scope."""
+
+    def test_fault_stats_mirrored_and_fleet_scope_hidden(self):
+        plan = FaultPlan(
+            [FaultInjection(task_id, FaultKind.KILL) for task_id in range(2)]
+        )
+        telemetry = FleetTelemetry()
+        engine = VerificationEngine(
+            RadarConfig(group_size=8),
+            num_shards=4,
+            processes=2,
+            fault_plan=plan,
+            pool_options=dict(FAULT_POOL_OPTIONS),
+        )
+        telemetry.attach(engine)
+        try:
+            for index in range(2):
+                engine.register(f"m{index}", _small_model(index))
+            for _ in range(2):
+                engine.tick(recovery_policy=RecoveryPolicy.NONE)
+            report = telemetry.fault_report()
+            assert report["faults_injected"] == len(plan)
+            assert report["worker_restarts"] >= 2
+            assert report["task_retries"] >= 2
+            assert report["degraded"] is False
+            # The fleet pseudo-model never shows up as a model.
+            assert FLEET_SCOPE not in telemetry.models()
+        finally:
+            telemetry.detach()
+            engine.close()
+
+
 class TestProcessCLI:
     """Satellite 6 (CLI side) and the infer-demo state round-trip."""
 
@@ -477,6 +963,64 @@ class TestProcessCLI:
         rows = json.loads(output.read_text())["rows"]
         assert rows
         capsys.readouterr()
+
+    def test_serve_demo_chaos_seed_injects_and_reports(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--passes", "5",
+                "--processes", "2",
+                "--chaos-seed", "7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seeded fault plan" in out
+        assert "scan pool resilience:" in out
+        # The attacked model is still detected and repaired under chaos.
+        assert "detected and repaired" in out
+
+    def test_serve_demo_chaos_seed_requires_processes(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["serve-demo", "--models", "1", "--passes", "2", "--chaos-seed", "1"]
+        )
+        assert code == 0
+        assert "ignored without --processes" in capsys.readouterr().err
+
+    def test_serve_demo_state_dir_reaps_orphans(self, capsys, tmp_path):
+        import multiprocessing
+
+        from repro.cli import main
+        from repro.telemetry.store import StateStore
+
+        state_dir = tmp_path / "state"
+        store = StateStore(state_dir)
+        child = multiprocessing.Process(
+            target=_die_holding_segments,
+            args=(store.segments_path, "killed", 64),
+        )
+        child.start()
+        child.join()
+        code = main(
+            [
+                "serve-demo",
+                "--models", "1",
+                "--passes", "2",
+                "--processes", "2",
+                "--state-dir", str(state_dir),
+            ]
+        )
+        assert code == 0
+        assert "reaped 2 orphaned shared-memory segment(s)" in (
+            capsys.readouterr().out
+        )
+        # This run's graceful close left nothing behind either.
+        assert store.segment_registry().entries() == {}
 
     def test_infer_demo_state_roundtrip(self, capsys, tmp_path):
         from repro.cli import main
