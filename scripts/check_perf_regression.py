@@ -68,6 +68,14 @@ Three benchmark kinds are understood (``--kind``):
   saturate the fixed rotation's worst-case bound (p99 == bound), while
   under the jittered planner its p99 must sit strictly *inside* the
   declared bound (the defense restores slack the fixed rotation forfeits).
+* ``trace-overhead`` — ``results/trace_overhead.json`` from
+  ``benchmarks/test_bench_trace_overhead.py``: rows keyed by ``mode``
+  (``disabled`` / ``enabled``).  An *absolute* gate, not a ratio gate:
+  each row commits to its own ``max_overhead_pct`` budget (tracing
+  disabled must cost < 2 % of a fleet tick, enabled < 10 %) and the
+  fresh ``overhead_pct`` must stay under it.  The budget itself is a
+  structural field — quietly raising it in the benchmark without
+  touching the committed baseline is caught.
 
 Exit status: 0 when no regression, 1 on regression or malformed input.
 """
@@ -112,6 +120,11 @@ GATES: Dict[str, GateSpec] = {
         key_field="processes",
         ratio_metrics=("speedup_vs_single",),
         structural_fields=("num_models", "groups_per_tick"),
+    ),
+    "trace-overhead": GateSpec(
+        key_field="mode",
+        ratio_metrics=(),
+        structural_fields=("max_overhead_pct", "spans_per_tick"),
     ),
     "campaign": GateSpec(
         key_field="case",
@@ -364,6 +377,27 @@ def main(argv=None) -> int:
                     f"{fresh_row[metric]:.2f}x "
                     f"(baseline {base_row[metric]:.2f}x, floor {floor:.2f}x)"
                 )
+        if args.kind == "trace-overhead":
+            overhead = fresh_row.get("overhead_pct")
+            budget = fresh_row.get("max_overhead_pct")
+            if not isinstance(overhead, (int, float)) or not math.isfinite(
+                overhead
+            ):
+                failures.append(
+                    f"{spec.key_field}={key}: overhead_pct is {overhead!r}"
+                )
+            elif overhead > budget:
+                failures.append(
+                    f"{spec.key_field}={key}: tracing overhead "
+                    f"{overhead:.3f}% of a fleet tick exceeds the "
+                    f"{budget:g}% budget"
+                )
+            else:
+                print(
+                    f"{spec.key_field}={key}: tracing overhead "
+                    f"{overhead:.3f}% <= {budget:g}% budget"
+                )
+            continue
         if args.kind == "campaign":
             for metric in CAMPAIGN_MATRIX_STRUCTURAL:
                 if metric in base_row and base_row[metric] != fresh_row.get(metric):

@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""End-to-end smoke test of the observability HTTP surface.
+
+Launches ``repro-radar serve-demo`` as a real subprocess with the process
+scan pool, seeded chaos, an ephemeral ``--http-port`` and a trace
+directory, then — while the demo lingers — exercises the surface the way
+a scraper would:
+
+1. poll ``/healthz`` until it answers 200 with ``status: ok|degraded``;
+2. fetch ``/metrics`` and parse it with the repo's *strict* Prometheus
+   text-format 0.0.4 parser (:func:`repro.telemetry.exposition.parse_prometheus`);
+3. assert the metric families the dashboards key on are present:
+   detection latency, budget utilization, tick duration and every
+   ``fleet_*_total`` supervision counter;
+4. cross-check ``/fault-stats`` (the engine's own JSON counters) against
+   the ``fleet_*_total`` values on ``/metrics`` — the two surfaces must
+   tell one story;
+5. fetch ``/trace`` and verify every span's parent resolves (no orphans);
+6. wait for the demo to exit cleanly and confirm the JSONL trace export
+   landed on disk.
+
+Exit status 0 on success; any failure prints the reason and exits 1.
+Used by the ``observability-smoke`` CI job; runs locally the same way:
+
+    python scripts/http_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.telemetry.exposition import find_sample, parse_prometheus  # noqa: E402
+
+#: Metric families that must be present and parseable on /metrics.
+REQUIRED_FAMILIES = (
+    "detection_latency_s",
+    "budget_utilization",
+    "tick_duration_s",
+    "ticks_total",
+    "fleet_events_total",
+    "fleet_worker_restarts_total",
+    "fleet_task_retries_total",
+    "fleet_faults_injected_total",
+)
+
+#: /fault-stats keys cross-checked against their fleet_*_total counters.
+CROSS_CHECKED_STATS = (
+    "worker_restarts",
+    "task_retries",
+    "tasks_quarantined",
+    "faults_injected",
+    "worker_errors",
+)
+
+LINGER_S = 20.0
+
+
+def fail(reason: str) -> None:
+    print(f"SMOKE FAILED: {reason}", file=sys.stderr)
+    sys.exit(1)
+
+
+def fetch(url: str, timeout_s: float = 5.0) -> tuple:
+    with urllib.request.urlopen(url, timeout=timeout_s) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def poll(url: str, deadline_s: float, what: str) -> str:
+    last_error = "no attempt"
+    while time.monotonic() < deadline_s:
+        try:
+            status, body = fetch(url)
+            if status == 200:
+                return body
+            last_error = f"HTTP {status}"
+        except (urllib.error.URLError, ConnectionError, OSError) as error:
+            last_error = str(error)
+        time.sleep(0.2)
+    fail(f"{what} never became ready: {last_error}")
+
+
+def main() -> int:
+    trace_dir = Path(tempfile.mkdtemp(prefix="repro-http-smoke-"))
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "serve-demo",
+        "--models",
+        "3",
+        "--processes",
+        "2",
+        "--chaos-seed",
+        "20",
+        "--passes",
+        "24",
+        "--budget-ms",
+        "2.0",
+        "--http-port",
+        "0",
+        "--trace-dir",
+        str(trace_dir),
+        "--report-every",
+        "12",
+        "--linger-s",
+        f"{LINGER_S:g}",
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (str(REPO_ROOT / "src"), env.get("PYTHONPATH"))
+        if part
+    )
+    print("launching:", " ".join(command))
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+    try:
+        # The demo prints the ephemeral port before the first pass.
+        url = None
+        launch_deadline = time.monotonic() + 60.0
+        for line in process.stdout:
+            print(f"  demo | {line.rstrip()}")
+            match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+            if match:
+                url = match.group(1)
+                break
+            if time.monotonic() > launch_deadline:
+                break
+        if url is None:
+            fail("serve-demo never announced its observability URL")
+        # Don't let the demo block on a full stdout pipe while we scrape.
+        deadline = time.monotonic() + 60.0
+        poll(f"{url}/healthz", deadline, "/healthz")
+        print("healthz: ok")
+
+        # The fleet_* counters appear after the first tick's fault-stats
+        # mirror; poll until the full family set is scrapeable.
+        parsed = None
+        missing = list(REQUIRED_FAMILIES)
+        while time.monotonic() < deadline:
+            body = poll(f"{url}/metrics", deadline, "/metrics")
+            if not body:
+                # An empty registry renders an empty exposition; the demo
+                # has not finished its first tick yet.
+                time.sleep(0.3)
+                continue
+            parsed = parse_prometheus(body)
+            missing = [
+                family
+                for family in REQUIRED_FAMILIES
+                if family not in parsed["families"]
+            ]
+            if not missing:
+                break
+            time.sleep(0.3)
+        if parsed is None:
+            fail("/metrics never served a non-empty exposition")
+        if missing:
+            fail(f"/metrics is missing families: {missing}")
+        print(
+            f"metrics: strict parse ok, {len(parsed['families'])} families, "
+            f"all {len(REQUIRED_FAMILIES)} required present"
+        )
+
+        status, stats_body = fetch(f"{url}/fault-stats")
+        if status != 200:
+            fail(f"/fault-stats answered HTTP {status}")
+        stats = json.loads(stats_body)
+        for key in CROSS_CHECKED_STATS:
+            engine_value = float(stats.get(key, 0))
+            value = find_sample(parsed, f"fleet_{key}_total")
+            if value is None:
+                fail(f"/metrics has no sample for fleet_{key}_total")
+            # The scrape may be one tick behind the live JSON counters.
+            if value > engine_value:
+                fail(
+                    f"fleet_{key}_total={value} on /metrics exceeds "
+                    f"the engine's own {key}={engine_value}"
+                )
+        print(f"fault-stats: consistent with /metrics ({dict(stats)})")
+
+        status, trace_body = fetch(f"{url}/trace")
+        if status != 200:
+            fail(f"/trace answered HTTP {status}")
+        spans = [json.loads(line) for line in trace_body.splitlines() if line]
+        if not spans:
+            fail("/trace returned no spans")
+        # The live snapshot can include spans of a tick still in flight,
+        # whose root engine.tick span has not finished (and therefore not
+        # recorded) yet — only *complete* traces owe a resolvable parent
+        # chain here.  The on-disk export is checked strictly below.
+        complete = {
+            span["trace_id"]
+            for span in spans
+            if span.get("name") == "engine.tick"
+        }
+        closed_spans = [
+            span for span in spans if span.get("trace_id") in complete
+        ]
+        known = {span["span_id"] for span in closed_spans}
+        orphans = [
+            span
+            for span in closed_spans
+            if span.get("parent_id") and span["parent_id"] not in known
+        ]
+        if orphans:
+            fail(
+                f"/trace has {len(orphans)} orphaned span(s) in complete "
+                f"traces: {sorted({span['name'] for span in orphans})}"
+            )
+        sites = {span.get("site") for span in spans}
+        if not any(site and site.startswith("process-") for site in sites):
+            fail(f"no worker-side spans in the trace (sites: {sorted(sites)})")
+        print(
+            f"trace: {len(spans)} spans ({len(complete)} complete ticks), "
+            f"no orphans, sites {sorted(sites)}"
+        )
+
+        remainder = process.communicate(timeout=LINGER_S + 60.0)[0]
+        for line in remainder.splitlines():
+            print(f"  demo | {line}")
+        if process.returncode != 0:
+            fail(f"serve-demo exited with {process.returncode}")
+        export = trace_dir / "trace.jsonl"
+        if not export.exists() or not export.read_text().strip():
+            fail(f"trace export missing or empty: {export}")
+        # Strict orphan check on the finished export: every worker scan,
+        # retry and quarantine span must chain back to its tick span.
+        analysis = subprocess.run(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "trace_analysis.py"),
+                str(export),
+                "--strict",
+            ],
+            capture_output=True,
+            text=True,
+        )
+        print(analysis.stdout)
+        if analysis.returncode != 0:
+            fail(f"trace_analysis --strict failed on {export}")
+        print(f"exit: clean, trace export at {export}")
+        print("SMOKE PASSED")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

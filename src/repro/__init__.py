@@ -11,8 +11,10 @@ and Chakrabarti.  The package provides:
 * ``repro.attacks`` — the Progressive Bit-Flip Attack and variants;
 * ``repro.core`` — the RADAR detection and recovery scheme, plus the
   amortized scan scheduler and multi-model protection service;
-* ``repro.telemetry`` — fleet SLA metrics (detection-latency percentiles)
-  and durable persistence of calibrated state across restarts;
+* ``repro.telemetry`` — fleet SLA metrics (detection-latency percentiles),
+  durable persistence of calibrated state across restarts, span tracing
+  across the process pool, Prometheus text exposition and the read-only
+  observability HTTP surface;
 * ``repro.baselines`` — CRC / Hamming / parity comparison codes;
 * ``repro.memsim`` — DRAM, rowhammer and timing simulation;
 * ``repro.experiments`` — one harness per paper table and figure, plus

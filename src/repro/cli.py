@@ -682,6 +682,27 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
     from repro.telemetry.monitor import FleetTelemetry
 
     telemetry = FleetTelemetry().attach(engine)
+    recorder = None
+    if args.trace_dir is not None:
+        from repro.telemetry.trace import FlightRecorder, SpanTracer
+
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        # auto_dump_dir makes the engine's DEGRADED transition dump the
+        # flight recorder unprompted — the trace that explains the
+        # degradation is on disk before anyone asks for it.
+        recorder = FlightRecorder(auto_dump_dir=args.trace_dir)
+        engine.tracer = SpanTracer(recorder=recorder)
+    server = None
+    if args.http_port is not None:
+        from repro.telemetry.httpd import ObservabilityServer
+
+        server = ObservabilityServer(
+            telemetry=telemetry,
+            engine=engine,
+            recorder=recorder,
+            port=args.http_port,
+        ).start()
+        print(f"observability server listening on {server.url}")
     state_store = None
     if args.state_dir is not None:
         from repro.telemetry.store import StateStore
@@ -733,6 +754,23 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
             if outcome.budget_s is not None:
                 row["budget_share_ms"] = round(outcome.budget_s * 1e3, 6)
             rows.append(row)
+        if (
+            args.report_every is not None
+            and (pass_index + 1) % args.report_every == 0
+        ):
+            fault = telemetry.fault_report()
+            live = ", ".join(
+                f"{key}={value}" for key, value in sorted(fault.items()) if value
+            )
+            print(f"[pass {pass_index + 1}] fault report: {live or 'clean'}")
+            worker_rows = telemetry.worker_report()
+            if worker_rows:
+                print(
+                    reporting.render_table(
+                        worker_rows,
+                        title=f"Worker load after pass {pass_index + 1}",
+                    )
+                )
     _emit(rows, f"Serving timeline ({args.models} models, {args.num_shards} shards)", args.output)
     if args.events:
         event_rows = [
@@ -788,6 +826,20 @@ def _cmd_serve_demo(args: argparse.Namespace) -> int:
                 f"detection latency over {len(ticks)} persisted detection(s) "
                 f"(ticks, spans restarts): {quantiles}"
             )
+    if server is not None and args.linger_s is not None:
+        import time as _time
+
+        print(f"lingering {args.linger_s:g}s for scrapes on {server.url}")
+        _time.sleep(args.linger_s)
+    if server is not None:
+        server.close()
+    if recorder is not None:
+        trace_path = args.trace_dir / "trace.jsonl"
+        recorder.dump_jsonl(trace_path)
+        print(
+            f"trace exported: {len(recorder)} span(s) -> {trace_path} "
+            f"(analyze with scripts/trace_analysis.py)"
+        )
     engine.close()
     return 0
 
@@ -1108,6 +1160,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed a deterministic fault plan against the process scan pool "
         "(worker kills, delays, dropped results); requires --processes > 1. "
         "Verdicts stay bit-identical; the pool self-heals",
+    )
+    serve_parser.add_argument(
+        "--http-port", type=int, default=None,
+        help="serve the observability surface (/metrics Prometheus text, "
+        "/healthz, /fault-stats, /trace) on 127.0.0.1; 0 picks an "
+        "ephemeral port and prints it",
+    )
+    serve_parser.add_argument(
+        "--trace-dir", type=Path, default=None,
+        help="enable span tracing of every engine tick; the full trace is "
+        "exported as JSONL here at the end of the run, and dumped "
+        "automatically if the scan pool degrades",
+    )
+    serve_parser.add_argument(
+        "--report-every", type=_positive_int, default=None,
+        help="print the live fault report and per-worker load table every "
+        "N passes",
+    )
+    serve_parser.add_argument(
+        "--linger-s", type=_positive_float, default=None,
+        help="keep the --http-port server up this many seconds after the "
+        "passes finish (a scrape window; the demo itself runs in "
+        "milliseconds)",
     )
     serve_parser.add_argument("--seed", type=int, default=0)
     serve_parser.add_argument("--output", type=Path, default=None)

@@ -104,6 +104,7 @@ from repro.core.signature import (
 from repro.errors import ProtectionError
 from repro.nn.module import Module
 from repro.quant.layers import quantized_layers
+from repro.telemetry.trace import NULL_SPAN, NULL_TRACER
 
 
 class ProtectionState(str, Enum):
@@ -430,6 +431,18 @@ class VerificationEngine:
         #: lifecycle *events* travel over the bus, but budget utilisation
         #: and stacking efficiency live in tick outcomes, which never do.
         self.telemetry = None
+        #: Span tracer for the tick pipeline (plan → assemble → kernel →
+        #: verdict → lifecycle).  The null tracer makes every span call a
+        #: constant-time no-op; ``serve-demo --trace-dir`` swaps in a
+        #: :class:`~repro.telemetry.trace.SpanTracer` with a flight
+        #: recorder.  Worker-lane spans parent back to the tick span via
+        #: the :class:`~repro.core.procpool.ScanTask` trace envelope.
+        self.tracer = NULL_TRACER
+        #: Wall-clock of the last completed tick (``perf_counter`` diff),
+        #: measured just before telemetry observes the tick so the
+        #: ``tick_duration_s`` histogram and the ``engine.tick`` span
+        #: report the *same* sample.
+        self.last_tick_duration_s: Optional[float] = None
         #: Deterministic chaos schedule shipped to every scan worker (see
         #: :class:`~repro.core.procpool.FaultPlan`); ``None`` in production.
         self.fault_plan = fault_plan
@@ -447,6 +460,7 @@ class VerificationEngine:
         self.segment_registry = segment_registry
         self._models: Dict[str, ManagedModel] = {}
         self._tick_index = 0
+        self._tick_span_ctx = None
         self._pool: Optional[ThreadPoolExecutor] = None
         self._proc_pool: Optional[ProcessScanPool] = None
         # Degradation state machine: consecutive pool failures trip it,
@@ -682,6 +696,17 @@ class VerificationEngine:
             else self.recovery_policy
         )
         self._tick_index += 1
+        tracer = self.tracer
+        started = time.perf_counter()
+        tick_span = tracer.span(
+            "engine.tick",
+            attrs={"tick": self._tick_index, "models": len(self._models)},
+        )
+        # Kernel batches and lifecycle transitions run in helpers (some on
+        # pool threads) that have no natural parameter path for the span
+        # context; one tick runs at a time, so an attribute is safe.
+        self._tick_span_ctx = tick_span.context
+        plan_span = tracer.span("tick.plan", parent=tick_span.context)
         plans = self._plan_tick(budget_s)
         slices: List[_PlannedSlice] = []
         for name, managed in self._models.items():
@@ -697,7 +722,9 @@ class VerificationEngine:
                     },
                 )
             slices.append(_PlannedSlice(managed, share, shard_indices, rows))
-        self._execute(slices)
+        plan_span.finish()
+        self._execute(slices, parent=tick_span.context)
+        verdict_span = tracer.span("tick.verdict", parent=tick_span.context)
         outcomes: Dict[str, EngineTickOutcome] = {}
         for planned in slices:
             scan = planned.managed.scheduler.apply_scan(
@@ -709,8 +736,16 @@ class VerificationEngine:
             outcomes[planned.managed.name] = self._lifecycle(
                 planned, scan, policy
             )
+        verdict_span.finish()
+        # Stamp the duration *before* telemetry observes it, then close the
+        # tick span with the very same value — the span export and the
+        # tick_duration_s histogram must agree sample for sample.
+        elapsed = time.perf_counter() - started
+        self.last_tick_duration_s = elapsed
         if self.telemetry is not None:
             self.telemetry.observe_tick(self._tick_index, outcomes)
+        self._tick_span_ctx = None
+        tick_span.finish(duration_s=elapsed)
         return outcomes
 
     @property
@@ -718,7 +753,7 @@ class VerificationEngine:
         """Ticks run so far (the tick stamp :class:`FleetEvent`\\ s carry)."""
         return self._tick_index
 
-    def _execute(self, slices: List[_PlannedSlice]) -> None:
+    def _execute(self, slices: List[_PlannedSlice], parent=None) -> None:
         """Verify every planned slice, coalescing kernel-compatible ones.
 
         Slices are bucketed by :meth:`FusedSignatures.kernel_key` — the same
@@ -735,6 +770,7 @@ class VerificationEngine:
         rides the :class:`FusedSignatures` views here and the published
         :class:`SharedPlaneSpec` on the process path.
         """
+        assemble_span = self.tracer.span("tick.assemble", parent=parent)
         batches: Dict[Tuple, List[_PlannedSlice]] = {}
         for planned in slices:
             if planned.rows.size == 0:
@@ -762,8 +798,10 @@ class VerificationEngine:
                 sub_batch = [batch[index] for index in part]
                 verifier = self._bucket_verifier((key, sub_index), sub_batch)
                 groups.append((sub_batch, scratch, verifier))
+        assemble_span.set_attr("buckets", len(groups))
+        assemble_span.finish()
         if self.processes > 1 and groups:
-            self._execute_processes(groups)
+            self._execute_processes(groups, parent=parent)
         elif self.workers > 1 and len(groups) > 1:
             started = time.perf_counter()
             pool = self._ensure_pool()
@@ -790,6 +828,7 @@ class VerificationEngine:
     def _execute_processes(
         self,
         groups: List[Tuple[List[_PlannedSlice], ScanScratch, StackedVerifier]],
+        parent=None,
     ) -> None:
         """Run the planned groups on the process pool, degrading on failure.
 
@@ -848,8 +887,15 @@ class VerificationEngine:
             )
             tasks.append(ScanTask(task_id, tuple(items), homogeneous))
         started = time.perf_counter()
+        # Untraced runs keep the plain run(tasks) signature so pool stand-ins
+        # (tests, alternative pools) owe nothing to the tracing surface.
+        trace_kwargs = (
+            {"tracer": self.tracer, "parent": parent}
+            if self.tracer.enabled
+            else {}
+        )
         try:
-            results = self._ensure_proc_pool().run(tasks)
+            results = self._ensure_proc_pool().run(tasks, **trace_kwargs)
         except ProtectionError as error:
             self._note_pool_failure(error)
             self._run_groups_inline(groups)
@@ -907,6 +953,10 @@ class VerificationEngine:
                     "error": str(error),
                 },
             )
+            # Black-box dump: capture the flight that tripped the breaker
+            # while the evidence is still in the recorder (no-op unless a
+            # tracer with an auto-dump directory is attached).
+            self.tracer.auto_dump("degraded")
         if self._degraded:
             self._degraded_ticks_total += 1
 
@@ -974,6 +1024,11 @@ class VerificationEngine:
         scratch: ScanScratch,
         verifier: Optional[StackedVerifier] = None,
     ) -> None:
+        span = (
+            self.tracer.span("scan.kernel", parent=self._tick_span_ctx)
+            if self.tracer.enabled
+            else NULL_SPAN
+        )
         started = time.perf_counter()
         # Singletons go through the same kernel: a one-model "stack" costs the
         # same as the direct path but reuses the cached layer maps instead of
@@ -993,6 +1048,10 @@ class VerificationEngine:
         share = elapsed / len(batch)
         width = max(planned.rows.size for planned in batch)
         worker = threading.current_thread().name
+        span.set_attr("batch", len(batch))
+        span.set_attr("width", int(width))
+        span.set_attr("worker", worker)
+        span.finish(duration_s=elapsed)
         for planned, flagged_rows in zip(batch, flagged):
             planned.flagged_rows = flagged_rows
             planned.worker = worker
@@ -1015,6 +1074,17 @@ class VerificationEngine:
         transitions: List[ProtectionState] = []
         recovery: Optional[RecoveryReport] = None
         reprotected = False
+        # Transitions are rare (a clean tick never gets here with flags),
+        # so the span is only opened when the lifecycle actually moves.
+        span = (
+            self.tracer.span(
+                "lifecycle.transition",
+                parent=self._tick_span_ctx,
+                attrs={"model": managed.name},
+            )
+            if self.tracer.enabled and planned.flagged_rows.size
+            else NULL_SPAN
+        )
 
         def move(state: ProtectionState) -> None:
             managed.state = state
@@ -1093,6 +1163,8 @@ class VerificationEngine:
                 # state without a re-sign.
                 move(ProtectionState.PROTECTED)
 
+        span.set_attr("transitions", [state.value for state in transitions])
+        span.finish()
         return EngineTickOutcome(
             name=managed.name,
             scan=scan,

@@ -67,6 +67,7 @@ from repro.core.signature import (
     stacked_mismatched_rows,
 )
 from repro.errors import ProtectionError
+from repro.telemetry.trace import wire_span
 
 
 class ScanTaskItem(NamedTuple):
@@ -85,12 +86,16 @@ class ScanTask(NamedTuple):
     :func:`~repro.core.signature.stacked_mismatched_rows`).  ``attempt``
     counts deliveries of this task (0 = first); the supervisor bumps it on
     every retry so a :class:`FaultPlan` can address one delivery exactly.
+    ``trace`` is the propagated span context, ``(trace_id, parent_span_id)``
+    — ``None`` when tracing is off, in which case the wire format is
+    byte-identical to the untraced protocol.
     """
 
     task_id: int
     items: Tuple[ScanTaskItem, ...]
     homogeneous: bool
     attempt: int = 0
+    trace: Optional[Tuple[str, str]] = None
 
 
 class ScanTaskResult(NamedTuple):
@@ -98,12 +103,17 @@ class ScanTaskResult(NamedTuple):
 
     ``worker`` is the index of the worker lane that produced the result,
     or ``-1`` when the coordinator executed the task inline (quarantine).
+    ``spans`` carries the worker-side finished span dicts (built with
+    :func:`~repro.telemetry.trace.wire_span`) when the task's trace
+    envelope was set; the coordinator ingests them into its flight
+    recorder after validating the payload.
     """
 
     task_id: int
     worker: int
     flagged: Optional[List[np.ndarray]]
     error: Optional[str]
+    spans: Tuple[Dict, ...] = ()
 
 
 # -- deterministic fault injection ------------------------------------------------
@@ -320,24 +330,64 @@ def _worker_main(worker_index: int, tasks, results, fault_plan=None) -> None:
                     time.sleep(fault.delay_s)
                 if fault.kind is FaultKind.DROP:
                     continue
+
+            def _scan_span(duration_s, error=None):
+                # The worker cannot hold a live Span (the recorder lives in
+                # the coordinator); it ships a finished span dict parented
+                # to the task span named in the trace envelope.
+                if task.trace is None:
+                    return ()
+                trace_id, parent_id = task.trace
+                attrs = {
+                    "task": task.task_id,
+                    "attempt": task.attempt,
+                    "models": len(task.items),
+                }
+                if fault is not None:
+                    attrs["fault"] = fault.kind.value
+                if error is not None:
+                    attrs["error"] = error
+                return (
+                    wire_span(
+                        "worker.scan",
+                        trace_id,
+                        parent_id,
+                        started_unix,
+                        duration_s,
+                        f"process-{worker_index}",
+                        attrs,
+                    ),
+                )
+
+            started_unix = time.time()
+            started = time.perf_counter()
             try:
                 flagged = _run_task(task, attachments, scratch)
             except Exception as error:  # ship the failure, keep serving
+                message = f"{type(error).__name__}: {error}"
                 results.put(
                     ScanTaskResult(
                         task.task_id,
                         worker_index,
                         None,
-                        f"{type(error).__name__}: {error}",
+                        message,
+                        _scan_span(time.perf_counter() - started, message),
                     )
                 )
                 continue
+            duration_s = time.perf_counter() - started
             if fault is not None and fault.kind is FaultKind.MALFORM:
                 # Truncated and type-poisoned, but under the real task id —
                 # corruption the coordinator must attribute and retry.
                 flagged = list(flagged[:-1]) + ["corrupt-wire-payload"]
             results.put(
-                ScanTaskResult(task.task_id, worker_index, flagged, None)
+                ScanTaskResult(
+                    task.task_id,
+                    worker_index,
+                    flagged,
+                    None,
+                    _scan_span(duration_s),
+                )
             )
     finally:
         for attachment in attachments.values():
@@ -347,7 +397,15 @@ def _worker_main(worker_index: int, tasks, results, fault_plan=None) -> None:
 class _Job:
     """Coordinator-side lease record of one task inside one ``run``."""
 
-    __slots__ = ("task", "caller_id", "attempt", "worker", "lease_expires", "state")
+    __slots__ = (
+        "task",
+        "caller_id",
+        "attempt",
+        "worker",
+        "lease_expires",
+        "state",
+        "span",
+    )
 
     def __init__(self, task: ScanTask, caller_id: int) -> None:
         self.task = task
@@ -356,6 +414,9 @@ class _Job:
         self.worker: Optional[int] = None
         self.lease_expires = 0.0
         self.state = "pending"  # pending -> inflight -> done
+        #: The per-task ``scan.task`` span (None when tracing is off);
+        #: worker scans, retries and quarantine fallbacks parent to it.
+        self.span = None
 
 
 #: Result-queue poll interval; also the worker-death detection latency.
@@ -481,7 +542,12 @@ class ProcessScanPool:
         self.stats["worker_restarts"] += 1
         self._workers[index] = self._spawn(index)
 
-    def run(self, tasks: Sequence[ScanTask]) -> Dict[int, ScanTaskResult]:
+    def run(
+        self,
+        tasks: Sequence[ScanTask],
+        tracer=None,
+        parent=None,
+    ) -> Dict[int, ScanTaskResult]:
         """Execute every task and return results keyed by the caller's ids.
 
         Task ids are re-stamped with the pool's monotonic counter on the
@@ -491,6 +557,14 @@ class ProcessScanPool:
         expires or a quarantined task fails even inline — every other
         fault (worker death, wedged task, error result, malformed payload)
         is absorbed by retry, respawn or quarantine.
+
+        ``tracer``/``parent`` thread span context through the pool: each
+        task gets a ``scan.task`` span (a child of ``parent``, normally
+        the engine's tick span), its trace identity rides the task
+        envelope so worker-side ``worker.scan`` spans parent to it, and
+        retries, lease expiries and quarantine fallbacks leave marker
+        spans under the same task span.  With ``tracer=None`` the wire
+        protocol is unchanged.
         """
         if self._closed:
             raise ProtectionError("ProcessScanPool is closed")
@@ -505,7 +579,18 @@ class ProcessScanPool:
         for task in tasks:
             internal = self._next_task_id
             self._next_task_id += 1
-            jobs[internal] = _Job(task._replace(task_id=internal), task.task_id)
+            wire_task = task._replace(task_id=internal)
+            job = _Job(wire_task, task.task_id)
+            if tracer is not None:
+                job.span = tracer.span(
+                    "scan.task",
+                    parent=parent,
+                    attrs={"task": task.task_id, "models": len(task.items)},
+                )
+                job.task = wire_task._replace(
+                    trace=(job.span.trace_id, job.span.span_id)
+                )
+            jobs[internal] = job
             pending.append(internal)
         effective_s = max(self.min_timeout_s, self.timeout_s * len(tasks))
         deadline = time.monotonic() + effective_s
@@ -521,20 +606,40 @@ class ProcessScanPool:
             release(job)
             job.state = "done"
             collected[job.caller_id] = result
+            if job.span is not None:
+                job.span.set_attr("worker", result.worker)
+                job.span.set_attr("attempt", job.attempt)
+                job.span.finish()
 
         def quarantine(job: _Job, reason: str) -> None:
             self.stats["tasks_quarantined"] += 1
             task = job.task._replace(attempt=job.attempt)
+            q_span = (
+                tracer.span(
+                    "scan.quarantine",
+                    parent=job.span.context,
+                    attrs={"reason": reason, "attempt": job.attempt},
+                )
+                if job.span is not None
+                else None
+            )
             try:
                 flagged = _run_task(
                     task, self._inline_attachments, self._inline_scratch
                 )
             except Exception as error:
+                if q_span is not None:
+                    q_span.set_attr(
+                        "error", f"{type(error).__name__}: {error}"
+                    )
+                    q_span.finish()
                 raise ProtectionError(
                     f"scan task {job.caller_id} failed even in coordinator "
                     f"quarantine after {job.attempt} deliveries "
                     f"(last fault: {reason}): {type(error).__name__}: {error}"
                 ) from error
+            if q_span is not None:
+                q_span.finish()
             finish(job, ScanTaskResult(job.caller_id, -1, flagged, None))
 
         def retry(job: _Job, reason: str) -> None:
@@ -546,6 +651,14 @@ class ProcessScanPool:
                 quarantine(job, reason)
                 return
             self.stats["task_retries"] += 1
+            if job.span is not None:
+                # A zero-duration marker: the re-queue decision itself, so
+                # lease expiries and worker deaths show up on the timeline.
+                tracer.span(
+                    "scan.retry",
+                    parent=job.span.context,
+                    attrs={"reason": reason, "attempt": job.attempt},
+                ).finish()
             if self.retry_backoff_s > 0:
                 time.sleep(self.retry_backoff_s * job.attempt)
             job.state = "pending"
@@ -587,7 +700,7 @@ class ProcessScanPool:
             except queue_module.Empty:
                 payload = None
             if payload is not None:
-                self._absorb_result(payload, jobs, finish, retry)
+                self._absorb_result(payload, jobs, finish, retry, tracer)
             now = time.monotonic()
             for index, worker in enumerate(self._workers):
                 if worker.is_alive():
@@ -610,10 +723,16 @@ class ProcessScanPool:
             dispatch()
         return collected
 
-    def _absorb_result(self, payload, jobs, finish, retry) -> None:
+    def _absorb_result(self, payload, jobs, finish, retry, tracer=None) -> None:
         """Validate one wire payload; first valid result per task wins."""
         task_id = getattr(payload, "task_id", None)
         job = jobs.get(task_id) if isinstance(task_id, int) else None
+        if job is not None and tracer is not None:
+            # Ingest even for done-state jobs: a lease-expired duplicate's
+            # scan really ran, and its parent span is exported anyway.
+            # Stragglers from *aborted* runs (job is None) are dropped —
+            # their parents never reached the recorder.
+            tracer.ingest(getattr(payload, "spans", ()))
         if job is None or job.state == "done":
             # A straggler from a lease-expired duplicate or an aborted run.
             self.stats["stale_results_dropped"] += 1

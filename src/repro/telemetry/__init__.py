@@ -1,6 +1,6 @@
-"""Telemetry, SLA and persistence subsystem for the fleet engine.
+"""Telemetry, SLA, persistence and observability subsystem for the fleet engine.
 
-Three layers, each usable alone:
+Five layers, each usable alone:
 
 * :mod:`repro.telemetry.metrics` — bounded metric primitives (counters,
   gauges, ring-buffer histograms with p50/p95/p99 nearest-rank estimation)
@@ -10,39 +10,83 @@ Three layers, each usable alone:
   event bus and tick outcomes and tracks, per model, detection latency
   (corruption injection → FLAGGED), recovery and reprotect time,
   scan-budget utilisation and bucketed-stacking efficiency;
+* :mod:`repro.telemetry.trace` — a low-overhead span tracer and bounded
+  flight recorder instrumenting the full engine tick (plan → bucket
+  assembly → kernel → verdict → lifecycle), with span context propagated
+  across the process boundary through scan-task envelopes;
+* :mod:`repro.telemetry.exposition` — Prometheus text-format (0.0.4)
+  rendering of a :class:`~repro.telemetry.metrics.MetricRegistry`, plus a
+  strict parser used by tests and the CI scrape smoke;
+* :mod:`repro.telemetry.httpd` — a stdlib ``http.server`` thread serving
+  ``/metrics``, ``/healthz``, ``/fault-stats`` and ``/trace``;
 * :mod:`repro.telemetry.store` — :class:`~repro.telemetry.store.StateStore`,
   JSON persistence of everything a service *learns* (measured cost-model
   EWMAs, planner flip rates, scheduler rotation counters, lifecycle
   states) so a restart resumes warm instead of re-calibrating.
 
+Exports resolve lazily (PEP 562).  This is load-bearing, not cosmetic:
+:mod:`repro.core.fleet` and :mod:`repro.core.procpool` import
+:mod:`repro.telemetry.trace` for the null tracer and the wire-span helper,
+while :mod:`repro.telemetry.monitor` imports :mod:`repro.core.fleet` — an
+eager ``__init__`` would close that loop into a circular import the moment
+the core package loads.
+
 The scenario-diverse attack-campaign driver feeding this subsystem lives
 in :mod:`repro.experiments.campaign`; the CLI surface is
-``repro-radar sla-report`` plus ``--state-dir`` on the protection
-subcommands.
+``repro-radar sla-report`` plus ``--state-dir``/``--http-port``/
+``--trace-dir`` on the protection subcommands.
 """
 
-from repro.telemetry.metrics import (
-    Counter,
-    Gauge,
-    MetricRegistry,
-    RingHistogram,
-)
-from repro.telemetry.monitor import FleetTelemetry
-from repro.telemetry.store import (
-    StateStore,
-    cost_model_state,
-    engine_state_dict,
-    restore_engine_state,
-)
+from typing import TYPE_CHECKING
 
-__all__ = [
-    "Counter",
-    "Gauge",
-    "RingHistogram",
-    "MetricRegistry",
-    "FleetTelemetry",
-    "StateStore",
-    "cost_model_state",
-    "engine_state_dict",
-    "restore_engine_state",
-]
+_EXPORTS = {
+    "Counter": "repro.telemetry.metrics",
+    "Gauge": "repro.telemetry.metrics",
+    "MetricRegistry": "repro.telemetry.metrics",
+    "RingHistogram": "repro.telemetry.metrics",
+    "FleetTelemetry": "repro.telemetry.monitor",
+    "FlightRecorder": "repro.telemetry.trace",
+    "NULL_TRACER": "repro.telemetry.trace",
+    "Span": "repro.telemetry.trace",
+    "SpanTracer": "repro.telemetry.trace",
+    "PROMETHEUS_CONTENT_TYPE": "repro.telemetry.exposition",
+    "parse_prometheus": "repro.telemetry.exposition",
+    "render_prometheus": "repro.telemetry.exposition",
+    "ObservabilityServer": "repro.telemetry.httpd",
+    "StateStore": "repro.telemetry.store",
+    "cost_model_state": "repro.telemetry.store",
+    "engine_state_dict": "repro.telemetry.store",
+    "restore_engine_state": "repro.telemetry.store",
+}
+
+__all__ = sorted(_EXPORTS)
+
+if TYPE_CHECKING:  # pragma: no cover - import-time types for tooling only
+    from repro.telemetry.exposition import (
+        PROMETHEUS_CONTENT_TYPE,
+        parse_prometheus,
+        render_prometheus,
+    )
+    from repro.telemetry.httpd import ObservabilityServer
+    from repro.telemetry.metrics import Counter, Gauge, MetricRegistry, RingHistogram
+    from repro.telemetry.monitor import FleetTelemetry
+    from repro.telemetry.trace import NULL_TRACER, FlightRecorder, Span, SpanTracer
+    from repro.telemetry.store import (
+        StateStore,
+        cost_model_state,
+        engine_state_dict,
+        restore_engine_state,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

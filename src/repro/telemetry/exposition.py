@@ -1,0 +1,385 @@
+"""Prometheus text-format (0.0.4) exposition of a :class:`MetricRegistry`.
+
+One honest mapping, no new bookkeeping:
+
+===========================  =====================================================
+registry primitive           exposition
+===========================  =====================================================
+``Counter``                  ``counter`` sample (name forced to a ``_total`` suffix)
+``Gauge``                    ``gauge`` sample (NaN until first set — rendered as ``NaN``)
+``RingHistogram``            ``summary``: ``{quantile="0.5|0.95|0.99"}`` samples
+                             from the ring's nearest-rank window percentiles, plus
+                             lifetime ``_sum`` and ``_count``
+===========================  =====================================================
+
+A :class:`~repro.telemetry.metrics.RingHistogram` is a sliding *window*,
+so its quantiles describe the recent distribution (exactly what an SLO
+panel wants) while ``_sum``/``_count`` are lifetime totals (exactly what
+``rate()`` wants) — the same split a native Prometheus summary makes with
+``max_age``.
+
+Metric and label names are sanitized to the exposition charsets
+(``[a-zA-Z_:][a-zA-Z0-9_:]*`` and ``[a-zA-Z_][a-zA-Z0-9_]*``), label
+values escape ``\\``, ``"`` and newlines, and output ordering is fully
+deterministic (families sorted by name, samples by label set) so
+successive scrapes of an idle registry are byte-identical.
+
+:func:`parse_prometheus` is the strict inverse used by tests and the CI
+scrape smoke: it rejects bad names, bad escapes, duplicate ``TYPE``
+declarations, interleaved families and duplicate samples — if the
+renderer ever emits something a real Prometheus server would drop, the
+parser fails first.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ProtectionError
+from repro.telemetry.metrics import DEFAULT_PERCENTILES, MetricRegistry
+
+#: The content type ``/metrics`` responses declare.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_VALID_TYPES = ("counter", "gauge", "summary", "histogram", "untyped")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Force ``name`` into the metric-name charset (colon allowed)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", str(name))
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = f"_{cleaned}"
+    return cleaned
+
+
+def sanitize_label_name(name: str) -> str:
+    """Force ``name`` into the label-name charset (no colon, no ``__`` prefix)."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", str(name))
+    if not cleaned or not re.match(r"[a-zA-Z_]", cleaned[0]):
+        cleaned = f"_{cleaned}"
+    # ``__``-prefixed label names are reserved for Prometheus internals.
+    while cleaned.startswith("__"):
+        cleaned = cleaned[1:]
+    return cleaned
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\":
+            if index + 1 >= len(value):
+                raise ProtectionError(f"dangling escape in label value {value!r}")
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+            elif nxt == '"':
+                out.append('"')
+            elif nxt == "n":
+                out.append("\n")
+            else:
+                raise ProtectionError(
+                    f"invalid escape \\{nxt} in label value {value!r}"
+                )
+            index += 2
+            continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def format_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def _parse_value(token: str) -> float:
+    if token == "NaN":
+        return float("nan")
+    if token == "+Inf":
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    try:
+        return float(token)
+    except ValueError:
+        raise ProtectionError(f"unparseable sample value {token!r}") from None
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    parts = ",".join(
+        f'{sanitize_label_name(key)}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + parts + "}"
+
+
+class _Family:
+    __slots__ = ("name", "kind", "samples")
+
+    def __init__(self, name: str, kind: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.samples: List[Tuple[str, str, float]] = []
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """Render every metric in ``registry`` as Prometheus text format 0.0.4."""
+    families: Dict[str, _Family] = {}
+
+    def family(name: str, kind: str) -> _Family:
+        entry = families.get(name)
+        if entry is None:
+            entry = families[name] = _Family(name, kind)
+        elif entry.kind != kind:
+            raise ProtectionError(
+                f"metric family {name!r} rendered as both {entry.kind} and "
+                f"{kind} (sanitized name collision across metric kinds)"
+            )
+        return entry
+
+    for name, labels, counter in registry.iter_counters():
+        family_name = sanitize_metric_name(name)
+        if not family_name.endswith("_total"):
+            family_name += "_total"
+        family(family_name, "counter").samples.append(
+            (family_name, _render_labels(labels), float(counter.value))
+        )
+    for name, labels, gauge in registry.iter_gauges():
+        family_name = sanitize_metric_name(name)
+        family(family_name, "gauge").samples.append(
+            (family_name, _render_labels(labels), float(gauge.value))
+        )
+    for name, labels, histogram in registry.iter_histograms():
+        family_name = sanitize_metric_name(name)
+        entry = family(family_name, "summary")
+        for q in DEFAULT_PERCENTILES:
+            quantile_labels = dict(labels)
+            quantile_labels["quantile"] = f"{q / 100.0:g}"
+            entry.samples.append(
+                (
+                    family_name,
+                    _render_labels(quantile_labels),
+                    histogram.percentile(q) if len(histogram) else float("nan"),
+                )
+            )
+        entry.samples.append(
+            (f"{family_name}_sum", _render_labels(labels), float(histogram.total))
+        )
+        entry.samples.append(
+            (f"{family_name}_count", _render_labels(labels), float(histogram.count))
+        )
+
+    lines: List[str] = []
+    for family_name in sorted(families):
+        entry = families[family_name]
+        lines.append(f"# TYPE {family_name} {entry.kind}")
+        for sample_name, label_text, value in sorted(entry.samples):
+            lines.append(f"{sample_name}{label_text} {format_value(value)}")
+    return "".join(line + "\n" for line in lines)
+
+
+# -- strict parsing (tests + CI scrape smoke) -----------------------------------
+
+
+def _parse_label_block(text: str, line_number: int) -> Dict[str, str]:
+    """Parse ``key="value",...`` with full escape handling."""
+    labels: Dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        match = re.match(r"[a-zA-Z_][a-zA-Z0-9_]*", text[index:])
+        if match is None:
+            raise ProtectionError(
+                f"line {line_number}: invalid label name at {text[index:]!r}"
+            )
+        name = match.group(0)
+        index += len(name)
+        if not text[index : index + 2] == '="':
+            raise ProtectionError(
+                f"line {line_number}: expected '=\"' after label {name!r}"
+            )
+        index += 2
+        raw: List[str] = []
+        while index < len(text):
+            char = text[index]
+            if char == "\\":
+                raw.append(text[index : index + 2])
+                index += 2
+                continue
+            if char == '"':
+                break
+            raw.append(char)
+            index += 1
+        else:
+            raise ProtectionError(
+                f"line {line_number}: unterminated label value for {name!r}"
+            )
+        index += 1  # closing quote
+        if name in labels:
+            raise ProtectionError(
+                f"line {line_number}: duplicate label name {name!r}"
+            )
+        labels[name] = _unescape_label_value("".join(raw))
+        if index < len(text):
+            if text[index] != ",":
+                raise ProtectionError(
+                    f"line {line_number}: expected ',' between labels, got "
+                    f"{text[index]!r}"
+                )
+            index += 1
+    return labels
+
+
+def _base_family(sample_name: str, declared: Mapping[str, str]) -> str:
+    """The family a sample belongs to (summary ``_sum``/``_count`` fold in)."""
+    for suffix in ("_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if declared.get(base) in ("summary", "histogram"):
+                return base
+    if sample_name.endswith("_bucket"):
+        base = sample_name[: -len("_bucket")]
+        if declared.get(base) == "histogram":
+            return base
+    return sample_name
+
+
+def parse_prometheus(text: str) -> Dict:
+    """Strictly parse text-format 0.0.4; raise :class:`ProtectionError` on any
+    violation.  Returns ``{"families": {name: type}, "samples": [...]}`` where
+    each sample is ``{"name", "labels", "value"}``.
+    """
+    if not isinstance(text, str) or not text:
+        raise ProtectionError("exposition must be a non-empty string")
+    if not text.endswith("\n"):
+        raise ProtectionError("exposition must end with a line feed")
+    families: Dict[str, str] = {}
+    families_with_samples: set = set()
+    samples: List[Dict] = []
+    seen_series: set = set()
+    for line_number, line in enumerate(text.split("\n")[:-1], start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 2 or parts[0] != "#":
+                raise ProtectionError(
+                    f"line {line_number}: malformed comment {line!r}"
+                )
+            if parts[1] == "TYPE":
+                if len(parts) != 4:
+                    raise ProtectionError(
+                        f"line {line_number}: malformed TYPE line {line!r}"
+                    )
+                _, _, name, kind = parts
+                if not _METRIC_NAME_RE.match(name):
+                    raise ProtectionError(
+                        f"line {line_number}: invalid metric name {name!r}"
+                    )
+                if kind not in _VALID_TYPES:
+                    raise ProtectionError(
+                        f"line {line_number}: invalid metric type {kind!r}"
+                    )
+                if name in families:
+                    raise ProtectionError(
+                        f"line {line_number}: duplicate TYPE for {name!r}"
+                    )
+                if name in families_with_samples:
+                    raise ProtectionError(
+                        f"line {line_number}: TYPE for {name!r} after its samples"
+                    )
+                families[name] = kind
+            # HELP and free comments are legal and carry no structure.
+            continue
+        match = re.match(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)", line)
+        if match is None:
+            raise ProtectionError(
+                f"line {line_number}: invalid sample name in {line!r}"
+            )
+        sample_name = match.group(1)
+        rest = line[len(sample_name) :]
+        labels: Dict[str, str] = {}
+        if rest.startswith("{"):
+            end = _find_label_block_end(rest, line_number)
+            labels = _parse_label_block(rest[1:end], line_number)
+            rest = rest[end + 1 :]
+        if not rest.startswith(" "):
+            raise ProtectionError(
+                f"line {line_number}: expected space before value in {line!r}"
+            )
+        tokens = rest[1:].split(" ")
+        if len(tokens) not in (1, 2) or not tokens[0]:
+            raise ProtectionError(
+                f"line {line_number}: malformed value/timestamp in {line!r}"
+            )
+        value = _parse_value(tokens[0])
+        if len(tokens) == 2:
+            try:
+                int(tokens[1])
+            except ValueError:
+                raise ProtectionError(
+                    f"line {line_number}: malformed timestamp {tokens[1]!r}"
+                ) from None
+        series = (sample_name, tuple(sorted(labels.items())))
+        if series in seen_series:
+            raise ProtectionError(
+                f"line {line_number}: duplicate sample {sample_name}{labels}"
+            )
+        seen_series.add(series)
+        base = _base_family(sample_name, families)
+        families_with_samples.add(base)
+        families.setdefault(base, "untyped")
+        samples.append({"name": sample_name, "labels": labels, "value": value})
+    return {"families": families, "samples": samples}
+
+
+def _find_label_block_end(text: str, line_number: int) -> int:
+    """Index of the closing ``}`` of a label block, escape-aware."""
+    index = 1
+    in_quotes = False
+    while index < len(text):
+        char = text[index]
+        if in_quotes:
+            if char == "\\":
+                index += 2
+                continue
+            if char == '"':
+                in_quotes = False
+        elif char == '"':
+            in_quotes = True
+        elif char == "}":
+            return index
+        index += 1
+    raise ProtectionError(f"line {line_number}: unterminated label block")
+
+
+def find_sample(
+    parsed: Mapping, name: str, **labels: str
+) -> Optional[float]:
+    """Convenience for tests/smoke: the value of one series, or ``None``."""
+    for sample in parsed["samples"]:
+        if sample["name"] == name and all(
+            sample["labels"].get(key) == value for key, value in labels.items()
+        ):
+            return sample["value"]
+    return None

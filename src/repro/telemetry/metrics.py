@@ -93,11 +93,17 @@ class RingHistogram:
         self._cursor = 0
         #: Total samples ever observed (>= the retained window size).
         self.count = 0
+        #: Lifetime sum of every observed sample (not just the window) —
+        #: the ``_sum`` a Prometheus summary exposes, so ``rate(sum)/
+        #: rate(count)`` stays meaningful after the ring rotates.
+        self.total = 0.0
 
     def observe(self, value: float) -> None:
-        self._samples[self._cursor] = float(value)
+        value = float(value)
+        self._samples[self._cursor] = value
         self._cursor = (self._cursor + 1) % self.capacity
         self.count += 1
+        self.total += value
 
     def __len__(self) -> int:
         """Samples currently retained in the window."""
@@ -127,6 +133,7 @@ class RingHistogram:
         return {
             "capacity": int(self.capacity),
             "count": int(self.count),
+            "total": float(self.total),
             "samples": [float(value) for value in self.ordered_window()],
         }
 
@@ -146,6 +153,9 @@ class RingHistogram:
         """
         persisted = [float(value) for value in state.get("samples", ())]
         total = int(state.get("count", len(persisted))) + self.count
+        # Snapshots predating the lifetime-sum field fall back to the sum
+        # of their retained window — the best available reconstruction.
+        self.total += float(state.get("total", sum(persisted)))
         merged = persisted + list(self.ordered_window())
         retained = merged[-self.capacity :]
         self._samples[: len(retained)] = retained
@@ -234,6 +244,26 @@ class MetricRegistry:
     def find_gauge(self, name: str, **labels: object) -> Optional[Gauge]:
         """The gauge if it has been created (no creation side effect)."""
         return self._gauges.get((name, _labels_key(labels)))
+
+    # Deterministic iteration for the Prometheus exposition layer: one
+    # (name, labels-dict, metric) triple per series, sorted by key.
+    def iter_counters(self) -> List[Tuple[str, Dict[str, str], Counter]]:
+        return [
+            (name, dict(labels), metric)
+            for (name, labels), metric in sorted(self._counters.items())
+        ]
+
+    def iter_gauges(self) -> List[Tuple[str, Dict[str, str], Gauge]]:
+        return [
+            (name, dict(labels), metric)
+            for (name, labels), metric in sorted(self._gauges.items())
+        ]
+
+    def iter_histograms(self) -> List[Tuple[str, Dict[str, str], RingHistogram]]:
+        return [
+            (name, dict(labels), metric)
+            for (name, labels), metric in sorted(self._histograms.items())
+        ]
 
     def label_values(self, name: str, label: str) -> List[str]:
         """Distinct values one label takes across all metrics named ``name``.

@@ -170,6 +170,12 @@ class FleetTelemetry:
         """Per-tick economics (called by the engine at the end of ``tick``)."""
         self.registry.counter("ticks_total").inc()
         engine = self._engine
+        tick_s = getattr(engine, "last_tick_duration_s", None)
+        if tick_s is not None:
+            # The same ``elapsed`` the engine stamps on its tick span, so
+            # trace_analysis.py's per-stage p99 and this histogram agree
+            # sample-for-sample.
+            self.registry.histogram("tick_duration_s").observe(tick_s)
         for name, outcome in outcomes.items():
             self.registry.counter("groups_checked_total", model=name).inc(
                 outcome.scan.groups_checked
@@ -226,8 +232,13 @@ class FleetTelemetry:
             if not isinstance(value, int):
                 continue
             delta = value - self._fault_baseline.get(key, 0)
+            # Touch the counter even at delta zero so every fleet_*_total
+            # family is present on /metrics from the first tick — scrapers
+            # (and the CI smoke test) can assert on the family instead of
+            # special-casing "no faults yet".
+            counter = self.registry.counter(f"fleet_{key}_total")
             if delta > 0:
-                self.registry.counter(f"fleet_{key}_total").inc(delta)
+                counter.inc(delta)
             self._fault_baseline[key] = value
         self.registry.gauge("fleet_degraded").set(1.0 if degraded else 0.0)
 

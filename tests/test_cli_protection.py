@@ -168,6 +168,72 @@ class TestServeDemoCommand:
         assert "detection" in out and "recovery" in out and "reprotect" in out
 
 
+class TestServeDemoObservability:
+    """--http-port / --trace-dir / --report-every on serve-demo."""
+
+    def test_trace_dir_exports_an_analyzable_trace(self, tmp_path, capsys):
+        trace_dir = tmp_path / "traces"
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--num-shards", "4",
+                "--passes", "6",
+                "--attack-at-pass", "2",
+                "--num-flips", "4",
+                "--trace-dir", str(trace_dir),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace exported:" in out
+        export = trace_dir / "trace.jsonl"
+        spans = [
+            json.loads(line)
+            for line in export.read_text().splitlines()
+            if line
+        ]
+        names = {span["name"] for span in spans}
+        assert {"engine.tick", "tick.plan", "scan.kernel"} <= names
+        assert "lifecycle.transition" in names  # the attack left a trail
+        from repro.telemetry.trace import assert_no_orphans
+
+        assert_no_orphans(spans)
+        assert sum(span["name"] == "engine.tick" for span in spans) == 6
+
+    def test_report_every_prints_fault_and_worker_reports(self, capsys):
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--num-shards", "4",
+                "--passes", "6",
+                "--report-every", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[pass 3] fault report:" in out
+        assert "[pass 6] fault report:" in out
+        assert "Worker load after pass 3" in out
+
+    def test_http_port_announces_and_serves(self, tmp_path, capsys):
+        # Port 0 binds an ephemeral port; the demo must announce it so a
+        # scraper (or the smoke script) can find the surface.
+        code = main(
+            [
+                "serve-demo",
+                "--models", "2",
+                "--num-shards", "4",
+                "--passes", "4",
+                "--http-port", "0",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "observability server listening on http://127.0.0.1:" in out
+
+
 class TestBudgetFlags:
     """--budget-ms on protect / scan / serve-demo."""
 

@@ -1,0 +1,188 @@
+"""Prometheus text-format rendering: edge cases and the strict parser.
+
+Satellite coverage for the exposition layer: metric-name sanitization,
+label-value escaping (backslash, quote, newline), NaN / empty-histogram
+rendering, byte-stable ordering, and the parser's rejection modes — the
+renderer must never emit anything the strict parser (or a real Prometheus
+server) would drop.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ProtectionError
+from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    escape_label_value,
+    find_sample,
+    format_value,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_label_name,
+    sanitize_metric_name,
+)
+from repro.telemetry.metrics import MetricRegistry
+
+
+class TestSanitization:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("detection latency (s)", "detection_latency__s_"),
+            ("scan.kernel/ms", "scan_kernel_ms"),
+            ("9lives", "_9lives"),
+            ("", "_"),
+            ("namespace:metric_ok", "namespace:metric_ok"),
+        ],
+    )
+    def test_metric_names(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("model name", "model_name"),
+            ("ns:label", "ns_label"),  # colon is metric-only
+            ("0rank", "_0rank"),
+            # The reserved double-underscore prefix is reduced, not kept.
+            ("__reserved", "_reserved"),
+            ("____very_reserved", "_very_reserved"),
+        ],
+    )
+    def test_label_names(self, raw, expected):
+        assert sanitize_label_name(raw) == expected
+
+    def test_escaping_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_value_forms(self):
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+        assert format_value(float("-inf")) == "-Inf"
+        assert format_value(2.5) == "2.5"
+
+
+class TestRendering:
+    def test_counter_names_are_forced_to_total_suffix(self):
+        registry = MetricRegistry()
+        registry.counter("ticks").inc(3)
+        registry.counter("retries_total").inc(1)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["families"]["ticks_total"] == "counter"
+        assert parsed["families"]["retries_total"] == "counter"
+        assert find_sample(parsed, "ticks_total") == 3.0
+
+    def test_histogram_renders_as_summary_with_lifetime_sum(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("latency_s", model="m0")
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value)
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["families"]["latency_s"] == "summary"
+        assert find_sample(parsed, "latency_s", model="m0", quantile="0.5") == 0.2
+        assert find_sample(parsed, "latency_s", model="m0", quantile="0.99") == 0.3
+        assert find_sample(parsed, "latency_s_count", model="m0") == 3.0
+        total = find_sample(parsed, "latency_s_sum", model="m0")
+        assert total == pytest.approx(0.6)
+
+    def test_empty_histogram_renders_nan_quantiles(self):
+        registry = MetricRegistry()
+        registry.histogram("latency_s")
+        text = render_prometheus(registry)
+        parsed = parse_prometheus(text)
+        assert math.isnan(find_sample(parsed, "latency_s", quantile="0.5"))
+        assert find_sample(parsed, "latency_s_count") == 0.0
+        assert find_sample(parsed, "latency_s_sum") == 0.0
+
+    def test_unset_gauge_renders_nan(self):
+        registry = MetricRegistry()
+        registry.gauge("price")
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert math.isnan(find_sample(parsed, "price"))
+
+    def test_label_values_escape_and_round_trip(self):
+        awkward = 'mo"del\\one\nline'
+        registry = MetricRegistry()
+        registry.counter("events", model=awkward).inc()
+        text = render_prometheus(registry)
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        parsed = parse_prometheus(text)
+        assert find_sample(parsed, "events_total", model=awkward) == 1.0
+
+    def test_output_is_byte_stable_and_sorted(self):
+        def build():
+            registry = MetricRegistry()
+            registry.counter("zeta").inc()
+            registry.gauge("alpha", b="2").set(1.0)
+            registry.gauge("alpha", a="1").set(2.0)
+            registry.histogram("mid").observe(1.0)
+            return render_prometheus(registry)
+
+        first, second = build(), build()
+        assert first == second
+        family_lines = [
+            line for line in first.splitlines() if line.startswith("# TYPE")
+        ]
+        assert family_lines == sorted(family_lines)
+
+    def test_cross_kind_sanitized_collision_is_an_error(self):
+        registry = MetricRegistry()
+        registry.gauge("speed total").set(1.0)
+        registry.counter("speed").inc()  # renders as speed_total counter
+        with pytest.raises(ProtectionError, match="collision"):
+            render_prometheus(registry)
+
+    def test_content_type_pins_the_version(self):
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+
+class TestStrictParser:
+    def test_accepts_timestamps_and_help_comments(self):
+        text = (
+            "# HELP x_total helpful words\n"
+            "# TYPE x_total counter\n"
+            "x_total 1.0 1700000000\n"
+        )
+        parsed = parse_prometheus(text)
+        assert find_sample(parsed, "x_total") == 1.0
+
+    @pytest.mark.parametrize(
+        "text, reason",
+        [
+            ("", "non-empty"),
+            ("x_total 1.0", "line feed"),
+            ("# TYPE x_total counter\n# TYPE x_total counter\nx_total 1\n", "duplicate TYPE"),
+            # A TYPE after samples: the family is already registered untyped.
+            ("x_total 1\n# TYPE x_total counter\n", "duplicate TYPE"),
+            ("# TYPE x_total banana\nx_total 1\n", "invalid metric type"),
+            ("# TYPE 9bad counter\n", "invalid metric name"),
+            ("x_total 1\nx_total 2\n", "duplicate sample"),
+            ('x{l="a} 1\n', "unterminated label"),
+            ('x{l="a\\q"} 1\n', "invalid escape"),
+            ('x{l="a",l="b"} 1\n', "duplicate label"),
+            ("x_total banana\n", "unparseable sample value"),
+            ("x_total 1 soon\n", "malformed timestamp"),
+            ("x_total1\n", "expected space"),
+            ("{} 1\n", "invalid sample name"),
+        ],
+    )
+    def test_rejections(self, text, reason):
+        with pytest.raises(ProtectionError, match=reason):
+            parse_prometheus(text)
+
+    def test_summary_sum_and_count_fold_into_declared_family(self):
+        text = (
+            "# TYPE lat summary\n"
+            'lat{quantile="0.5"} 1.0\n'
+            "lat_count 2.0\n"
+            "lat_sum 3.0\n"
+        )
+        parsed = parse_prometheus(text)
+        assert set(parsed["families"]) == {"lat"}
+
+    def test_undeclared_sample_is_untyped_family(self):
+        parsed = parse_prometheus("mystery 1.0\n")
+        assert parsed["families"]["mystery"] == "untyped"
